@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# one testing.B benchmark per paper figure plus the per-algorithm benches
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# regenerate every figure of the paper into results/
+figures:
+	mkdir -p results
+	$(GO) run ./cmd/ccsbench -all -speedups \
+		-csv results/figures.csv -report results/report.md \
+		| tee results/figures.txt
+
+clean:
+	rm -rf bin

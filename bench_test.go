@@ -1,0 +1,75 @@
+// Package ccs_test hosts one testing.B benchmark per figure of the paper's
+// evaluation. Each benchmark runs the corresponding panel pair (data set 1
+// and data set 2) at a reduced scale; `go test -bench=Fig -benchmem` prints
+// one measurement per panel, and the ccsbench command regenerates the full
+// series with per-point tables.
+package ccs_test
+
+import (
+	"testing"
+
+	"ccs/internal/bench"
+)
+
+// benchConfig is sized so a single panel iteration stays under a second.
+func benchConfig() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.Baskets = []int{500, 1000}
+	cfg.Selectivities = []float64{0.2, 0.5, 0.8}
+	cfg.MaxsumFracs = []float64{0.2, 1.0, 3.0}
+	cfg.NumItems = 60
+	cfg.NumPatterns = 25
+	cfg.Params.Alpha = 0.95
+	cfg.Params.CellSupportFrac = 0.05
+	cfg.Params.MaxLevel = 5
+	return cfg
+}
+
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 2 {
+			b.Fatalf("expected both panels, got %d", len(series))
+		}
+	}
+}
+
+// BenchmarkFig1 reproduces Figure 1: cpu vs baskets under the anti-monotone
+// succinct constraint max(price) <= v at 50% selectivity (BMS+, BMS++,
+// BMS**).
+func BenchmarkFig1(b *testing.B) { runFigure(b, "1") }
+
+// BenchmarkFig2 reproduces Figure 2: cpu vs constraint selectivity for
+// max(price) <= v at the largest basket count.
+func BenchmarkFig2(b *testing.B) { runFigure(b, "2") }
+
+// BenchmarkFig3 reproduces Figure 3: cpu vs baskets under the anti-monotone
+// non-succinct constraint sum(price) <= maxsum.
+func BenchmarkFig3(b *testing.B) { runFigure(b, "3") }
+
+// BenchmarkFig4 reproduces Figure 4: cpu vs the maxsum bound, exposing the
+// BMS**/BMS+ cross-over as the constraint loses selectivity.
+func BenchmarkFig4(b *testing.B) { runFigure(b, "4") }
+
+// BenchmarkFig5 reproduces Figure 5: valid minimal answers under the
+// monotone succinct constraint min(price) <= v, cpu vs baskets (BMS+ vs
+// BMS++).
+func BenchmarkFig5(b *testing.B) { runFigure(b, "5") }
+
+// BenchmarkFig6 reproduces Figure 6: the selectivity effect on BMS+ and
+// BMS++ for valid minimal answers.
+func BenchmarkFig6(b *testing.B) { runFigure(b, "6") }
+
+// BenchmarkFig7 reproduces Figure 7: minimal valid answers under
+// min(price) <= v, cpu vs baskets (BMS* vs BMS**).
+func BenchmarkFig7(b *testing.B) { runFigure(b, "7") }
+
+// BenchmarkFig8 reproduces Figure 8: the selectivity effect on BMS* and
+// BMS**, including the cross-over the paper reports near 20% selectivity.
+func BenchmarkFig8(b *testing.B) { runFigure(b, "8") }

@@ -1,0 +1,178 @@
+// Package ccs mines constrained correlated itemsets from transaction
+// databases, implementing Grahne, Lakshmanan & Wang, "Efficient Mining of
+// Constrained Correlated Sets" (ICDE 2000).
+//
+// A correlated set is an itemset whose contingency table fails the
+// chi-squared independence test at a chosen significance level; it is
+// CT-supported when enough of the table's cells carry real mass; it is
+// valid when it satisfies user constraints (price bounds, type
+// restrictions, ...). Two answer-set semantics are supported:
+//
+//   - VALIDMIN — minimal correlated & CT-supported sets that are valid,
+//     computed by BMSPlus (naive) and BMSPlusPlus (constraint-pushing);
+//   - MINVALID — minimal elements of the valid correlated space, computed
+//     by BMSStar (naive) and BMSStarStar (two-phase).
+//
+// This package is a facade over the implementation packages; it re-exports
+// everything a client needs to build catalogs and databases, state
+// constraints (programmatically or via the textual language of ParseQuery),
+// generate the paper's synthetic datasets, and run any of the algorithms.
+//
+// Minimal usage:
+//
+//	db, _ := ccs.NewDB(catalog, transactions)
+//	m, _ := ccs.NewMiner(db, ccs.Params{Alpha: 0.95, CellSupportFrac: 0.05, CTFraction: 0.25})
+//	q, _ := ccs.ParseQuery(`max(price) <= 50 & "snacks" notin type`)
+//	res, _ := m.BMSPlusPlus(q, ccs.PlusPlusOptions{})
+package ccs
+
+import (
+	"io"
+
+	"ccs/internal/constraint"
+	"ccs/internal/core"
+	"ccs/internal/cql"
+	"ccs/internal/dataset"
+	"ccs/internal/gen"
+	"ccs/internal/itemset"
+)
+
+// Re-exported data-model types.
+type (
+	// Item identifies a catalog item.
+	Item = itemset.Item
+	// ItemSet is a canonical (sorted, duplicate-free) set of items.
+	ItemSet = itemset.Set
+	// ItemInfo carries the attributes constraints speak about.
+	ItemInfo = dataset.ItemInfo
+	// Catalog is the item dictionary.
+	Catalog = dataset.Catalog
+	// Transaction is one basket.
+	Transaction = dataset.Transaction
+	// DB is an in-memory transaction database.
+	DB = dataset.DB
+)
+
+// Re-exported mining types.
+type (
+	// Params holds the statistical thresholds of a query.
+	Params = core.Params
+	// Miner runs the algorithms over one database.
+	Miner = core.Miner
+	// Result is an answer set plus cost statistics.
+	Result = core.Result
+	// Stats is the paper's cost accounting.
+	Stats = core.Stats
+	// PlusPlusOptions configures BMSPlusPlus.
+	PlusPlusOptions = core.PlusPlusOptions
+	// StarStarOptions configures BMSStarStar.
+	StarStarOptions = core.StarStarOptions
+	// BruteResult is the exhaustive reference evaluation.
+	BruteResult = core.BruteResult
+)
+
+// Re-exported constraint types.
+type (
+	// Constraint is a classified itemset predicate.
+	Constraint = constraint.Constraint
+	// Conjunction is a query's constraint set.
+	Conjunction = constraint.Conjunction
+	// Agg names an SQL aggregate (AggMin..AggAvg).
+	Agg = constraint.Agg
+	// Cmp is a comparison direction (LE or GE).
+	Cmp = constraint.Cmp
+	// SetOp is a domain-constraint relation.
+	SetOp = constraint.SetOp
+	// NumAttr is a numeric item attribute.
+	NumAttr = constraint.NumAttr
+	// CatAttr is a categorical item attribute.
+	CatAttr = constraint.CatAttr
+)
+
+// Aggregates, comparisons and set relations.
+const (
+	AggMin   = constraint.AggMin
+	AggMax   = constraint.AggMax
+	AggSum   = constraint.AggSum
+	AggCount = constraint.AggCount
+	AggAvg   = constraint.AggAvg
+
+	LE = constraint.LE
+	GE = constraint.GE
+
+	OpContainsAll = constraint.OpContainsAll
+	OpWithin      = constraint.OpWithin
+	OpDisjoint    = constraint.OpDisjoint
+	OpIntersects  = constraint.OpIntersects
+)
+
+// Standard attributes of the paper's examples.
+var (
+	Price = constraint.Price
+	Type  = constraint.Type
+)
+
+// NewItemSet returns the canonical itemset of the given items.
+func NewItemSet(items ...Item) ItemSet { return itemset.New(items...) }
+
+// NewCatalog validates an item list (dense IDs, non-negative prices).
+func NewCatalog(items []ItemInfo) (*Catalog, error) { return dataset.NewCatalog(items) }
+
+// SyntheticCatalog builds the paper's price-equals-ID catalog.
+func SyntheticCatalog(n int, types []string) *Catalog { return dataset.SyntheticCatalog(n, types) }
+
+// NewDB validates transactions against the catalog.
+func NewDB(c *Catalog, tx []Transaction) (*DB, error) { return dataset.NewDB(c, tx) }
+
+// ReadDB parses a database from the binary dataset format.
+func ReadDB(r io.Reader) (*DB, error) { return dataset.Read(r) }
+
+// WriteDB serializes a database in the binary dataset format.
+func WriteDB(w io.Writer, db *DB) error { return dataset.Write(w, db) }
+
+// NewMiner validates params against db and returns a ready miner. See
+// core.New for options such as alternative counting engines.
+func NewMiner(db *DB, p Params) (*Miner, error) { return core.New(db, p) }
+
+// DefaultParams mirrors the paper's experimental thresholds.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// And builds a constraint conjunction.
+func And(cs ...Constraint) *Conjunction { return constraint.And(cs...) }
+
+// Aggregate builds the constraint agg(S.attr) cmp bound.
+func Aggregate(agg Agg, attr NumAttr, cmp Cmp, bound float64) Constraint {
+	return constraint.NewAggregate(agg, attr, cmp, bound)
+}
+
+// Domain builds the constraint CS op S.attr.
+func Domain(op SetOp, attr CatAttr, cs ...string) Constraint {
+	return constraint.NewDomain(op, attr, cs...)
+}
+
+// ParseQuery parses the textual constraint language, e.g.
+// `max(price) <= 50 & {"soda"} containsall type`.
+func ParseQuery(input string) (*Conjunction, error) { return cql.Parse(input) }
+
+// Generator re-exports: the paper's two synthetic data generators.
+type (
+	// Method1Config parametrizes the Agrawal-Srikant generator.
+	Method1Config = gen.Method1Config
+	// Method2Config parametrizes the rule-planted generator.
+	Method2Config = gen.Method2Config
+	// PlantedRule is a ground-truth correlation of the rule generator.
+	PlantedRule = gen.Rule
+)
+
+// GenerateMethod1 runs the Agrawal-Srikant generator.
+func GenerateMethod1(cfg Method1Config) (*DB, error) { return gen.Method1(cfg) }
+
+// GenerateMethod2 runs the rule-planted generator, returning the ground
+// truth alongside the data.
+func GenerateMethod2(cfg Method2Config) (*DB, []PlantedRule, error) { return gen.Method2(cfg) }
+
+// DefaultMethod1 returns the paper's data-set-1 parameters.
+func DefaultMethod1(numTx int, seed int64) Method1Config { return gen.DefaultMethod1(numTx, seed) }
+
+// DefaultMethod2 returns the paper's data-set-2 parameters.
+func DefaultMethod2(numTx int, seed int64) Method2Config { return gen.DefaultMethod2(numTx, seed) }

@@ -1,0 +1,158 @@
+package ccs_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"testing"
+
+	"ccs"
+)
+
+func facadeDB(t testing.TB) *ccs.DB {
+	t.Helper()
+	cat := ccs.SyntheticCatalog(10, []string{"soda", "snack"})
+	r := rand.New(rand.NewSource(3))
+	var tx []ccs.Transaction
+	for i := 0; i < 400; i++ {
+		var items []ccs.Item
+		for j := 0; j < 10; j++ {
+			if r.Intn(3) == 0 {
+				items = append(items, ccs.Item(j))
+			}
+		}
+		s := ccs.NewItemSet(items...)
+		if s.Contains(0) && r.Intn(10) != 0 {
+			s = s.With(1)
+		}
+		tx = append(tx, s)
+	}
+	db, err := ccs.NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	db := facadeDB(t)
+	m, err := ccs.NewMiner(db, ccs.Params{Alpha: 0.95, CellSupportFrac: 0.05, CTFraction: 0.25, MaxLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ccs.ParseQuery("max(price) <= 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.BMSPlusPlus(q, ccs.PlusPlusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range res.Answers {
+		if !q.Satisfies(db.Catalog, s) {
+			t.Fatalf("invalid answer %v", s)
+		}
+		if s.Equal(ccs.NewItemSet(0, 1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted pair not found; answers: %v", res.Answers)
+	}
+}
+
+func TestFacadeProgrammaticConstraints(t *testing.T) {
+	db := facadeDB(t)
+	m, err := ccs.NewMiner(db, ccs.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ccs.And(
+		ccs.Aggregate(ccs.AggMax, ccs.Price, ccs.LE, 9),
+		ccs.Domain(ccs.OpDisjoint, ccs.Type, "dairy"),
+	)
+	if _, err := m.BMSStar(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSerializationRoundTrip(t *testing.T) {
+	db := facadeDB(t)
+	var buf bytes.Buffer
+	if err := ccs.WriteDB(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ccs.ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTx() != db.NumTx() {
+		t.Fatalf("round trip lost transactions")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	db1, err := ccs.GenerateMethod1(ccs.Method1Config{
+		NumTx: 100, NumItems: 50, AvgTxSize: 8, AvgPatternLen: 3,
+		NumPatterns: 20, CorruptionMean: 0.4, CorruptionSD: 0.1,
+		Correlation: 0.5, Seed: 1,
+	})
+	if err != nil || db1.NumTx() != 100 {
+		t.Fatalf("method1: %v", err)
+	}
+	cfg2 := ccs.DefaultMethod2(80, 2)
+	cfg2.NumItems = 60
+	db2, rules, err := ccs.GenerateMethod2(cfg2)
+	if err != nil || db2.NumTx() != 80 || len(rules) != 10 {
+		t.Fatalf("method2: %v, %d rules", err, len(rules))
+	}
+	if ccs.DefaultMethod1(10, 1).NumItems != 1000 {
+		t.Fatalf("DefaultMethod1 items changed")
+	}
+}
+
+// Example demonstrates the minimal mining workflow through the facade.
+func Example() {
+	cat := ccs.SyntheticCatalog(4, []string{"drinks", "bakery"})
+	r := rand.New(rand.NewSource(1))
+	var tx []ccs.Transaction
+	for i := 0; i < 500; i++ {
+		var items []ccs.Item
+		if r.Intn(2) == 0 {
+			items = append(items, 0)
+			if r.Intn(10) < 9 {
+				items = append(items, 1)
+			}
+		}
+		if r.Intn(3) == 0 {
+			items = append(items, 2)
+		}
+		if r.Intn(3) == 0 {
+			items = append(items, 3)
+		}
+		tx = append(tx, ccs.NewItemSet(items...))
+	}
+	db, err := ccs.NewDB(cat, tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := ccs.NewMiner(db, ccs.Params{Alpha: 0.95, CellSupportFrac: 0.05, CTFraction: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := ccs.ParseQuery("max(price) <= 2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.BMSPlusPlus(q, ccs.PlusPlusOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res.Answers {
+		fmt.Println(s)
+	}
+	// Output:
+	// {0, 1}
+}

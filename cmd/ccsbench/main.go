@@ -1,0 +1,119 @@
+// Command ccsbench regenerates the paper's figures. Each figure id
+// ("1a".."8b", or a bare number for both panels) produces the series the
+// paper plots; -all runs everything.
+//
+// Usage:
+//
+//	ccsbench -fig 1          # both panels of Figure 1, default scale
+//	ccsbench -all -csv out.csv
+//	ccsbench -fig 4a -paper  # the paper's full 100k-basket grid (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ccs/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccsbench", flag.ContinueOnError)
+	fig := fs.String("fig", "", "figure id: 1a..8b, or a bare number for both panels")
+	all := fs.Bool("all", false, "run every figure")
+	paper := fs.Bool("paper", false, "use the paper's full-scale grid (slow)")
+	csvPath := fs.String("csv", "", "also append all series to this CSV file")
+	seed := fs.Int64("seed", 0, "override the data generation seed (0 = config default)")
+	speedups := fs.Bool("speedups", false, "print hardware-independent speedup summaries")
+	chart := fs.Bool("chart", false, "render ASCII charts instead of tables")
+	report := fs.String("report", "", "also write a markdown reproduction report to this path")
+	chartSets := fs.Bool("chartsets", false, "with -chart, plot sets considered instead of seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *fig == "" {
+		return fmt.Errorf("need -fig <id> or -all (figures: %v)", bench.FigureIDs())
+	}
+
+	cfg := bench.DefaultConfig()
+	if *paper {
+		cfg = bench.PaperConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var ids []string
+	if *all {
+		ids = bench.FigureIDs()
+	} else {
+		ids = []string{*fig}
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		var err error
+		csvFile, err = os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer csvFile.Close()
+	}
+
+	var allSeries []*bench.Series
+	wroteHeader := false
+	for _, id := range ids {
+		series, err := bench.Run(id, cfg)
+		if err != nil {
+			return err
+		}
+		allSeries = append(allSeries, series...)
+		for _, s := range series {
+			if *chart {
+				metric := bench.MetricSeconds
+				if *chartSets {
+					metric = bench.MetricSets
+				}
+				if err := bench.WriteChart(out, s, metric); err != nil {
+					return err
+				}
+			} else if err := bench.WriteTable(out, s); err != nil {
+				return err
+			}
+			if *speedups {
+				for _, line := range bench.SpeedupSummary(s) {
+					fmt.Fprintf(out, "  %s\n", line)
+				}
+			}
+			fmt.Fprintln(out)
+			if csvFile != nil {
+				if err := bench.WriteCSV(csvFile, !wroteHeader, s); err != nil {
+					return err
+				}
+				wroteHeader = true
+			}
+		}
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteReport(f, allSeries); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Note: these tests exercise flag handling and output plumbing; the
+// figure-level behavior is covered in internal/bench. The default grid is
+// too slow for unit tests, so tests that actually run a figure are guarded
+// behind -short.
+
+func TestBenchRequiresFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatalf("missing -fig accepted")
+	}
+}
+
+func TestBenchUnknownFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "99x"}, &out); err == nil {
+		t.Fatalf("unknown figure accepted")
+	}
+}
+
+func TestBenchBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-frobnicate"}, &out); err == nil {
+		t.Fatalf("bad flag accepted")
+	}
+}
+
+func TestBenchRunsOnePanel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	var out bytes.Buffer
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	if err := run([]string{"-fig", "1b", "-csv", csv, "-speedups"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# Fig 1b") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "figure,") {
+		t.Fatalf("csv:\n%s", data)
+	}
+}
+
+func TestBenchReportFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	var out bytes.Buffer
+	report := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-fig", "1b", "-report", report}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# Reproduction report") {
+		t.Fatalf("report:\n%s", data)
+	}
+}

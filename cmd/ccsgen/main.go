@@ -1,0 +1,109 @@
+// Command ccsgen generates the paper's synthetic datasets and writes them
+// in the repository's binary (or text) format.
+//
+// Usage:
+//
+//	ccsgen -method 1 -baskets 10000 -items 1000 -o data1.ccs
+//	ccsgen -method 2 -baskets 10000 -rules 10 -o data2.ccs -rulesout rules.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ccs/internal/dataset"
+	"ccs/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccsgen", flag.ContinueOnError)
+	method := fs.Int("method", 1, "generator: 1 = Agrawal-Srikant, 2 = rule-planted")
+	baskets := fs.Int("baskets", 10000, "number of baskets |D|")
+	items := fs.Int("items", 1000, "catalog size N")
+	txSize := fs.Int("txsize", 20, "average basket size |T|")
+	patLen := fs.Int("patlen", 4, "average potentially-large itemset size |I| (method 1)")
+	patterns := fs.Int("patterns", 2000, "pattern pool size |L| (method 1)")
+	rules := fs.Int("rules", 10, "number of planted correlation rules (method 2)")
+	seed := fs.Int64("seed", 1, "random seed")
+	output := fs.String("o", "", "output path (required)")
+	rulesOut := fs.String("rulesout", "", "optional path for the planted rules (method 2)")
+	text := fs.Bool("text", false, "write the human-readable text format instead of binary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *output == "" {
+		return fmt.Errorf("-o output path is required")
+	}
+
+	var db *dataset.DB
+	switch *method {
+	case 1:
+		cfg := gen.DefaultMethod1(*baskets, *seed)
+		cfg.NumItems = *items
+		cfg.AvgTxSize = *txSize
+		cfg.AvgPatternLen = *patLen
+		cfg.NumPatterns = *patterns
+		var err error
+		db, err = gen.Method1(cfg)
+		if err != nil {
+			return err
+		}
+	case 2:
+		cfg := gen.DefaultMethod2(*baskets, *seed)
+		cfg.NumItems = *items
+		cfg.AvgTxSize = *txSize
+		cfg.NumRules = *rules
+		var (
+			planted []gen.Rule
+			err     error
+		)
+		db, planted, err = gen.Method2(cfg)
+		if err != nil {
+			return err
+		}
+		if *rulesOut != "" {
+			f, err := os.Create(*rulesOut)
+			if err != nil {
+				return err
+			}
+			for _, r := range planted {
+				fmt.Fprintf(f, "%v prob=%.3f\n", r.Items, r.Prob)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown method %d (want 1 or 2)", *method)
+	}
+
+	if *text {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		if err := dataset.WriteText(f, db); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := dataset.WriteFile(*output, db); err != nil {
+		return err
+	}
+
+	st := dataset.Summarize(db)
+	fmt.Fprintf(out, "wrote %s: %d baskets, %d items (%d used), avg basket %.1f, max %d\n",
+		*output, st.NumTx, st.NumItems, st.DistinctItems, st.AvgBasketSize, st.MaxBasketSize)
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccs/internal/dataset"
+)
+
+func TestGenMethod1Binary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d1.ccs")
+	var out bytes.Buffer
+	err := run([]string{"-method", "1", "-baskets", "200", "-items", "50",
+		"-patterns", "20", "-seed", "3", "-o", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "200 baskets") {
+		t.Fatalf("summary = %q", out.String())
+	}
+	db, err := dataset.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTx() != 200 || db.NumItems() != 50 {
+		t.Fatalf("db shape: %d tx, %d items", db.NumTx(), db.NumItems())
+	}
+}
+
+func TestGenMethod2WithRulesOut(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d2.ccs")
+	rules := filepath.Join(dir, "rules.txt")
+	var out bytes.Buffer
+	err := run([]string{"-method", "2", "-baskets", "150", "-items", "60",
+		"-rules", "4", "-seed", "3", "-o", path, "-rulesout", rules}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rules lines = %d:\n%s", len(lines), data)
+	}
+	if !strings.Contains(lines[0], "prob=") {
+		t.Fatalf("rule line = %q", lines[0])
+	}
+}
+
+func TestGenTextFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.txt")
+	var out bytes.Buffer
+	err := run([]string{"-method", "2", "-baskets", "50", "-items", "40",
+		"-rules", "2", "-o", path, "-text"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db, err := dataset.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTx() != 50 {
+		t.Fatalf("NumTx = %d", db.NumTx())
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{},                          // missing -o
+		{"-method", "3", "-o", "x"}, // unknown method
+		{"-method", "1", "-baskets", "-5", "-o", filepath.Join(t.TempDir(), "x")},
+		{"-bogusflag"},
+	}
+	for i, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d accepted: %v", i, args)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"os"
+
+	"ccs/internal/dataset"
+	"ccs/internal/gen"
+)
+
+// writeDataset generates a small planted dataset and writes it to a temp
+// file, returning the path.
+func writeDataset(t *testing.T, text bool) string {
+	t.Helper()
+	cfg := gen.DefaultMethod2(800, 11)
+	cfg.NumItems = 50
+	cfg.NumRules = 3
+	db, _, err := gen.Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.ccs")
+	if text {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := dataset.WriteText(f, db); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if err := dataset.WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMineAllAlgorithms(t *testing.T) {
+	path := writeDataset(t, false)
+	for _, algo := range []string{"bms", "bms+", "bms++", "bms*", "bms**"} {
+		var out bytes.Buffer
+		err := run([]string{"-data", path, "-algo", algo, "-q", "max(price) <= 30",
+			"-supportfrac", "0.25", "-alpha", "0.95"}, &out)
+		if err != nil {
+			t.Fatalf("algo %s: %v", algo, err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "answers (") || !strings.Contains(s, "stats:") {
+			t.Fatalf("algo %s output:\n%s", algo, s)
+		}
+	}
+}
+
+func TestMineWithPushAndNames(t *testing.T) {
+	path := writeDataset(t, false)
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-algo", "bms++", "-q", "min(price) <= 10",
+		"-supportfrac", "0.25", "-push", "-names"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "query: min(price) <= 10") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestMineTextData(t *testing.T) {
+	path := writeDataset(t, true)
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-textdata", "-algo", "bms",
+		"-supportfrac", "0.25"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineAbsoluteSupport(t *testing.T) {
+	path := writeDataset(t, false)
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-algo", "bms", "-support", "300"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "s=300") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	path := writeDataset(t, false)
+	cases := [][]string{
+		{},                                     // missing -data
+		{"-data", "/nonexistent/file.ccs"},     // missing file
+		{"-data", path, "-algo", "frobnicate"}, // bad algo
+		{"-data", path, "-q", "max(price) <"},  // bad query
+		{"-data", path, "-alpha", "2"},         // bad params
+		{"-data", path, "-algo", "bms**", "-q", "avg(price) <= 3"}, // unclassified constraint
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d accepted: %v", i, args)
+		}
+	}
+}
+
+func TestMineSpaceAlgorithm(t *testing.T) {
+	path := writeDataset(t, false)
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-algo", "space", "-q", "max(price) <= 30",
+		"-supportfrac", "0.25", "-alpha", "0.95"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "upper border") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestMineStreaming(t *testing.T) {
+	path := writeDataset(t, false)
+	var inMem, streamed bytes.Buffer
+	if err := run([]string{"-data", path, "-algo", "bms", "-supportfrac", "0.25"}, &inMem); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-algo", "bms", "-supportfrac", "0.25", "-stream"}, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	// identical answers regardless of the counting engine (timing line may
+	// differ, so compare up to the stats line)
+	trim := func(s string) string { return s[:strings.Index(s, "stats:")] }
+	if trim(inMem.String()) != trim(streamed.String()) {
+		t.Fatalf("streamed output differs:\n%s\nvs\n%s", inMem.String(), streamed.String())
+	}
+}
+
+func TestMineStreamRejectsTextData(t *testing.T) {
+	path := writeDataset(t, true)
+	var out bytes.Buffer
+	if err := run([]string{"-data", path, "-textdata", "-stream"}, &out); err == nil {
+		t.Fatalf("-stream with -textdata accepted")
+	}
+}
+
+func TestMineAllValidWithAvg(t *testing.T) {
+	path := writeDataset(t, false)
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-algo", "all", "-q", "avg(price) <= 30",
+		"-supportfrac", "0.25", "-alpha", "0.95"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "answers (") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestMineExplain(t *testing.T) {
+	path := writeDataset(t, false)
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-q", "min(price) <= 10", "-explain"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"item selectivity", "recommended for"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "answers (") {
+		t.Fatalf("-explain still mined:\n%s", s)
+	}
+}
+
+func TestMineJSONOutput(t *testing.T) {
+	path := writeDataset(t, false)
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-algo", "bms", "-supportfrac", "0.25", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Query   string     `json:"query"`
+		Answers [][]uint32 `json:"answers"`
+		Stats   struct {
+			SetsConsidered int `json:"SetsConsidered"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if decoded.Query != "true" || decoded.Stats.SetsConsidered == 0 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+}

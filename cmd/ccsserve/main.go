@@ -1,0 +1,72 @@
+// Command ccsserve runs the mining HTTP service.
+//
+//	ccsserve -addr :8080 [-data name=path ...]
+//
+// Datasets given with -data are preloaded; more can be uploaded or
+// generated over the API (see internal/server for the endpoint list).
+//
+// Example session:
+//
+//	ccsserve -addr :8080 &
+//	curl -X POST localhost:8080/v1/datasets/demo:generate \
+//	     -d '{"method":2,"baskets":10000,"items":200,"seed":1}'
+//	curl -X POST localhost:8080/v1/mine \
+//	     -d '{"dataset":"demo","algo":"bms++","query":"max(price) <= 50"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ccs/internal/dataset"
+	"ccs/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsserve:", err)
+		os.Exit(1)
+	}
+}
+
+// dataFlags collects repeated -data name=path flags.
+type dataFlags []string
+
+func (d *dataFlags) String() string     { return strings.Join(*d, ",") }
+func (d *dataFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccsserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	var data dataFlags
+	fs.Var(&data, "data", "preload dataset as name=path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New()
+	for _, spec := range data {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-data wants name=path, got %q", spec)
+		}
+		db, err := dataset.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", path, err)
+		}
+		srv.AddDataset(name, db)
+		fmt.Printf("loaded %s: %d baskets, %d items\n", name, db.NumTx(), db.NumItems())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("listening on %s\n", *addr)
+	return httpSrv.ListenAndServe()
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// run blocks on success (it serves), so tests exercise only the error
+// paths before the listener starts.
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatalf("bad flag accepted")
+	}
+}
+
+func TestBadDataSpec(t *testing.T) {
+	if err := run([]string{"-data", "nopath"}); err == nil {
+		t.Fatalf("spec without '=' accepted")
+	}
+}
+
+func TestMissingDataFile(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.ccs")
+	if err := run([]string{"-data", "x=" + missing}); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestDataFlagsAccumulate(t *testing.T) {
+	var d dataFlags
+	d.Set("a=1")
+	d.Set("b=2")
+	if d.String() != "a=1,b=2" {
+		t.Fatalf("String = %q", d.String())
+	}
+}

@@ -1,0 +1,130 @@
+// Command ccsstat inspects a dataset file: basket statistics, the item
+// support distribution (which determines how the 25%-style thresholds of
+// the miner bite), and the most frequent items.
+//
+//	ccsstat -data data.ccs [-top 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"ccs/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccsstat", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset path (required)")
+	textData := fs.Bool("textdata", false, "dataset is in the text format")
+	top := fs.Int("top", 15, "number of most frequent items to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data path is required")
+	}
+
+	var db *dataset.DB
+	var err error
+	if *textData {
+		f, ferr := os.Open(*data)
+		if ferr != nil {
+			return ferr
+		}
+		db, err = dataset.ReadText(f)
+		f.Close()
+	} else {
+		db, err = dataset.ReadFile(*data)
+	}
+	if err != nil {
+		return err
+	}
+
+	st := dataset.Summarize(db)
+	fmt.Fprintf(out, "dataset: %s\n", *data)
+	fmt.Fprintf(out, "baskets: %d\titems: %d (%d appear)\n", st.NumTx, st.NumItems, st.DistinctItems)
+	fmt.Fprintf(out, "basket size: avg %.2f, max %d, total entries %d\n",
+		st.AvgBasketSize, st.MaxBasketSize, st.TotalEntries)
+
+	supports := db.ItemSupports()
+	if st.NumTx == 0 {
+		fmt.Fprintln(out, "no transactions")
+		return nil
+	}
+
+	// support histogram over fractional buckets
+	buckets := []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.0}
+	counts := make([]int, len(buckets))
+	for _, s := range supports {
+		f := float64(s) / float64(st.NumTx)
+		for i, b := range buckets {
+			if f <= b {
+				counts[i]++
+				break
+			}
+		}
+	}
+	fmt.Fprintln(out, "\nitem support distribution:")
+	tw := tabwriter.NewWriter(out, 0, 4, 2, ' ', 0)
+	prev := 0.0
+	for i, b := range buckets {
+		fmt.Fprintf(tw, "  (%.0f%%, %.0f%%]\t%d items\t%s\n",
+			prev*100, b*100, counts[i], strings.Repeat("#", scaleBar(counts[i], st.NumItems)))
+		prev = b
+	}
+	tw.Flush()
+
+	// top items
+	type itemSup struct {
+		id  int
+		sup int
+	}
+	ranked := make([]itemSup, len(supports))
+	for i, s := range supports {
+		ranked[i] = itemSup{i, s}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].sup != ranked[j].sup {
+			return ranked[i].sup > ranked[j].sup
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	n := *top
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	fmt.Fprintf(out, "\ntop %d items by support:\n", n)
+	tw = tabwriter.NewWriter(out, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  id\tname\ttype\tprice\tsupport\tfrac\n")
+	for _, r := range ranked[:n] {
+		info := db.Catalog.Items[r.id]
+		fmt.Fprintf(tw, "  %d\t%s\t%s\t%g\t%d\t%.1f%%\n",
+			r.id, info.Name, info.Type, info.Price, r.sup,
+			100*float64(r.sup)/float64(st.NumTx))
+	}
+	return tw.Flush()
+}
+
+// scaleBar maps a count to a 0..40 character bar.
+func scaleBar(count, total int) int {
+	if total == 0 {
+		return 0
+	}
+	n := count * 40 / total
+	if n > 40 {
+		n = 40
+	}
+	return n
+}

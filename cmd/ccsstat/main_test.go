@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccs/internal/dataset"
+	"ccs/internal/gen"
+)
+
+func statDataset(t *testing.T) string {
+	t.Helper()
+	cfg := gen.DefaultMethod2(400, 3)
+	cfg.NumItems = 50
+	cfg.NumRules = 3
+	db, _, err := gen.Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.ccs")
+	if err := dataset.WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStatOutput(t *testing.T) {
+	path := statDataset(t)
+	var out bytes.Buffer
+	if err := run([]string{"-data", path, "-top", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"baskets: 400", "items: 50",
+		"item support distribution:", "top 5 items by support:",
+		"(25%, 50%]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStatTextFormat(t *testing.T) {
+	cfg := gen.DefaultMethod2(60, 1)
+	cfg.NumItems = 30
+	cfg.NumRules = 2
+	db, _, err := gen.Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteText(f, db); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-data", path, "-textdata"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "baskets: 60") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestStatTopClamped(t *testing.T) {
+	path := statDataset(t)
+	var out bytes.Buffer
+	if err := run([]string{"-data", path, "-top", "9999"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "top 50 items") {
+		t.Fatalf("top not clamped:\n%s", out.String())
+	}
+}
+
+func TestStatEmptyDataset(t *testing.T) {
+	cat := dataset.SyntheticCatalog(3, nil)
+	db, err := dataset.NewDB(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "e.ccs")
+	if err := dataset.WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-data", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no transactions") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestStatErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Errorf("missing -data accepted")
+	}
+	if err := run([]string{"-data", "/nonexistent"}, &out); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	if err := run([]string{"-frob"}, &out); err == nil {
+		t.Errorf("bad flag accepted")
+	}
+}
+
+func TestScaleBar(t *testing.T) {
+	if scaleBar(0, 0) != 0 {
+		t.Errorf("zero total")
+	}
+	if scaleBar(10, 10) != 40 {
+		t.Errorf("full bar = %d", scaleBar(10, 10))
+	}
+	if scaleBar(5, 10) != 20 {
+		t.Errorf("half bar = %d", scaleBar(5, 10))
+	}
+}

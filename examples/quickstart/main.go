@@ -1,0 +1,94 @@
+// Quickstart: build a small basket database in memory, run a constrained
+// correlation query with BMS++, and print the valid minimal correlated
+// sets.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ccs/internal/constraint"
+	"ccs/internal/core"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+func main() {
+	// A six-item catalog: coffee and doughnuts are cheap, caviar is not.
+	items := []dataset.ItemInfo{
+		{ID: 0, Name: "coffee", Type: "drinks", Price: 3},
+		{ID: 1, Name: "doughnuts", Type: "bakery", Price: 2},
+		{ID: 2, Name: "milk", Type: "dairy", Price: 2},
+		{ID: 3, Name: "bread", Type: "bakery", Price: 2},
+		{ID: 4, Name: "caviar", Type: "deli", Price: 90},
+		{ID: 5, Name: "napkins", Type: "household", Price: 1},
+	}
+	cat, err := dataset.NewCatalog(items)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1000 baskets: coffee buyers usually take doughnuts; milk and bread
+	// co-occur; caviar and napkins are random noise.
+	r := rand.New(rand.NewSource(1))
+	var tx []dataset.Transaction
+	for i := 0; i < 1000; i++ {
+		var basket []itemset.Item
+		if r.Intn(2) == 0 {
+			basket = append(basket, 0) // coffee
+			if r.Intn(10) < 8 {
+				basket = append(basket, 1) // ... with doughnuts
+			}
+		}
+		if r.Intn(3) == 0 {
+			basket = append(basket, 2, 3) // milk + bread together
+		} else if r.Intn(3) == 0 {
+			basket = append(basket, 3)
+		}
+		if r.Intn(5) == 0 {
+			basket = append(basket, 4)
+		}
+		if r.Intn(3) == 0 {
+			basket = append(basket, 5)
+		}
+		tx = append(tx, itemset.New(basket...))
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mine: which cheap item combinations are statistically correlated?
+	miner, err := core.New(db, core.Params{
+		Alpha:           0.95, // chi-squared significance level
+		CellSupportFrac: 0.05, // a cell is supported at 5% of baskets
+		CTFraction:      0.25, // 25% of cells must be supported
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := constraint.And(
+		constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 5),
+	)
+	res, err := miner.BMSPlusPlus(query, core.PlusPlusOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("valid minimal correlated sets for %q:\n", query.String())
+	for _, s := range res.Answers {
+		fmt.Print("  {")
+		for i, id := range s {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(cat.Info(id).Name)
+		}
+		fmt.Println("}")
+	}
+	fmt.Printf("considered %d candidate sets in %d database scans\n",
+		res.Stats.SetsConsidered, res.Stats.DBScans)
+}

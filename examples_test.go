@@ -1,0 +1,40 @@
+package ccs_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRun builds and executes every example program, the
+// integration smoke test for the public-facing surface. Skipped in -short
+// mode (each example generates data and mines it).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("expected at least 5 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", e.Name()))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", e.Name(), err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", e.Name())
+			}
+		})
+	}
+}

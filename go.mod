@@ -1,0 +1,3 @@
+module ccs
+
+go 1.22

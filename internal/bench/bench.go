@@ -1,0 +1,368 @@
+// Package bench regenerates the paper's experimental evaluation: Figures
+// 1-8, each in an (a) variant over data generated with the Agrawal-Srikant
+// method and a (b) variant over rule-planted data. Each figure sweeps
+// either the basket count, the constraint selectivity, or the maxsum bound,
+// and reports, per algorithm, the wall-clock time and the paper's dominant
+// cost metric — the number of candidate sets considered (contingency tables
+// constructed).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ccs/internal/constraint"
+	"ccs/internal/core"
+	"ccs/internal/dataset"
+	"ccs/internal/gen"
+)
+
+// Algo names one of the paper's algorithms.
+type Algo string
+
+// The competing algorithms.
+const (
+	AlgoBMSPlus     Algo = "BMS+"
+	AlgoBMSPlusPlus Algo = "BMS++"
+	AlgoBMSStar     Algo = "BMS*"
+	AlgoBMSStarStar Algo = "BMS**"
+)
+
+// Point is one measurement: one algorithm at one sweep coordinate.
+type Point struct {
+	X              float64 // sweep coordinate (baskets, selectivity, or maxsum)
+	Algo           Algo
+	Seconds        float64
+	SetsConsidered int
+	DBScans        int
+	Answers        int
+}
+
+// Series is all measurements of one figure panel.
+type Series struct {
+	Figure string // e.g. "1a"
+	Title  string
+	XLabel string
+	Points []Point
+}
+
+// Config scales the experiment grid. DefaultConfig is sized for a laptop
+// single-core run; PaperConfig uses the paper's full grid (100k baskets,
+// 1000 items).
+type Config struct {
+	// Baskets is the basket-count sweep (figures 1, 3, 5, 7). The largest
+	// value is used as the fixed size for the selectivity sweeps.
+	Baskets []int
+	// Selectivities is the item-selectivity sweep (figures 2, 6, 8).
+	Selectivities []float64
+	// MaxsumFracs expresses the maxsum sweep of figure 4 as multiples of
+	// the catalog's maximum item price, mirroring the paper's 0..4000
+	// range over prices 1..1000 (i.e. up to 4x the maximum price).
+	MaxsumFracs []float64
+	// FixedSelectivity is the selectivity used by the basket sweeps
+	// (the paper uses 50%).
+	FixedSelectivity float64
+	// NumItems / NumPatterns size the generated catalogs.
+	NumItems    int
+	NumPatterns int
+	// Params are the statistical thresholds shared by all runs.
+	Params core.Params
+	// Seed drives all data generation.
+	Seed int64
+}
+
+// DefaultConfig returns a grid sized to finish in minutes on one core
+// while preserving the paper's shapes. It keeps the paper's 25% support
+// and CT-support thresholds and its 0.9 chi-squared confidence; the
+// catalog is scaled to 200 items so the pattern pool concentrates enough
+// frequency mass for the thresholds to bite (see EXPERIMENTS.md for the
+// calibration notes).
+func DefaultConfig() Config {
+	return Config{
+		Baskets:          []int{10000, 25000, 50000, 75000, 100000},
+		Selectivities:    []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.8},
+		MaxsumFracs:      []float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0},
+		FixedSelectivity: 0.5,
+		NumItems:         200,
+		NumPatterns:      60,
+		Params:           core.Params{Alpha: 0.9, CellSupportFrac: 0.25, CTFraction: 0.25, MaxLevel: 5},
+		Seed:             1,
+	}
+}
+
+// PaperConfig returns the paper's grid: baskets 10k..100k, 1000 items.
+// Expect long runtimes.
+func PaperConfig() Config {
+	return Config{
+		Baskets:          []int{10000, 20000, 40000, 60000, 80000, 100000},
+		Selectivities:    []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.8},
+		MaxsumFracs:      []float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0},
+		FixedSelectivity: 0.5,
+		NumItems:         1000,
+		NumPatterns:      2000,
+		Params:           core.Params{Alpha: 0.9, CellSupportFrac: 0.005, CTFraction: 0.25, MaxLevel: 6},
+		Seed:             1,
+	}
+}
+
+func (c Config) validate() error {
+	if len(c.Baskets) == 0 {
+		return fmt.Errorf("bench: empty basket sweep")
+	}
+	for _, b := range c.Baskets {
+		if b <= 0 {
+			return fmt.Errorf("bench: basket count %d not positive", b)
+		}
+	}
+	if c.FixedSelectivity <= 0 || c.FixedSelectivity > 1 {
+		return fmt.Errorf("bench: FixedSelectivity %g outside (0,1]", c.FixedSelectivity)
+	}
+	if c.NumItems <= 0 {
+		return fmt.Errorf("bench: NumItems %d not positive", c.NumItems)
+	}
+	return nil
+}
+
+// maxBaskets returns the largest basket count in the sweep.
+func (c Config) maxBaskets() int {
+	max := 0
+	for _, b := range c.Baskets {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// dataset1 generates the method-1 database at the configured maximum size;
+// sweeps slice prefixes of it, as the paper varies basket count over one
+// generation process.
+func (c Config) dataset1() (*dataset.DB, error) {
+	cfg := gen.DefaultMethod1(c.maxBaskets(), c.Seed)
+	cfg.NumItems = c.NumItems
+	cfg.NumPatterns = c.NumPatterns
+	return gen.Method1(cfg)
+}
+
+func (c Config) dataset2() (*dataset.DB, error) {
+	cfg := gen.DefaultMethod2(c.maxBaskets(), c.Seed)
+	cfg.NumItems = c.NumItems
+	db, _, err := gen.Method2(cfg)
+	return db, err
+}
+
+// constraintKind selects the constraint family of a figure.
+type constraintKind int
+
+const (
+	maxLE constraintKind = iota // max(price) <= v      (AM + succinct)
+	sumLE                       // sum(price) <= maxsum  (AM, not succinct)
+	minLE                       // min(price) <= v      (monotone + succinct)
+)
+
+func (k constraintKind) build(cat *dataset.Catalog, x float64) *constraint.Conjunction {
+	switch k {
+	case maxLE:
+		return constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, x))
+	case sumLE:
+		return constraint.And(constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, x))
+	case minLE:
+		return constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, x))
+	}
+	panic("bench: unknown constraint kind")
+}
+
+// sweepKind selects the x axis of a figure.
+type sweepKind int
+
+const (
+	sweepBaskets sweepKind = iota
+	sweepSelectivity
+	sweepMaxsum
+)
+
+// figureSpec describes one panel of the paper's evaluation.
+type figureSpec struct {
+	id         string
+	title      string
+	dataMethod int // 1 or 2
+	constraint constraintKind
+	sweep      sweepKind
+	algos      []Algo
+}
+
+// figures is the registry of all panels, one per figure/panel of Section 4.
+var figures = []figureSpec{
+	{"1a", "cpu vs baskets, max(price)<=v (a.m.&succ), sel 50%, data 1", 1, maxLE, sweepBaskets, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus, AlgoBMSStarStar}},
+	{"1b", "cpu vs baskets, max(price)<=v (a.m.&succ), sel 50%, data 2", 2, maxLE, sweepBaskets, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus, AlgoBMSStarStar}},
+	{"2a", "cpu vs selectivity, max(price)<=v (a.m.&succ), data 1", 1, maxLE, sweepSelectivity, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus, AlgoBMSStarStar}},
+	{"2b", "cpu vs selectivity, max(price)<=v (a.m.&succ), data 2", 2, maxLE, sweepSelectivity, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus, AlgoBMSStarStar}},
+	{"3a", "cpu vs baskets, sum(price)<=maxsum (a.m.), sel 50%, data 1", 1, sumLE, sweepBaskets, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus, AlgoBMSStarStar}},
+	{"3b", "cpu vs baskets, sum(price)<=maxsum (a.m.), sel 50%, data 2", 2, sumLE, sweepBaskets, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus, AlgoBMSStarStar}},
+	{"4a", "cpu vs maxsum, sum(price)<=maxsum (a.m.), data 1", 1, sumLE, sweepMaxsum, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus, AlgoBMSStarStar}},
+	{"4b", "cpu vs maxsum, sum(price)<=maxsum (a.m.), data 2", 2, sumLE, sweepMaxsum, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus, AlgoBMSStarStar}},
+	{"5a", "cpu vs baskets, min(price)<=v (mono&succ), valid minimal, sel 50%, data 1", 1, minLE, sweepBaskets, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus}},
+	{"5b", "cpu vs baskets, min(price)<=v (mono&succ), valid minimal, sel 50%, data 2", 2, minLE, sweepBaskets, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus}},
+	{"6a", "cpu vs selectivity, min(price)<=v (mono&succ), valid minimal, data 1", 1, minLE, sweepSelectivity, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus}},
+	{"6b", "cpu vs selectivity, min(price)<=v (mono&succ), valid minimal, data 2", 2, minLE, sweepSelectivity, []Algo{AlgoBMSPlus, AlgoBMSPlusPlus}},
+	{"7a", "cpu vs baskets, min(price)<=v (mono&succ), minimal valid, sel 50%, data 1", 1, minLE, sweepBaskets, []Algo{AlgoBMSStar, AlgoBMSStarStar}},
+	{"7b", "cpu vs baskets, min(price)<=v (mono&succ), minimal valid, sel 50%, data 2", 2, minLE, sweepBaskets, []Algo{AlgoBMSStar, AlgoBMSStarStar}},
+	{"8a", "cpu vs selectivity, min(price)<=v (mono&succ), minimal valid, data 1", 1, minLE, sweepSelectivity, []Algo{AlgoBMSStar, AlgoBMSStarStar}},
+	{"8b", "cpu vs selectivity, min(price)<=v (mono&succ), minimal valid, data 2", 2, minLE, sweepSelectivity, []Algo{AlgoBMSStar, AlgoBMSStarStar}},
+}
+
+// FigureIDs lists the available panel identifiers in order.
+func FigureIDs() []string {
+	ids := make([]string, len(figures))
+	for i, f := range figures {
+		ids[i] = f.id
+	}
+	return ids
+}
+
+// findFigure resolves an id like "3a"; the bare figure number ("3")
+// resolves to both panels.
+func findFigures(id string) []figureSpec {
+	var out []figureSpec
+	for _, f := range figures {
+		if f.id == id || f.id[:len(f.id)-1] == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// runAlgo executes one algorithm on a prepared miner and query.
+func runAlgo(m *core.Miner, algo Algo, q *constraint.Conjunction) (*core.Result, error) {
+	switch algo {
+	case AlgoBMSPlus:
+		return m.BMSPlus(q)
+	case AlgoBMSPlusPlus:
+		// Figures 5-8 measure the paper's pruning, so the witness push is
+		// on; it is a no-op for anti-monotone-only queries.
+		return m.BMSPlusPlus(q, core.PlusPlusOptions{PushMonotoneSuccinct: true})
+	case AlgoBMSStar:
+		return m.BMSStar(q)
+	case AlgoBMSStarStar:
+		return m.BMSStarStar(q, core.StarStarOptions{PushMonotoneSuccinct: true})
+	}
+	return nil, fmt.Errorf("bench: unknown algorithm %q", algo)
+}
+
+// Run executes the panel with the given id ("1a".."8b", or a bare figure
+// number for both panels) and returns its measurement series.
+func Run(id string, cfg Config) ([]*Series, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	specs := findFigures(id)
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("bench: unknown figure %q (have %v)", id, FigureIDs())
+	}
+	var out []*Series
+	for _, spec := range specs {
+		s, err := runSpec(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func runSpec(spec figureSpec, cfg Config) (*Series, error) {
+	var full *dataset.DB
+	var err error
+	if spec.dataMethod == 1 {
+		full, err = cfg.dataset1()
+	} else {
+		full, err = cfg.dataset2()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	series := &Series{Figure: spec.id, Title: spec.title}
+	switch spec.sweep {
+	case sweepBaskets:
+		series.XLabel = "baskets"
+		bound := boundFor(spec.constraint, full.Catalog, cfg.FixedSelectivity, cfg, 0)
+		sorted := append([]int(nil), cfg.Baskets...)
+		sort.Ints(sorted)
+		for _, n := range sorted {
+			db, err := full.Slice(n)
+			if err != nil {
+				return nil, err
+			}
+			if err := measure(series, spec, cfg, db, float64(n), bound); err != nil {
+				return nil, err
+			}
+		}
+	case sweepSelectivity:
+		series.XLabel = "selectivity"
+		for _, sel := range cfg.Selectivities {
+			bound := boundFor(spec.constraint, full.Catalog, sel, cfg, 0)
+			if err := measure(series, spec, cfg, full, sel, bound); err != nil {
+				return nil, err
+			}
+		}
+	case sweepMaxsum:
+		series.XLabel = "maxsum"
+		for _, frac := range cfg.MaxsumFracs {
+			bound := boundFor(spec.constraint, full.Catalog, 0, cfg, frac)
+			if err := measure(series, spec, cfg, full, bound, bound); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return series, nil
+}
+
+// boundFor turns a sweep coordinate into the constraint's numeric bound.
+// For max/min constraints the bound is the price quantile matching the
+// selectivity; for the maxsum sweep it is a multiple of the maximum item
+// price, mirroring the paper's 0..4000 range over prices 1..1000.
+func boundFor(kind constraintKind, cat *dataset.Catalog, sel float64, cfg Config, maxsumFrac float64) float64 {
+	switch kind {
+	case maxLE, minLE:
+		return cat.PriceQuantile(sel)
+	case sumLE:
+		if maxsumFrac > 0 {
+			maxPrice := 0.0
+			for _, it := range cat.Items {
+				if it.Price > maxPrice {
+					maxPrice = it.Price
+				}
+			}
+			return maxsumFrac * maxPrice
+		}
+		// basket sweep: selectivity-equivalent bound
+		return cat.PriceQuantile(cfg.FixedSelectivity)
+	}
+	panic("bench: unknown constraint kind")
+}
+
+func measure(series *Series, spec figureSpec, cfg Config, db *dataset.DB, x, bound float64) error {
+	q := spec.constraint.build(db.Catalog, bound)
+	for _, algo := range spec.algos {
+		m, err := core.New(db, cfg.Params)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := runAlgo(m, algo, q)
+		if err != nil {
+			return err
+		}
+		series.Points = append(series.Points, Point{
+			X:              x,
+			Algo:           algo,
+			Seconds:        time.Since(start).Seconds(),
+			SetsConsidered: res.Stats.SetsConsidered,
+			DBScans:        res.Stats.DBScans,
+			Answers:        len(res.Answers),
+		})
+	}
+	return nil
+}

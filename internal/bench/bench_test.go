@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps harness tests fast.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Baskets = []int{300, 600}
+	cfg.Selectivities = []float64{0.2, 0.6}
+	cfg.MaxsumFracs = []float64{0.2, 2.0}
+	cfg.NumItems = 40
+	cfg.NumPatterns = 15
+	cfg.Params.CellSupportFrac = 0.05
+	return cfg
+}
+
+func TestFigureIDsComplete(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 16 {
+		t.Fatalf("FigureIDs = %d entries, want 16", len(ids))
+	}
+	want := map[string]bool{}
+	for _, f := range []string{"1", "2", "3", "4", "5", "6", "7", "8"} {
+		want[f+"a"] = true
+		want[f+"b"] = true
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("unexpected figure id %q", id)
+		}
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing figures: %v", want)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("42z", tinyConfig()); err == nil {
+		t.Fatalf("unknown figure accepted")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Baskets = nil
+	if _, err := Run("1a", cfg); err == nil {
+		t.Errorf("empty basket sweep accepted")
+	}
+	cfg = tinyConfig()
+	cfg.FixedSelectivity = 0
+	if _, err := Run("1a", cfg); err == nil {
+		t.Errorf("zero selectivity accepted")
+	}
+	cfg = tinyConfig()
+	cfg.Baskets = []int{0}
+	if _, err := Run("1a", cfg); err == nil {
+		t.Errorf("zero basket count accepted")
+	}
+}
+
+func TestBareFigureNumberRunsBothPanels(t *testing.T) {
+	series, err := Run("1", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Figure != "1a" || series[1].Figure != "1b" {
+		t.Fatalf("got %d series", len(series))
+	}
+}
+
+func TestBasketSweepShape(t *testing.T) {
+	series, err := Run("1a", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series[0]
+	if s.XLabel != "baskets" {
+		t.Fatalf("XLabel = %s", s.XLabel)
+	}
+	// 2 basket sizes × 3 algorithms
+	if len(s.Points) != 6 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Seconds < 0 || p.SetsConsidered < 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestSelectivitySweepShape(t *testing.T) {
+	series, err := Run("6b", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series[0]
+	if s.XLabel != "selectivity" {
+		t.Fatalf("XLabel = %s", s.XLabel)
+	}
+	if len(s.Points) != 4 { // 2 selectivities × 2 algorithms
+		t.Fatalf("points = %d", len(s.Points))
+	}
+}
+
+func TestMaxsumSweepShape(t *testing.T) {
+	series, err := Run("4b", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series[0]
+	if s.XLabel != "maxsum" {
+		t.Fatalf("XLabel = %s", s.XLabel)
+	}
+	if len(s.Points) != 6 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+}
+
+func TestPlusPlusPrunesOnData2(t *testing.T) {
+	// The headline claim of Figures 1-2: with an anti-monotone succinct
+	// constraint, BMS++ considers far fewer sets than BMS+.
+	cfg := tinyConfig()
+	cfg.Selectivities = []float64{0.2}
+	series, err := Run("2b", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plus, pp int
+	for _, p := range series[0].Points {
+		switch p.Algo {
+		case AlgoBMSPlus:
+			plus = p.SetsConsidered
+		case AlgoBMSPlusPlus:
+			pp = p.SetsConsidered
+		}
+	}
+	if plus == 0 {
+		t.Skip("baseline considered no sets at this scale")
+	}
+	if pp >= plus {
+		t.Fatalf("BMS++ considered %d sets, BMS+ %d — no pruning", pp, plus)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	series, err := Run("1b", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, series[0]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Fig 1b", "baskets", "BMS+", "sets_considered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	series, err := Run("1b", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, true, series[0]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(series[0].Points)+1 {
+		t.Fatalf("csv lines = %d, want %d", len(lines), len(series[0].Points)+1)
+	}
+	if !strings.HasPrefix(lines[0], "figure,") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1b,baskets,") {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestSpeedupSummary(t *testing.T) {
+	s := &Series{
+		Figure: "x", XLabel: "baskets",
+		Points: []Point{
+			{X: 100, Algo: AlgoBMSPlus, SetsConsidered: 100},
+			{X: 100, Algo: AlgoBMSPlusPlus, SetsConsidered: 20},
+		},
+	}
+	got := SpeedupSummary(s)
+	if len(got) != 1 || !strings.Contains(got[0], "5.0x") {
+		t.Fatalf("SpeedupSummary = %v", got)
+	}
+	// degenerate cases
+	if SpeedupSummary(&Series{}) != nil {
+		t.Fatalf("empty series summary not nil")
+	}
+	zero := &Series{XLabel: "x", Points: []Point{
+		{X: 1, Algo: AlgoBMSPlus, SetsConsidered: 0},
+		{X: 1, Algo: AlgoBMSPlusPlus, SetsConsidered: 0},
+	}}
+	if got := SpeedupSummary(zero); len(got) != 1 || !strings.Contains(got[0], "1.0x") {
+		t.Fatalf("zero summary = %v", got)
+	}
+	inf := &Series{XLabel: "x", Points: []Point{
+		{X: 1, Algo: AlgoBMSPlus, SetsConsidered: 5},
+		{X: 1, Algo: AlgoBMSPlusPlus, SetsConsidered: 0},
+	}}
+	if got := SpeedupSummary(inf); len(got) != 1 || !strings.Contains(got[0], "inf") {
+		t.Fatalf("inf summary = %v", got)
+	}
+}

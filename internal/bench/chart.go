@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// chart geometry
+const (
+	chartWidth  = 64
+	chartHeight = 16
+)
+
+// algoGlyphs assigns a plotting symbol per algorithm, mirroring the
+// paper's plot legends.
+var algoGlyphs = map[Algo]byte{
+	AlgoBMSPlus:     '+',
+	AlgoBMSPlusPlus: 'x',
+	AlgoBMSStar:     '*',
+	AlgoBMSStarStar: 'o',
+}
+
+// Metric selects what a chart plots on the y axis.
+type Metric int
+
+// Plottable metrics.
+const (
+	MetricSeconds Metric = iota
+	MetricSets
+)
+
+func (m Metric) label() string {
+	if m == MetricSeconds {
+		return "seconds"
+	}
+	return "sets considered"
+}
+
+func (m Metric) value(p Point) float64 {
+	if m == MetricSeconds {
+		return p.Seconds
+	}
+	return float64(p.SetsConsidered)
+}
+
+// WriteChart renders the series as an ASCII scatter chart, one glyph per
+// algorithm, the terminal equivalent of the paper's figure panels.
+func WriteChart(w io.Writer, s *Series, metric Metric) error {
+	if len(s.Points) == 0 {
+		_, err := fmt.Fprintf(w, "# Fig %s — (no data)\n", s.Figure)
+		return err
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	for _, p := range s.Points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, metric.value(p))
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	spanX := maxX - minX
+	if spanX == 0 {
+		spanX = 1
+	}
+
+	grid := make([][]byte, chartHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", chartWidth))
+	}
+	for _, p := range s.Points {
+		cx := int(float64(chartWidth-1) * (p.X - minX) / spanX)
+		cy := int(float64(chartHeight-1) * metric.value(p) / maxY)
+		row := chartHeight - 1 - cy
+		g, ok := algoGlyphs[p.Algo]
+		if !ok {
+			g = '?'
+		}
+		cell := grid[row][cx]
+		if cell != ' ' && cell != g {
+			g = '#' // overlapping algorithms
+		}
+		grid[row][cx] = g
+	}
+
+	if _, err := fmt.Fprintf(w, "# Fig %s — %s\n", s.Figure, s.Title); err != nil {
+		return err
+	}
+	yTop := fmt.Sprintf("%.4g", maxY)
+	if _, err := fmt.Fprintf(w, "%8s ┤%s\n", yTop, string(grid[0])); err != nil {
+		return err
+	}
+	for _, row := range grid[1:] {
+		if _, err := fmt.Fprintf(w, "%8s │%s\n", "", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s └%s\n", "0", strings.Repeat("─", chartWidth)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%9s %-10g%*s\n", "", minX,
+		chartWidth-10, fmt.Sprintf("%g", maxX)); err != nil {
+		return err
+	}
+	legend := legendFor(s)
+	_, err := fmt.Fprintf(w, "%9s x-axis: %s, y-axis: %s; %s\n", "", s.XLabel, metric.label(), legend)
+	return err
+}
+
+// legendFor lists the glyph of each algorithm present in the series.
+func legendFor(s *Series) string {
+	seen := map[Algo]bool{}
+	var algos []string
+	for _, p := range s.Points {
+		if !seen[p.Algo] {
+			seen[p.Algo] = true
+			algos = append(algos, fmt.Sprintf("%c=%s", algoGlyphs[p.Algo], p.Algo))
+		}
+	}
+	sort.Strings(algos)
+	return strings.Join(algos, " ")
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func chartSeries() *Series {
+	return &Series{
+		Figure: "1a", Title: "test", XLabel: "baskets",
+		Points: []Point{
+			{X: 1000, Algo: AlgoBMSPlus, Seconds: 1.0, SetsConsidered: 100},
+			{X: 2000, Algo: AlgoBMSPlus, Seconds: 2.0, SetsConsidered: 100},
+			{X: 1000, Algo: AlgoBMSPlusPlus, Seconds: 0.5, SetsConsidered: 20},
+			{X: 2000, Algo: AlgoBMSPlusPlus, Seconds: 0.9, SetsConsidered: 20},
+		},
+	}
+}
+
+func TestWriteChartSeconds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChart(&buf, chartSeries(), MetricSeconds); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Fig 1a", "+", "x", "x-axis: baskets", "seconds", "+=BMS+", "x=BMS++"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + height rows + axis + x labels + legend
+	if len(lines) != 1+chartHeight+1+1+1 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteChartSetsMetric(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChart(&buf, chartSeries(), MetricSets); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sets considered") {
+		t.Fatalf("metric label missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "100") {
+		t.Fatalf("y max missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChart(&buf, &Series{Figure: "9z"}, MetricSeconds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty chart output: %q", buf.String())
+	}
+}
+
+func TestWriteChartSinglePoint(t *testing.T) {
+	s := &Series{
+		Figure: "x", XLabel: "sel",
+		Points: []Point{{X: 0.5, Algo: AlgoBMSStar, Seconds: 1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChart(&buf, s, MetricSeconds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("glyph missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteChartOverlapMarker(t *testing.T) {
+	s := &Series{
+		Figure: "x", XLabel: "sel",
+		Points: []Point{
+			{X: 0.5, Algo: AlgoBMSStar, Seconds: 1},
+			{X: 0.5, Algo: AlgoBMSStarStar, Seconds: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChart(&buf, s, MetricSeconds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Fatalf("overlap marker missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteChartZeroValues(t *testing.T) {
+	s := &Series{
+		Figure: "x", XLabel: "sel",
+		Points: []Point{
+			{X: 0.1, Algo: AlgoBMSPlus, Seconds: 0},
+			{X: 0.9, Algo: AlgoBMSPlus, Seconds: 0},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChart(&buf, s, MetricSeconds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteChartFromRealRun(t *testing.T) {
+	series, err := Run("2b", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChart(&buf, series[0], MetricSets); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "selectivity") {
+		t.Fatalf("chart:\n%s", buf.String())
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	series, err := Run("4", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Figure 4",
+		"### Panel 4a",
+		"### Panel 4b",
+		"**Paper:**",
+		"| maxsum | algo |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTable renders a series as an aligned text table, one row per
+// measurement, matching the rows the paper plots.
+func WriteTable(w io.Writer, s *Series) error {
+	if _, err := fmt.Fprintf(w, "# Fig %s — %s\n", s.Figure, s.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\talgo\tseconds\tsets_considered\tdb_scans\tanswers\n", s.XLabel)
+	for _, p := range s.Points {
+		fmt.Fprintf(tw, "%g\t%s\t%.4f\t%d\t%d\t%d\n",
+			p.X, p.Algo, p.Seconds, p.SetsConsidered, p.DBScans, p.Answers)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders a series as CSV with a figure column, suitable for
+// plotting all panels from one file.
+func WriteCSV(w io.Writer, header bool, s *Series) error {
+	if header {
+		if _, err := fmt.Fprintln(w, "figure,x_label,x,algo,seconds,sets_considered,db_scans,answers"); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%s,%s,%g,%s,%.6f,%d,%d,%d\n",
+			s.Figure, s.XLabel, p.X, p.Algo, p.Seconds, p.SetsConsidered, p.DBScans, p.Answers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpeedupSummary condenses a series into per-x speedups of each algorithm
+// relative to the first algorithm listed (the paper's baseline in every
+// figure), using the sets-considered metric, which is hardware independent.
+func SpeedupSummary(s *Series) []string {
+	type key struct {
+		x    float64
+		algo Algo
+	}
+	sets := map[key]int{}
+	var xs []float64
+	var algos []Algo
+	seenX := map[float64]bool{}
+	seenA := map[Algo]bool{}
+	for _, p := range s.Points {
+		sets[key{p.X, p.Algo}] = p.SetsConsidered
+		if !seenX[p.X] {
+			seenX[p.X] = true
+			xs = append(xs, p.X)
+		}
+		if !seenA[p.Algo] {
+			seenA[p.Algo] = true
+			algos = append(algos, p.Algo)
+		}
+	}
+	if len(algos) < 2 {
+		return nil
+	}
+	base := algos[0]
+	var out []string
+	for _, x := range xs {
+		b := sets[key{x, base}]
+		for _, a := range algos[1:] {
+			v := sets[key{x, a}]
+			var ratio string
+			switch {
+			case v == 0 && b == 0:
+				ratio = "1.0x"
+			case v == 0:
+				ratio = "inf"
+			default:
+				ratio = fmt.Sprintf("%.1fx", float64(b)/float64(v))
+			}
+			out = append(out, fmt.Sprintf("%s=%g: %s considers %s fewer sets than %s", s.XLabel, x, a, ratio, base))
+		}
+	}
+	return out
+}

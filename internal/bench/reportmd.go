@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// expectation holds the paper's qualitative claim for a figure, printed
+// alongside the measured series so a reader can check the reproduction
+// without the paper at hand.
+var expectations = map[string]string{
+	"1": "All algorithms scale linearly in the basket count; BMS++ considers far fewer sets than BMS+ (the paper reports 10-50x on data 1); on data 2 BMS** lands close to BMS++, well below BMS+.",
+	"2": "BMS+ is flat across selectivity; BMS++ and BMS** drop sharply as the constraint gets more selective (50-100x below 30% selectivity); BMS++ stays at or below BMS+ even at 80%.",
+	"3": "Linear scaling again; BMS++ roughly 3x cheaper than BMS+ at the largest size; BMS** between the two or equal to BMS+ depending on the data set.",
+	"4": "At small maxsum both constrained algorithms win big; as maxsum approaches 4x the maximum price the constraint stops pruning — BMS++ converges exactly to BMS+ and BMS** degrades to ~2-3x worse, crossing BMS+ on the way.",
+	"5": "Monotone succinct constraint, valid minimal answers: BMS++ around 70% of BMS+ at 50% selectivity — a modest win, since monotone constraints cannot prune the downward search much.",
+	"6": "Selectivity sweep of Figure 5: BMS++ at ~1/3 of BMS+ at 10% selectivity, converging to BMS+ above ~70%.",
+	"7": "Minimal valid answers: the BMS*/BMS** gap exceeds Figure 5's, and at the deliberately unfavourable 50% selectivity the naive BMS* wins.",
+	"8": "Both algorithms are selectivity-sensitive with a cross-over near 20%: BMS** wins below it, BMS* above.",
+}
+
+// WriteReport renders a self-contained markdown report for the series: the
+// paper's expectation, the measured table, and hardware-independent
+// speedups.
+func WriteReport(w io.Writer, series []*Series) error {
+	if _, err := fmt.Fprintf(w, "# Reproduction report — Grahne, Lakshmanan & Wang (ICDE 2000)\n\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Times are wall-clock on this machine; `sets` is the number of candidate itemsets whose contingency table was constructed — the paper's dominant, hardware-independent cost metric.\n"); err != nil {
+		return err
+	}
+	lastFig := ""
+	for _, s := range series {
+		figNum := s.Figure[:len(s.Figure)-1]
+		if figNum != lastFig {
+			lastFig = figNum
+			if _, err := fmt.Fprintf(w, "\n## Figure %s\n\n", figNum); err != nil {
+				return err
+			}
+			if exp, ok := expectations[figNum]; ok {
+				if _, err := fmt.Fprintf(w, "**Paper:** %s\n", exp); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "\n### Panel %s — %s\n\n", s.Figure, s.Title); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "| %s | algo | seconds | sets | scans | answers |\n|---|---|---|---|---|---|\n", s.XLabel); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "| %g | %s | %.4f | %d | %d | %d |\n",
+				p.X, p.Algo, p.Seconds, p.SetsConsidered, p.DBScans, p.Answers); err != nil {
+				return err
+			}
+		}
+		if sums := SpeedupSummary(s); len(sums) > 0 {
+			if _, err := fmt.Fprintf(w, "\n"); err != nil {
+				return err
+			}
+			for _, line := range sums {
+				if _, err := fmt.Fprintf(w, "- %s\n", line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

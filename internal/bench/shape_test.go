@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"testing"
+)
+
+// shapeConfig is a mid-size grid: large enough for the paper's qualitative
+// claims to hold, small enough for CI.
+func shapeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Baskets = []int{5000, 10000}
+	cfg.Selectivities = []float64{0.1, 0.8}
+	cfg.MaxsumFracs = []float64{0.25, 4.0}
+	return cfg
+}
+
+// sets returns the sets-considered of one algorithm at one x.
+func sets(s *Series, algo Algo, x float64) (int, bool) {
+	for _, p := range s.Points {
+		if p.Algo == algo && p.X == x {
+			return p.SetsConsidered, true
+		}
+	}
+	return 0, false
+}
+
+// answers returns the answer count of one algorithm at one x.
+func answers(s *Series, algo Algo, x float64) (int, bool) {
+	for _, p := range s.Points {
+		if p.Algo == algo && p.X == x {
+			return p.Answers, true
+		}
+	}
+	return 0, false
+}
+
+// TestShapeFig2BaselineFlatAndPlusPlusPrunes asserts the paper's Figure 2
+// claims: BMS+ is insensitive to selectivity while BMS++ prunes heavily at
+// low selectivity.
+func TestShapeFig2BaselineFlatAndPlusPlusPrunes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	series, err := Run("2b", shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series[0]
+	lowPlus, ok1 := sets(s, AlgoBMSPlus, 0.1)
+	highPlus, ok2 := sets(s, AlgoBMSPlus, 0.8)
+	lowPP, ok3 := sets(s, AlgoBMSPlusPlus, 0.1)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("points missing: %+v", s.Points)
+	}
+	if lowPlus != highPlus {
+		t.Errorf("BMS+ not flat: %d vs %d", lowPlus, highPlus)
+	}
+	if lowPP*10 > lowPlus {
+		t.Errorf("BMS++ pruned only %d vs BMS+ %d at sel 0.1 (want >= 10x)", lowPP, lowPlus)
+	}
+}
+
+// TestShapeFig4Convergence asserts Figure 4: when maxsum stops pruning,
+// BMS++ degenerates to BMS+ and BMS** is strictly worse.
+func TestShapeFig4Convergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	series, err := Run("4b", shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series[0]
+	// largest maxsum = 4.0 * max price (800 for the 200-item catalog)
+	var bigX float64
+	for _, p := range s.Points {
+		if p.X > bigX {
+			bigX = p.X
+		}
+	}
+	plus, _ := sets(s, AlgoBMSPlus, bigX)
+	pp, _ := sets(s, AlgoBMSPlusPlus, bigX)
+	ss, _ := sets(s, AlgoBMSStarStar, bigX)
+	if pp != plus {
+		t.Errorf("BMS++ (%d) != BMS+ (%d) at unselective maxsum", pp, plus)
+	}
+	if ss <= plus {
+		t.Errorf("BMS** (%d) not worse than BMS+ (%d) at unselective maxsum", ss, plus)
+	}
+	// and the selective end must show pruning
+	var smallX float64 = bigX
+	for _, p := range s.Points {
+		if p.X < smallX {
+			smallX = p.X
+		}
+	}
+	ppSmall, _ := sets(s, AlgoBMSPlusPlus, smallX)
+	if ppSmall >= plus {
+		t.Errorf("no pruning at selective maxsum: %d vs %d", ppSmall, plus)
+	}
+}
+
+// TestShapeFig8Crossover asserts Figure 8: BMS** beats BMS* at low
+// selectivity and loses at high selectivity.
+func TestShapeFig8Crossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	series, err := Run("8b", shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series[0]
+	starLow, _ := sets(s, AlgoBMSStar, 0.1)
+	ssLow, _ := sets(s, AlgoBMSStarStar, 0.1)
+	starHigh, _ := sets(s, AlgoBMSStar, 0.8)
+	ssHigh, _ := sets(s, AlgoBMSStarStar, 0.8)
+	if ssLow >= starLow {
+		t.Errorf("BMS** (%d) not better than BMS* (%d) at sel 0.1", ssLow, starLow)
+	}
+	if ssHigh <= starHigh {
+		t.Errorf("BMS** (%d) not worse than BMS* (%d) at sel 0.8", ssHigh, starHigh)
+	}
+	// and the two answer sets agree — they compute the same MINVALID
+	for _, x := range []float64{0.1, 0.8} {
+		a, _ := answers(s, AlgoBMSStar, x)
+		b, _ := answers(s, AlgoBMSStarStar, x)
+		if a != b {
+			t.Errorf("answer counts differ at sel %g: %d vs %d", x, a, b)
+		}
+	}
+}
+
+// TestShapeFig1AnswerAgreement asserts that under a pure anti-monotone
+// query all three algorithms return identical answer counts (Theorem 1.2:
+// VALIDMIN = MINVALID).
+func TestShapeFig1AnswerAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	series, err := Run("1b", shapeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series[0]
+	for _, x := range []float64{5000, 10000} {
+		a, _ := answers(s, AlgoBMSPlus, x)
+		b, _ := answers(s, AlgoBMSPlusPlus, x)
+		c, _ := answers(s, AlgoBMSStarStar, x)
+		if a != b || b != c {
+			t.Errorf("answer counts differ at %g baskets: %d %d %d", x, a, b, c)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package bitset provides dense, fixed-universe bitsets used as vertical
+// TID-lists by the mining engine. A Set created for a universe of n
+// transaction IDs supports the boolean algebra needed to count contingency
+// table minterms: intersection (items present), complement within the
+// universe (items absent), and population count.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-size bitset over the universe [0, Len()).
+// The zero value is an empty set over an empty universe; use New to create
+// a set with capacity.
+type Set struct {
+	words []uint64
+	n     int // universe size in bits
+}
+
+// New returns an empty set over the universe [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative universe size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a set over [0, n) with the given bits set.
+// It panics if any index is out of range.
+func FromIndices(n int, indices ...int) *Set {
+	s := New(n)
+	for _, i := range indices {
+		s.Add(i)
+	}
+	return s
+}
+
+// Len returns the universe size.
+func (s *Set) Len() int { return s.n }
+
+// Add sets bit i. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove clears bit i. It panics if i is out of range.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether bit i is set. It panics if i is out of range.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of t. Both sets must share a
+// universe size.
+func (s *Set) CopyFrom(t *Set) {
+	s.mustMatch(t)
+	copy(s.words, t.words)
+}
+
+// Clear resets all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets every bit in the universe.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears the bits beyond the universe in the last word so Count and
+// friends stay exact.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+func (s *Set) mustMatch(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: universe mismatch %d != %d", s.n, t.n))
+	}
+}
+
+// And stores the intersection of a and b into s (s may alias either).
+func (s *Set) And(a, b *Set) {
+	a.mustMatch(b)
+	s.mustMatch(a)
+	for i := range s.words {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Or stores the union of a and b into s (s may alias either).
+func (s *Set) Or(a, b *Set) {
+	a.mustMatch(b)
+	s.mustMatch(a)
+	for i := range s.words {
+		s.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// AndNot stores a \ b into s (s may alias either).
+func (s *Set) AndNot(a, b *Set) {
+	a.mustMatch(b)
+	s.mustMatch(a)
+	for i := range s.words {
+		s.words[i] = a.words[i] &^ b.words[i]
+	}
+}
+
+// Not stores the complement of a (within the universe) into s.
+func (s *Set) Not(a *Set) {
+	s.mustMatch(a)
+	for i := range s.words {
+		s.words[i] = ^a.words[i]
+	}
+	s.trim()
+}
+
+// AndCount returns |a ∩ b| without allocating.
+func AndCount(a, b *Set) int {
+	a.mustMatch(b)
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i] & b.words[i])
+	}
+	return c
+}
+
+// AndNotCount returns |a \ b| without allocating.
+func AndNotCount(a, b *Set) int {
+	a.mustMatch(b)
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i] &^ b.words[i])
+	}
+	return c
+}
+
+// Equal reports whether a and b contain exactly the same bits over the same
+// universe.
+func Equal(a, b *Set) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false, iteration stops.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the set bits in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set as {i1, i2, ...} for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,317 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(0)
+	if s.Count() != 0 || s.Any() {
+		t.Fatalf("empty universe set should be empty")
+	}
+	s = New(130)
+	if s.Count() != 0 {
+		t.Fatalf("new set not empty: %d", s.Count())
+	}
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for negative size")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 199} {
+		if s.Contains(i) {
+			t.Fatalf("bit %d set before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("bit %d not set after Add", i)
+		}
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Remove(63)
+	s.Remove(64)
+	if s.Contains(63) || s.Contains(64) {
+		t.Fatalf("bits not cleared by Remove")
+	}
+	if got := s.Count(); got != 5 {
+		t.Fatalf("Count after Remove = %d, want 5", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(*Set){
+		func(s *Set) { s.Add(10) },
+		func(s *Set) { s.Add(-1) },
+		func(s *Set) { s.Remove(10) },
+		func(s *Set) { s.Contains(10) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn(New(10))
+		}()
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on universe mismatch")
+		}
+	}()
+	AndCount(a, b)
+}
+
+func TestFillAndTrim(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128, 129} {
+		s := New(n)
+		s.Fill()
+		if got := s.Count(); got != n {
+			t.Fatalf("Fill(%d).Count = %d", n, got)
+		}
+	}
+}
+
+func TestNotRespectsUniverse(t *testing.T) {
+	s := New(70)
+	s.Add(0)
+	s.Add(69)
+	c := New(70)
+	c.Not(s)
+	if got := c.Count(); got != 68 {
+		t.Fatalf("complement count = %d, want 68", got)
+	}
+	if c.Contains(0) || c.Contains(69) {
+		t.Fatalf("complement contains original members")
+	}
+	if !c.Contains(1) {
+		t.Fatalf("complement missing bit 1")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromIndices(100, 1, 2, 3, 64, 65)
+	b := FromIndices(100, 2, 3, 4, 65, 99)
+
+	and := New(100)
+	and.And(a, b)
+	if got, want := and.String(), "{2, 3, 65}"; got != want {
+		t.Fatalf("And = %s, want %s", got, want)
+	}
+	or := New(100)
+	or.Or(a, b)
+	if got := or.Count(); got != 7 {
+		t.Fatalf("Or count = %d, want 7", got)
+	}
+	diff := New(100)
+	diff.AndNot(a, b)
+	if got, want := diff.String(), "{1, 64}"; got != want {
+		t.Fatalf("AndNot = %s, want %s", got, want)
+	}
+	if got := AndCount(a, b); got != 3 {
+		t.Fatalf("AndCount = %d, want 3", got)
+	}
+	if got := AndNotCount(a, b); got != 2 {
+		t.Fatalf("AndNotCount = %d, want 2", got)
+	}
+}
+
+func TestAliasedOps(t *testing.T) {
+	a := FromIndices(10, 1, 2)
+	b := FromIndices(10, 2, 3)
+	a.And(a, b) // aliased destination
+	if got, want := a.String(), "{2}"; got != want {
+		t.Fatalf("aliased And = %s, want %s", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(10, 1, 2)
+	b := a.Clone()
+	b.Add(5)
+	if a.Contains(5) {
+		t.Fatalf("Clone shares storage with original")
+	}
+	if !Equal(a, FromIndices(10, 1, 2)) {
+		t.Fatalf("original mutated")
+	}
+}
+
+func TestCopyFromAndClear(t *testing.T) {
+	a := FromIndices(10, 1, 2)
+	b := New(10)
+	b.CopyFrom(a)
+	if !Equal(a, b) {
+		t.Fatalf("CopyFrom mismatch")
+	}
+	b.Clear()
+	if b.Any() {
+		t.Fatalf("Clear left bits set")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if Equal(New(10), New(11)) {
+		t.Fatalf("different universes reported equal")
+	}
+	a := FromIndices(64, 63)
+	b := FromIndices(64, 63)
+	if !Equal(a, b) {
+		t.Fatalf("identical sets reported unequal")
+	}
+	b.Add(0)
+	if Equal(a, b) {
+		t.Fatalf("different sets reported equal")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(100, 3, 50, 99)
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 3 || seen[1] != 50 {
+		t.Fatalf("ForEach early stop got %v", seen)
+	}
+}
+
+func TestIndicesRoundTrip(t *testing.T) {
+	want := []int{0, 7, 63, 64, 127}
+	s := FromIndices(128, want...)
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+// randomSet builds a random set and its reference model (a bool slice).
+func randomSet(r *rand.Rand, n int) (*Set, []bool) {
+	s := New(n)
+	model := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(i)
+			model[i] = true
+		}
+	}
+	return s, model
+}
+
+func TestQuickAgainstBoolSliceModel(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, ma := randomSet(r, n)
+		b, mb := randomSet(r, n)
+
+		and, or, diff, not := New(n), New(n), New(n), New(n)
+		and.And(a, b)
+		or.Or(a, b)
+		diff.AndNot(a, b)
+		not.Not(a)
+
+		wantAndCount := 0
+		for i := 0; i < n; i++ {
+			if and.Contains(i) != (ma[i] && mb[i]) {
+				return false
+			}
+			if or.Contains(i) != (ma[i] || mb[i]) {
+				return false
+			}
+			if diff.Contains(i) != (ma[i] && !mb[i]) {
+				return false
+			}
+			if not.Contains(i) != !ma[i] {
+				return false
+			}
+			if ma[i] && mb[i] {
+				wantAndCount++
+			}
+		}
+		return AndCount(a, b) == wantAndCount &&
+			AndCount(a, b) == and.Count() &&
+			AndNotCount(a, b) == diff.Count()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, _ := randomSet(r, n)
+		b, _ := randomSet(r, n)
+
+		// ¬(a ∪ b) == ¬a ∩ ¬b
+		or := New(n)
+		or.Or(a, b)
+		lhs := New(n)
+		lhs.Not(or)
+
+		na, nb := New(n), New(n)
+		na.Not(a)
+		nb.Not(b)
+		rhs := New(n)
+		rhs.And(na, nb)
+		return Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountPartition(t *testing.T) {
+	// |a| = |a∩b| + |a\b| — the identity minterm counting relies on.
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, _ := randomSet(r, n)
+		b, _ := randomSet(r, n)
+		return a.Count() == AndCount(a, b)+AndNotCount(a, b)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, _ := randomSet(r, 100000)
+	y, _ := randomSet(r, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndCount(x, y)
+	}
+}

@@ -1,0 +1,315 @@
+// Package causal implements constraint-aware causal-structure discovery
+// over market-basket data, the future-work direction the paper closes with
+// ("how can constraints help in mining causations?"), following the
+// constraint-based rules of Silverstein, Brin, Motwani & Ullman (VLDB'98):
+//
+//   - CCU rule: if items a and c are dependent, b and c are dependent, but
+//     a and b are independent, then the only causal structure consistent
+//     with the three tests (absent hidden confounders of a,b) is the
+//     collider a → c ← b: a and b are causes of c.
+//   - CCC rule: if a, b, c are pairwise dependent and a and b become
+//     independent conditional on c, then c mediates every path between a
+//     and b (a → c → b, a ← c ← b, or a ← c → b); c is causally adjacent
+//     to both while a and b are not directly linked.
+//
+// Constraints enter exactly as in the underlying correlation miner:
+// anti-monotone succinct constraints restrict the item universe before any
+// pair is tested, and the remaining constraints are applied to the tested
+// pairs and triples, so the user can focus causal discovery on, say, cheap
+// items or a single department.
+package causal
+
+import (
+	"fmt"
+	"sort"
+
+	"ccs/internal/chisq"
+	"ccs/internal/constraint"
+	"ccs/internal/contingency"
+	"ccs/internal/counting"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// Params tunes the statistical tests.
+type Params struct {
+	// Alpha is the significance level for both the dependence test and the
+	// conditional-independence test (e.g. 0.95).
+	Alpha float64
+	// MinSupportFrac excludes items rarer than this fraction of baskets —
+	// the analogue of the miner's level-1 pruning.
+	MinSupportFrac float64
+	// MaxItems caps the number of items entering the O(n^2) pair phase
+	// (most frequent first; 0 = 100).
+	MaxItems int
+}
+
+func (p Params) validate() error {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("causal: Alpha %g outside (0,1)", p.Alpha)
+	}
+	if p.MinSupportFrac < 0 || p.MinSupportFrac > 1 {
+		return fmt.Errorf("causal: MinSupportFrac %g outside [0,1]", p.MinSupportFrac)
+	}
+	if p.MaxItems < 0 {
+		return fmt.Errorf("causal: negative MaxItems")
+	}
+	return nil
+}
+
+// Edge is a dependence judgment for an item pair.
+type Edge struct {
+	A, B      itemset.Item
+	Chi       float64
+	Dependent bool
+}
+
+// Collider is a CCU inference: CauseA → Effect ← CauseB.
+type Collider struct {
+	CauseA, CauseB, Effect itemset.Item
+}
+
+// Mediator is a CCC inference: M separates A and B.
+type Mediator struct {
+	A, B, M itemset.Item
+	// CondChi is the conditional chi-squared statistic of A,B given M
+	// (df 2); small values mean conditional independence.
+	CondChi float64
+}
+
+// Result is the discovered structure.
+type Result struct {
+	// Items is the filtered item universe the tests ran over.
+	Items []itemset.Item
+	// Edges lists every tested pair with its verdict.
+	Edges []Edge
+	// Colliders are the CCU inferences.
+	Colliders []Collider
+	// Mediators are the CCC inferences.
+	Mediators []Mediator
+}
+
+// Discover runs the CCU and CCC rules over db. The query may be nil; if
+// given, its anti-monotone succinct constraints restrict the item universe
+// and every tested pair and triple must satisfy the full conjunction's
+// anti-monotone part (monotone constraints make no sense for fixed-size
+// objects and are rejected).
+func Discover(db *dataset.DB, p Params, q *constraint.Conjunction) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if q == nil {
+		q = constraint.And()
+	}
+	split, err := q.Classify()
+	if err != nil {
+		return nil, err
+	}
+	if split.HasUnclassified() || len(split.MSuccinct) > 0 || len(split.MOther) > 0 {
+		return nil, fmt.Errorf("causal: only anti-monotone constraints apply to fixed-size causal tests")
+	}
+	maxItems := p.MaxItems
+	if maxItems == 0 {
+		maxItems = 100
+	}
+	cutoff1 := chisq.CriticalValue(p.Alpha, 1)
+	cutoff2 := chisq.CriticalValue(p.Alpha, 2) // conditional test: 2 strata, df 1 each
+
+	// item universe: frequent, allowed by the succinct AM filter, capped
+	// by frequency rank
+	allowed := split.AMMGF().Allowed
+	cat := db.Catalog
+	sup := db.ItemSupports()
+	minSup := int(p.MinSupportFrac * float64(db.NumTx()))
+	type ranked struct {
+		id  itemset.Item
+		sup int
+	}
+	var pool []ranked
+	for i, s := range sup {
+		id := itemset.Item(i)
+		if s < minSup || s == 0 {
+			continue
+		}
+		if allowed != nil && !allowed(cat.Info(id)) {
+			continue
+		}
+		if !split.SatisfiesAMOther(cat, itemset.New(id)) {
+			continue
+		}
+		pool = append(pool, ranked{id, s})
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].sup != pool[j].sup {
+			return pool[i].sup > pool[j].sup
+		}
+		return pool[i].id < pool[j].id
+	})
+	if len(pool) > maxItems {
+		pool = pool[:maxItems]
+	}
+	res := &Result{}
+	for _, r := range pool {
+		res.Items = append(res.Items, r.id)
+	}
+	sort.Slice(res.Items, func(i, j int) bool { return res.Items[i] < res.Items[j] })
+
+	// pairwise dependence over the universe
+	cnt := counting.NewBitmapCounter(db)
+	var pairSets []itemset.Set
+	for i := 0; i < len(res.Items); i++ {
+		for j := i + 1; j < len(res.Items); j++ {
+			s := itemset.New(res.Items[i], res.Items[j])
+			if !split.SatisfiesAMOther(cat, s) {
+				continue
+			}
+			pairSets = append(pairSets, s)
+		}
+	}
+	tables, err := cnt.CountTables(pairSets)
+	if err != nil {
+		return nil, err
+	}
+	dep := map[[2]itemset.Item]bool{}
+	tested := map[[2]itemset.Item]bool{}
+	for i, t := range tables {
+		a, b := pairSets[i][0], pairSets[i][1]
+		chi := t.ChiSquared()
+		d := chi >= cutoff1
+		res.Edges = append(res.Edges, Edge{A: a, B: b, Chi: chi, Dependent: d})
+		dep[[2]itemset.Item{a, b}] = d
+		tested[[2]itemset.Item{a, b}] = true
+	}
+	depOn := func(a, b itemset.Item) (bool, bool) {
+		if a > b {
+			a, b = b, a
+		}
+		return dep[[2]itemset.Item{a, b}], tested[[2]itemset.Item{a, b}]
+	}
+
+	// CCU: for every dependent pair (a,c), (b,c) with independent (a,b)
+	for _, c := range res.Items {
+		var nbrs []itemset.Item
+		for _, x := range res.Items {
+			if x == c {
+				continue
+			}
+			if d, ok := depOn(x, c); ok && d {
+				nbrs = append(nbrs, x)
+			}
+		}
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				a, b := nbrs[i], nbrs[j]
+				if d, ok := depOn(a, b); ok && !d {
+					if !split.SatisfiesAMOther(cat, itemset.New(a, b, c)) {
+						continue
+					}
+					res.Colliders = append(res.Colliders, Collider{CauseA: a, CauseB: b, Effect: c})
+				}
+			}
+		}
+	}
+
+	// CCC: pairwise-dependent triples with a conditional independence
+	var tripleSets []itemset.Set
+	for i := 0; i < len(res.Items); i++ {
+		for j := i + 1; j < len(res.Items); j++ {
+			for k := j + 1; k < len(res.Items); k++ {
+				a, b, c := res.Items[i], res.Items[j], res.Items[k]
+				dab, ok1 := depOn(a, b)
+				dac, ok2 := depOn(a, c)
+				dbc, ok3 := depOn(b, c)
+				if !(ok1 && ok2 && ok3 && dab && dac && dbc) {
+					continue
+				}
+				s := itemset.New(a, b, c)
+				if !split.SatisfiesAMOther(cat, s) {
+					continue
+				}
+				tripleSets = append(tripleSets, s)
+			}
+		}
+	}
+	triples, err := cnt.CountTables(tripleSets)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range triples {
+		s := tripleSets[i]
+		// try each member as the conditioning variable
+		for mi := 0; mi < 3; mi++ {
+			m := s[mi]
+			rest := s.Without(m)
+			chi := conditionalChi(t, mi)
+			if chi < cutoff2 {
+				res.Mediators = append(res.Mediators, Mediator{A: rest[0], B: rest[1], M: m, CondChi: chi})
+			}
+		}
+	}
+	sortResult(res)
+	return res, nil
+}
+
+// conditionalChi computes the chi-squared statistic of the two non-m items
+// conditioned on item position mi: the sum of the 2x2 statistics within the
+// m-present and m-absent strata (df = 2).
+func conditionalChi(t *contingency.Table, mi int) float64 {
+	total := 0.0
+	// positions of the other two items
+	var others []int
+	for j := 0; j < 3; j++ {
+		if j != mi {
+			others = append(others, j)
+		}
+	}
+	for _, mVal := range []int{0, 1} {
+		// build the 2x2 table of the stratum
+		cells := make([]int, 4)
+		n := 0
+		for c, v := range t.Cells {
+			if (c>>uint(mi))&1 != mVal {
+				continue
+			}
+			idx := ((c >> uint(others[0])) & 1) | (((c >> uint(others[1])) & 1) << 1)
+			cells[idx] += v
+			n += v
+		}
+		sub, err := contingency.New(itemset.New(0, 1), n, cells)
+		if err != nil {
+			continue // empty stratum contributes nothing
+		}
+		total += sub.ChiSquared()
+	}
+	return total
+}
+
+// sortResult orders the output deterministically.
+func sortResult(r *Result) {
+	sort.Slice(r.Edges, func(i, j int) bool {
+		if r.Edges[i].A != r.Edges[j].A {
+			return r.Edges[i].A < r.Edges[j].A
+		}
+		return r.Edges[i].B < r.Edges[j].B
+	})
+	sort.Slice(r.Colliders, func(i, j int) bool {
+		a, b := r.Colliders[i], r.Colliders[j]
+		if a.Effect != b.Effect {
+			return a.Effect < b.Effect
+		}
+		if a.CauseA != b.CauseA {
+			return a.CauseA < b.CauseA
+		}
+		return a.CauseB < b.CauseB
+	})
+	sort.Slice(r.Mediators, func(i, j int) bool {
+		a, b := r.Mediators[i], r.Mediators[j]
+		if a.M != b.M {
+			return a.M < b.M
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+}

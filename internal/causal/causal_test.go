@@ -1,0 +1,215 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// colliderDB plants a v-structure: items 0 and 1 occur independently; item
+// 2 appears when either does (0 → 2 ← 1). Item 3 is noise.
+func colliderDB(t *testing.T) *dataset.DB {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	cat := dataset.SyntheticCatalog(4, nil)
+	var tx []dataset.Transaction
+	for i := 0; i < 4000; i++ {
+		var items []itemset.Item
+		a := r.Intn(10) < 4
+		b := r.Intn(10) < 4
+		if a {
+			items = append(items, 0)
+		}
+		if b {
+			items = append(items, 1)
+		}
+		if (a || b) && r.Intn(10) < 8 {
+			items = append(items, 2)
+		} else if r.Intn(20) == 0 {
+			items = append(items, 2)
+		}
+		if r.Intn(3) == 0 {
+			items = append(items, 3)
+		}
+		tx = append(tx, itemset.New(items...))
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// chainDB plants a chain 0 → 2 → 1: item 2 follows item 0, item 1 follows
+// item 2, so 0 and 1 are dependent only through 2.
+func chainDB(t *testing.T) *dataset.DB {
+	t.Helper()
+	r := rand.New(rand.NewSource(13))
+	cat := dataset.SyntheticCatalog(3, nil)
+	var tx []dataset.Transaction
+	for i := 0; i < 6000; i++ {
+		var items []itemset.Item
+		a := r.Intn(10) < 5
+		if a {
+			items = append(items, 0)
+		}
+		c := false
+		if a {
+			c = r.Intn(10) < 8
+		} else {
+			c = r.Intn(10) < 2
+		}
+		if c {
+			items = append(items, 2)
+		}
+		b := false
+		if c {
+			b = r.Intn(10) < 8
+		} else {
+			b = r.Intn(10) < 2
+		}
+		if b {
+			items = append(items, 1)
+		}
+		tx = append(tx, itemset.New(items...))
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParamsValidation(t *testing.T) {
+	db := colliderDB(t)
+	bad := []Params{
+		{Alpha: 0},
+		{Alpha: 1},
+		{Alpha: 0.95, MinSupportFrac: -1},
+		{Alpha: 0.95, MinSupportFrac: 2},
+		{Alpha: 0.95, MaxItems: -1},
+	}
+	for i, p := range bad {
+		if _, err := Discover(db, p, nil); err == nil {
+			t.Errorf("params %d accepted", i)
+		}
+	}
+}
+
+func TestCCUFindsCollider(t *testing.T) {
+	db := colliderDB(t)
+	res, err := Discover(db, Params{Alpha: 0.95, MinSupportFrac: 0.02}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Colliders {
+		if c.Effect == 2 && c.CauseA == 0 && c.CauseB == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted collider 0→2←1 not found; colliders = %+v, edges = %+v",
+			res.Colliders, res.Edges)
+	}
+	// sanity on the edge verdicts
+	for _, e := range res.Edges {
+		if e.A == 0 && e.B == 1 && e.Dependent {
+			t.Fatalf("independent pair (0,1) judged dependent")
+		}
+		if e.A == 0 && e.B == 2 && !e.Dependent {
+			t.Fatalf("dependent pair (0,2) judged independent")
+		}
+	}
+}
+
+func TestCCCFindsMediator(t *testing.T) {
+	db := chainDB(t)
+	res, err := Discover(db, Params{Alpha: 0.95, MinSupportFrac: 0.02}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0,1,2 must be pairwise dependent
+	depCount := 0
+	for _, e := range res.Edges {
+		if e.Dependent {
+			depCount++
+		}
+	}
+	if depCount != 3 {
+		t.Fatalf("expected 3 dependent edges, got %d: %+v", depCount, res.Edges)
+	}
+	found := false
+	for _, m := range res.Mediators {
+		if m.M == 2 && m.A == 0 && m.B == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted mediator 2 not found; mediators = %+v", res.Mediators)
+	}
+	// neither endpoint can separate the other two
+	for _, m := range res.Mediators {
+		if m.M != 2 {
+			t.Fatalf("spurious mediator %+v", m)
+		}
+	}
+}
+
+func TestConstraintsRestrictUniverse(t *testing.T) {
+	db := colliderDB(t)
+	// exclude item 0 (price 1) via max-price... rather: restrict to prices
+	// >= 2, removing item 0 from the universe
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.GE, 2))
+	res, err := Discover(db, Params{Alpha: 0.95, MinSupportFrac: 0.02}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.Items {
+		if id == 0 {
+			t.Fatalf("excluded item in universe")
+		}
+	}
+	for _, c := range res.Colliders {
+		if c.CauseA == 0 || c.CauseB == 0 || c.Effect == 0 {
+			t.Fatalf("excluded item in collider %+v", c)
+		}
+	}
+}
+
+func TestMonotoneConstraintRejected(t *testing.T) {
+	db := colliderDB(t)
+	q := constraint.And(constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.GE, 3))
+	if _, err := Discover(db, Params{Alpha: 0.95}, q); err == nil {
+		t.Fatalf("monotone constraint accepted")
+	}
+	avg := constraint.And(constraint.NewAggregate(constraint.AggAvg, constraint.Price, constraint.LE, 3))
+	if _, err := Discover(db, Params{Alpha: 0.95}, avg); err == nil {
+		t.Fatalf("avg constraint accepted")
+	}
+}
+
+func TestMaxItemsCap(t *testing.T) {
+	db := colliderDB(t)
+	res, err := Discover(db, Params{Alpha: 0.95, MinSupportFrac: 0.01, MaxItems: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) > 2 {
+		t.Fatalf("universe = %v exceeds cap", res.Items)
+	}
+}
+
+func TestEmptyUniverse(t *testing.T) {
+	db := colliderDB(t)
+	res, err := Discover(db, Params{Alpha: 0.95, MinSupportFrac: 0.999}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 || len(res.Edges) != 0 || len(res.Colliders) != 0 {
+		t.Fatalf("expected empty result, got %+v", res)
+	}
+}

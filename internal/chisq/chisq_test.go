@@ -1,0 +1,207 @@
+package chisq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Reference critical values from standard chi-squared tables.
+var criticalTable = []struct {
+	p    float64
+	df   int
+	want float64
+}{
+	{0.90, 1, 2.70554},
+	{0.95, 1, 3.84146},
+	{0.99, 1, 6.63490},
+	{0.90, 2, 4.60517},
+	{0.95, 2, 5.99146},
+	{0.90, 3, 6.25139},
+	{0.95, 5, 11.07050},
+	{0.99, 10, 23.20925},
+	{0.95, 30, 43.77297},
+}
+
+func TestQuantileAgainstTables(t *testing.T) {
+	for _, c := range criticalTable {
+		got, err := Quantile(c.p, c.df)
+		if err != nil {
+			t.Fatalf("Quantile(%g,%d): %v", c.p, c.df, err)
+		}
+		if math.Abs(got-c.want) > 5e-5 {
+			t.Errorf("Quantile(%g,%d) = %.6f, want %.5f", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestCDFKnownValues(t *testing.T) {
+	// For df=2 the chi-squared CDF is 1 - exp(-x/2) exactly.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10, 40} {
+		got, err := CDF(x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x/2)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDF(%g,2) = %.15f, want %.15f", x, got, want)
+		}
+	}
+	// For df=1, CDF(x) = erf(sqrt(x/2)).
+	for _, x := range []float64{0.1, 1, 3.841459, 10} {
+		got, err := CDF(x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Erf(math.Sqrt(x / 2))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDF(%g,1) = %.15f, want %.15f", x, got, want)
+		}
+	}
+}
+
+func TestCDFBoundaries(t *testing.T) {
+	if got, _ := CDF(0, 1); got != 0 {
+		t.Fatalf("CDF(0) = %g", got)
+	}
+	if got, _ := CDF(-5, 1); got != 0 {
+		t.Fatalf("CDF(-5) = %g", got)
+	}
+	if got, _ := Survival(0, 3); got != 1 {
+		t.Fatalf("Survival(0) = %g", got)
+	}
+	got, _ := CDF(1e6, 1)
+	if got != 1 {
+		t.Fatalf("CDF(1e6,1) = %g, want 1", got)
+	}
+}
+
+func TestDomainErrors(t *testing.T) {
+	if _, err := CDF(1, 0); err == nil {
+		t.Errorf("CDF df=0 accepted")
+	}
+	if _, err := CDF(1, -1); err == nil {
+		t.Errorf("CDF df=-1 accepted")
+	}
+	if _, err := Quantile(1.0, 1); err == nil {
+		t.Errorf("Quantile p=1 accepted")
+	}
+	if _, err := Quantile(-0.1, 1); err == nil {
+		t.Errorf("Quantile p<0 accepted")
+	}
+	if _, err := Quantile(math.NaN(), 1); err == nil {
+		t.Errorf("Quantile NaN accepted")
+	}
+	if _, err := GammaP(-1, 1); err == nil {
+		t.Errorf("GammaP a<0 accepted")
+	}
+	if _, err := GammaP(1, -1); err == nil {
+		t.Errorf("GammaP x<0 accepted")
+	}
+	if _, err := GammaQ(0, 1); err == nil {
+		t.Errorf("GammaQ a=0 accepted")
+	}
+}
+
+func TestQuantileZero(t *testing.T) {
+	got, err := Quantile(0, 5)
+	if err != nil || got != 0 {
+		t.Fatalf("Quantile(0,5) = %g, %v", got, err)
+	}
+}
+
+func TestSurvivalComplement(t *testing.T) {
+	for _, df := range []int{1, 2, 4, 8, 31} {
+		for _, x := range []float64{0.01, 0.5, 1, 3, 10, 50} {
+			c, err1 := CDF(x, df)
+			s, err2 := Survival(x, df)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if math.Abs(c+s-1) > 1e-10 {
+				t.Errorf("CDF+Survival = %g at x=%g df=%d", c+s, x, df)
+			}
+		}
+	}
+}
+
+func TestQuickCDFMonotoneInX(t *testing.T) {
+	f := func(a, b float64, dfRaw uint8) bool {
+		df := int(dfRaw)%20 + 1
+		x, y := math.Abs(a), math.Abs(b)
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		x, y = math.Mod(x, 200), math.Mod(y, 200)
+		if x > y {
+			x, y = y, x
+		}
+		cx, err1 := CDF(x, df)
+		cy, err2 := CDF(y, df)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return cx <= cy+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickQuantileInvertsCDF(t *testing.T) {
+	f := func(pRaw float64, dfRaw uint8) bool {
+		p := math.Mod(math.Abs(pRaw), 1)
+		if math.IsNaN(p) || p < 1e-6 || p > 0.999999 {
+			return true
+		}
+		df := int(dfRaw)%30 + 1
+		x, err := Quantile(p, df)
+		if err != nil {
+			return false
+		}
+		c, err := CDF(x, df)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalValuePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	CriticalValue(2.0, 1)
+}
+
+func TestCriticalValueMatchesQuantile(t *testing.T) {
+	want, _ := Quantile(0.95, 1)
+	if got := CriticalValue(0.95, 1); got != want {
+		t.Fatalf("CriticalValue = %g, Quantile = %g", got, want)
+	}
+}
+
+func TestPValueAlias(t *testing.T) {
+	a, _ := PValue(3.0, 1)
+	b, _ := Survival(3.0, 1)
+	if a != b {
+		t.Fatalf("PValue != Survival")
+	}
+}
+
+func BenchmarkCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CDF(7.3, 1)
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Quantile(0.95, 1)
+	}
+}

@@ -1,0 +1,33 @@
+package chisq_test
+
+import (
+	"fmt"
+
+	"ccs/internal/chisq"
+)
+
+// ExampleCriticalValue reproduces the cutoffs the paper's experiments use:
+// confidence 0.9 and the common 0.95, at one degree of freedom.
+func ExampleCriticalValue() {
+	fmt.Printf("alpha 0.90: %.3f\n", chisq.CriticalValue(0.90, 1))
+	fmt.Printf("alpha 0.95: %.3f\n", chisq.CriticalValue(0.95, 1))
+	// Output:
+	// alpha 0.90: 2.706
+	// alpha 0.95: 3.841
+}
+
+// ExamplePValue evaluates the paper's coffee/doughnuts statistic (~3.79):
+// significant at 0.9 but not at 0.95.
+func ExamplePValue() {
+	p, err := chisq.PValue(3.79, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p = %.4f\n", p)
+	fmt.Printf("correlated at 0.90: %v\n", p <= 0.10)
+	fmt.Printf("correlated at 0.95: %v\n", p <= 0.05)
+	// Output:
+	// p = 0.0516
+	// correlated at 0.90: true
+	// correlated at 0.95: false
+}

@@ -1,0 +1,162 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// Conjunction is the constraint set C of a constrained correlation query,
+// interpreted as the conjunction of its members.
+type Conjunction struct {
+	All []Constraint
+}
+
+// And builds a conjunction.
+func And(cs ...Constraint) *Conjunction {
+	return &Conjunction{All: cs}
+}
+
+func (c *Conjunction) String() string {
+	if len(c.All) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c.All))
+	for i, x := range c.All {
+		parts[i] = x.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Satisfies reports whether s satisfies every constraint.
+func (c *Conjunction) Satisfies(cat *dataset.Catalog, s itemset.Set) bool {
+	for _, x := range c.All {
+		if !x.Satisfies(cat, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Split is the paper's four-way partition of a query's constraints:
+// C = C_ams ∪ C~_ams ∪ C_ms ∪ C~_ms, i.e. anti-monotone split by
+// succinctness and monotone split by succinctness. Constraints that are
+// both anti-monotone and monotone (only True in this language) land in the
+// anti-monotone bucket. Constraints that are neither (avg) go to Other; the
+// level-wise algorithms reject them via Classify.
+type Split struct {
+	AMSuccinct []Succinct   // C_ams: pushed into item filtering / candidate generation
+	AMOther    []Constraint // C~_ams: checked before table construction
+	MSuccinct  []Succinct   // C_ms: witness requirements
+	MOther     []Constraint // C~_ms: checked like the correlation test
+	Other      []Constraint // neither anti-monotone nor monotone
+}
+
+// Classify partitions the conjunction. It returns an error if any
+// constraint claims succinctness without implementing the Succinct
+// interface (a programming error in a user-defined constraint).
+func (c *Conjunction) Classify() (*Split, error) {
+	s := &Split{}
+	for _, x := range c.All {
+		succ, isSucc := x.(Succinct)
+		if x.Succinct() && !isSucc {
+			return nil, fmt.Errorf("constraint: %s reports Succinct() but does not implement the Succinct interface", x)
+		}
+		switch {
+		case x.AntiMonotone():
+			if x.Succinct() {
+				s.AMSuccinct = append(s.AMSuccinct, succ)
+			} else {
+				s.AMOther = append(s.AMOther, x)
+			}
+		case x.Monotone():
+			if x.Succinct() {
+				s.MSuccinct = append(s.MSuccinct, succ)
+			} else {
+				s.MOther = append(s.MOther, x)
+			}
+		default:
+			s.Other = append(s.Other, x)
+		}
+	}
+	return s, nil
+}
+
+// AMMGF returns the combined member generating function of the succinct
+// anti-monotone constraints: an Allowed filter every member of a valid set
+// must pass (nil when there are none).
+func (s *Split) AMMGF() MGF {
+	m := MGF{}
+	for _, c := range s.AMSuccinct {
+		m = m.Combine(c.MGF())
+	}
+	// AM succinct constraints contribute no witnesses by construction;
+	// defensively drop any.
+	m.Witnesses = nil
+	return m
+}
+
+// MMGF returns the combined member generating function of the succinct
+// monotone constraints: the witness filters a valid set must satisfy.
+func (s *Split) MMGF() MGF {
+	m := MGF{}
+	for _, c := range s.MSuccinct {
+		m = m.Combine(c.MGF())
+	}
+	m.Allowed = nil // monotone succinct constraints restrict nothing
+	return m
+}
+
+// SatisfiesAM reports whether s satisfies every anti-monotone constraint.
+func (s *Split) SatisfiesAM(cat *dataset.Catalog, set itemset.Set) bool {
+	for _, c := range s.AMSuccinct {
+		if !c.Satisfies(cat, set) {
+			return false
+		}
+	}
+	for _, c := range s.AMOther {
+		if !c.Satisfies(cat, set) {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiesAMOther reports whether s satisfies the non-succinct
+// anti-monotone constraints (the succinct ones being enforced by candidate
+// generation).
+func (s *Split) SatisfiesAMOther(cat *dataset.Catalog, set itemset.Set) bool {
+	for _, c := range s.AMOther {
+		if !c.Satisfies(cat, set) {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiesM reports whether s satisfies every monotone constraint.
+func (s *Split) SatisfiesM(cat *dataset.Catalog, set itemset.Set) bool {
+	for _, c := range s.MSuccinct {
+		if !c.Satisfies(cat, set) {
+			return false
+		}
+	}
+	for _, c := range s.MOther {
+		if !c.Satisfies(cat, set) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllAntiMonotone reports whether the query contains only anti-monotone
+// constraints — the case where VALIDMIN = MINVALID (Theorem 1.2).
+func (s *Split) AllAntiMonotone() bool {
+	return len(s.MSuccinct) == 0 && len(s.MOther) == 0 && len(s.Other) == 0
+}
+
+// HasUnclassified reports whether any constraint is neither anti-monotone
+// nor monotone.
+func (s *Split) HasUnclassified() bool { return len(s.Other) > 0 }

@@ -1,0 +1,167 @@
+package constraint
+
+import (
+	"testing"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+func TestConjunctionSatisfies(t *testing.T) {
+	cat := testCatalog()
+	c := And(
+		NewAggregate(AggMax, Price, LE, 5),
+		NewAggregate(AggSum, Price, GE, 4),
+	)
+	if !c.Satisfies(cat, set(0, 2)) { // prices 1,3: max 3<=5, sum 4>=4
+		t.Errorf("valid set rejected")
+	}
+	if c.Satisfies(cat, set(0)) { // sum 1 < 4
+		t.Errorf("invalid set accepted")
+	}
+	if c.Satisfies(cat, set(5)) { // max 6 > 5
+		t.Errorf("invalid set accepted")
+	}
+	empty := And()
+	if !empty.Satisfies(cat, set(0, 1)) {
+		t.Errorf("empty conjunction rejected a set")
+	}
+	if empty.String() != "true" {
+		t.Errorf("empty String = %q", empty.String())
+	}
+}
+
+func TestConjunctionString(t *testing.T) {
+	c := And(NewAggregate(AggMax, Price, LE, 5), NewDomain(OpDisjoint, Type, "snack"))
+	want := `max(price) <= 5 & {"snack"} disjoint type`
+	if got := c.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestClassifyBuckets(t *testing.T) {
+	c := And(
+		NewAggregate(AggMax, Price, LE, 5),  // AM + succinct
+		NewAggregate(AggSum, Price, LE, 10), // AM, not succinct
+		NewAggregate(AggMin, Price, LE, 2),  // M + succinct
+		NewAggregate(AggSum, Price, GE, 3),  // M, not succinct
+		NewAggregate(AggAvg, Price, LE, 3),  // neither
+		True{},                              // both → AM bucket
+	)
+	s, err := c.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.AMSuccinct) != 2 { // max<= and True
+		t.Errorf("AMSuccinct = %d", len(s.AMSuccinct))
+	}
+	if len(s.AMOther) != 1 {
+		t.Errorf("AMOther = %d", len(s.AMOther))
+	}
+	if len(s.MSuccinct) != 1 {
+		t.Errorf("MSuccinct = %d", len(s.MSuccinct))
+	}
+	if len(s.MOther) != 1 {
+		t.Errorf("MOther = %d", len(s.MOther))
+	}
+	if len(s.Other) != 1 || !s.HasUnclassified() {
+		t.Errorf("Other = %d", len(s.Other))
+	}
+	if s.AllAntiMonotone() {
+		t.Errorf("AllAntiMonotone true with monotone members")
+	}
+}
+
+func TestClassifyAllAM(t *testing.T) {
+	c := And(NewAggregate(AggMax, Price, LE, 5), NewAggregate(AggSum, Price, LE, 10))
+	s, err := c.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.AllAntiMonotone() || s.HasUnclassified() {
+		t.Errorf("pure-AM query misclassified")
+	}
+}
+
+// liar2 claims succinctness but does not implement the Succinct interface.
+type liar2 struct{}
+
+func (liar2) String() string                               { return "liar" }
+func (liar2) AntiMonotone() bool                           { return true }
+func (liar2) Monotone() bool                               { return false }
+func (liar2) Succinct() bool                               { return true }
+func (liar2) Satisfies(*dataset.Catalog, itemset.Set) bool { return true }
+
+func TestClassifyRejectsFalseSuccinctClaim(t *testing.T) {
+	if _, err := And(liar2{}).Classify(); err == nil {
+		t.Fatalf("false succinct claim accepted")
+	}
+}
+
+func TestSplitSatisfiesHelpers(t *testing.T) {
+	cat := testCatalog()
+	c := And(
+		NewAggregate(AggMax, Price, LE, 5), // AM succinct
+		NewAggregate(AggSum, Price, LE, 6), // AM other
+		NewAggregate(AggMin, Price, LE, 2), // M succinct
+		NewAggregate(AggSum, Price, GE, 3), // M other
+	)
+	s, err := c.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {0,1}: prices 1,2. AM: max 2<=5 ok, sum 3<=6 ok. M: min 1<=2 ok, sum 3>=3 ok.
+	if !s.SatisfiesAM(cat, set(0, 1)) || !s.SatisfiesM(cat, set(0, 1)) {
+		t.Errorf("{0,1} should satisfy both")
+	}
+	// {2,3}: prices 3,4. AM other: sum 7 > 6 fails.
+	if s.SatisfiesAM(cat, set(2, 3)) {
+		t.Errorf("{2,3} should fail AM")
+	}
+	if !s.SatisfiesAMOther(cat, set(0, 1)) {
+		t.Errorf("SatisfiesAMOther failed")
+	}
+	// {3}: price 4. M succinct min 4<=2 fails.
+	if s.SatisfiesM(cat, set(3)) {
+		t.Errorf("{3} should fail M")
+	}
+}
+
+func TestSplitMGFs(t *testing.T) {
+	cat := testCatalog()
+	c := And(
+		NewAggregate(AggMax, Price, LE, 4),              // allowed: price <= 4
+		NewDomain(OpDisjoint, Type, "frozen"),           // allowed: not frozen
+		NewAggregate(AggMin, Price, LE, 2),              // witness: price <= 2
+		NewDomain(OpContainsAll, Type, "soda", "snack"), // witnesses: soda, snack
+	)
+	s, err := c.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := s.AMMGF()
+	if am.Allowed == nil || len(am.Witnesses) != 0 {
+		t.Fatalf("AMMGF = %+v", am)
+	}
+	// item 0 (soda, 1) allowed; item 2 (frozen, 3) not; item 4 (snack, 5) not (price)
+	if !am.PermitsItem(cat.Info(0)) || am.PermitsItem(cat.Info(2)) || am.PermitsItem(cat.Info(4)) {
+		t.Fatalf("AMMGF wrong permissions")
+	}
+	mm := s.MMGF()
+	if mm.Allowed != nil || len(mm.Witnesses) != 3 {
+		t.Fatalf("MMGF = %d witnesses", len(mm.Witnesses))
+	}
+}
+
+func TestSplitMGFsEmpty(t *testing.T) {
+	s, err := And().Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AMMGF().Allowed != nil || len(s.MMGF().Witnesses) != 0 {
+		t.Fatalf("empty conjunction produced nonempty MGFs")
+	}
+	if !s.AllAntiMonotone() {
+		t.Fatalf("empty conjunction not AllAntiMonotone")
+	}
+}

@@ -1,0 +1,486 @@
+// Package constraint implements the constraint language of the paper
+// (after Ng, Lakshmanan, Han & Pang, SIGMOD'98): SQL-style aggregate
+// constraints over numeric item attributes, and domain/class constraints
+// over categorical attributes, each classified as anti-monotone, monotone
+// and/or succinct. Succinct constraints expose a member generating function
+// (MGF) that the mining algorithms push into candidate generation.
+//
+// Classification contract (Lemma 1 of the paper):
+//
+//	anti-monotone — if S satisfies C then every subset of S does;
+//	monotone      — if S satisfies C then every superset of S does.
+//
+// Aggregate classifications assume the attribute has a non-negative
+// domain; CheckDomain verifies this against a catalog.
+package constraint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// Constraint is a predicate on itemsets together with its pruning
+// classification.
+type Constraint interface {
+	fmt.Stringer
+	// AntiMonotone reports closure under subsets.
+	AntiMonotone() bool
+	// Monotone reports closure under supersets.
+	Monotone() bool
+	// Succinct reports whether the constraint has a member generating
+	// function; if true the value also implements the Succinct interface.
+	Succinct() bool
+	// Satisfies evaluates the constraint on s, with item attributes drawn
+	// from cat.
+	Satisfies(cat *dataset.Catalog, s itemset.Set) bool
+}
+
+// ItemFilter is an item-level selection predicate σ_p(Item).
+type ItemFilter func(dataset.ItemInfo) bool
+
+// MGF is a member generating function in the normalized form the miner
+// exploits: a satisfying set may contain only items passing Allowed (nil
+// means unrestricted), and must contain at least one item passing each
+// filter in Witnesses. MGFs of succinct constraints in a conjunction
+// compose by intersecting Allowed and concatenating Witnesses.
+type MGF struct {
+	Allowed   ItemFilter
+	Witnesses []ItemFilter
+}
+
+// Succinct is implemented by constraints with an MGF.
+type Succinct interface {
+	Constraint
+	MGF() MGF
+}
+
+// PermitsItem reports whether item info may occur in any satisfying set.
+func (m MGF) PermitsItem(info dataset.ItemInfo) bool {
+	return m.Allowed == nil || m.Allowed(info)
+}
+
+// Combine merges another MGF into m.
+func (m MGF) Combine(o MGF) MGF {
+	out := MGF{Witnesses: append(append([]ItemFilter(nil), m.Witnesses...), o.Witnesses...)}
+	switch {
+	case m.Allowed == nil:
+		out.Allowed = o.Allowed
+	case o.Allowed == nil:
+		out.Allowed = m.Allowed
+	default:
+		a, b := m.Allowed, o.Allowed
+		out.Allowed = func(info dataset.ItemInfo) bool { return a(info) && b(info) }
+	}
+	return out
+}
+
+// Agg names an SQL aggregate.
+type Agg int
+
+// Supported aggregates.
+const (
+	AggMin Agg = iota
+	AggMax
+	AggSum
+	AggCount
+	AggAvg
+)
+
+func (a Agg) String() string {
+	switch a {
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("agg(%d)", int(a))
+}
+
+// Cmp is a comparison direction.
+type Cmp int
+
+// Supported comparisons.
+const (
+	LE Cmp = iota // <=
+	GE            // >=
+)
+
+func (c Cmp) String() string {
+	if c == LE {
+		return "<="
+	}
+	return ">="
+}
+
+// NumAttr is a numeric item attribute, e.g. price.
+type NumAttr struct {
+	Name  string
+	Value func(dataset.ItemInfo) float64
+}
+
+// Price is the standard numeric attribute of the paper's examples.
+var Price = NumAttr{Name: "price", Value: func(i dataset.ItemInfo) float64 { return i.Price }}
+
+// CatAttr is a categorical item attribute, e.g. type.
+type CatAttr struct {
+	Name  string
+	Value func(dataset.ItemInfo) string
+}
+
+// Type is the standard categorical attribute of the paper's examples.
+var Type = CatAttr{Name: "type", Value: func(i dataset.ItemInfo) string { return i.Type }}
+
+// Aggregate is the constraint agg(S.attr) cmp bound.
+type Aggregate struct {
+	Agg   Agg
+	Attr  NumAttr
+	Cmp   Cmp
+	Bound float64
+}
+
+// NewAggregate builds an aggregate constraint. AggAvg is permitted but is
+// neither anti-monotone nor monotone; the level-wise algorithms reject it
+// (see core) while Brute evaluates it directly.
+func NewAggregate(agg Agg, attr NumAttr, cmp Cmp, bound float64) *Aggregate {
+	return &Aggregate{Agg: agg, Attr: attr, Cmp: cmp, Bound: bound}
+}
+
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("%s(%s) %s %g", a.Agg, a.Attr.Name, a.Cmp, a.Bound)
+}
+
+// value computes the aggregate over s; min of empty is +Inf, max of empty
+// is -Inf, sum and count of empty are 0, avg of empty is NaN (fails every
+// comparison, so only nonempty sets can satisfy an avg constraint).
+func (a *Aggregate) value(cat *dataset.Catalog, s itemset.Set) float64 {
+	switch a.Agg {
+	case AggCount:
+		return float64(s.Size())
+	case AggMin:
+		v := math.Inf(1)
+		for _, id := range s {
+			v = math.Min(v, a.Attr.Value(cat.Info(id)))
+		}
+		return v
+	case AggMax:
+		v := math.Inf(-1)
+		for _, id := range s {
+			v = math.Max(v, a.Attr.Value(cat.Info(id)))
+		}
+		return v
+	case AggSum:
+		v := 0.0
+		for _, id := range s {
+			v += a.Attr.Value(cat.Info(id))
+		}
+		return v
+	case AggAvg:
+		if s.Size() == 0 {
+			return math.NaN()
+		}
+		v := 0.0
+		for _, id := range s {
+			v += a.Attr.Value(cat.Info(id))
+		}
+		return v / float64(s.Size())
+	}
+	panic(fmt.Sprintf("constraint: unknown aggregate %d", int(a.Agg)))
+}
+
+// Satisfies implements Constraint.
+func (a *Aggregate) Satisfies(cat *dataset.Catalog, s itemset.Set) bool {
+	v := a.value(cat, s)
+	if a.Cmp == LE {
+		return v <= a.Bound
+	}
+	return v >= a.Bound
+}
+
+// AntiMonotone implements Constraint per Lemma 1 (non-negative domains):
+// max<=c, min>=c, sum<=c, count<=c.
+func (a *Aggregate) AntiMonotone() bool {
+	switch a.Agg {
+	case AggMax:
+		return a.Cmp == LE
+	case AggMin:
+		return a.Cmp == GE
+	case AggSum, AggCount:
+		return a.Cmp == LE
+	}
+	return false
+}
+
+// Monotone implements Constraint: max>=c, min<=c, sum>=c, count>=c.
+func (a *Aggregate) Monotone() bool {
+	switch a.Agg {
+	case AggMax:
+		return a.Cmp == GE
+	case AggMin:
+		return a.Cmp == LE
+	case AggSum, AggCount:
+		return a.Cmp == GE
+	}
+	return false
+}
+
+// Succinct implements Constraint: min and max comparisons are succinct
+// (the satisfying sets are generated by a single item filter); sum, count
+// and avg are not.
+func (a *Aggregate) Succinct() bool {
+	return a.Agg == AggMin || a.Agg == AggMax
+}
+
+// MGF implements Succinct for min/max aggregates.
+func (a *Aggregate) MGF() MGF {
+	if !a.Succinct() {
+		panic("constraint: MGF on non-succinct aggregate " + a.String())
+	}
+	attr, cmp, bound := a.Attr, a.Cmp, a.Bound
+	pass := func(info dataset.ItemInfo) bool {
+		if cmp == LE {
+			return attr.Value(info) <= bound
+		}
+		return attr.Value(info) >= bound
+	}
+	if a.AntiMonotone() {
+		// max<=c / min>=c: every member must pass.
+		return MGF{Allowed: pass}
+	}
+	// max>=c / min<=c: one witness must pass.
+	return MGF{Witnesses: []ItemFilter{pass}}
+}
+
+// SetOp names a domain-constraint relation between a constant set CS and
+// the attribute image S.attr.
+type SetOp int
+
+// Supported domain relations.
+const (
+	OpContainsAll SetOp = iota // CS ⊆ S.attr        (monotone, succinct)
+	OpWithin                   // S.attr ⊆ CS        (anti-monotone, succinct)
+	OpDisjoint                 // CS ∩ S.attr = ∅    (anti-monotone, succinct)
+	OpIntersects               // CS ∩ S.attr ≠ ∅    (monotone, succinct)
+)
+
+func (o SetOp) String() string {
+	switch o {
+	case OpContainsAll:
+		return "containsall"
+	case OpWithin:
+		return "within"
+	case OpDisjoint:
+		return "disjoint"
+	case OpIntersects:
+		return "intersects"
+	}
+	return fmt.Sprintf("setop(%d)", int(o))
+}
+
+// Domain is the constraint CS op S.attr over a categorical attribute.
+type Domain struct {
+	Op   SetOp
+	Attr CatAttr
+	CS   map[string]bool
+}
+
+// NewDomain builds a domain constraint over the constant set cs.
+func NewDomain(op SetOp, attr CatAttr, cs ...string) *Domain {
+	m := make(map[string]bool, len(cs))
+	for _, v := range cs {
+		m[v] = true
+	}
+	return &Domain{Op: op, Attr: attr, CS: m}
+}
+
+func (d *Domain) String() string {
+	vals := make([]string, 0, len(d.CS))
+	for v := range d.CS {
+		vals = append(vals, fmt.Sprintf("%q", v))
+	}
+	sort.Strings(vals)
+	return fmt.Sprintf("{%s} %s %s", strings.Join(vals, ","), d.Op, d.Attr.Name)
+}
+
+// Satisfies implements Constraint.
+func (d *Domain) Satisfies(cat *dataset.Catalog, s itemset.Set) bool {
+	switch d.Op {
+	case OpContainsAll:
+		missing := make(map[string]bool, len(d.CS))
+		for v := range d.CS {
+			missing[v] = true
+		}
+		for _, id := range s {
+			delete(missing, d.Attr.Value(cat.Info(id)))
+		}
+		return len(missing) == 0
+	case OpWithin:
+		for _, id := range s {
+			if !d.CS[d.Attr.Value(cat.Info(id))] {
+				return false
+			}
+		}
+		return true
+	case OpDisjoint:
+		for _, id := range s {
+			if d.CS[d.Attr.Value(cat.Info(id))] {
+				return false
+			}
+		}
+		return true
+	case OpIntersects:
+		for _, id := range s {
+			if d.CS[d.Attr.Value(cat.Info(id))] {
+				return true
+			}
+		}
+		return false
+	}
+	panic(fmt.Sprintf("constraint: unknown set op %d", int(d.Op)))
+}
+
+// AntiMonotone implements Constraint.
+func (d *Domain) AntiMonotone() bool { return d.Op == OpWithin || d.Op == OpDisjoint }
+
+// Monotone implements Constraint.
+func (d *Domain) Monotone() bool { return d.Op == OpContainsAll || d.Op == OpIntersects }
+
+// Succinct implements Constraint; all four domain relations are succinct.
+func (d *Domain) Succinct() bool { return true }
+
+// MGF implements Succinct.
+func (d *Domain) MGF() MGF {
+	attr, cs := d.Attr, d.CS
+	switch d.Op {
+	case OpWithin:
+		return MGF{Allowed: func(i dataset.ItemInfo) bool { return cs[attr.Value(i)] }}
+	case OpDisjoint:
+		return MGF{Allowed: func(i dataset.ItemInfo) bool { return !cs[attr.Value(i)] }}
+	case OpIntersects:
+		return MGF{Witnesses: []ItemFilter{func(i dataset.ItemInfo) bool { return cs[attr.Value(i)] }}}
+	case OpContainsAll:
+		// one witness filter per member of CS (a multi-witness MGF)
+		vals := make([]string, 0, len(cs))
+		for v := range cs {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		var ws []ItemFilter
+		for _, v := range vals {
+			v := v
+			ws = append(ws, func(i dataset.ItemInfo) bool { return attr.Value(i) == v })
+		}
+		return MGF{Witnesses: ws}
+	}
+	panic(fmt.Sprintf("constraint: unknown set op %d", int(d.Op)))
+}
+
+// DistinctAtMost is the constraint |S.attr| <= k, e.g. the introduction's
+// "correlations among items of a single type" (k = 1). Anti-monotone, not
+// succinct.
+type DistinctAtMost struct {
+	Attr CatAttr
+	K    int
+}
+
+// NewDistinctAtMost builds the constraint |S.attr| <= k.
+func NewDistinctAtMost(attr CatAttr, k int) *DistinctAtMost {
+	return &DistinctAtMost{Attr: attr, K: k}
+}
+
+func (d *DistinctAtMost) String() string {
+	return fmt.Sprintf("|%s| <= %d", d.Attr.Name, d.K)
+}
+
+// Satisfies implements Constraint.
+func (d *DistinctAtMost) Satisfies(cat *dataset.Catalog, s itemset.Set) bool {
+	seen := make(map[string]bool)
+	for _, id := range s {
+		seen[d.Attr.Value(cat.Info(id))] = true
+		if len(seen) > d.K {
+			return false
+		}
+	}
+	return true
+}
+
+// AntiMonotone implements Constraint.
+func (d *DistinctAtMost) AntiMonotone() bool { return true }
+
+// Monotone implements Constraint.
+func (d *DistinctAtMost) Monotone() bool { return false }
+
+// Succinct implements Constraint.
+func (d *DistinctAtMost) Succinct() bool { return false }
+
+// True is the empty constraint, satisfied by every itemset. It is both
+// anti-monotone and monotone (vacuously) and succinct with an empty MGF.
+type True struct{}
+
+func (True) String() string { return "true" }
+
+// Satisfies implements Constraint.
+func (True) Satisfies(*dataset.Catalog, itemset.Set) bool { return true }
+
+// AntiMonotone implements Constraint.
+func (True) AntiMonotone() bool { return true }
+
+// Monotone implements Constraint.
+func (True) Monotone() bool { return true }
+
+// Succinct implements Constraint.
+func (True) Succinct() bool { return true }
+
+// MGF implements Succinct.
+func (True) MGF() MGF { return MGF{} }
+
+// CheckDomain verifies the preconditions under which the classification of
+// aggregate constraints holds: numeric attributes must be non-negative over
+// the catalog (Lemma 1).
+func CheckDomain(cat *dataset.Catalog, cs ...Constraint) error {
+	for _, c := range cs {
+		a, ok := c.(*Aggregate)
+		if !ok {
+			continue
+		}
+		for _, info := range cat.Items {
+			if a.Attr.Value(info) < 0 {
+				return fmt.Errorf("constraint: %s requires non-negative %s, but item %d has %g",
+					a, a.Attr.Name, info.ID, a.Attr.Value(info))
+			}
+		}
+	}
+	return nil
+}
+
+// Satisfier is anything that evaluates itemsets — a Constraint or a
+// Conjunction.
+type Satisfier interface {
+	Satisfies(cat *dataset.Catalog, s itemset.Set) bool
+}
+
+// ItemSelectivity returns the fraction of catalog items i for which the
+// singleton {i} satisfies c — the notion of constraint selectivity swept in
+// the paper's experiments.
+func ItemSelectivity(cat *dataset.Catalog, c Satisfier) float64 {
+	if cat.Len() == 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < cat.Len(); i++ {
+		if c.Satisfies(cat, itemset.New(itemset.Item(i))) {
+			n++
+		}
+	}
+	return float64(n) / float64(cat.Len())
+}

@@ -1,0 +1,384 @@
+package constraint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// testCatalog has 6 items: prices 1..6, types cycling soda/snack/frozen.
+func testCatalog() *dataset.Catalog {
+	return dataset.SyntheticCatalog(6, []string{"soda", "snack", "frozen"})
+}
+
+func set(items ...itemset.Item) itemset.Set { return itemset.New(items...) }
+
+func TestAggregateSatisfies(t *testing.T) {
+	cat := testCatalog()
+	cases := []struct {
+		c    Constraint
+		s    itemset.Set
+		want bool
+	}{
+		{NewAggregate(AggMax, Price, LE, 3), set(0, 1, 2), true}, // prices 1,2,3
+		{NewAggregate(AggMax, Price, LE, 3), set(0, 3), false},   // price 4
+		{NewAggregate(AggMax, Price, GE, 4), set(0, 3), true},
+		{NewAggregate(AggMax, Price, GE, 4), set(0, 1), false},
+		{NewAggregate(AggMin, Price, GE, 2), set(1, 2), true},
+		{NewAggregate(AggMin, Price, GE, 2), set(0, 2), false},
+		{NewAggregate(AggMin, Price, LE, 2), set(1, 5), true},
+		{NewAggregate(AggMin, Price, LE, 2), set(3, 5), false},
+		{NewAggregate(AggSum, Price, LE, 5), set(0, 1), true},  // 1+2
+		{NewAggregate(AggSum, Price, LE, 5), set(2, 3), false}, // 3+4
+		{NewAggregate(AggSum, Price, GE, 7), set(2, 3), true},
+		{NewAggregate(AggCount, Price, LE, 2), set(0, 1), true},
+		{NewAggregate(AggCount, Price, LE, 2), set(0, 1, 2), false},
+		{NewAggregate(AggCount, Price, GE, 3), set(0, 1, 2), true},
+		{NewAggregate(AggAvg, Price, LE, 2), set(0, 2), true}, // avg 2
+		{NewAggregate(AggAvg, Price, GE, 3), set(0, 2), false},
+	}
+	for _, c := range cases {
+		if got := c.c.Satisfies(cat, c.s); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.c, c.s, got, c.want)
+		}
+	}
+}
+
+func TestAggregateEmptySet(t *testing.T) {
+	cat := testCatalog()
+	empty := set()
+	// AM constraints hold vacuously on the empty set; monotone witness
+	// constraints fail; avg fails both directions.
+	cases := []struct {
+		c    Constraint
+		want bool
+	}{
+		{NewAggregate(AggMax, Price, LE, 3), true},
+		{NewAggregate(AggMin, Price, GE, 3), true},
+		{NewAggregate(AggSum, Price, LE, 3), true},
+		{NewAggregate(AggMax, Price, GE, 3), false},
+		{NewAggregate(AggMin, Price, LE, 3), false},
+		{NewAggregate(AggSum, Price, GE, 3), false},
+		{NewAggregate(AggSum, Price, GE, 0), true}, // 0 >= 0
+		{NewAggregate(AggAvg, Price, LE, 100), false},
+		{NewAggregate(AggAvg, Price, GE, 0), false},
+	}
+	for _, c := range cases {
+		if got := c.c.Satisfies(cat, empty); got != c.want {
+			t.Errorf("%s on empty = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestAggregateClassification(t *testing.T) {
+	cases := []struct {
+		c           Constraint
+		am, m, succ bool
+	}{
+		{NewAggregate(AggMax, Price, LE, 3), true, false, true},
+		{NewAggregate(AggMax, Price, GE, 3), false, true, true},
+		{NewAggregate(AggMin, Price, GE, 3), true, false, true},
+		{NewAggregate(AggMin, Price, LE, 3), false, true, true},
+		{NewAggregate(AggSum, Price, LE, 3), true, false, false},
+		{NewAggregate(AggSum, Price, GE, 3), false, true, false},
+		{NewAggregate(AggCount, Price, LE, 3), true, false, false},
+		{NewAggregate(AggCount, Price, GE, 3), false, true, false},
+		{NewAggregate(AggAvg, Price, LE, 3), false, false, false},
+		{NewAggregate(AggAvg, Price, GE, 3), false, false, false},
+	}
+	for _, c := range cases {
+		if c.c.AntiMonotone() != c.am || c.c.Monotone() != c.m || c.c.Succinct() != c.succ {
+			t.Errorf("%s classified (am=%v m=%v succ=%v), want (%v %v %v)",
+				c.c, c.c.AntiMonotone(), c.c.Monotone(), c.c.Succinct(), c.am, c.m, c.succ)
+		}
+	}
+}
+
+func TestDomainSatisfies(t *testing.T) {
+	cat := testCatalog() // types: 0 soda, 1 snack, 2 frozen, 3 soda, 4 snack, 5 frozen
+	cases := []struct {
+		c    Constraint
+		s    itemset.Set
+		want bool
+	}{
+		{NewDomain(OpContainsAll, Type, "soda", "frozen"), set(0, 2), true},
+		{NewDomain(OpContainsAll, Type, "soda", "frozen"), set(0, 1), false},
+		{NewDomain(OpWithin, Type, "soda", "snack"), set(0, 1, 3), true},
+		{NewDomain(OpWithin, Type, "soda", "snack"), set(0, 2), false},
+		{NewDomain(OpDisjoint, Type, "snack"), set(0, 2), true},
+		{NewDomain(OpDisjoint, Type, "snack"), set(0, 1), false},
+		{NewDomain(OpIntersects, Type, "frozen"), set(2), true},
+		{NewDomain(OpIntersects, Type, "frozen"), set(0, 1), false},
+	}
+	for _, c := range cases {
+		if got := c.c.Satisfies(cat, c.s); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.c, c.s, got, c.want)
+		}
+	}
+}
+
+func TestDomainEmptySet(t *testing.T) {
+	cat := testCatalog()
+	empty := set()
+	if !NewDomain(OpWithin, Type, "soda").Satisfies(cat, empty) {
+		t.Errorf("within fails on empty")
+	}
+	if !NewDomain(OpDisjoint, Type, "soda").Satisfies(cat, empty) {
+		t.Errorf("disjoint fails on empty")
+	}
+	if NewDomain(OpIntersects, Type, "soda").Satisfies(cat, empty) {
+		t.Errorf("intersects holds on empty")
+	}
+	if NewDomain(OpContainsAll, Type, "soda").Satisfies(cat, empty) {
+		t.Errorf("containsall holds on empty")
+	}
+	if !NewDomain(OpContainsAll, Type).Satisfies(cat, empty) {
+		t.Errorf("containsall of empty CS fails on empty")
+	}
+}
+
+func TestDomainClassification(t *testing.T) {
+	cases := []struct {
+		op    SetOp
+		am, m bool
+	}{
+		{OpContainsAll, false, true},
+		{OpWithin, true, false},
+		{OpDisjoint, true, false},
+		{OpIntersects, false, true},
+	}
+	for _, c := range cases {
+		d := NewDomain(c.op, Type, "soda")
+		if d.AntiMonotone() != c.am || d.Monotone() != c.m || !d.Succinct() {
+			t.Errorf("%s: am=%v m=%v succ=%v", d, d.AntiMonotone(), d.Monotone(), d.Succinct())
+		}
+	}
+}
+
+func TestDistinctAtMost(t *testing.T) {
+	cat := testCatalog()
+	c := NewDistinctAtMost(Type, 1)
+	if !c.Satisfies(cat, set(0, 3)) { // both soda
+		t.Errorf("single-type set rejected")
+	}
+	if c.Satisfies(cat, set(0, 1)) {
+		t.Errorf("two-type set accepted")
+	}
+	if !c.Satisfies(cat, set()) {
+		t.Errorf("empty set rejected")
+	}
+	if !c.AntiMonotone() || c.Monotone() || c.Succinct() {
+		t.Errorf("classification wrong")
+	}
+	if c.String() != "|type| <= 1" {
+		t.Errorf("String = %s", c.String())
+	}
+}
+
+func TestTrueConstraint(t *testing.T) {
+	cat := testCatalog()
+	c := True{}
+	if !c.Satisfies(cat, set(0, 1, 2)) || !c.Satisfies(cat, set()) {
+		t.Errorf("True not satisfied")
+	}
+	if !c.AntiMonotone() || !c.Monotone() || !c.Succinct() {
+		t.Errorf("True classification wrong")
+	}
+	m := c.MGF()
+	if m.Allowed != nil || len(m.Witnesses) != 0 {
+		t.Errorf("True MGF not empty")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		c    Constraint
+		want string
+	}{
+		{NewAggregate(AggMax, Price, LE, 50), "max(price) <= 50"},
+		{NewAggregate(AggSum, Price, GE, 100), "sum(price) >= 100"},
+		{NewAggregate(AggAvg, Price, LE, 5), "avg(price) <= 5"},
+		{NewDomain(OpDisjoint, Type, "snacks"), `{"snacks"} disjoint type`},
+		{NewDomain(OpContainsAll, Type, "soda", "frozen"), `{"frozen","soda"} containsall type`},
+		{True{}, "true"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMGFPanicsOnNonSuccinct(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewAggregate(AggSum, Price, LE, 3).MGF()
+}
+
+func TestCheckDomain(t *testing.T) {
+	cat := testCatalog()
+	if err := CheckDomain(cat, NewAggregate(AggSum, Price, LE, 5), NewDomain(OpWithin, Type, "soda")); err != nil {
+		t.Fatalf("valid domain rejected: %v", err)
+	}
+	neg := NumAttr{Name: "weird", Value: func(dataset.ItemInfo) float64 { return -1 }}
+	if err := CheckDomain(cat, NewAggregate(AggSum, neg, LE, 5)); err == nil {
+		t.Fatalf("negative domain accepted")
+	}
+}
+
+func TestItemSelectivity(t *testing.T) {
+	cat := testCatalog() // prices 1..6
+	if got := ItemSelectivity(cat, NewAggregate(AggMax, Price, LE, 3)); got != 0.5 {
+		t.Errorf("selectivity = %g, want 0.5", got)
+	}
+	if got := ItemSelectivity(cat, NewDomain(OpIntersects, Type, "soda")); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("selectivity = %g, want 1/3", got)
+	}
+	empty := dataset.SyntheticCatalog(0, nil)
+	if got := ItemSelectivity(empty, True{}); got != 0 {
+		t.Errorf("empty catalog selectivity = %g", got)
+	}
+}
+
+// everyConstraint builds a diverse pool of classified constraints for
+// property testing.
+func everyConstraint() []Constraint {
+	return []Constraint{
+		NewAggregate(AggMax, Price, LE, 3),
+		NewAggregate(AggMax, Price, GE, 4),
+		NewAggregate(AggMin, Price, GE, 2),
+		NewAggregate(AggMin, Price, LE, 2),
+		NewAggregate(AggSum, Price, LE, 8),
+		NewAggregate(AggSum, Price, GE, 6),
+		NewAggregate(AggCount, Price, LE, 2),
+		NewAggregate(AggCount, Price, GE, 2),
+		NewDomain(OpContainsAll, Type, "soda"),
+		NewDomain(OpContainsAll, Type, "soda", "snack"),
+		NewDomain(OpWithin, Type, "soda", "snack"),
+		NewDomain(OpDisjoint, Type, "frozen"),
+		NewDomain(OpIntersects, Type, "frozen"),
+		NewDistinctAtMost(Type, 1),
+		NewDistinctAtMost(Type, 2),
+		True{},
+	}
+}
+
+func randomSubset(r *rand.Rand, n int) itemset.Set {
+	var items []itemset.Item
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			items = append(items, itemset.Item(i))
+		}
+	}
+	return itemset.New(items...)
+}
+
+func TestQuickClassificationHonest(t *testing.T) {
+	// For every constraint claiming AM: S ⊆ T and T satisfies ⇒ S
+	// satisfies. For M: S satisfies ⇒ T satisfies.
+	cat := testCatalog()
+	pool := everyConstraint()
+	f := func(seed int64, which uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := pool[int(which)%len(pool)]
+		sub := randomSubset(r, cat.Len())
+		sup := sub.Union(randomSubset(r, cat.Len()))
+		if c.AntiMonotone() && c.Satisfies(cat, sup) && !c.Satisfies(cat, sub) {
+			return false
+		}
+		if c.Monotone() && c.Satisfies(cat, sub) && !c.Satisfies(cat, sup) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMGFCharacterizesSatisfaction(t *testing.T) {
+	// For every succinct constraint: S satisfies C ⇔ (every member passes
+	// Allowed) ∧ (every witness filter has a witness in S). Enumerated
+	// over the full power set of the 6-item catalog.
+	cat := testCatalog()
+	for _, c := range everyConstraint() {
+		succ, ok := c.(Succinct)
+		if !ok || !c.Succinct() {
+			continue
+		}
+		m := succ.MGF()
+		for mask := 0; mask < 1<<6; mask++ {
+			var items []itemset.Item
+			for i := 0; i < 6; i++ {
+				if mask&(1<<i) != 0 {
+					items = append(items, itemset.Item(i))
+				}
+			}
+			s := itemset.New(items...)
+			want := c.Satisfies(cat, s)
+			got := mgfAccepts(cat, m, s)
+			if got != want {
+				t.Fatalf("%s: MGF accepts(%v) = %v, Satisfies = %v", c, s, got, want)
+			}
+		}
+	}
+}
+
+func mgfAccepts(cat *dataset.Catalog, m MGF, s itemset.Set) bool {
+	for _, id := range s {
+		if !m.PermitsItem(cat.Info(id)) {
+			return false
+		}
+	}
+	for _, w := range m.Witnesses {
+		found := false
+		for _, id := range s {
+			if w(cat.Info(id)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMGFCombine(t *testing.T) {
+	cat := testCatalog()
+	a := NewAggregate(AggMax, Price, LE, 5).MGF()    // allowed: price<=5
+	b := NewDomain(OpIntersects, Type, "soda").MGF() // witness: soda
+	c := NewDomain(OpDisjoint, Type, "frozen").MGF() // allowed: not frozen
+	m := a.Combine(b).Combine(c)
+	if len(m.Witnesses) != 1 {
+		t.Fatalf("witnesses = %d", len(m.Witnesses))
+	}
+	// item 0: soda price 1 → allowed; item 5: frozen price 6 → not allowed
+	if !m.PermitsItem(cat.Info(0)) {
+		t.Fatalf("item 0 should be permitted")
+	}
+	if m.PermitsItem(cat.Info(5)) {
+		t.Fatalf("item 5 should be rejected")
+	}
+	if m.PermitsItem(cat.Info(2)) { // frozen price 3 → rejected by c
+		t.Fatalf("item 2 should be rejected")
+	}
+	// Combine with empty keeps filters
+	m2 := m.Combine(MGF{})
+	if m2.Allowed == nil || len(m2.Witnesses) != 1 {
+		t.Fatalf("combine with empty lost filters")
+	}
+	// Empty combined with m keeps m's Allowed
+	m3 := MGF{}.Combine(a)
+	if m3.Allowed == nil {
+		t.Fatalf("empty.Combine lost Allowed")
+	}
+}

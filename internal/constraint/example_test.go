@@ -1,0 +1,52 @@
+package constraint_test
+
+import (
+	"fmt"
+
+	"ccs/internal/constraint"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// ExampleConjunction_Classify shows the four-way split that drives the
+// constrained algorithms: anti-monotone vs monotone, succinct vs not.
+func ExampleConjunction_Classify() {
+	q := constraint.And(
+		constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 50),  // a.m. + succinct
+		constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, 500), // a.m.
+		constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 5),   // monotone + succinct
+		constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.GE, 100), // monotone
+	)
+	split, err := q.Classify()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("anti-monotone succinct: %d\n", len(split.AMSuccinct))
+	fmt.Printf("anti-monotone other:    %d\n", len(split.AMOther))
+	fmt.Printf("monotone succinct:      %d\n", len(split.MSuccinct))
+	fmt.Printf("monotone other:         %d\n", len(split.MOther))
+	fmt.Printf("all anti-monotone:      %v\n", split.AllAntiMonotone())
+	// Output:
+	// anti-monotone succinct: 1
+	// anti-monotone other:    1
+	// monotone succinct:      1
+	// monotone other:         1
+	// all anti-monotone:      false
+}
+
+// ExampleMGF shows how a succinct constraint's member generating function
+// drives item-level filtering.
+func ExampleMGF() {
+	cat := dataset.SyntheticCatalog(6, nil) // prices 1..6
+	c := constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 3)
+	mgf := c.MGF()
+	var allowed []itemset.Item
+	for _, info := range cat.Items {
+		if mgf.PermitsItem(info) {
+			allowed = append(allowed, info.ID)
+		}
+	}
+	fmt.Println(itemset.New(allowed...))
+	// Output:
+	// {0, 1, 2}
+}

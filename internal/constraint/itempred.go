@@ -1,0 +1,112 @@
+package constraint
+
+import (
+	"fmt"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// PredMode selects the quantifier of an ItemPred constraint.
+type PredMode int
+
+const (
+	// AllMembers requires every item of the set to satisfy the predicate
+	// (anti-monotone, succinct: the predicate is the Allowed filter).
+	AllMembers PredMode = iota
+	// SomeMember requires at least one item to satisfy the predicate
+	// (monotone, succinct: the predicate is a witness filter).
+	SomeMember
+	// NoMember forbids items satisfying the predicate (anti-monotone,
+	// succinct: the negated predicate is the Allowed filter).
+	NoMember
+)
+
+func (m PredMode) String() string {
+	switch m {
+	case AllMembers:
+		return "all"
+	case SomeMember:
+		return "some"
+	case NoMember:
+		return "none"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ItemPred is the generic succinct constraint family defined by an
+// item-level predicate and a quantifier. Class (taxonomy) constraints and
+// any other per-item condition reduce to it; the three modes cover every
+// succinct single-filter constraint of the paper's language.
+type ItemPred struct {
+	// Name renders in String(), e.g. `class "snacks"`.
+	Name string
+	// Pred is the item-level predicate.
+	Pred ItemFilter
+	// Mode quantifies Pred over the itemset.
+	Mode PredMode
+}
+
+// NewItemPred builds an item-predicate constraint. Pred must be non-nil.
+func NewItemPred(name string, mode PredMode, pred ItemFilter) *ItemPred {
+	if pred == nil {
+		panic("constraint: nil predicate in NewItemPred")
+	}
+	return &ItemPred{Name: name, Pred: pred, Mode: mode}
+}
+
+func (p *ItemPred) String() string {
+	return fmt.Sprintf("%s(%s)", p.Mode, p.Name)
+}
+
+// Satisfies implements Constraint. The empty set satisfies AllMembers and
+// NoMember vacuously and fails SomeMember.
+func (p *ItemPred) Satisfies(cat *dataset.Catalog, s itemset.Set) bool {
+	switch p.Mode {
+	case AllMembers:
+		for _, id := range s {
+			if !p.Pred(cat.Info(id)) {
+				return false
+			}
+		}
+		return true
+	case SomeMember:
+		for _, id := range s {
+			if p.Pred(cat.Info(id)) {
+				return true
+			}
+		}
+		return false
+	case NoMember:
+		for _, id := range s {
+			if p.Pred(cat.Info(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	panic(fmt.Sprintf("constraint: unknown predicate mode %d", int(p.Mode)))
+}
+
+// AntiMonotone implements Constraint.
+func (p *ItemPred) AntiMonotone() bool { return p.Mode == AllMembers || p.Mode == NoMember }
+
+// Monotone implements Constraint.
+func (p *ItemPred) Monotone() bool { return p.Mode == SomeMember }
+
+// Succinct implements Constraint.
+func (p *ItemPred) Succinct() bool { return true }
+
+// MGF implements Succinct.
+func (p *ItemPred) MGF() MGF {
+	pred := p.Pred
+	switch p.Mode {
+	case AllMembers:
+		return MGF{Allowed: pred}
+	case SomeMember:
+		return MGF{Witnesses: []ItemFilter{pred}}
+	case NoMember:
+		return MGF{Allowed: func(i dataset.ItemInfo) bool { return !pred(i) }}
+	}
+	panic(fmt.Sprintf("constraint: unknown predicate mode %d", int(p.Mode)))
+}

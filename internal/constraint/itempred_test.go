@@ -1,0 +1,106 @@
+package constraint
+
+import (
+	"testing"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+func cheap(info dataset.ItemInfo) bool { return info.Price <= 3 }
+
+func TestItemPredModes(t *testing.T) {
+	cat := testCatalog() // prices 1..6
+	all := NewItemPred("cheap", AllMembers, cheap)
+	some := NewItemPred("cheap", SomeMember, cheap)
+	none := NewItemPred("cheap", NoMember, cheap)
+
+	cases := []struct {
+		c    Constraint
+		s    itemset.Set
+		want bool
+	}{
+		{all, set(0, 1, 2), true},
+		{all, set(0, 3), false},
+		{all, set(), true},
+		{some, set(3, 4, 2), true},
+		{some, set(3, 4), false},
+		{some, set(), false},
+		{none, set(3, 4), true},
+		{none, set(3, 0), false},
+		{none, set(), true},
+	}
+	for _, c := range cases {
+		if got := c.c.Satisfies(cat, c.s); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.c, c.s, got, c.want)
+		}
+	}
+}
+
+func TestItemPredClassification(t *testing.T) {
+	cases := []struct {
+		mode  PredMode
+		am, m bool
+	}{
+		{AllMembers, true, false},
+		{SomeMember, false, true},
+		{NoMember, true, false},
+	}
+	for _, c := range cases {
+		p := NewItemPred("x", c.mode, cheap)
+		if p.AntiMonotone() != c.am || p.Monotone() != c.m || !p.Succinct() {
+			t.Errorf("mode %s: am=%v m=%v", c.mode, p.AntiMonotone(), p.Monotone())
+		}
+	}
+}
+
+func TestItemPredMGF(t *testing.T) {
+	cat := testCatalog()
+	for _, mode := range []PredMode{AllMembers, SomeMember, NoMember} {
+		p := NewItemPred("cheap", mode, cheap)
+		m := p.MGF()
+		// MGF must characterize satisfaction over the whole power set
+		for mask := 0; mask < 1<<6; mask++ {
+			var items []itemset.Item
+			for i := 0; i < 6; i++ {
+				if mask&(1<<i) != 0 {
+					items = append(items, itemset.Item(i))
+				}
+			}
+			s := itemset.New(items...)
+			if got, want := mgfAccepts(cat, m, s), p.Satisfies(cat, s); got != want {
+				t.Fatalf("mode %s set %v: MGF %v, Satisfies %v", mode, s, got, want)
+			}
+		}
+	}
+}
+
+func TestItemPredString(t *testing.T) {
+	p := NewItemPred(`class "snacks"`, NoMember, cheap)
+	if got := p.String(); got != `none(class "snacks")` {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestItemPredNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("nil predicate accepted")
+		}
+	}()
+	NewItemPred("x", AllMembers, nil)
+}
+
+func TestItemPredInClassify(t *testing.T) {
+	c := And(
+		NewItemPred("a", AllMembers, cheap),
+		NewItemPred("b", SomeMember, cheap),
+	)
+	s, err := c.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.AMSuccinct) != 1 || len(s.MSuccinct) != 1 {
+		t.Fatalf("split = %+v", s)
+	}
+}

@@ -1,0 +1,206 @@
+// Package contingency implements the 2^k contingency tables at the heart of
+// correlation mining (Brin, Motwani, Silverstein, SIGMOD'97): minterm
+// counts for an itemset, expected counts under the independence assumption,
+// the chi-squared statistic, and the CT-support significance test used by
+// the paper.
+//
+// Cell indexing: for an itemset S = {i_0 < i_1 < ... < i_{k-1}}, cell c
+// (0 <= c < 2^k) counts transactions where item i_j is PRESENT iff bit j of
+// c is set. Cell 2^k-1 is therefore the support of S, and cell 0 counts
+// transactions containing none of S's items.
+package contingency
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ccs/internal/itemset"
+)
+
+// MaxItems bounds table size; 2^20 cells is already far beyond anything the
+// level-wise algorithms reach in practice.
+const MaxItems = 20
+
+// Table is the contingency table of an itemset over a database of N
+// transactions.
+type Table struct {
+	Items itemset.Set // the itemset, canonical order; bit j of a cell index refers to Items[j]
+	N     int         // total transactions
+	Cells []int       // minterm counts, len = 2^len(Items)
+}
+
+// New builds a table from raw minterm counts. It validates that the cell
+// count matches 2^k and that cells sum to n.
+func New(items itemset.Set, n int, cells []int) (*Table, error) {
+	k := items.Size()
+	if k > MaxItems {
+		return nil, fmt.Errorf("contingency: itemset of %d items exceeds maximum %d", k, MaxItems)
+	}
+	if len(cells) != 1<<uint(k) {
+		return nil, fmt.Errorf("contingency: %d cells for %d items, want %d", len(cells), k, 1<<uint(k))
+	}
+	sum := 0
+	for i, c := range cells {
+		if c < 0 {
+			return nil, fmt.Errorf("contingency: negative count %d in cell %d", c, i)
+		}
+		sum += c
+	}
+	if sum != n {
+		return nil, fmt.Errorf("contingency: cells sum to %d, want n=%d", sum, n)
+	}
+	return &Table{Items: items.Clone(), N: n, Cells: cells}, nil
+}
+
+// K returns the number of items.
+func (t *Table) K() int { return t.Items.Size() }
+
+// Support returns the count of the all-present cell (the classical support
+// of the itemset).
+func (t *Table) Support() int { return t.Cells[len(t.Cells)-1] }
+
+// MarginalSupport returns the number of transactions containing Items[j]
+// regardless of the other items (the row/column sum for item j).
+func (t *Table) MarginalSupport(j int) int {
+	if j < 0 || j >= t.K() {
+		panic(fmt.Sprintf("contingency: marginal index %d out of range", j))
+	}
+	sum := 0
+	for c, v := range t.Cells {
+		if c&(1<<uint(j)) != 0 {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Expected returns the expected count of cell c under the independence
+// assumption: N * prod_j p_j or (1-p_j), where p_j is item j's marginal
+// probability.
+func (t *Table) Expected(c int) float64 {
+	if c < 0 || c >= len(t.Cells) {
+		panic(fmt.Sprintf("contingency: cell %d out of range", c))
+	}
+	e := float64(t.N)
+	for j := 0; j < t.K(); j++ {
+		p := float64(t.MarginalSupport(j)) / float64(t.N)
+		if c&(1<<uint(j)) != 0 {
+			e *= p
+		} else {
+			e *= 1 - p
+		}
+	}
+	return e
+}
+
+// ChiSquared returns the chi-squared statistic
+// sum over cells of (O-E)^2 / E. Cells whose expected count is zero are
+// skipped when observed is also zero (0/0 contributes nothing); an observed
+// count in a zero-expectation cell yields +Inf, which correctly exceeds any
+// finite cutoff.
+func (t *Table) ChiSquared() float64 {
+	k := t.K()
+	n := float64(t.N)
+	if t.N == 0 {
+		return 0
+	}
+	// Precompute marginal probabilities once; Expected() per cell would
+	// recompute them 2^k times.
+	p := make([]float64, k)
+	for j := 0; j < k; j++ {
+		p[j] = float64(t.MarginalSupport(j)) / n
+	}
+	chi := 0.0
+	for c, o := range t.Cells {
+		e := n
+		for j := 0; j < k; j++ {
+			if c&(1<<uint(j)) != 0 {
+				e *= p[j]
+			} else {
+				e *= 1 - p[j]
+			}
+		}
+		if e == 0 {
+			if o != 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		d := float64(o) - e
+		chi += d * d / e
+	}
+	return chi
+}
+
+// CTSupported reports the paper's statistical-significance test: at least
+// fraction p of the cells have count >= s.
+func (t *Table) CTSupported(s int, p float64) bool {
+	need := int(math.Ceil(p * float64(len(t.Cells))))
+	if need <= 0 {
+		return true
+	}
+	have := 0
+	for _, c := range t.Cells {
+		if c >= s {
+			have++
+			if have >= need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Collapse marginalizes the table onto the sub-itemset, which must be a
+// subset of t.Items. Each cell of the result sums the matching cells of t.
+// Collapsing models moving down the lattice; the chi-squared statistic can
+// only decrease (verified by property test), which is what makes
+// correlation upward closed.
+func (t *Table) Collapse(sub itemset.Set) (*Table, error) {
+	if !t.Items.ContainsAll(sub) {
+		return nil, fmt.Errorf("contingency: %v is not a subset of %v", sub, t.Items)
+	}
+	// position of each sub item within t.Items
+	pos := make([]int, sub.Size())
+	for j, id := range sub {
+		for i, tid := range t.Items {
+			if tid == id {
+				pos[j] = i
+				break
+			}
+		}
+	}
+	cells := make([]int, 1<<uint(sub.Size()))
+	for c, v := range t.Cells {
+		sc := 0
+		for j, p := range pos {
+			if c&(1<<uint(p)) != 0 {
+				sc |= 1 << uint(j)
+			}
+		}
+		cells[sc] += v
+	}
+	return New(sub, t.N, cells)
+}
+
+// String renders small tables for debugging: one line per cell with a
+// presence pattern like [coffee ~doughnuts]: 20.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CT(%v, N=%d)\n", t.Items, t.N)
+	for c, v := range t.Cells {
+		b.WriteString("  [")
+		for j := 0; j < t.K(); j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			if c&(1<<uint(j)) == 0 {
+				b.WriteByte('~')
+			}
+			fmt.Fprintf(&b, "%d", t.Items[j])
+		}
+		fmt.Fprintf(&b, "]: %d\n", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,345 @@
+package contingency
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ccs/internal/itemset"
+)
+
+// paperTable is Figure B of the paper (adapted from Brin et al.):
+// coffee/doughnuts with N=100.
+//
+//	            doughnuts  ~doughnuts  row
+//	coffee          30         39       69
+//	~coffee         20         11       31
+//	col             50         50      100
+func paperTable(t *testing.T) *Table {
+	t.Helper()
+	// bit 0 = coffee (item 0), bit 1 = doughnuts (item 1)
+	cells := []int{11, 39, 20, 30}
+	tab, err := New(itemset.New(0, 1), 100, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestPaperContingencyExample(t *testing.T) {
+	tab := paperTable(t)
+	if got := tab.Support(); got != 30 {
+		t.Fatalf("Support = %d, want 30", got)
+	}
+	if got := tab.MarginalSupport(0); got != 69 {
+		t.Fatalf("coffee marginal = %d, want 69", got)
+	}
+	if got := tab.MarginalSupport(1); got != 50 {
+		t.Fatalf("doughnuts marginal = %d, want 50", got)
+	}
+	// E[coffee & doughnuts] = 100 * 0.69 * 0.50 = 34.5
+	if got := tab.Expected(3); math.Abs(got-34.5) > 1e-9 {
+		t.Fatalf("Expected(3) = %g, want 34.5", got)
+	}
+	if got := tab.Expected(0); math.Abs(got-15.5) > 1e-9 {
+		t.Fatalf("Expected(0) = %g, want 15.5", got)
+	}
+	// chi2 = 2*(4.5^2/34.5) + 2*(4.5^2/15.5) = 3.7868...
+	want := 2*(4.5*4.5/34.5) + 2*(4.5*4.5/15.5)
+	if got := tab.ChiSquared(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ChiSquared = %g, want %g", got, want)
+	}
+	// Correlated at 90% (cutoff 2.706) but not at 95% (cutoff 3.841).
+	if tab.ChiSquared() < 2.706 || tab.ChiSquared() > 3.841 {
+		t.Fatalf("chi2 = %g outside (2.706, 3.841)", tab.ChiSquared())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := itemset.New(0, 1)
+	if _, err := New(s, 10, []int{1, 2, 3}); err == nil {
+		t.Errorf("wrong cell count accepted")
+	}
+	if _, err := New(s, 10, []int{1, 2, 3, 5}); err == nil {
+		t.Errorf("wrong sum accepted")
+	}
+	if _, err := New(s, 10, []int{-1, 2, 3, 6}); err == nil {
+		t.Errorf("negative cell accepted")
+	}
+	if _, err := New(itemset.New(0), 3, []int{1, 2}); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	big := make([]itemset.Item, MaxItems+1)
+	for i := range big {
+		big[i] = itemset.Item(i)
+	}
+	if _, err := New(itemset.New(big...), 0, nil); err == nil {
+		t.Errorf("oversized itemset accepted")
+	}
+}
+
+func TestNewClonesItems(t *testing.T) {
+	s := itemset.New(0, 1)
+	tab, err := New(s, 4, []int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s[0] = 9
+	if tab.Items[0] != 0 {
+		t.Fatalf("table items aliased caller slice")
+	}
+}
+
+func TestEmptyItemsetTable(t *testing.T) {
+	tab, err := New(itemset.New(), 7, []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Support() != 7 || tab.ChiSquared() != 0 {
+		t.Fatalf("empty itemset table: support=%d chi=%g", tab.Support(), tab.ChiSquared())
+	}
+}
+
+func TestChiSquaredIndependent(t *testing.T) {
+	// Perfectly independent: p0 = p1 = 1/2, all cells 25.
+	tab, err := New(itemset.New(0, 1), 100, []int{25, 25, 25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.ChiSquared(); got != 0 {
+		t.Fatalf("chi2 of independent table = %g, want 0", got)
+	}
+}
+
+func TestChiSquaredDegenerateMarginal(t *testing.T) {
+	// Item 1 never occurs: expected count of its present-cells is 0 and
+	// observed is also 0 → no contribution, finite statistic.
+	tab, err := New(itemset.New(0, 1), 10, []int{5, 5, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.ChiSquared(); got != 0 || math.IsNaN(got) {
+		t.Fatalf("chi2 = %g, want 0", got)
+	}
+}
+
+func TestChiSquaredZeroN(t *testing.T) {
+	tab, err := New(itemset.New(0), 0, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.ChiSquared(); got != 0 {
+		t.Fatalf("chi2 = %g", got)
+	}
+}
+
+func TestCTSupported(t *testing.T) {
+	tab := paperTable(t) // cells 11, 39, 20, 30
+	cases := []struct {
+		s    int
+		p    float64
+		want bool
+	}{
+		{10, 1.0, true},    // all cells >= 10
+		{12, 1.0, false},   // cell 11 fails
+		{12, 0.75, true},   // 3 of 4 suffice
+		{31, 0.5, false},   // only 39 >= 31
+		{31, 0.25, true},   // one cell suffices
+		{100, 0.25, false}, // nothing that big
+		{0, 1.0, true},     // trivial threshold
+		{5, 0, true},       // p=0 needs nothing
+	}
+	for _, c := range cases {
+		if got := tab.CTSupported(c.s, c.p); got != c.want {
+			t.Errorf("CTSupported(%d, %g) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestMarginalPanics(t *testing.T) {
+	tab := paperTable(t)
+	for _, j := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MarginalSupport(%d) did not panic", j)
+				}
+			}()
+			tab.MarginalSupport(j)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Expected(4) did not panic")
+			}
+		}()
+		tab.Expected(4)
+	}()
+}
+
+func TestCollapse(t *testing.T) {
+	// 3-item table, collapse to {0, 2}.
+	r := rand.New(rand.NewSource(3))
+	cells := make([]int, 8)
+	n := 0
+	for i := range cells {
+		cells[i] = r.Intn(20)
+		n += cells[i]
+	}
+	tab, err := New(itemset.New(0, 1, 2), n, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tab.Collapse(itemset.New(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N != n {
+		t.Fatalf("collapsed N = %d, want %d", sub.N, n)
+	}
+	// cell (c0, c2) of sub = sum over item-1 states
+	for c := 0; c < 4; c++ {
+		want := 0
+		for b1 := 0; b1 < 2; b1++ {
+			orig := (c & 1) | (b1 << 1) | ((c >> 1) << 2)
+			want += cells[orig]
+		}
+		if sub.Cells[c] != want {
+			t.Fatalf("collapsed cell %d = %d, want %d", c, sub.Cells[c], want)
+		}
+	}
+	// marginals preserved
+	if sub.MarginalSupport(0) != tab.MarginalSupport(0) {
+		t.Fatalf("marginal 0 changed")
+	}
+	if sub.MarginalSupport(1) != tab.MarginalSupport(2) {
+		t.Fatalf("marginal 2 changed")
+	}
+}
+
+func TestCollapseNotSubset(t *testing.T) {
+	tab := paperTable(t)
+	if _, err := tab.Collapse(itemset.New(0, 5)); err == nil {
+		t.Fatalf("collapse onto non-subset accepted")
+	}
+}
+
+func TestCollapseIdentityAndEmpty(t *testing.T) {
+	tab := paperTable(t)
+	same, err := tab.Collapse(itemset.New(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Cells {
+		if same.Cells[i] != tab.Cells[i] {
+			t.Fatalf("identity collapse changed cells")
+		}
+	}
+	empty, err := tab.Collapse(itemset.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Cells) != 1 || empty.Cells[0] != 100 {
+		t.Fatalf("empty collapse = %v", empty.Cells)
+	}
+}
+
+// randomTable builds a random table over k items.
+func randomTable(r *rand.Rand, k int) *Table {
+	items := make([]itemset.Item, k)
+	for i := range items {
+		items[i] = itemset.Item(i)
+	}
+	cells := make([]int, 1<<uint(k))
+	n := 0
+	for i := range cells {
+		cells[i] = r.Intn(30)
+		n += cells[i]
+	}
+	tab, err := New(itemset.New(items...), n, cells)
+	if err != nil {
+		panic(err)
+	}
+	return tab
+}
+
+func TestQuickChiSquaredMonotoneUnderCollapse(t *testing.T) {
+	// The statistic of a marginal table never exceeds the full table's —
+	// the property that makes correlation upward closed with a fixed
+	// cutoff.
+	f := func(seed int64, kRaw, dropRaw uint8) bool {
+		k := int(kRaw)%3 + 2 // 2..4 items
+		r := rand.New(rand.NewSource(seed))
+		tab := randomTable(r, k)
+		drop := itemset.Item(int(dropRaw) % k)
+		sub, err := tab.Collapse(tab.Items.Without(drop))
+		if err != nil {
+			return false
+		}
+		full, marg := tab.ChiSquared(), sub.ChiSquared()
+		if math.IsInf(full, 1) {
+			return true
+		}
+		return marg <= full+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCTSupportAntiMonotoneUnderCollapse(t *testing.T) {
+	f := func(seed int64, kRaw, dropRaw, sRaw uint8) bool {
+		k := int(kRaw)%3 + 2
+		s := int(sRaw) % 40
+		r := rand.New(rand.NewSource(seed))
+		tab := randomTable(r, k)
+		drop := itemset.Item(int(dropRaw) % k)
+		sub, err := tab.Collapse(tab.Items.Without(drop))
+		if err != nil {
+			return false
+		}
+		p := 0.25
+		// T CT-supported ⇒ every marginal CT-supported
+		if tab.CTSupported(s, p) && !sub.CTSupported(s, p) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCollapseCellSum(t *testing.T) {
+	f := func(seed int64, kRaw, dropRaw uint8) bool {
+		k := int(kRaw)%3 + 2
+		r := rand.New(rand.NewSource(seed))
+		tab := randomTable(r, k)
+		drop := itemset.Item(int(dropRaw) % k)
+		sub, err := tab.Collapse(tab.Items.Without(drop))
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, c := range sub.Cells {
+			sum += c
+		}
+		return sum == tab.N && sub.Support() <= tab.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tab := paperTable(t)
+	s := tab.String()
+	for _, want := range []string{"CT({0, 1}, N=100)", "[~0 ~1]: 11", "[0 1]: 30"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ccs/internal/constraint"
+)
+
+// Advice is a query plan in the sense of the paper's Section 3.3: the
+// constraint classification, the measured item selectivity, and the
+// algorithm recommendation the analysis implies.
+type Advice struct {
+	// AllAntiMonotone reports Theorem 1.2's case, where VALIDMIN =
+	// MINVALID and BMS++ dominates all four algorithms.
+	AllAntiMonotone bool
+	// HasUnclassified reports constraints that are neither anti-monotone
+	// nor monotone; only BMSPlus and AllValid handle them.
+	HasUnclassified bool
+	// ItemSelectivity is the fraction of catalog items whose singleton
+	// satisfies the conjunction — the selectivity notion of the paper's
+	// sweeps.
+	ItemSelectivity float64
+	// AMSuccinct .. MOther count the four constraint buckets.
+	AMSuccinct, AMOther, MSuccinct, MOther int
+	// ForValidMin and ForMinValid name the recommended algorithm per
+	// answer-set semantics.
+	ForValidMin string
+	ForMinValid string
+	// Reasons explains the recommendation in the analysis's terms.
+	Reasons []string
+}
+
+// selectivityCrossover approximates where the paper's experiments put the
+// BMS*/BMS** cross-over (Figure 8: around 20-30% item selectivity).
+const selectivityCrossover = 0.25
+
+// Advise classifies the query against this miner's catalog and recommends
+// algorithms per the paper's cost analysis: |BMS++| <= |BMS+| always, so
+// BMS++ always wins for valid minimal answers; for minimal valid answers
+// BMS** wins when the constraints are selective (it explores only the
+// valid region, Σ v_i) and BMS* wins when they are not (it explores the
+// correlated region once, Σ c_i, instead of a bloated valid region).
+func (m *Miner) Advise(q *constraint.Conjunction) (*Advice, error) {
+	split, err := q.Classify()
+	if err != nil {
+		return nil, err
+	}
+	a := &Advice{
+		AllAntiMonotone: split.AllAntiMonotone(),
+		HasUnclassified: split.HasUnclassified(),
+		ItemSelectivity: constraint.ItemSelectivity(m.cat, q),
+		AMSuccinct:      len(split.AMSuccinct),
+		AMOther:         len(split.AMOther),
+		MSuccinct:       len(split.MSuccinct),
+		MOther:          len(split.MOther),
+	}
+	switch {
+	case a.HasUnclassified:
+		a.ForValidMin = "BMSPlus"
+		a.ForMinValid = "AllValid"
+		a.Reasons = append(a.Reasons,
+			"query contains constraints that are neither anti-monotone nor monotone; their solution space may have holes, so only post-filtering (BMSPlus) or full enumeration of valid solutions (AllValid) is sound")
+	case a.AllAntiMonotone:
+		a.ForValidMin = "BMSPlusPlus"
+		a.ForMinValid = "BMSPlusPlus"
+		a.Reasons = append(a.Reasons,
+			"all constraints are anti-monotone: VALIDMIN = MINVALID (Theorem 1.2) and |BMS++| <= |BMS+| <= |BMS*|, |BMS++| <= |BMS**|, so BMS++ dominates")
+	default:
+		a.ForValidMin = "BMSPlusPlus"
+		a.Reasons = append(a.Reasons,
+			"|BMS++| <= |BMS+| holds for every constraint mix, so BMS++ is always preferred for valid minimal answers")
+		if a.ItemSelectivity <= selectivityCrossover {
+			a.ForMinValid = "BMSStarStar"
+			a.Reasons = append(a.Reasons, fmt.Sprintf(
+				"item selectivity %.0f%% is below the ~%.0f%% cross-over: the valid region is small, so BMS**'s two-phase sweep over it (Σ v_i) beats re-running the unconstrained search (Σ c_i)",
+				100*a.ItemSelectivity, 100*selectivityCrossover))
+		} else {
+			a.ForMinValid = "BMSStar"
+			a.Reasons = append(a.Reasons, fmt.Sprintf(
+				"item selectivity %.0f%% is above the ~%.0f%% cross-over: the constraints barely prune, so the naive BMS* (one unconstrained run plus a small upward sweep) wins",
+				100*a.ItemSelectivity, 100*selectivityCrossover))
+		}
+	}
+	if a.AMSuccinct > 0 {
+		a.Reasons = append(a.Reasons,
+			"succinct anti-monotone constraints are pushed into the item pool before any counting (Modification I)")
+	}
+	if a.MSuccinct > 0 && !a.AllAntiMonotone {
+		a.Reasons = append(a.Reasons,
+			"monotone succinct constraints can be pushed via the witness rule (paper mode); note this shifts BMS++'s output from VALIDMIN to MINVALID (see DESIGN.md)")
+	}
+	return a, nil
+}
+
+// String renders the advice for the CLI.
+func (a *Advice) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "constraints: %d a.m. succinct, %d a.m. other, %d monotone succinct, %d monotone other",
+		a.AMSuccinct, a.AMOther, a.MSuccinct, a.MOther)
+	if a.HasUnclassified {
+		b.WriteString(", plus unclassified")
+	}
+	fmt.Fprintf(&b, "\nitem selectivity: %.1f%%\n", 100*a.ItemSelectivity)
+	fmt.Fprintf(&b, "recommended for valid minimal answers: %s\n", a.ForValidMin)
+	fmt.Fprintf(&b, "recommended for minimal valid answers: %s\n", a.ForMinValid)
+	for _, r := range a.Reasons {
+		fmt.Fprintf(&b, "  - %s\n", r)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ccs/internal/constraint"
+)
+
+func adviseMiner(t *testing.T) *Miner {
+	t.Helper()
+	db := corrDB(rand.New(rand.NewSource(1)), 8, 100)
+	return newMiner(t, db)
+}
+
+func TestAdvisePureAM(t *testing.T) {
+	m := adviseMiner(t)
+	q := constraint.And(
+		constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 5),
+		constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, 10),
+	)
+	a, err := m.Advise(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.AllAntiMonotone || a.HasUnclassified {
+		t.Fatalf("classification: %+v", a)
+	}
+	if a.ForValidMin != "BMSPlusPlus" || a.ForMinValid != "BMSPlusPlus" {
+		t.Fatalf("recommendations: %s / %s", a.ForValidMin, a.ForMinValid)
+	}
+	if a.AMSuccinct != 1 || a.AMOther != 1 {
+		t.Fatalf("buckets: %+v", a)
+	}
+}
+
+func TestAdviseSelectiveMonotone(t *testing.T) {
+	m := adviseMiner(t)
+	// catalog prices 1..8; min(price) <= 1 passes only item 0 → 12.5%
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 1))
+	a, err := m.Advise(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ForMinValid != "BMSStarStar" {
+		t.Fatalf("want BMS** below the cross-over, got %s (sel %.2f)", a.ForMinValid, a.ItemSelectivity)
+	}
+	if a.ForValidMin != "BMSPlusPlus" {
+		t.Fatalf("valid-min recommendation: %s", a.ForValidMin)
+	}
+}
+
+func TestAdviseUnselectiveMonotone(t *testing.T) {
+	m := adviseMiner(t)
+	// min(price) <= 7 passes 7 of 8 items → 87.5%
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 7))
+	a, err := m.Advise(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ForMinValid != "BMSStar" {
+		t.Fatalf("want BMS* above the cross-over, got %s (sel %.2f)", a.ForMinValid, a.ItemSelectivity)
+	}
+}
+
+func TestAdviseUnclassified(t *testing.T) {
+	m := adviseMiner(t)
+	q := constraint.And(constraint.NewAggregate(constraint.AggAvg, constraint.Price, constraint.LE, 4))
+	a, err := m.Advise(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasUnclassified || a.ForValidMin != "BMSPlus" || a.ForMinValid != "AllValid" {
+		t.Fatalf("advice: %+v", a)
+	}
+}
+
+func TestAdviseSelectivityMeasured(t *testing.T) {
+	m := adviseMiner(t) // prices 1..8
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 4))
+	a, err := m.Advise(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ItemSelectivity != 0.5 {
+		t.Fatalf("selectivity = %g, want 0.5", a.ItemSelectivity)
+	}
+}
+
+func TestAdviseString(t *testing.T) {
+	m := adviseMiner(t)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 2))
+	a, err := m.Advise(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.String()
+	for _, want := range []string{"item selectivity", "recommended for valid minimal", "recommended for minimal valid", "  - "} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAdviseRecommendationMatchesMeasuredCost(t *testing.T) {
+	// The advisor's BMS*/BMS** choice must agree with the actual measured
+	// sets-considered on this database, at both selectivity extremes.
+	db := corrDB(rand.New(rand.NewSource(9)), 8, 300)
+	m := newMiner(t, db)
+	for _, bound := range []float64{1, 7} {
+		q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, bound))
+		a, err := m.Advise(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		star, err := m.BMSStar(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := m.BMSStarStar(q, StarStarOptions{PushMonotoneSuccinct: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		betterIsStar := star.Stats.SetsConsidered <= ss.Stats.SetsConsidered
+		recommendedStar := a.ForMinValid == "BMSStar"
+		if betterIsStar != recommendedStar {
+			t.Logf("bound %g: advisor picked %s; measured BMS*=%d BMS**=%d",
+				bound, a.ForMinValid, star.Stats.SetsConsidered, ss.Stats.SetsConsidered)
+			// The cross-over estimate is a heuristic from the paper's
+			// figures, not a guarantee; only fail when the miss is large.
+			worse := float64(star.Stats.SetsConsidered) / float64(ss.Stats.SetsConsidered)
+			if recommendedStar {
+				worse = 1 / worse
+			}
+			if worse > 3 {
+				t.Fatalf("advisor badly wrong (%.1fx) at bound %g", worse, bound)
+			}
+		}
+	}
+}

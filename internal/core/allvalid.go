@@ -1,0 +1,78 @@
+package core
+
+import (
+	"ccs/internal/constraint"
+	"ccs/internal/itemset"
+)
+
+// AllValid computes every itemset that is correlated, CT-supported and
+// valid — with no minimality filtering. This is the sound answer set for
+// constraints that are neither anti-monotone nor monotone (the paper's
+// future-work case, e.g. avg(S.price) <= c): their solution space "may
+// have holes in it", so returning only minimal elements is meaningless,
+// but the full set is still well-defined.
+//
+// The search runs level-wise over the CT-supported space, which does not
+// depend on the constraints at all; only anti-monotone constraints (which
+// are downward-safe) prune, and every surviving set is tested exactly.
+// Constraints with no classification cost one evaluation per CT-supported
+// correlated set — the price of their irregular geometry.
+func (m *Miner) AllValid(q *constraint.Conjunction) (*Result, error) {
+	split, err := q.Classify()
+	if err != nil {
+		return nil, err
+	}
+	stats := Stats{}
+	l1 := m.frequentItems(split.AMMGF().Allowed)
+	cands := pairs(l1, nil)
+	stats.Candidates += len(cands)
+
+	supp := itemset.NewRegistry()
+	var answers []itemset.Set
+	for level := 2; len(cands) > 0 && level <= m.res.maxLevel; level++ {
+		stats.Levels++
+		m.report("AllValid", "levelwise", level, len(cands))
+		kept := cands[:0]
+		for _, c := range cands {
+			if split.SatisfiesAMOther(m.cat, c) {
+				kept = append(kept, c)
+			} else {
+				stats.PrunedByAM++
+			}
+		}
+		cands = kept
+		tables, err := m.countBatch(&stats, cands)
+		if err != nil {
+			return nil, err
+		}
+		var suppLevel []itemset.Set
+		for i, t := range tables {
+			if !t.CTSupported(m.res.s, m.res.CTFraction) {
+				continue
+			}
+			supp.Add(cands[i])
+			suppLevel = append(suppLevel, cands[i])
+			if !m.correlated(&stats, t) {
+				continue
+			}
+			// exact validity: monotone and unclassified constraints are
+			// evaluated directly on every correlated set
+			if split.SatisfiesM(m.cat, cands[i]) && satisfiesOther(split, m, cands[i]) {
+				answers = append(answers, cands[i])
+			}
+		}
+		cands = extend(suppLevel, l1, nil, supp)
+		stats.Candidates += len(cands)
+	}
+	itemset.SortSets(answers)
+	return &Result{Answers: answers, Stats: stats}, nil
+}
+
+func satisfiesOther(split *constraint.Split, m *Miner, s itemset.Set) bool {
+	for _, c := range split.Other {
+		if !c.Satisfies(m.cat, s) {
+			return false
+		}
+	}
+	return true
+}

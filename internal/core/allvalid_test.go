@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/itemset"
+)
+
+// bruteAllValid derives the full valid solution set from the reference.
+func bruteAllValid(t *testing.T, m *Miner, q *constraint.Conjunction, maxSize int) []itemset.Set {
+	t.Helper()
+	brute, err := m.Brute(q, maxSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []itemset.Set
+	for _, s := range brute.Space {
+		if q.Satisfies(m.Catalog(), s) {
+			out = append(out, s)
+		}
+	}
+	itemset.SortSets(out)
+	return out
+}
+
+func TestAllValidMatchesBrute(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		for name, q := range queryPool() {
+			res, err := m.AllValid(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteAllValid(t, m, q, 5)
+			if !sameSets(res.Answers, want) {
+				t.Fatalf("seed %d query %s: AllValid = %s, brute = %s",
+					seed, name, setsString(res.Answers), setsString(want))
+			}
+		}
+	}
+}
+
+func TestAllValidHandlesAvg(t *testing.T) {
+	// The whole point: avg constraints (neither a.m. nor monotone) are
+	// answered exactly.
+	for seed := int64(0); seed < 5; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		q := constraint.And(constraint.NewAggregate(constraint.AggAvg, constraint.Price, constraint.LE, 4))
+		res, err := m.AllValid(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAllValid(t, m, q, 5)
+		if !sameSets(res.Answers, want) {
+			t.Fatalf("seed %d: AllValid(avg) = %s, brute = %s",
+				seed, setsString(res.Answers), setsString(want))
+		}
+	}
+}
+
+func TestAllValidAvgSpaceCanHaveHoles(t *testing.T) {
+	// Demonstrate the paper's future-work observation: with an avg
+	// constraint a valid set can have an invalid subset AND an invalid
+	// superset — the space is not a single bordered region.
+	db := corrDB(rand.New(rand.NewSource(3)), 7, 150)
+	m := newMiner(t, db)
+	q := constraint.And(
+		constraint.NewAggregate(constraint.AggAvg, constraint.Price, constraint.GE, 3),
+		constraint.NewAggregate(constraint.AggAvg, constraint.Price, constraint.LE, 5),
+	)
+	res, err := m.AllValid(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Answers {
+		if !q.Satisfies(db.Catalog, s) {
+			t.Fatalf("invalid answer %v", s)
+		}
+	}
+	// consistency with brute regardless of whether holes materialized
+	want := bruteAllValid(t, m, q, 5)
+	if !sameSets(res.Answers, want) {
+		t.Fatalf("AllValid = %s, brute = %s", setsString(res.Answers), setsString(want))
+	}
+}
+
+func TestAllValidSupersetOfMinValid(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(6)), 7, 150)
+	m := newMiner(t, db)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 3))
+	all, err := m.AllValid(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := m.BMSStar(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := itemset.NewRegistry()
+	for _, s := range all.Answers {
+		have.Add(s)
+	}
+	for _, s := range mv.Answers {
+		if !have.Has(s) {
+			t.Fatalf("MINVALID member %v missing from AllValid", s)
+		}
+	}
+	if len(all.Answers) < len(mv.Answers) {
+		t.Fatalf("AllValid smaller than MINVALID")
+	}
+}

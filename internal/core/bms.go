@@ -1,0 +1,59 @@
+package core
+
+import (
+	"ccs/internal/itemset"
+)
+
+// bmsOutcome is the result of the unconstrained baseline run: the minimal
+// correlated and CT-supported sets (SIG) plus cost statistics.
+type bmsOutcome struct {
+	sig   []itemset.Set
+	stats Stats
+}
+
+// runBaseline executes Brin et al.'s level-wise algorithm: candidates whose
+// every subset is CT-supported but uncorrelated (NOTSIG) are counted; a
+// candidate that is CT-supported and correlated is a minimal correlated set
+// and is never expanded.
+func (m *Miner) runBaseline() (*bmsOutcome, error) {
+	out := &bmsOutcome{}
+	l1 := m.frequentItems(nil)
+	notsig := itemset.NewRegistry()
+	cands := pairs(l1, nil)
+	out.stats.Candidates += len(cands)
+
+	for level := 2; len(cands) > 0 && level <= m.res.maxLevel; level++ {
+		out.stats.Levels++
+		m.report("BMS", "levelwise", level, len(cands))
+		tables, err := m.countBatch(&out.stats, cands)
+		if err != nil {
+			return nil, err
+		}
+		var notsigLevel []itemset.Set
+		for i, t := range tables {
+			if !t.CTSupported(m.res.s, m.res.CTFraction) {
+				continue
+			}
+			if m.correlated(&out.stats, t) {
+				out.sig = append(out.sig, cands[i])
+			} else {
+				notsig.Add(cands[i])
+				notsigLevel = append(notsigLevel, cands[i])
+			}
+		}
+		cands = extend(notsigLevel, l1, nil, notsig)
+		out.stats.Candidates += len(cands)
+	}
+	itemset.SortSets(out.sig)
+	return out, nil
+}
+
+// BMS computes the unconstrained answer set of Brin et al.: all minimal
+// correlated and CT-supported itemsets.
+func (m *Miner) BMS() (*Result, error) {
+	out, err := m.runBaseline()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Answers: out.sig, Stats: out.stats}, nil
+}

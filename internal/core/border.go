@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"ccs/internal/constraint"
+	"ccs/internal/itemset"
+)
+
+// SpaceDescription characterizes the full solution space of a constrained
+// correlation query by its two borders, answering the observation of the
+// paper's Section 5 that "simply returning minimal answers does not
+// completely cover all answers, unless we also know where the upper border
+// is": an itemset S is a solution iff Lower has a subset of S and Upper has
+// a superset of S.
+type SpaceDescription struct {
+	// Lower is MINVALID(Q): the minimal solutions.
+	Lower []itemset.Set
+	// Upper is the maximal solutions: valid, correlated, CT-supported sets
+	// none of whose valid CT-supported supersets remain in the space.
+	Upper []itemset.Set
+	// Stats records the work performed.
+	Stats Stats
+}
+
+// Contains reports whether s lies in the described space.
+func (d *SpaceDescription) Contains(s itemset.Set) bool {
+	lower := false
+	for _, l := range d.Lower {
+		if s.ContainsAll(l) {
+			lower = true
+			break
+		}
+	}
+	if !lower {
+		return false
+	}
+	for _, u := range d.Upper {
+		if u.ContainsAll(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// SolutionSpace computes both borders of the query's solution space
+// {S : S correlated, CT-supported, valid}. Each constraint must be
+// anti-monotone or monotone, as for MINVALID: only then is the space a
+// single region delimited from below by correlation and the monotone
+// constraints and from above by CT-support and the anti-monotone
+// constraints (Figure C of the paper).
+//
+// Strategy: a level-wise sweep collects every set that is CT-supported and
+// AM-valid (the upper-closed predicates are inherited from subsets and
+// checked directly); within that space the solutions are the sets that are
+// also correlated and M-valid. The minimal ones form Lower; the sets with
+// no solution superset at the next level form Upper.
+func (m *Miner) SolutionSpace(q *constraint.Conjunction) (*SpaceDescription, error) {
+	split, err := q.Classify()
+	if err != nil {
+		return nil, err
+	}
+	if split.HasUnclassified() {
+		return nil, fmt.Errorf("core: SolutionSpace requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
+	}
+
+	desc := &SpaceDescription{}
+	stats := &desc.Stats
+	l1 := m.frequentItems(split.AMMGF().Allowed)
+	cands := pairs(l1, nil)
+	stats.Candidates += len(cands)
+
+	supp := itemset.NewRegistry()      // CT-supported ∧ AM-valid, feeds candidate generation
+	solutions := itemset.NewRegistry() // also correlated ∧ M-valid
+	var prevSolutions []itemset.Set    // solutions at the previous level
+
+	for level := 2; len(cands) > 0 && level <= m.res.maxLevel; level++ {
+		stats.Levels++
+		m.report("SolutionSpace", "levelwise", level, len(cands))
+		kept := cands[:0]
+		for _, c := range cands {
+			if split.SatisfiesAMOther(m.cat, c) {
+				kept = append(kept, c)
+			} else {
+				stats.PrunedByAM++
+			}
+		}
+		cands = kept
+		tables, err := m.countBatch(stats, cands)
+		if err != nil {
+			return nil, err
+		}
+		var suppLevel, solLevel []itemset.Set
+		covered := map[string]bool{}
+		for i, t := range tables {
+			if !t.CTSupported(m.res.s, m.res.CTFraction) {
+				continue
+			}
+			supp.Add(cands[i])
+			suppLevel = append(suppLevel, cands[i])
+			if !m.correlated(stats, t) || !split.SatisfiesM(m.cat, cands[i]) {
+				continue
+			}
+			s := cands[i]
+			solLevel = append(solLevel, s)
+			solutions.Add(s)
+			// minimality: any solution subset disqualifies
+			minimal := true
+			s.ProperSubsets(func(sub itemset.Set) bool {
+				if solutions.Has(sub) {
+					minimal = false
+					return false
+				}
+				return true
+			})
+			if minimal {
+				desc.Lower = append(desc.Lower, s)
+			}
+			// mark the previous level's subsets as covered (non-maximal)
+			s.Subsets1(func(sub itemset.Set) bool {
+				if solutions.Has(sub) {
+					covered[sub.Key()] = true
+				}
+				return true
+			})
+		}
+		// previous-level solutions not covered by a solution at this level
+		// are maximal (the space is convex along chains, so a solution
+		// superset implies a direct one)
+		for _, s := range prevSolutions {
+			if !covered[s.Key()] {
+				desc.Upper = append(desc.Upper, s)
+			}
+		}
+		prevSolutions = solLevel
+		cands = extend(suppLevel, l1, nil, supp)
+		stats.Candidates += len(cands)
+	}
+	// the final level's solutions are maximal by termination
+	desc.Upper = append(desc.Upper, prevSolutions...)
+	itemset.SortSets(desc.Lower)
+	itemset.SortSets(desc.Upper)
+	return desc, nil
+}

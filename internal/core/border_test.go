@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/itemset"
+)
+
+// bruteBorders derives both borders from the exhaustive reference.
+func bruteBorders(t *testing.T, m *Miner, q *constraint.Conjunction, maxSize int) (lower, upper []itemset.Set) {
+	t.Helper()
+	brute, err := m.Brute(q, maxSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := itemset.NewRegistry()
+	var validSets []itemset.Set
+	for _, s := range brute.Space {
+		if q.Satisfies(m.Catalog(), s) {
+			valid.Add(s)
+			validSets = append(validSets, s)
+		}
+	}
+	for _, s := range validSets {
+		// maximal: no valid in-space strict superset
+		maximal := true
+		for _, t := range validSets {
+			if len(t) > len(s) && t.ContainsAll(s) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			upper = append(upper, s)
+		}
+	}
+	itemset.SortSets(upper)
+	return brute.MinValid, upper
+}
+
+func TestSolutionSpaceMatchesBrute(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		for name, q := range queryPool() {
+			desc, err := m.SolutionSpace(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLower, wantUpper := bruteBorders(t, m, q, 5)
+			if !sameSets(desc.Lower, wantLower) {
+				t.Fatalf("seed %d query %s: Lower = %s, want %s",
+					seed, name, setsString(desc.Lower), setsString(wantLower))
+			}
+			if !sameSets(desc.Upper, wantUpper) {
+				t.Fatalf("seed %d query %s: Upper = %s, want %s",
+					seed, name, setsString(desc.Upper), setsString(wantUpper))
+			}
+		}
+	}
+}
+
+func TestSolutionSpaceContains(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(2)), 7, 150)
+	m := newMiner(t, db)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 6))
+	desc, err := m.SolutionSpace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := m.Brute(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSpace := itemset.NewRegistry()
+	for _, s := range brute.Space {
+		if q.Satisfies(db.Catalog, s) {
+			inSpace.Add(s)
+		}
+	}
+	// Contains must agree with direct evaluation over the whole lattice
+	for mask := 0; mask < 1<<7; mask++ {
+		var items []itemset.Item
+		for j := 0; j < 7; j++ {
+			if mask&(1<<j) != 0 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		s := itemset.New(items...)
+		if s.Size() < 2 || s.Size() > 5 {
+			continue
+		}
+		if got, want := desc.Contains(s), inSpace.Has(s); got != want {
+			t.Fatalf("Contains(%v) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestSolutionSpaceLowerEqualsBMSStar(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(4)), 7, 150)
+	m := newMiner(t, db)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 3))
+	desc, err := m.SolutionSpace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := m.BMSStar(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSets(desc.Lower, star.Answers) {
+		t.Fatalf("Lower = %s, BMS* = %s", setsString(desc.Lower), setsString(star.Answers))
+	}
+}
+
+func TestSolutionSpaceRejectsUnclassified(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(1)), 5, 80)
+	m := newMiner(t, db)
+	q := constraint.And(constraint.NewAggregate(constraint.AggAvg, constraint.Price, constraint.LE, 3))
+	if _, err := m.SolutionSpace(q); err == nil {
+		t.Fatalf("avg constraint accepted")
+	}
+}
+
+func TestSolutionSpaceEmpty(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(1)), 5, 80)
+	m := newMiner(t, db)
+	// impossible constraint: max(price) <= 0 excludes every item
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 0))
+	desc, err := m.SolutionSpace(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc.Lower) != 0 || len(desc.Upper) != 0 {
+		t.Fatalf("space not empty: %s / %s", setsString(desc.Lower), setsString(desc.Upper))
+	}
+	if desc.Contains(itemset.New(0, 1)) {
+		t.Fatalf("empty space contains a set")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"ccs/internal/constraint"
+	"ccs/internal/itemset"
+)
+
+// BruteResult holds the exhaustive evaluation of the itemset lattice used
+// to validate the level-wise algorithms.
+type BruteResult struct {
+	// Space is every itemset (2 <= |S| <= maxSize) that is correlated and
+	// CT-supported.
+	Space []itemset.Set
+	// MinimalCorrelated is the minimal elements of Space — the answer set
+	// of the unconstrained BMS algorithm.
+	MinimalCorrelated []itemset.Set
+	// ValidMin is VALIDMIN(Q): members of MinimalCorrelated satisfying Q.
+	ValidMin []itemset.Set
+	// MinValid is MINVALID(Q): minimal elements of the valid subset of
+	// Space.
+	MinValid []itemset.Set
+}
+
+// Brute enumerates every itemset of size 2..maxSize over the catalog,
+// evaluates CT-support, correlation and the query directly from the
+// definitions, and derives all the answer sets. It is exponential in the
+// catalog size and exists to make the fast algorithms falsifiable; maxSize
+// must keep the enumeration tractable (catalog of ~15 items or fewer).
+func (m *Miner) Brute(q *constraint.Conjunction, maxSize int) (*BruteResult, error) {
+	n := m.cat.Len()
+	if n > 24 {
+		return nil, fmt.Errorf("core: Brute over %d items is intractable", n)
+	}
+	if maxSize < 2 {
+		return nil, fmt.Errorf("core: Brute maxSize %d below 2", maxSize)
+	}
+	if maxSize > m.res.maxLevel {
+		maxSize = m.res.maxLevel
+	}
+
+	res := &BruteResult{}
+	inSpace := itemset.NewRegistry()
+	valid := itemset.NewRegistry()
+
+	// enumerate by size so minimality checks can use what came before
+	minCorr := itemset.NewRegistry()
+	minValid := itemset.NewRegistry()
+	for size := 2; size <= maxSize; size++ {
+		var level []itemset.Set
+		enumerateSets(n, size, func(s itemset.Set) {
+			level = append(level, s.Clone())
+		})
+		tables, err := m.cnt.CountTables(level)
+		if err != nil {
+			return nil, err
+		}
+		for i, t := range tables {
+			s := level[i]
+			if !t.CTSupported(m.res.s, m.res.CTFraction) {
+				continue
+			}
+			if t.ChiSquared() < m.res.cutoff {
+				continue
+			}
+			res.Space = append(res.Space, s)
+			isValid := q.Satisfies(m.cat, s)
+
+			if !hasProperSubsetIn(inSpace, s) {
+				res.MinimalCorrelated = append(res.MinimalCorrelated, s)
+				if isValid {
+					res.ValidMin = append(res.ValidMin, s)
+				}
+				minCorr.Add(s)
+			}
+			if isValid && !hasProperSubsetIn(valid, s) {
+				res.MinValid = append(res.MinValid, s)
+				minValid.Add(s)
+			}
+
+			inSpace.Add(s)
+			if isValid {
+				valid.Add(s)
+			}
+		}
+	}
+	itemset.SortSets(res.Space)
+	itemset.SortSets(res.MinimalCorrelated)
+	itemset.SortSets(res.ValidMin)
+	itemset.SortSets(res.MinValid)
+	return res, nil
+}
+
+// hasProperSubsetIn reports whether reg holds a proper subset of s. Because
+// the enumeration is by increasing size, registry members are never
+// supersets of s, so subset-of suffices minus the equality case (s is not
+// yet registered when called).
+func hasProperSubsetIn(reg *itemset.Registry, s itemset.Set) bool {
+	return reg.ContainsSubsetOf(s)
+}
+
+// enumerateSets calls fn with every size-k subset of {0..n-1} in canonical
+// order. The slice passed to fn is reused; clone to retain.
+func enumerateSets(n, k int, fn func(itemset.Set)) {
+	if k > n || k <= 0 {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	buf := make(itemset.Set, k)
+	for {
+		for i, v := range idx {
+			buf[i] = itemset.Item(v)
+		}
+		fn(buf)
+		// advance combination
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

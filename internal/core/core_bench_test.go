@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/counting"
+	"ccs/internal/dataset"
+)
+
+// benchDB caches a moderately sized planted database across benchmarks.
+var benchDB *dataset.DB
+
+func getBenchDB(b *testing.B) *dataset.DB {
+	b.Helper()
+	if benchDB == nil {
+		benchDB = corrDB(rand.New(rand.NewSource(1)), 30, 5000)
+	}
+	return benchDB
+}
+
+func benchParams() Params {
+	return Params{Alpha: 0.95, CellSupportFrac: 0.05, CTFraction: 0.25, MaxLevel: 4}
+}
+
+func benchQuery() *constraint.Conjunction {
+	return constraint.And(
+		constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 15),
+		constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, 40),
+	)
+}
+
+func BenchmarkBMS(b *testing.B) {
+	db := getBenchDB(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMS(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBMSPlus(b *testing.B) {
+	db := getBenchDB(b)
+	q := benchQuery()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSPlus(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBMSPlusPlus(b *testing.B) {
+	db := getBenchDB(b)
+	q := benchQuery()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBMSStar(b *testing.B) {
+	db := getBenchDB(b)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 5))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSStar(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBMSStarStar(b *testing.B) {
+	db := getBenchDB(b)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 5))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSStarStar(q, StarStarOptions{PushMonotoneSuccinct: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationScanVsBitmap contrasts the two counting engines on the
+// same BMS++ run — the design choice DESIGN.md calls out.
+func BenchmarkAblationScanCounter(b *testing.B) {
+	db := getBenchDB(b)
+	q := benchQuery()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams(), WithCounter(counting.NewScanCounter(db)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBitmapCounter(b *testing.B) {
+	db := getBenchDB(b)
+	q := benchQuery()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams(), WithCounter(counting.NewBitmapCounter(db)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWitnessPush measures the paper's Modification I/II
+// against the exact mode on a monotone succinct constraint.
+func BenchmarkAblationWitnessPushOn(b *testing.B) {
+	db := getBenchDB(b)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 5))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSPlusPlus(q, PlusPlusOptions{PushMonotoneSuccinct: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWitnessPushOff(b *testing.B) {
+	db := getBenchDB(b)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 5))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

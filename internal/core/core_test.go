@@ -1,0 +1,558 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/counting"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// corrDB builds a database over nItems items with planted structure: each
+// transaction draws items independently with probability 1/3, then item 1
+// copies item 0 with probability 0.9 (strong pairwise correlation), and a
+// random subset of noise. The result reliably contains correlated pairs
+// while remaining small enough for Brute.
+func corrDB(r *rand.Rand, nItems, nTx int) *dataset.DB {
+	cat := dataset.SyntheticCatalog(nItems, []string{"soda", "snack", "frozen"})
+	tx := make([]dataset.Transaction, nTx)
+	for i := range tx {
+		var items []itemset.Item
+		for j := 0; j < nItems; j++ {
+			if r.Intn(3) == 0 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		s := itemset.New(items...)
+		// plant: item 1 follows item 0
+		if s.Contains(0) && r.Intn(10) != 0 {
+			s = s.With(1)
+		}
+		// plant a weaker 3-way dependency among 2,3,4
+		if nItems > 4 && s.Contains(2) && s.Contains(3) && r.Intn(4) != 0 {
+			s = s.With(4)
+		}
+		tx[i] = s
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func testParams() Params {
+	return Params{Alpha: 0.9, CellSupportFrac: 0.05, CTFraction: 0.25, MaxLevel: 5}
+}
+
+func newMiner(t testing.TB, db *dataset.DB) *Miner {
+	t.Helper()
+	m, err := New(db, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func sameSets(a, b []itemset.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func setsString(ss []itemset.Set) string {
+	out := "["
+	for i, s := range ss {
+		if i > 0 {
+			out += " "
+		}
+		out += s.String()
+	}
+	return out + "]"
+}
+
+// queryPool returns a diverse set of classified conjunctions keyed by name.
+func queryPool() map[string]*constraint.Conjunction {
+	return map[string]*constraint.Conjunction{
+		"empty":        constraint.And(),
+		"maxLE":        constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 5)),
+		"maxLE-tight":  constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 2)),
+		"sumLE":        constraint.And(constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, 7)),
+		"minLE":        constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 2)),
+		"minLE-tight":  constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 1)),
+		"sumGE":        constraint.And(constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.GE, 6)),
+		"maxGE":        constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.GE, 4)),
+		"disjoint":     constraint.And(constraint.NewDomain(constraint.OpDisjoint, constraint.Type, "frozen")),
+		"intersects":   constraint.And(constraint.NewDomain(constraint.OpIntersects, constraint.Type, "soda")),
+		"containsall":  constraint.And(constraint.NewDomain(constraint.OpContainsAll, constraint.Type, "soda", "snack")),
+		"am-mix":       constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 5), constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, 9)),
+		"mixed":        constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 6), constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 2), constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, 12)),
+		"mono-nonsucc": constraint.And(constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.GE, 5), constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 6)),
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(1)), 4, 50)
+	bad := []Params{
+		{Alpha: 0, CellSupport: 1, CTFraction: 0.25},
+		{Alpha: 1, CellSupport: 1, CTFraction: 0.25},
+		{Alpha: 0.9, CellSupport: 0, CellSupportFrac: 0, CTFraction: 0.25},
+		{Alpha: 0.9, CellSupport: -2, CTFraction: 0.25},
+		{Alpha: 0.9, CellSupport: 1, CTFraction: -0.1},
+		{Alpha: 0.9, CellSupport: 1, CTFraction: 1.5},
+		{Alpha: 0.9, CellSupport: 1, CTFraction: 0.25, MaxLevel: 1},
+		{Alpha: 0.9, CellSupportFrac: 2.0, CTFraction: 0.25},
+	}
+	for i, p := range bad {
+		if _, err := New(db, p); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+	good := Params{Alpha: 0.95, CellSupportFrac: 0.1, CTFraction: 0.5}
+	m, err := New(db, good)
+	if err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+	if m.CellSupport() != 5 {
+		t.Errorf("resolved s = %d, want 5", m.CellSupport())
+	}
+	if m.Cutoff() < 3.84 || m.Cutoff() > 3.85 {
+		t.Errorf("cutoff = %g", m.Cutoff())
+	}
+}
+
+func TestCellSupportFloor(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(1)), 4, 3)
+	m, err := New(db, Params{Alpha: 0.9, CellSupportFrac: 0.01, CTFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CellSupport() != 1 {
+		t.Errorf("s = %d, want floor of 1", m.CellSupport())
+	}
+}
+
+func TestBMSFindsPlantedCorrelation(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(42)), 6, 400)
+	m := newMiner(t, db)
+	res, err := m.BMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range res.Answers {
+		if s.Equal(itemset.New(0, 1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted pair {0,1} not mined; answers = %s", setsString(res.Answers))
+	}
+	if res.Stats.SetsConsidered == 0 || res.Stats.ChiSquaredTests == 0 || res.Stats.DBScans == 0 {
+		t.Fatalf("stats not recorded: %+v", res.Stats)
+	}
+}
+
+func TestBMSMatchesBrute(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		res, err := m.BMS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := m.Brute(constraint.And(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSets(res.Answers, brute.MinimalCorrelated) {
+			t.Fatalf("seed %d: BMS = %s, brute = %s", seed,
+				setsString(res.Answers), setsString(brute.MinimalCorrelated))
+		}
+	}
+}
+
+func TestBMSPlusMatchesBruteValidMin(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		for name, q := range queryPool() {
+			res, err := m.BMSPlus(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			brute, err := m.Brute(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameSets(res.Answers, brute.ValidMin) {
+				t.Fatalf("seed %d query %s: BMS+ = %s, brute VALIDMIN = %s",
+					seed, name, setsString(res.Answers), setsString(brute.ValidMin))
+			}
+		}
+	}
+}
+
+func TestBMSPlusPlusExactMatchesBruteValidMin(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		for name, q := range queryPool() {
+			res, err := m.BMSPlusPlus(q, PlusPlusOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			brute, err := m.Brute(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameSets(res.Answers, brute.ValidMin) {
+				t.Fatalf("seed %d query %s: BMS++ = %s, brute VALIDMIN = %s",
+					seed, name, setsString(res.Answers), setsString(brute.ValidMin))
+			}
+		}
+	}
+}
+
+func TestBMSStarMatchesBruteMinValid(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		for name, q := range queryPool() {
+			res, err := m.BMSStar(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			brute, err := m.Brute(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameSets(res.Answers, brute.MinValid) {
+				t.Fatalf("seed %d query %s: BMS* = %s, brute MINVALID = %s",
+					seed, name, setsString(res.Answers), setsString(brute.MinValid))
+			}
+		}
+	}
+}
+
+func TestBMSStarStarMatchesBruteMinValid(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		for name, q := range queryPool() {
+			for _, push := range []bool{false, true} {
+				res, err := m.BMSStarStar(q, StarStarOptions{PushMonotoneSuccinct: push})
+				if err != nil {
+					t.Fatal(err)
+				}
+				brute, err := m.Brute(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameSets(res.Answers, brute.MinValid) {
+					t.Fatalf("seed %d query %s push=%v: BMS** = %s, brute MINVALID = %s",
+						seed, name, push, setsString(res.Answers), setsString(brute.MinValid))
+				}
+			}
+		}
+	}
+}
+
+func TestBMSPlusPlusPushComputesMinValid(t *testing.T) {
+	// With the paper's witness push enabled and a single-witness monotone
+	// succinct constraint, BMS++ computes MINVALID (see DESIGN.md).
+	queries := map[string]*constraint.Conjunction{
+		"minLE":      constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 2)),
+		"intersects": constraint.And(constraint.NewDomain(constraint.OpIntersects, constraint.Type, "soda")),
+		"minLE+am": constraint.And(
+			constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 3),
+			constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 6),
+			constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, 12)),
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		for name, q := range queries {
+			res, err := m.BMSPlusPlus(q, PlusPlusOptions{PushMonotoneSuccinct: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			brute, err := m.Brute(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameSets(res.Answers, brute.MinValid) {
+				t.Fatalf("seed %d query %s: BMS++(push) = %s, brute MINVALID = %s",
+					seed, name, setsString(res.Answers), setsString(brute.MinValid))
+			}
+		}
+	}
+}
+
+func TestTheorem1Inclusion(t *testing.T) {
+	// VALIDMIN ⊆ MINVALID for every query; equality under pure-AM queries.
+	for seed := int64(0); seed < 6; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 7, 150)
+		m := newMiner(t, db)
+		for name, q := range queryPool() {
+			brute, err := m.Brute(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv := itemset.NewRegistry()
+			for _, s := range brute.MinValid {
+				mv.Add(s)
+			}
+			for _, s := range brute.ValidMin {
+				if !mv.Has(s) {
+					t.Fatalf("seed %d query %s: %v in VALIDMIN but not MINVALID", seed, name, s)
+				}
+			}
+			split, err := q.Classify()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if split.AllAntiMonotone() && !sameSets(brute.ValidMin, brute.MinValid) {
+				t.Fatalf("seed %d query %s: pure-AM sets differ: %s vs %s",
+					seed, name, setsString(brute.ValidMin), setsString(brute.MinValid))
+			}
+		}
+	}
+}
+
+func TestWitnessPushChangesValidMin(t *testing.T) {
+	// The counterexample of DESIGN.md: with a monotone constraint, the
+	// paper's witness push can emit a set that is minimal only within the
+	// valid space. Construct a database where {0,1} is correlated but
+	// invalid, and {0,1,2} is correlated and valid.
+	r := rand.New(rand.NewSource(5))
+	cat := dataset.SyntheticCatalog(4, nil) // prices 1..4
+	var tx []dataset.Transaction
+	for i := 0; i < 300; i++ {
+		var items []itemset.Item
+		if r.Intn(2) == 0 {
+			items = append(items, 0)
+			if r.Intn(10) != 0 {
+				items = append(items, 1) // 0 and 1 strongly correlated
+			}
+		} else if r.Intn(4) == 0 {
+			items = append(items, 1)
+		}
+		if r.Intn(3) == 0 {
+			items = append(items, 2)
+		}
+		if r.Intn(3) == 0 {
+			items = append(items, 3)
+		}
+		tx = append(tx, itemset.New(items...))
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMiner(t, db)
+	// constraint: min(price) <= ... no — use max(price) >= 3: needs an item
+	// priced >= 3, so {0,1} (prices 1,2) is invalid.
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.GE, 3))
+	brute, err := m.Brute(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sanity: {0,1} must be correlated (in space) and invalid
+	inSpace := false
+	for _, s := range brute.Space {
+		if s.Equal(itemset.New(0, 1)) {
+			inSpace = true
+		}
+	}
+	if !inSpace {
+		t.Skip("planted correlation did not materialize; adjust seed")
+	}
+	if len(brute.MinValid) <= len(brute.ValidMin) {
+		t.Logf("ValidMin = %s", setsString(brute.ValidMin))
+		t.Logf("MinValid = %s", setsString(brute.MinValid))
+		t.Fatalf("expected MINVALID to strictly contain VALIDMIN")
+	}
+	// exact-mode BMS++ returns VALIDMIN; push mode returns MINVALID —
+	// demonstrably different on this instance.
+	exact, err := m.BMSPlusPlus(q, PlusPlusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := m.BMSPlusPlus(q, PlusPlusOptions{PushMonotoneSuccinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSets(exact.Answers, brute.ValidMin) {
+		t.Fatalf("exact BMS++ = %s, want VALIDMIN %s", setsString(exact.Answers), setsString(brute.ValidMin))
+	}
+	if !sameSets(push.Answers, brute.MinValid) {
+		t.Fatalf("push BMS++ = %s, want MINVALID %s", setsString(push.Answers), setsString(brute.MinValid))
+	}
+	if sameSets(exact.Answers, push.Answers) {
+		t.Fatalf("push did not change the answer set on the counterexample")
+	}
+}
+
+func TestUnclassifiedConstraintRejected(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(1)), 5, 100)
+	m := newMiner(t, db)
+	avg := constraint.And(constraint.NewAggregate(constraint.AggAvg, constraint.Price, constraint.LE, 3))
+	if _, err := m.BMSPlusPlus(avg, PlusPlusOptions{}); err == nil {
+		t.Errorf("BMS++ accepted avg constraint")
+	}
+	if _, err := m.BMSStar(avg); err == nil {
+		t.Errorf("BMS* accepted avg constraint")
+	}
+	if _, err := m.BMSStarStar(avg, StarStarOptions{}); err == nil {
+		t.Errorf("BMS** accepted avg constraint")
+	}
+	// BMS+ post-filters, so it handles avg
+	if _, err := m.BMSPlus(avg); err != nil {
+		t.Errorf("BMS+ rejected avg constraint: %v", err)
+	}
+}
+
+func TestBMSPlusHandlesAvgAgainstBrute(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(3)), 7, 150)
+	m := newMiner(t, db)
+	q := constraint.And(constraint.NewAggregate(constraint.AggAvg, constraint.Price, constraint.LE, 4))
+	res, err := m.BMSPlus(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := m.Brute(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSets(res.Answers, brute.ValidMin) {
+		t.Fatalf("BMS+ avg = %s, brute = %s", setsString(res.Answers), setsString(brute.ValidMin))
+	}
+}
+
+func TestPlusPlusNeverConsidersMoreThanPlus(t *testing.T) {
+	// |BMS++| <= |BMS+| (Section 3.3).
+	for seed := int64(0); seed < 5; seed++ {
+		db := corrDB(rand.New(rand.NewSource(seed)), 8, 200)
+		m := newMiner(t, db)
+		for name, q := range queryPool() {
+			plus, err := m.BMSPlus(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pp, err := m.BMSPlusPlus(q, PlusPlusOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pp.Stats.SetsConsidered > plus.Stats.SetsConsidered {
+				t.Fatalf("seed %d query %s: BMS++ considered %d > BMS+ %d",
+					seed, name, pp.Stats.SetsConsidered, plus.Stats.SetsConsidered)
+			}
+		}
+	}
+}
+
+func TestMaxLevelBoundsSearch(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(2)), 8, 200)
+	p := testParams()
+	p.MaxLevel = 2
+	m, err := New(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.BMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Answers {
+		if s.Size() > 2 {
+			t.Fatalf("answer %v exceeds MaxLevel", s)
+		}
+	}
+	if res.Stats.Levels > 1 {
+		t.Fatalf("visited %d levels with MaxLevel=2", res.Stats.Levels)
+	}
+}
+
+func TestBruteValidation(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(1)), 5, 60)
+	m := newMiner(t, db)
+	if _, err := m.Brute(constraint.And(), 1); err == nil {
+		t.Errorf("maxSize 1 accepted")
+	}
+	big := dataset.SyntheticCatalog(30, nil)
+	bigDB, _ := dataset.NewDB(big, []dataset.Transaction{itemset.New(0, 1)})
+	bm, err := New(bigDB, Params{Alpha: 0.9, CellSupport: 1, CTFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bm.Brute(constraint.And(), 3); err == nil {
+		t.Errorf("intractable catalog accepted")
+	}
+}
+
+func TestScanCounterProducesSameAnswers(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(9)), 7, 150)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 5))
+	m1 := newMiner(t, db)
+	m2, err := New(db, testParams(), WithCounter(counting.NewScanCounter(db)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m1.BMSPlusPlus(q, PlusPlusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.BMSPlusPlus(q, PlusPlusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSets(r1.Answers, r2.Answers) {
+		t.Fatalf("counters disagree: %s vs %s", setsString(r1.Answers), setsString(r2.Answers))
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	cat := dataset.SyntheticCatalog(4, nil)
+	db, _ := dataset.NewDB(cat, nil)
+	m, err := New(db, Params{Alpha: 0.9, CellSupport: 1, CTFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.BMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Fatalf("answers on empty DB: %s", setsString(res.Answers))
+	}
+}
+
+func TestEnumerateSets(t *testing.T) {
+	var got []string
+	enumerateSets(4, 2, func(s itemset.Set) { got = append(got, s.String()) })
+	want := []string{"{0, 1}", "{0, 2}", "{0, 3}", "{1, 2}", "{1, 3}", "{2, 3}"}
+	if len(got) != len(want) {
+		t.Fatalf("enumerateSets = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("enumerateSets = %v, want %v", got, want)
+		}
+	}
+	n := 0
+	enumerateSets(6, 3, func(itemset.Set) { n++ })
+	if n != 20 {
+		t.Fatalf("C(6,3) = %d, want 20", n)
+	}
+	enumerateSets(3, 4, func(itemset.Set) { t.Fatal("k > n should enumerate nothing") })
+	enumerateSets(3, 0, func(itemset.Set) { t.Fatal("k = 0 should enumerate nothing") })
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/counting"
+	"ccs/internal/dataset"
+)
+
+// TestAllAlgorithmsOnDiskCounter runs every algorithm against the
+// streaming disk counter and checks the answers match the in-memory run —
+// the full bounded-memory pipeline end to end.
+func TestAllAlgorithmsOnDiskCounter(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(12)), 7, 200)
+	path := filepath.Join(t.TempDir(), "d.ccs")
+	if err := dataset.WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := counting.NewDiskScanCounter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMiner(t, db)
+	md, err := New(db, testParams(), WithCounter(disk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 3))
+
+	type pair struct {
+		name string
+		run  func(m *Miner) (*Result, error)
+	}
+	runs := []pair{
+		{"BMS", func(m *Miner) (*Result, error) { return m.BMS() }},
+		{"BMS+", func(m *Miner) (*Result, error) { return m.BMSPlus(q) }},
+		{"BMS++", func(m *Miner) (*Result, error) { return m.BMSPlusPlus(q, PlusPlusOptions{}) }},
+		{"BMS*", func(m *Miner) (*Result, error) { return m.BMSStar(q) }},
+		{"BMS**", func(m *Miner) (*Result, error) { return m.BMSStarStar(q, StarStarOptions{}) }},
+		{"AllValid", func(m *Miner) (*Result, error) { return m.AllValid(q) }},
+	}
+	for _, r := range runs {
+		a, err := r.run(mem)
+		if err != nil {
+			t.Fatalf("%s in-memory: %v", r.name, err)
+		}
+		b, err := r.run(md)
+		if err != nil {
+			t.Fatalf("%s disk: %v", r.name, err)
+		}
+		if !sameSets(a.Answers, b.Answers) {
+			t.Fatalf("%s: disk answers %s differ from memory %s",
+				r.name, setsString(b.Answers), setsString(a.Answers))
+		}
+	}
+}

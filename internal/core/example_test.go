@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ccs/internal/constraint"
+	"ccs/internal/core"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// buildExampleDB plants a strong correlation between items 0 and 1.
+func buildExampleDB() *dataset.DB {
+	cat := dataset.SyntheticCatalog(5, []string{"soda", "snack"})
+	r := rand.New(rand.NewSource(1))
+	var tx []dataset.Transaction
+	for i := 0; i < 500; i++ {
+		var items []itemset.Item
+		if r.Intn(2) == 0 {
+			items = append(items, 0)
+			if r.Intn(10) < 9 {
+				items = append(items, 1)
+			}
+		}
+		for j := itemset.Item(2); j < 5; j++ {
+			if r.Intn(3) == 0 {
+				items = append(items, j)
+			}
+		}
+		tx = append(tx, itemset.New(items...))
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+// ExampleMiner_BMSPlusPlus mines valid minimal correlated sets under an
+// anti-monotone price constraint.
+func ExampleMiner_BMSPlusPlus() {
+	db := buildExampleDB()
+	m, err := core.New(db, core.Params{Alpha: 0.999, CellSupportFrac: 0.05, CTFraction: 0.25, MaxLevel: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 3))
+	res, err := m.BMSPlusPlus(q, core.PlusPlusOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res.Answers {
+		fmt.Println(s)
+	}
+	// Output:
+	// {0, 1}
+}
+
+// ExampleMiner_Brute validates the fast algorithms against the exhaustive
+// reference on a small catalog.
+func ExampleMiner_Brute() {
+	db := buildExampleDB()
+	m, err := core.New(db, core.Params{Alpha: 0.999, CellSupportFrac: 0.05, CTFraction: 0.25, MaxLevel: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := constraint.And()
+	brute, err := m.Brute(q, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := m.BMS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(fast.Answers) == len(brute.MinimalCorrelated))
+	// Output:
+	// true
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"ccs/internal/constraint"
+	"ccs/internal/itemset"
+)
+
+// BMSStar computes MINVALID(Q) naively (the paper's Figure F): run the
+// unconstrained baseline, keep the valid minimal correlated sets, and grow
+// the correlated-but-monotone-invalid ones upward level by level. The
+// upward sweep re-checks CT-support and the anti-monotone constraints but
+// skips the chi-squared test: a superset of a correlated set is correlated
+// (upward closure of the statistic under table collapse).
+func (m *Miner) BMSStar(q *constraint.Conjunction) (*Result, error) {
+	split, err := q.Classify()
+	if err != nil {
+		return nil, err
+	}
+	if split.HasUnclassified() {
+		return nil, fmt.Errorf("core: BMS* requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
+	}
+	out, err := m.runBaseline()
+	if err != nil {
+		return nil, err
+	}
+	stats := out.stats
+
+	answers := itemset.NewRegistry()
+	// Seeds for the upward sweep: minimal correlated sets that satisfy the
+	// anti-monotone constraints but fail a monotone one. Sets failing an
+	// anti-monotone constraint are discarded outright — no superset can be
+	// valid.
+	var seeds []itemset.Set
+	for _, s := range out.sig {
+		if !split.SatisfiesAM(m.cat, s) {
+			continue
+		}
+		if split.SatisfiesM(m.cat, s) {
+			answers.Add(s)
+		} else {
+			seeds = append(seeds, s)
+		}
+	}
+
+	if err := m.sweepUp(&stats, split, seeds, answers); err != nil {
+		return nil, err
+	}
+	return &Result{Answers: answers.Sets(), Stats: stats}, nil
+}
+
+// sweepUp grows the seed sets (correlated, CT-supported, AM-valid, not yet
+// M-valid) upward one item at a time, adding each minimal valid superset to
+// answers. Invariants maintained per level:
+//
+//   - every examined set is a superset of a correlated set, hence
+//     correlated; only CT-support and constraints are re-checked;
+//   - a set containing an already-found answer cannot be minimal valid and
+//     is dropped together with its supersets;
+//   - a set failing an anti-monotone constraint is dropped likewise.
+func (m *Miner) sweepUp(stats *Stats, split *constraint.Split, seeds []itemset.Set, answers *itemset.Registry) error {
+	pool := m.frequentItems(split.AMMGF().Allowed)
+	// group seeds by level so the sweep proceeds smallest-first
+	byLevel := map[int][]itemset.Set{}
+	maxSeed := 0
+	for _, s := range seeds {
+		byLevel[s.Size()] = append(byLevel[s.Size()], s)
+		if s.Size() > maxSeed {
+			maxSeed = s.Size()
+		}
+	}
+	if len(seeds) == 0 {
+		return nil
+	}
+	minSeed := maxSeed
+	for k := range byLevel {
+		if k < minSeed {
+			minSeed = k
+		}
+	}
+
+	frontier := itemset.NewRegistry() // NOTSIG of the sweep: in-space, AM-valid, M-invalid
+	var frontierLevel []itemset.Set
+	for _, s := range byLevel[minSeed] {
+		frontier.Add(s)
+		frontierLevel = append(frontierLevel, s)
+	}
+	for level := minSeed; len(frontierLevel) > 0 || level < maxSeed; level++ {
+		if level+1 > m.res.maxLevel {
+			break
+		}
+		stats.Levels++
+		cands := extendAny(frontierLevel, pool)
+		m.report("BMS*", "sweep", level+1, len(cands))
+		// new seeds arriving at the next level join the frontier directly
+		// (they are already known correlated and CT-supported)
+		stats.Candidates += len(cands)
+
+		// drop candidates that fail AM constraints or contain an answer
+		kept := cands[:0]
+		for _, c := range cands {
+			if answers.ContainsSubsetOf(c) {
+				continue
+			}
+			if !split.SatisfiesAMOther(m.cat, c) {
+				stats.PrunedByAM++
+				continue
+			}
+			kept = append(kept, c)
+		}
+		cands = kept
+
+		tables, err := m.countBatch(stats, cands)
+		if err != nil {
+			return err
+		}
+		frontierLevel = frontierLevel[:0]
+		for i, t := range tables {
+			if !t.CTSupported(m.res.s, m.res.CTFraction) {
+				continue
+			}
+			if split.SatisfiesM(m.cat, cands[i]) {
+				answers.Add(cands[i])
+			} else if frontier.Add(cands[i]) {
+				frontierLevel = append(frontierLevel, cands[i])
+			}
+		}
+		for _, s := range byLevel[level+1] {
+			if !answers.ContainsSubsetOf(s) && frontier.Add(s) {
+				frontierLevel = append(frontierLevel, s)
+			}
+		}
+	}
+	return nil
+}
+
+// extendAny returns the deduplicated one-item extensions of the bases — the
+// upward sweep has no Apriori prune because its frontier is not
+// subset-closed.
+func extendAny(bases []itemset.Set, pool []itemset.Item) []itemset.Set {
+	seen := itemset.NewRegistry()
+	var out []itemset.Set
+	for _, b := range bases {
+		for _, x := range pool {
+			if b.Contains(x) {
+				continue
+			}
+			c := b.With(x)
+			if seen.Add(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	itemset.SortSets(out)
+	return out
+}
+
+// StarStarOptions configures BMSStarStar.
+type StarStarOptions struct {
+	// PushMonotoneSuccinct enables the L1+/L1- witness split of the
+	// paper's Modification I for the single-witness case, pruning
+	// unwitnessed candidates in phase 1. The answer set (MINVALID) is
+	// unchanged; only the explored space shrinks.
+	PushMonotoneSuccinct bool
+}
+
+// BMSStarStar computes MINVALID(Q) with the paper's two-phase strategy
+// (Figure G): phase 1 grows the CT-supported, AM-valid candidate space to
+// exhaustion without any chi-squared test; phase 2 sweeps the stored levels
+// bottom-up applying the chi-squared test and monotone constraints, keeping
+// the minimal valid sets. Its cost tracks the size of the valid supported
+// space (Σ v_i in the paper's analysis), which is why it wins under
+// selective constraints and loses badly under unselective ones.
+func (m *Miner) BMSStarStar(q *constraint.Conjunction, opts StarStarOptions) (*Result, error) {
+	split, err := q.Classify()
+	if err != nil {
+		return nil, err
+	}
+	if split.HasUnclassified() {
+		return nil, fmt.Errorf("core: BMS** requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
+	}
+
+	stats := Stats{}
+	amAllowed := split.AMMGF().Allowed
+	var witness constraint.ItemFilter
+	if opts.PushMonotoneSuccinct {
+		if ws := split.MMGF().Witnesses; len(ws) == 1 {
+			witness = ws[0]
+		}
+	}
+
+	l1 := m.frequentItems(amAllowed)
+	var cands []itemset.Set
+	var relevant func(itemset.Set) bool
+	if witness != nil {
+		var plus, minus []itemset.Item
+		for _, i := range l1 {
+			if witness(m.cat.Info(i)) {
+				plus = append(plus, i)
+			} else {
+				minus = append(minus, i)
+			}
+		}
+		cands = pairs(plus, minus)
+		inPlus := make(map[itemset.Item]bool, len(plus))
+		for _, i := range plus {
+			inPlus[i] = true
+		}
+		relevant = func(s itemset.Set) bool {
+			for _, i := range s {
+				if inPlus[i] {
+					return true
+				}
+			}
+			return false
+		}
+	} else {
+		cands = pairs(l1, nil)
+	}
+	stats.Candidates += len(cands)
+
+	// Phase 1: SUPP levels — CT-supported and AM-valid, no chi-squared.
+	type suppLevel struct {
+		sets   []itemset.Set
+		tables []int // index into allTables
+	}
+	var levels []suppLevel
+	var allTables []*tableEntry
+	supp := itemset.NewRegistry()
+	for level := 2; len(cands) > 0 && level <= m.res.maxLevel; level++ {
+		stats.Levels++
+		m.report("BMS**", "supp", level, len(cands))
+		kept := cands[:0]
+		for _, c := range cands {
+			if split.SatisfiesAMOther(m.cat, c) {
+				kept = append(kept, c)
+			} else {
+				stats.PrunedByAM++
+			}
+		}
+		cands = kept
+		tables, err := m.countBatch(&stats, cands)
+		if err != nil {
+			return nil, err
+		}
+		var lv suppLevel
+		for i, t := range tables {
+			if !t.CTSupported(m.res.s, m.res.CTFraction) {
+				continue
+			}
+			supp.Add(cands[i])
+			lv.sets = append(lv.sets, cands[i])
+			allTables = append(allTables, &tableEntry{set: cands[i], chi: t.ChiSquared()})
+			lv.tables = append(lv.tables, len(allTables)-1)
+		}
+		levels = append(levels, lv)
+		cands = extend(lv.sets, l1, relevant, supp)
+		stats.Candidates += len(cands)
+	}
+
+	// Phase 2: bottom-up chi-squared + monotone sweep over the SUPP
+	// levels. NOTSIG holds supported sets that are not yet answers; a
+	// set is examined only if its relevant subsets are all in NOTSIG.
+	notsig := itemset.NewRegistry()
+	var answers []itemset.Set
+	for li, lv := range levels {
+		m.report("BMS**", "chi", li+2, len(lv.sets))
+		for i, s := range lv.sets {
+			if li > 0 { // level-2 sets (li == 0) are always examined
+				ok := true
+				s.Subsets1(func(sub itemset.Set) bool {
+					if relevant != nil && !relevant(sub) {
+						return true
+					}
+					if !notsig.Has(sub) {
+						ok = false
+						return false
+					}
+					return true
+				})
+				if !ok {
+					continue
+				}
+			}
+			entry := allTables[lv.tables[i]]
+			stats.ChiSquaredTests++
+			if entry.chi >= m.res.cutoff && split.SatisfiesM(m.cat, s) {
+				answers = append(answers, s)
+			} else {
+				notsig.Add(s)
+			}
+		}
+	}
+	itemset.SortSets(answers)
+	return &Result{Answers: answers, Stats: stats}, nil
+}
+
+// tableEntry caches the statistic of a phase-1 table so phase 2 does not
+// recount the database.
+type tableEntry struct {
+	set itemset.Set
+	chi float64
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/constraint"
+)
+
+func TestProgressEventsEmitted(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(3)), 7, 150)
+	var events []ProgressEvent
+	m, err := New(db, testParams(), WithProgress(func(e ProgressEvent) {
+		events = append(events, e)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 3))
+
+	events = nil
+	if _, err := m.BMS(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatalf("BMS emitted no progress")
+	}
+	if events[0].Algorithm != "BMS" || events[0].Phase != "levelwise" || events[0].Level != 2 {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Level != events[i-1].Level+1 {
+			t.Fatalf("levels not consecutive: %+v", events)
+		}
+	}
+
+	events = nil
+	if _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[0].Algorithm != "BMS++" {
+		t.Fatalf("BMS++ events = %+v", events)
+	}
+
+	events = nil
+	if _, err := m.BMSStar(q); err != nil {
+		t.Fatal(err)
+	}
+	sawSweep := false
+	for _, e := range events {
+		if e.Algorithm == "BMS*" && e.Phase == "sweep" {
+			sawSweep = true
+		}
+	}
+	if !sawSweep {
+		t.Fatalf("BMS* emitted no sweep events: %+v", events)
+	}
+
+	events = nil
+	if _, err := m.BMSStarStar(q, StarStarOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]bool{}
+	for _, e := range events {
+		phases[e.Phase] = true
+	}
+	if !phases["supp"] || !phases["chi"] {
+		t.Fatalf("BMS** phases = %v", phases)
+	}
+}
+
+func TestNoProgressObserverIsSilent(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(3)), 6, 100)
+	m, err := New(db, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// must not panic without an observer
+	if _, err := m.BMS(); err != nil {
+		t.Fatal(err)
+	}
+}

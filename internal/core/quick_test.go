@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccs/internal/constraint"
+	"ccs/internal/contingency"
+	"ccs/internal/counting"
+	"ccs/internal/itemset"
+)
+
+// randomConjunction builds a random classified conjunction of 0-3
+// constraints over the 6-item price/type test catalog.
+func randomConjunction(r *rand.Rand) *constraint.Conjunction {
+	pool := []func() constraint.Constraint{
+		func() constraint.Constraint {
+			return constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, float64(r.Intn(8)))
+		},
+		func() constraint.Constraint {
+			return constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.GE, float64(r.Intn(8)))
+		},
+		func() constraint.Constraint {
+			return constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, float64(r.Intn(8)))
+		},
+		func() constraint.Constraint {
+			return constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.GE, float64(r.Intn(8)))
+		},
+		func() constraint.Constraint {
+			return constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, float64(r.Intn(15)))
+		},
+		func() constraint.Constraint {
+			return constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.GE, float64(r.Intn(15)))
+		},
+		func() constraint.Constraint {
+			return constraint.NewAggregate(constraint.AggCount, constraint.Price, constraint.LE, float64(r.Intn(4)+1))
+		},
+		func() constraint.Constraint {
+			types := []string{"soda", "snack", "frozen"}
+			ops := []constraint.SetOp{constraint.OpDisjoint, constraint.OpIntersects, constraint.OpWithin, constraint.OpContainsAll}
+			return constraint.NewDomain(ops[r.Intn(len(ops))], constraint.Type, types[r.Intn(len(types))])
+		},
+	}
+	n := r.Intn(4)
+	cs := make([]constraint.Constraint, n)
+	for i := range cs {
+		cs[i] = pool[r.Intn(len(pool))]()
+	}
+	return constraint.And(cs...)
+}
+
+func TestQuickAllAlgorithmsAgainstBrute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick consistency sweep")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := corrDB(r, 6, 120)
+		m, err := New(db, testParams())
+		if err != nil {
+			return false
+		}
+		q := randomConjunction(r)
+		brute, err := m.Brute(q, 4)
+		if err != nil {
+			return false
+		}
+		plus, err := m.BMSPlus(q)
+		if err != nil {
+			return false
+		}
+		if !sameSets(plus.Answers, brute.ValidMin) {
+			t.Logf("seed %d q=%s: BMS+ %s vs %s", seed, q, setsString(plus.Answers), setsString(brute.ValidMin))
+			return false
+		}
+		pp, err := m.BMSPlusPlus(q, PlusPlusOptions{})
+		if err != nil {
+			return false
+		}
+		if !sameSets(pp.Answers, brute.ValidMin) {
+			t.Logf("seed %d q=%s: BMS++ %s vs %s", seed, q, setsString(pp.Answers), setsString(brute.ValidMin))
+			return false
+		}
+		star, err := m.BMSStar(q)
+		if err != nil {
+			return false
+		}
+		if !sameSets(star.Answers, brute.MinValid) {
+			t.Logf("seed %d q=%s: BMS* %s vs %s", seed, q, setsString(star.Answers), setsString(brute.MinValid))
+			return false
+		}
+		ss, err := m.BMSStarStar(q, StarStarOptions{})
+		if err != nil {
+			return false
+		}
+		if !sameSets(ss.Answers, brute.MinValid) {
+			t.Logf("seed %d q=%s: BMS** %s vs %s", seed, q, setsString(ss.Answers), setsString(brute.MinValid))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStarStarPushMatchesExact(t *testing.T) {
+	// For BMS** the witness push is a pure optimization: the answer set
+	// (MINVALID) must be identical with and without it.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := corrDB(r, 6, 120)
+		m, err := New(db, testParams())
+		if err != nil {
+			return false
+		}
+		q := randomConjunction(r)
+		a, err := m.BMSStarStar(q, StarStarOptions{})
+		if err != nil {
+			return false
+		}
+		b, err := m.BMSStarStar(q, StarStarOptions{PushMonotoneSuccinct: true})
+		if err != nil {
+			return false
+		}
+		return sameSets(a.Answers, b.Answers)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failingCounter injects an error after a given number of batches, to
+// verify error propagation through every algorithm.
+type failingCounter struct {
+	inner counting.Counter
+	after int
+	calls int
+}
+
+var errInjected = errors.New("injected counting failure")
+
+func (f *failingCounter) NumTx() int          { return f.inner.NumTx() }
+func (f *failingCounter) ItemSupports() []int { return f.inner.ItemSupports() }
+func (f *failingCounter) Stats() counting.Stats {
+	return f.inner.Stats()
+}
+func (f *failingCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
+	f.calls++
+	if f.calls > f.after {
+		return nil, errInjected
+	}
+	return f.inner.CountTables(sets)
+}
+
+func TestCountingFailurePropagates(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	db := corrDB(r, 7, 150)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 3))
+	for after := 0; after < 2; after++ {
+		fc := &failingCounter{inner: counting.NewBitmapCounter(db), after: after}
+		m, err := New(db, testParams(), WithCounter(fc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		type runFn func() error
+		runs := map[string]runFn{
+			"BMS":   func() error { _, err := m.BMS(); return err },
+			"BMS+":  func() error { _, err := m.BMSPlus(q); return err },
+			"BMS++": func() error { _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); return err },
+			"BMS*":  func() error { _, err := m.BMSStar(q); return err },
+			"BMS**": func() error { _, err := m.BMSStarStar(q, StarStarOptions{}); return err },
+			"Brute": func() error { _, err := m.Brute(q, 3); return err },
+		}
+		for name, run := range runs {
+			fc.calls = 0
+			if err := run(); !errors.Is(err, errInjected) {
+				t.Errorf("after=%d %s: err = %v, want injected failure", after, name, err)
+			}
+		}
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	// Structural invariants on the reported statistics.
+	r := rand.New(rand.NewSource(8))
+	db := corrDB(r, 7, 200)
+	m, err := New(db, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 5))
+	res, err := m.BMSPlusPlus(q, PlusPlusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.SetsConsidered > st.Candidates {
+		t.Errorf("considered %d > generated %d", st.SetsConsidered, st.Candidates)
+	}
+	if st.ChiSquaredTests > st.SetsConsidered {
+		t.Errorf("chi tests %d > considered %d", st.ChiSquaredTests, st.SetsConsidered)
+	}
+	if st.DBScans > st.Levels {
+		t.Errorf("scans %d > levels %d", st.DBScans, st.Levels)
+	}
+	if st.SetsConsidered+st.PrunedByAM > st.Candidates {
+		t.Errorf("considered+pruned %d > candidates %d", st.SetsConsidered+st.PrunedByAM, st.Candidates)
+	}
+}

@@ -1,0 +1,205 @@
+// Package counting turns a transaction database into contingency tables.
+// It offers two independent engines with identical semantics:
+//
+//   - ScanCounter: horizontal, one pass over the transactions per batch —
+//     the paper's cost model, where the number of candidate batches is the
+//     number of database scans.
+//   - BitmapCounter: vertical, intersecting per-item TID bitsets and
+//     recovering minterm counts from subset supports by Möbius inversion.
+//
+// The two are cross-checked against each other in tests; the mining
+// algorithms take the Counter interface and work with either.
+package counting
+
+import (
+	"fmt"
+
+	"ccs/internal/bitset"
+	"ccs/internal/contingency"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// Stats records the work a counter has performed, mirroring the cost
+// accounting of the paper's Section 3.3.
+type Stats struct {
+	Batches     int // CountTables calls = database scans for ScanCounter
+	TablesBuilt int // contingency tables constructed
+}
+
+// Counter builds contingency tables for batches of itemsets.
+type Counter interface {
+	// NumTx returns the number of transactions covered.
+	NumTx() int
+	// ItemSupports returns per-item support counts (level-1 statistics).
+	ItemSupports() []int
+	// CountTables builds one contingency table per itemset. A call
+	// represents one logical pass over the database.
+	CountTables(sets []itemset.Set) ([]*contingency.Table, error)
+	// Stats reports cumulative work counters.
+	Stats() Stats
+}
+
+// ScanCounter counts minterms by scanning the horizontal transaction list.
+type ScanCounter struct {
+	db    *dataset.DB
+	stats Stats
+}
+
+// NewScanCounter returns a horizontal counter over db.
+func NewScanCounter(db *dataset.DB) *ScanCounter {
+	return &ScanCounter{db: db}
+}
+
+// NumTx implements Counter.
+func (s *ScanCounter) NumTx() int { return s.db.NumTx() }
+
+// ItemSupports implements Counter.
+func (s *ScanCounter) ItemSupports() []int { return s.db.ItemSupports() }
+
+// Stats implements Counter.
+func (s *ScanCounter) Stats() Stats { return s.stats }
+
+// CountTables implements Counter with a single pass over the database for
+// the whole batch.
+func (s *ScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
+	s.stats.Batches++
+	s.stats.TablesBuilt += len(sets)
+	cells := make([][]int, len(sets))
+	for i, set := range sets {
+		if set.Size() > contingency.MaxItems {
+			return nil, fmt.Errorf("counting: itemset %v exceeds %d items", set, contingency.MaxItems)
+		}
+		cells[i] = make([]int, 1<<uint(set.Size()))
+	}
+	for _, tx := range s.db.Tx {
+		for i, set := range sets {
+			cells[i][mintermIndex(set, tx)]++
+		}
+	}
+	out := make([]*contingency.Table, len(sets))
+	for i, set := range sets {
+		t, err := contingency.New(set, s.db.NumTx(), cells[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// mintermIndex computes the contingency cell of transaction tx for itemset
+// set: bit j is set iff set[j] ∈ tx. Both slices are in canonical order, so
+// a linear merge suffices.
+func mintermIndex(set itemset.Set, tx dataset.Transaction) int {
+	idx := 0
+	ti := 0
+	for j, id := range set {
+		for ti < len(tx) && tx[ti] < id {
+			ti++
+		}
+		if ti < len(tx) && tx[ti] == id {
+			idx |= 1 << uint(j)
+			ti++
+		}
+	}
+	return idx
+}
+
+// BitmapCounter counts minterms from a vertical index. Subset supports are
+// computed by intersecting item columns (sharing work across the subset
+// lattice), then minterm counts follow by Möbius inversion over subsets.
+type BitmapCounter struct {
+	idx   *dataset.VerticalIndex
+	items []int
+	stats Stats
+}
+
+// NewBitmapCounter builds the vertical index for db and returns the counter.
+func NewBitmapCounter(db *dataset.DB) *BitmapCounter {
+	return &BitmapCounter{idx: dataset.BuildVerticalIndex(db), items: db.ItemSupports()}
+}
+
+// NewBitmapCounterFromIndex wraps an existing vertical index; itemSupports
+// must match the index.
+func NewBitmapCounterFromIndex(idx *dataset.VerticalIndex, itemSupports []int) *BitmapCounter {
+	return &BitmapCounter{idx: idx, items: itemSupports}
+}
+
+// NumTx implements Counter.
+func (b *BitmapCounter) NumTx() int { return b.idx.NumTx() }
+
+// ItemSupports implements Counter.
+func (b *BitmapCounter) ItemSupports() []int {
+	out := make([]int, len(b.items))
+	copy(out, b.items)
+	return out
+}
+
+// Stats implements Counter.
+func (b *BitmapCounter) Stats() Stats { return b.stats }
+
+// CountTables implements Counter.
+func (b *BitmapCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
+	b.stats.Batches++
+	b.stats.TablesBuilt += len(sets)
+	out := make([]*contingency.Table, len(sets))
+	for i, set := range sets {
+		t, err := b.countOne(set)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func (b *BitmapCounter) countOne(set itemset.Set) (*contingency.Table, error) {
+	k := set.Size()
+	if k > contingency.MaxItems {
+		return nil, fmt.Errorf("counting: itemset %v exceeds %d items", set, contingency.MaxItems)
+	}
+	n := b.idx.NumTx()
+	size := 1 << uint(k)
+	// g[mask] = support of the sub-itemset selected by mask.
+	g := make([]int, size)
+	g[0] = n
+	if k > 0 {
+		inter := make([]*bitset.Set, size)
+		for mask := 1; mask < size; mask++ {
+			low := mask & -mask
+			j := trailingZeros(low)
+			col := b.idx.Column(set[j])
+			rest := mask ^ low
+			if rest == 0 {
+				inter[mask] = col
+				g[mask] = col.Count()
+				continue
+			}
+			bs := bitset.New(n)
+			bs.And(inter[rest], col)
+			inter[mask] = bs
+			g[mask] = bs.Count()
+		}
+	}
+	// Möbius inversion over subsets: after the transform,
+	// g[mask] = #transactions whose intersection with set is exactly mask.
+	for j := 0; j < k; j++ {
+		bit := 1 << uint(j)
+		for mask := 0; mask < size; mask++ {
+			if mask&bit == 0 {
+				g[mask] -= g[mask|bit]
+			}
+		}
+	}
+	return contingency.New(set, n, g)
+}
+
+func trailingZeros(x int) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

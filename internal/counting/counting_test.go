@@ -1,0 +1,248 @@
+package counting
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+func smallDB(t *testing.T) *dataset.DB {
+	t.Helper()
+	cat := dataset.SyntheticCatalog(4, nil)
+	db, err := dataset.NewDB(cat, []dataset.Transaction{
+		itemset.New(0, 1),
+		itemset.New(0, 1, 2),
+		itemset.New(2),
+		itemset.New(0, 3),
+		itemset.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func randomDB(r *rand.Rand, numItems, numTx int) *dataset.DB {
+	cat := dataset.SyntheticCatalog(numItems, nil)
+	tx := make([]dataset.Transaction, numTx)
+	for i := range tx {
+		var items []itemset.Item
+		for j := 0; j < numItems; j++ {
+			if r.Intn(3) == 0 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		tx[i] = itemset.New(items...)
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func TestMintermIndex(t *testing.T) {
+	cases := []struct {
+		set  itemset.Set
+		tx   dataset.Transaction
+		want int
+	}{
+		{itemset.New(0, 1), itemset.New(0, 1), 3},
+		{itemset.New(0, 1), itemset.New(0), 1},
+		{itemset.New(0, 1), itemset.New(1), 2},
+		{itemset.New(0, 1), itemset.New(2), 0},
+		{itemset.New(0, 1), itemset.New(), 0},
+		{itemset.New(1, 3, 5), itemset.New(0, 3, 5, 9), 6},
+		{itemset.New(), itemset.New(1, 2), 0},
+	}
+	for _, c := range cases {
+		if got := mintermIndex(c.set, c.tx); got != c.want {
+			t.Errorf("mintermIndex(%v, %v) = %d, want %d", c.set, c.tx, got, c.want)
+		}
+	}
+}
+
+func TestScanCounterKnownTable(t *testing.T) {
+	db := smallDB(t)
+	c := NewScanCounter(db)
+	tabs, err := c.CountTables([]itemset.Set{itemset.New(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	// tx contents w.r.t. {0,1}: {0,1}, {0,1}, {}, {0}, {}
+	want := []int{2, 1, 0, 2} // ~0~1, 0~1, ~01, 01
+	for i := range want {
+		if tab.Cells[i] != want[i] {
+			t.Fatalf("cells = %v, want %v", tab.Cells, want)
+		}
+	}
+	if tab.Support() != 2 {
+		t.Fatalf("support = %d", tab.Support())
+	}
+}
+
+func TestBothCountersEmptySet(t *testing.T) {
+	db := smallDB(t)
+	for _, c := range []Counter{NewScanCounter(db), NewBitmapCounter(db)} {
+		tabs, err := c.CountTables([]itemset.Set{itemset.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tabs[0].Cells) != 1 || tabs[0].Cells[0] != 5 {
+			t.Fatalf("empty-set table = %v", tabs[0].Cells)
+		}
+	}
+}
+
+func TestItemSupports(t *testing.T) {
+	db := smallDB(t)
+	want := []int{3, 2, 2, 1}
+	for _, c := range []Counter{NewScanCounter(db), NewBitmapCounter(db)} {
+		got := c.ItemSupports()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ItemSupports = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestItemSupportsCopyIsolated(t *testing.T) {
+	db := smallDB(t)
+	b := NewBitmapCounter(db)
+	got := b.ItemSupports()
+	got[0] = 999
+	if b.ItemSupports()[0] == 999 {
+		t.Fatalf("ItemSupports exposes internal slice")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	db := smallDB(t)
+	for _, c := range []Counter{NewScanCounter(db), NewBitmapCounter(db)} {
+		c.CountTables([]itemset.Set{itemset.New(0), itemset.New(1)})
+		c.CountTables([]itemset.Set{itemset.New(0, 1)})
+		st := c.Stats()
+		if st.Batches != 2 || st.TablesBuilt != 3 {
+			t.Fatalf("stats = %+v", st)
+		}
+	}
+}
+
+func TestOversizedItemsetRejected(t *testing.T) {
+	db := smallDB(t)
+	big := make([]itemset.Item, 21)
+	for i := range big {
+		big[i] = itemset.Item(i)
+	}
+	// catalog only has 4 items, so build a larger catalog
+	cat := dataset.SyntheticCatalog(30, nil)
+	db2, _ := dataset.NewDB(cat, nil)
+	_ = db
+	for _, c := range []Counter{NewScanCounter(db2), NewBitmapCounter(db2)} {
+		if _, err := c.CountTables([]itemset.Set{itemset.New(big...)}); err == nil {
+			t.Fatalf("oversized itemset accepted")
+		}
+	}
+}
+
+func TestNumTx(t *testing.T) {
+	db := smallDB(t)
+	if NewScanCounter(db).NumTx() != 5 || NewBitmapCounter(db).NumTx() != 5 {
+		t.Fatalf("NumTx mismatch")
+	}
+}
+
+func TestQuickScanEqualsBitmap(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 8, 40)
+		scan := NewScanCounter(db)
+		bm := NewBitmapCounter(db)
+
+		// random batch of itemsets, sizes 1..4
+		var sets []itemset.Set
+		for i := 0; i < 5; i++ {
+			k := r.Intn(4) + 1
+			var items []itemset.Item
+			for len(itemset.New(items...)) < k {
+				items = append(items, itemset.Item(r.Intn(8)))
+			}
+			sets = append(sets, itemset.New(items...))
+		}
+		a, err1 := scan.CountTables(sets)
+		b, err2 := bm.CountTables(sets)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range sets {
+			if len(a[i].Cells) != len(b[i].Cells) {
+				return false
+			}
+			for c := range a[i].Cells {
+				if a[i].Cells[c] != b[i].Cells[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTableMatchesDirectSupport(t *testing.T) {
+	// The all-present cell must equal the vertical index's support, and
+	// marginals must equal item supports.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 6, 30)
+		v := dataset.BuildVerticalIndex(db)
+		bm := NewBitmapCounter(db)
+		s := itemset.New(itemset.Item(r.Intn(6)), itemset.Item(r.Intn(6)), itemset.Item(r.Intn(6)))
+		tabs, err := bm.CountTables([]itemset.Set{s})
+		if err != nil {
+			return false
+		}
+		tab := tabs[0]
+		if tab.Support() != v.Support(s) {
+			return false
+		}
+		for j := 0; j < s.Size(); j++ {
+			if tab.MarginalSupport(j) != v.Support(itemset.New(s[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScanCounter3Items(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	db := randomDB(r, 50, 5000)
+	c := NewScanCounter(db)
+	sets := []itemset.Set{itemset.New(1, 2, 3)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CountTables(sets)
+	}
+}
+
+func BenchmarkBitmapCounter3Items(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	db := randomDB(r, 50, 5000)
+	c := NewBitmapCounter(db)
+	sets := []itemset.Set{itemset.New(1, 2, 3)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CountTables(sets)
+	}
+}

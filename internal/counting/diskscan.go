@@ -1,0 +1,165 @@
+package counting
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"ccs/internal/contingency"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// DiskScanCounter counts minterms by re-reading a binary dataset file on
+// every batch, holding only one transaction in memory at a time — the
+// bounded-memory regime the paper's cost model assumes, where each level of
+// the algorithm is one scan of a database too large to cache. The catalog
+// and per-item supports are read once at construction.
+type DiskScanCounter struct {
+	path     string
+	numTx    int
+	supports []int
+	stats    Stats
+}
+
+// NewDiskScanCounter validates the file once (full scan) and returns the
+// counter.
+func NewDiskScanCounter(path string) (*DiskScanCounter, error) {
+	c := &DiskScanCounter{path: path}
+	err := c.scan(func(tx dataset.Transaction) {
+		c.numTx++
+		for _, id := range tx {
+			c.supports[id]++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NumTx implements Counter.
+func (c *DiskScanCounter) NumTx() int { return c.numTx }
+
+// ItemSupports implements Counter.
+func (c *DiskScanCounter) ItemSupports() []int {
+	out := make([]int, len(c.supports))
+	copy(out, c.supports)
+	return out
+}
+
+// Stats implements Counter.
+func (c *DiskScanCounter) Stats() Stats { return c.stats }
+
+// CountTables implements Counter with one streaming pass per batch.
+func (c *DiskScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
+	c.stats.Batches++
+	c.stats.TablesBuilt += len(sets)
+	cells := make([][]int, len(sets))
+	for i, set := range sets {
+		if set.Size() > contingency.MaxItems {
+			return nil, fmt.Errorf("counting: itemset %v exceeds %d items", set, contingency.MaxItems)
+		}
+		cells[i] = make([]int, 1<<uint(set.Size()))
+	}
+	n := 0
+	err := c.scan(func(tx dataset.Transaction) {
+		n++
+		for i, set := range sets {
+			cells[i][mintermIndex(set, tx)]++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n != c.numTx {
+		return nil, fmt.Errorf("counting: dataset %s changed size between scans (%d vs %d)", c.path, n, c.numTx)
+	}
+	out := make([]*contingency.Table, len(sets))
+	for i, set := range sets {
+		t, err := contingency.New(set, c.numTx, cells[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// scan streams the file, calling fn per transaction. On the first scan
+// (supports == nil) it also sizes the supports slice from the catalog
+// header.
+func (c *DiskScanCounter) scan(fn func(dataset.Transaction)) error {
+	f, err := os.Open(c.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("counting: %s: %w", c.path, err)
+	}
+	if string(magic[:]) != "CCS1" {
+		return fmt.Errorf("counting: %s: not a dataset file", c.path)
+	}
+	var numItems uint32
+	if err := binary.Read(br, binary.LittleEndian, &numItems); err != nil {
+		return err
+	}
+	if numItems > 1<<24 {
+		return fmt.Errorf("counting: %s: implausible item count %d", c.path, numItems)
+	}
+	if c.supports == nil {
+		c.supports = make([]int, numItems)
+	} else if len(c.supports) != int(numItems) {
+		return fmt.Errorf("counting: %s: item count changed between scans", c.path)
+	}
+	// skip the catalog entries: name, type, price per item
+	for i := uint32(0); i < numItems; i++ {
+		for j := 0; j < 2; j++ { // name, type
+			var n uint16
+			if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+				return err
+			}
+			if _, err := br.Discard(int(n)); err != nil {
+				return err
+			}
+		}
+		if _, err := br.Discard(8); err != nil { // price
+			return err
+		}
+	}
+	var numTx uint32
+	if err := binary.Read(br, binary.LittleEndian, &numTx); err != nil {
+		return err
+	}
+	buf := make(itemset.Set, 0, 64)
+	for t := uint32(0); t < numTx; t++ {
+		var size uint32
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return fmt.Errorf("counting: %s: tx %d: %w", c.path, t, err)
+		}
+		if size > numItems {
+			return fmt.Errorf("counting: %s: tx %d size %d exceeds catalog", c.path, t, size)
+		}
+		buf = buf[:0]
+		prev := int64(-1)
+		for i := uint32(0); i < size; i++ {
+			var id uint32
+			if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+				return fmt.Errorf("counting: %s: tx %d item: %w", c.path, t, err)
+			}
+			if id >= numItems || int64(id) <= prev {
+				return fmt.Errorf("counting: %s: tx %d not canonical", c.path, t)
+			}
+			prev = int64(id)
+			buf = append(buf, itemset.Item(id))
+		}
+		fn(buf)
+	}
+	return nil
+}

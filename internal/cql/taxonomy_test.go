@@ -1,0 +1,117 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"ccs/internal/itemset"
+	"ccs/internal/taxonomy"
+)
+
+func classTree(t *testing.T) *taxonomy.Tree {
+	t.Helper()
+	tr := taxonomy.New()
+	for _, c := range []struct{ name, parent string }{
+		{"food", ""}, {"snacks", "food"}, {"drinks", ""},
+	} {
+		if err := tr.AddClass(c.name, c.parent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.AssignItem(0, "snacks"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AssignItem(1, "drinks"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AssignItem(2, "food"); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestParseClassConstraints(t *testing.T) {
+	tr := classTree(t)
+	p := NewParser().WithClasses(tr)
+	c := cat()
+
+	q, err := p.Parse(`notinclass "snacks" & inclass "drinks"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.All) != 2 {
+		t.Fatalf("conjuncts = %d", len(q.All))
+	}
+	if !q.Satisfies(c, itemset.New(1, 2)) { // drinks + food(non-snack)
+		t.Errorf("{1,2} should satisfy")
+	}
+	if q.Satisfies(c, itemset.New(0, 1)) { // has a snack
+		t.Errorf("{0,1} should fail notinclass")
+	}
+	if q.Satisfies(c, itemset.New(2)) { // no drink
+		t.Errorf("{2} should fail inclass")
+	}
+
+	within, err := p.Parse(`withinclass "food"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within.Satisfies(c, itemset.New(0, 2)) {
+		t.Errorf("{0,2} are all food")
+	}
+	if within.Satisfies(c, itemset.New(0, 1)) {
+		t.Errorf("{0,1} includes a drink")
+	}
+}
+
+func TestParseClassClassification(t *testing.T) {
+	tr := classTree(t)
+	p := NewParser().WithClasses(tr)
+	q, err := p.Parse(`notinclass "snacks" & inclass "drinks" & withinclass "food"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := q.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.AMSuccinct) != 2 || len(split.MSuccinct) != 1 {
+		t.Fatalf("split: am=%d m=%d", len(split.AMSuccinct), len(split.MSuccinct))
+	}
+}
+
+func TestParseClassErrors(t *testing.T) {
+	tr := classTree(t)
+	p := NewParser().WithClasses(tr)
+	cases := []string{
+		`inclass "bogusclass"`, // unknown class
+		`inclass snacks`,       // unquoted
+		`inclass`,              // missing operand
+	}
+	for _, in := range cases {
+		if _, err := p.Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+	// without a taxonomy the keyword must error, not panic
+	if _, err := Parse(`inclass "snacks"`); err == nil ||
+		!strings.Contains(err.Error(), "taxonomy") {
+		t.Errorf("class keyword without taxonomy: %v", err)
+	}
+}
+
+func TestClassMixedWithOtherConstraints(t *testing.T) {
+	tr := classTree(t)
+	p := NewParser().WithClasses(tr)
+	q, err := p.Parse(`max(price) <= 4 & notinclass "snacks"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cat()
+	if !q.Satisfies(c, itemset.New(1, 2)) { // prices 2,3 and no snacks
+		t.Errorf("{1,2} should satisfy")
+	}
+	if q.Satisfies(c, itemset.New(4)) { // price 5 > 4
+		t.Errorf("{4} should fail price bound")
+	}
+}

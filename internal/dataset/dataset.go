@@ -1,0 +1,230 @@
+// Package dataset implements the market-basket substrate: an item catalog
+// carrying the attributes the constraint language speaks about (price,
+// type), an in-memory transaction database, and a vertical index mapping
+// each item to the bitset of transactions containing it.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"ccs/internal/bitset"
+	"ccs/internal/itemset"
+)
+
+// ItemInfo carries the per-item attributes referenced by constraints.
+type ItemInfo struct {
+	ID    itemset.Item
+	Name  string
+	Price float64
+	Type  string
+}
+
+// Catalog is the item dictionary. Item IDs are dense indices into Items.
+type Catalog struct {
+	Items []ItemInfo
+}
+
+// NewCatalog validates and wraps an item list: IDs must equal their slice
+// index so lookups are O(1).
+func NewCatalog(items []ItemInfo) (*Catalog, error) {
+	for i, it := range items {
+		if it.ID != itemset.Item(i) {
+			return nil, fmt.Errorf("dataset: item at index %d has ID %d; IDs must be dense", i, it.ID)
+		}
+		if it.Price < 0 {
+			return nil, fmt.Errorf("dataset: item %d has negative price %g", i, it.Price)
+		}
+	}
+	return &Catalog{Items: items}, nil
+}
+
+// SyntheticCatalog builds the catalog used throughout the paper's
+// experiments: n items where item i has price i+1 (so "item 1 has a price
+// of $1") and a type drawn cyclically from the given type names.
+func SyntheticCatalog(n int, types []string) *Catalog {
+	if len(types) == 0 {
+		types = []string{"general"}
+	}
+	items := make([]ItemInfo, n)
+	for i := range items {
+		items[i] = ItemInfo{
+			ID:    itemset.Item(i),
+			Name:  fmt.Sprintf("item%d", i),
+			Price: float64(i + 1),
+			Type:  types[i%len(types)],
+		}
+	}
+	return &Catalog{Items: items}
+}
+
+// Len returns the number of items.
+func (c *Catalog) Len() int { return len(c.Items) }
+
+// Info returns the attributes of item id. It panics if id is out of range.
+func (c *Catalog) Info(id itemset.Item) ItemInfo {
+	return c.Items[id]
+}
+
+// Price returns item id's price.
+func (c *Catalog) Price(id itemset.Item) float64 { return c.Items[id].Price }
+
+// Type returns item id's type.
+func (c *Catalog) Type(id itemset.Item) string { return c.Items[id].Type }
+
+// Transaction is one basket: a canonical itemset.
+type Transaction = itemset.Set
+
+// DB is an in-memory transaction database over a catalog.
+type DB struct {
+	Catalog *Catalog
+	Tx      []Transaction
+}
+
+// NewDB validates transactions against the catalog (IDs in range, canonical
+// order) and returns the database.
+func NewDB(c *Catalog, tx []Transaction) (*DB, error) {
+	n := itemset.Item(c.Len())
+	for ti, t := range tx {
+		for i, id := range t {
+			if id >= n {
+				return nil, fmt.Errorf("dataset: transaction %d references item %d outside catalog of %d items", ti, id, n)
+			}
+			if i > 0 && t[i-1] >= id {
+				return nil, fmt.Errorf("dataset: transaction %d is not in canonical order", ti)
+			}
+		}
+	}
+	return &DB{Catalog: c, Tx: tx}, nil
+}
+
+// NumTx returns the number of transactions (baskets).
+func (db *DB) NumTx() int { return len(db.Tx) }
+
+// NumItems returns the catalog size.
+func (db *DB) NumItems() int { return db.Catalog.Len() }
+
+// Slice returns a database over the first n transactions, sharing storage
+// with db. It is how the basket-count sweeps reuse one generated dataset.
+func (db *DB) Slice(n int) (*DB, error) {
+	if n < 0 || n > len(db.Tx) {
+		return nil, fmt.Errorf("dataset: slice of %d transactions from %d", n, len(db.Tx))
+	}
+	return &DB{Catalog: db.Catalog, Tx: db.Tx[:n]}, nil
+}
+
+// ItemSupports returns the support count of every item in one scan.
+func (db *DB) ItemSupports() []int {
+	counts := make([]int, db.NumItems())
+	for _, t := range db.Tx {
+		for _, id := range t {
+			counts[id]++
+		}
+	}
+	return counts
+}
+
+// VerticalIndex maps each item to the bitset of transaction indices that
+// contain it. Building it costs one scan; afterwards minterm counting is
+// pure bit algebra.
+type VerticalIndex struct {
+	numTx int
+	cols  []*bitset.Set
+}
+
+// BuildVerticalIndex scans db once and constructs the index.
+func BuildVerticalIndex(db *DB) *VerticalIndex {
+	v := &VerticalIndex{numTx: db.NumTx(), cols: make([]*bitset.Set, db.NumItems())}
+	for i := range v.cols {
+		v.cols[i] = bitset.New(db.NumTx())
+	}
+	for ti, t := range db.Tx {
+		for _, id := range t {
+			v.cols[id].Add(ti)
+		}
+	}
+	return v
+}
+
+// NumTx returns the number of transactions the index covers.
+func (v *VerticalIndex) NumTx() int { return v.numTx }
+
+// Column returns the TID bitset of item id. The returned set must not be
+// mutated.
+func (v *VerticalIndex) Column(id itemset.Item) *bitset.Set { return v.cols[id] }
+
+// Support returns the number of transactions containing every item of s.
+func (v *VerticalIndex) Support(s itemset.Set) int {
+	switch len(s) {
+	case 0:
+		return v.numTx
+	case 1:
+		return v.cols[s[0]].Count()
+	}
+	acc := bitset.New(v.numTx)
+	acc.CopyFrom(v.cols[s[0]])
+	for _, id := range s[1:] {
+		acc.And(acc, v.cols[id])
+	}
+	return acc.Count()
+}
+
+// Stats summarizes a database for reporting.
+type Stats struct {
+	NumTx         int
+	NumItems      int
+	TotalEntries  int
+	AvgBasketSize float64
+	MaxBasketSize int
+	DistinctItems int // items appearing in at least one transaction
+}
+
+// Summarize computes database statistics in one scan.
+func Summarize(db *DB) Stats {
+	s := Stats{NumTx: db.NumTx(), NumItems: db.NumItems()}
+	seen := make([]bool, db.NumItems())
+	for _, t := range db.Tx {
+		s.TotalEntries += len(t)
+		if len(t) > s.MaxBasketSize {
+			s.MaxBasketSize = len(t)
+		}
+		for _, id := range t {
+			seen[id] = true
+		}
+	}
+	for _, ok := range seen {
+		if ok {
+			s.DistinctItems++
+		}
+	}
+	if s.NumTx > 0 {
+		s.AvgBasketSize = float64(s.TotalEntries) / float64(s.NumTx)
+	}
+	return s
+}
+
+// PriceQuantile returns the price v such that approximately frac of the
+// catalog's items have price <= v. It is how the experiment harness turns a
+// target selectivity into a constraint threshold. frac outside (0,1] is
+// clamped.
+func (c *Catalog) PriceQuantile(frac float64) float64 {
+	if c.Len() == 0 {
+		return 0
+	}
+	prices := make([]float64, c.Len())
+	for i, it := range c.Items {
+		prices[i] = it.Price
+	}
+	sort.Float64s(prices)
+	if frac <= 0 {
+		return prices[0] - 1 // below every price
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	idx := int(frac*float64(len(prices))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return prices[idx]
+}

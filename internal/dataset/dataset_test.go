@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/itemset"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	cat := SyntheticCatalog(5, []string{"soda", "snack"})
+	db, err := NewDB(cat, []Transaction{
+		itemset.New(0, 1),
+		itemset.New(0, 2, 3),
+		itemset.New(1, 3),
+		itemset.New(0, 1, 2, 3, 4),
+		itemset.New(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSyntheticCatalog(t *testing.T) {
+	c := SyntheticCatalog(4, []string{"a", "b"})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Price(0) != 1 || c.Price(3) != 4 {
+		t.Fatalf("prices wrong: %g %g", c.Price(0), c.Price(3))
+	}
+	if c.Type(0) != "a" || c.Type(1) != "b" || c.Type(2) != "a" {
+		t.Fatalf("types wrong")
+	}
+	if c.Info(2).Name != "item2" {
+		t.Fatalf("name = %s", c.Info(2).Name)
+	}
+}
+
+func TestSyntheticCatalogDefaultType(t *testing.T) {
+	c := SyntheticCatalog(2, nil)
+	if c.Type(0) != "general" {
+		t.Fatalf("default type = %s", c.Type(0))
+	}
+}
+
+func TestNewCatalogValidation(t *testing.T) {
+	if _, err := NewCatalog([]ItemInfo{{ID: 1}}); err == nil {
+		t.Errorf("non-dense IDs accepted")
+	}
+	if _, err := NewCatalog([]ItemInfo{{ID: 0, Price: -1}}); err == nil {
+		t.Errorf("negative price accepted")
+	}
+	if _, err := NewCatalog(nil); err != nil {
+		t.Errorf("empty catalog rejected: %v", err)
+	}
+}
+
+func TestNewDBValidation(t *testing.T) {
+	cat := SyntheticCatalog(3, nil)
+	if _, err := NewDB(cat, []Transaction{{0, 5}}); err == nil {
+		t.Errorf("out-of-range item accepted")
+	}
+	if _, err := NewDB(cat, []Transaction{{2, 1}}); err == nil {
+		t.Errorf("non-canonical transaction accepted")
+	}
+	if _, err := NewDB(cat, []Transaction{{1, 1}}); err == nil {
+		t.Errorf("duplicate item accepted")
+	}
+}
+
+func TestItemSupports(t *testing.T) {
+	db := testDB(t)
+	got := db.ItemSupports()
+	want := []int{3, 3, 2, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ItemSupports = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	db := testDB(t)
+	sub, err := db.Slice(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumTx() != 2 {
+		t.Fatalf("NumTx = %d", sub.NumTx())
+	}
+	if _, err := db.Slice(99); err == nil {
+		t.Errorf("oversize slice accepted")
+	}
+	if _, err := db.Slice(-1); err == nil {
+		t.Errorf("negative slice accepted")
+	}
+}
+
+func TestVerticalIndex(t *testing.T) {
+	db := testDB(t)
+	v := BuildVerticalIndex(db)
+	if v.NumTx() != 5 {
+		t.Fatalf("NumTx = %d", v.NumTx())
+	}
+	if got := v.Column(0).Indices(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("Column(0) = %v", got)
+	}
+	cases := []struct {
+		s    itemset.Set
+		want int
+	}{
+		{itemset.New(), 5},
+		{itemset.New(0), 3},
+		{itemset.New(0, 1), 2},
+		{itemset.New(0, 1, 2, 3), 1},
+		{itemset.New(2, 4), 1},
+		{itemset.New(1, 4), 1},
+		{itemset.New(0, 4), 1},
+	}
+	for _, c := range cases {
+		if got := v.Support(c.s); got != c.want {
+			t.Errorf("Support(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestSupportAgainstScan(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cat := SyntheticCatalog(10, nil)
+	tx := make([]Transaction, 80)
+	for i := range tx {
+		var items []itemset.Item
+		for j := 0; j < 10; j++ {
+			if r.Intn(3) == 0 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		tx[i] = itemset.New(items...)
+	}
+	db, err := NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := BuildVerticalIndex(db)
+	for trial := 0; trial < 50; trial++ {
+		var items []itemset.Item
+		for j := 0; j < 10; j++ {
+			if r.Intn(4) == 0 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		s := itemset.New(items...)
+		want := 0
+		for _, t := range db.Tx {
+			if t.ContainsAll(s) {
+				want++
+			}
+		}
+		if got := v.Support(s); got != want {
+			t.Fatalf("Support(%v) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	db := testDB(t)
+	s := Summarize(db)
+	if s.NumTx != 5 || s.NumItems != 5 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.TotalEntries != 13 {
+		t.Fatalf("TotalEntries = %d", s.TotalEntries)
+	}
+	if s.MaxBasketSize != 5 {
+		t.Fatalf("MaxBasketSize = %d", s.MaxBasketSize)
+	}
+	if s.DistinctItems != 5 {
+		t.Fatalf("DistinctItems = %d", s.DistinctItems)
+	}
+	if s.AvgBasketSize != 13.0/5.0 {
+		t.Fatalf("AvgBasketSize = %g", s.AvgBasketSize)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	cat := SyntheticCatalog(3, nil)
+	db, _ := NewDB(cat, nil)
+	s := Summarize(db)
+	if s.AvgBasketSize != 0 || s.NumTx != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestPriceQuantile(t *testing.T) {
+	c := SyntheticCatalog(100, nil) // prices 1..100
+	cases := []struct {
+		frac float64
+		want float64
+	}{
+		{0.5, 50},
+		{0.1, 10},
+		{1.0, 100},
+		{0.01, 1},
+		{2.0, 100}, // clamped
+	}
+	for _, tc := range cases {
+		if got := c.PriceQuantile(tc.frac); got != tc.want {
+			t.Errorf("PriceQuantile(%g) = %g, want %g", tc.frac, got, tc.want)
+		}
+	}
+	if got := c.PriceQuantile(0); got >= 1 {
+		t.Errorf("PriceQuantile(0) = %g, want below minimum price", got)
+	}
+	empty := SyntheticCatalog(0, nil)
+	if got := empty.PriceQuantile(0.5); got != 0 {
+		t.Errorf("empty catalog quantile = %g", got)
+	}
+}

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccs/internal/itemset"
+)
+
+// FuzzRead checks the binary reader never panics on arbitrary bytes.
+func FuzzRead(f *testing.F) {
+	// seed with a valid stream and a few mutations
+	cat := SyntheticCatalog(3, []string{"a"})
+	db, err := NewDB(cat, []Transaction{itemset.New(0, 1), itemset.New(2)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CCS1"))
+	f.Add(valid[:len(valid)/2])
+	mut := append([]byte(nil), valid...)
+	mut[5] = 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// a successful parse must round-trip byte-identically
+		var out bytes.Buffer
+		if err := Write(&out, db); err != nil {
+			t.Fatalf("reserialize: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if back.NumTx() != db.NumTx() || back.NumItems() != db.NumItems() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadText checks the text reader never panics.
+func FuzzReadText(f *testing.F) {
+	f.Add("#item 0 a x 1\n0\n")
+	f.Add("#item 0 a x 1\n# comment\n\n0\n")
+	f.Add("0 1 2\n")
+	f.Add("#item 0 a x nope\n")
+	f.Add(strings.Repeat("9 ", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		ReadText(strings.NewReader(input))
+	})
+}

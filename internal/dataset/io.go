@@ -1,0 +1,267 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ccs/internal/itemset"
+)
+
+// Binary format (little-endian):
+//
+//	magic    [4]byte  "CCS1"
+//	numItems uint32
+//	per item: nameLen uint16, name, typeLen uint16, type, price float64
+//	numTx    uint32
+//	per tx:  size uint32, then size uint32 item IDs (canonical order)
+//
+// The format is deliberately simple and self-contained so generated
+// datasets can be checked into experiment directories and re-mined.
+
+var magic = [4]byte{'C', 'C', 'S', '1'}
+
+// ErrBadFormat reports a malformed dataset stream.
+var ErrBadFormat = errors.New("dataset: malformed stream")
+
+// Write serializes db to w in the binary format.
+func Write(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(db.NumItems())); err != nil {
+		return err
+	}
+	for _, it := range db.Catalog.Items {
+		if err := writeString(bw, it.Name); err != nil {
+			return err
+		}
+		if err := writeString(bw, it.Type); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, it.Price); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(db.NumTx())); err != nil {
+		return err
+	}
+	for _, t := range db.Tx {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t))); err != nil {
+			return err
+		}
+		for _, id := range t {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 1<<16-1 {
+		return fmt.Errorf("dataset: string longer than 65535 bytes")
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Read parses a database from the binary format, validating structure.
+func Read(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m)
+	}
+	var numItems uint32
+	if err := binary.Read(br, binary.LittleEndian, &numItems); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if numItems > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible item count %d", ErrBadFormat, numItems)
+	}
+	items := make([]ItemInfo, numItems)
+	for i := range items {
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: item %d name: %v", ErrBadFormat, i, err)
+		}
+		typ, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: item %d type: %v", ErrBadFormat, i, err)
+		}
+		var price float64
+		if err := binary.Read(br, binary.LittleEndian, &price); err != nil {
+			return nil, fmt.Errorf("%w: item %d price: %v", ErrBadFormat, i, err)
+		}
+		items[i] = ItemInfo{ID: itemset.Item(i), Name: name, Type: typ, Price: price}
+	}
+	cat, err := NewCatalog(items)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	var numTx uint32
+	if err := binary.Read(br, binary.LittleEndian, &numTx); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	tx := make([]Transaction, numTx)
+	for ti := range tx {
+		var size uint32
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return nil, fmt.Errorf("%w: tx %d size: %v", ErrBadFormat, ti, err)
+		}
+		if size > numItems {
+			return nil, fmt.Errorf("%w: tx %d size %d exceeds catalog", ErrBadFormat, ti, size)
+		}
+		t := make(Transaction, size)
+		for i := range t {
+			var id uint32
+			if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+				return nil, fmt.Errorf("%w: tx %d item: %v", ErrBadFormat, ti, err)
+			}
+			t[i] = itemset.Item(id)
+		}
+		tx[ti] = t
+	}
+	db, err := NewDB(cat, tx)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return db, nil
+}
+
+// WriteFile serializes db to path.
+func WriteFile(path string, db *DB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses a database from path.
+func ReadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteText emits a human-readable form: a header line per item
+// ("#item id name type price") followed by one space-separated line of item
+// IDs per transaction.
+func WriteText(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	for _, it := range db.Catalog.Items {
+		if _, err := fmt.Fprintf(bw, "#item %d %s %s %g\n", it.ID, it.Name, it.Type, it.Price); err != nil {
+			return err
+		}
+	}
+	for _, t := range db.Tx {
+		for i, id := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(id), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text form produced by WriteText. Transactions are
+// normalized to canonical order.
+func ReadText(r io.Reader) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var items []ItemInfo
+	var tx []Transaction
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			// A blank line is an empty basket (transactions may be empty).
+			tx = append(tx, Transaction{})
+			continue
+		}
+		if strings.HasPrefix(text, "#item ") {
+			fields := strings.Fields(text)
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("%w: line %d: want '#item id name type price'", ErrBadFormat, line)
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: id: %v", ErrBadFormat, line, err)
+			}
+			price, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: price: %v", ErrBadFormat, line, err)
+			}
+			items = append(items, ItemInfo{ID: itemset.Item(id), Name: fields[2], Type: fields[3], Price: price})
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // comment
+		}
+		fields := strings.Fields(text)
+		raw := make([]itemset.Item, 0, len(fields))
+		for _, f := range fields {
+			id, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: item id %q: %v", ErrBadFormat, line, f, err)
+			}
+			raw = append(raw, itemset.Item(id))
+		}
+		tx = append(tx, itemset.New(raw...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	cat, err := NewCatalog(items)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	db, err := NewDB(cat, tx)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return db, nil
+}

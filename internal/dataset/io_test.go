@@ -1,0 +1,203 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccs/internal/itemset"
+)
+
+func roundTripDB(t *testing.T) *DB {
+	t.Helper()
+	cat, err := NewCatalog([]ItemInfo{
+		{ID: 0, Name: "milk", Type: "dairy", Price: 2.49},
+		{ID: 1, Name: "bread", Type: "bakery", Price: 1.99},
+		{ID: 2, Name: "beer", Type: "drinks", Price: 8.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(cat, []Transaction{
+		itemset.New(0, 1),
+		itemset.New(2),
+		itemset.New(0, 1, 2),
+		itemset.New(), // empty basket allowed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func equalDB(a, b *DB) bool {
+	if a.NumItems() != b.NumItems() || a.NumTx() != b.NumTx() {
+		return false
+	}
+	for i := range a.Catalog.Items {
+		if a.Catalog.Items[i] != b.Catalog.Items[i] {
+			return false
+		}
+	}
+	for i := range a.Tx {
+		if !a.Tx[i].Equal(b.Tx[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	db := roundTripDB(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDB(db, got) {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	db := roundTripDB(t)
+	path := filepath.Join(t.TempDir(), "data.ccs")
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDB(db, got) {
+		t.Fatalf("file round trip mismatch")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.ccs")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	_, err := Read(strings.NewReader("XXXXgarbage"))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	db := roundTripDB(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncate at several points: must always error, never panic.
+	for _, n := range []int{0, 3, 4, 8, 12, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestReadRejectsCorruptTxSize(t *testing.T) {
+	db := roundTripDB(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip bytes throughout the transaction section; each mutation must
+	// produce either a clean parse or an error — never a panic.
+	for i := len(data) - 20; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corrupt byte %d: %v", i, r)
+				}
+			}()
+			Read(bytes.NewReader(mut))
+		}()
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	db := roundTripDB(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDB(db, got) {
+		t.Fatalf("text round trip mismatch:\n%s", buf.String())
+	}
+}
+
+func TestReadTextNormalizesOrder(t *testing.T) {
+	in := "#item 0 a x 1\n#item 1 b x 2\n1 0\n"
+	db, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Tx[0].String() != "{0, 1}" {
+		t.Fatalf("tx = %v", db.Tx[0])
+	}
+}
+
+func TestReadTextCommentsAndEmptyBaskets(t *testing.T) {
+	in := "#item 0 a x 1\n# a comment\n\n0\n"
+	db, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// blank line = empty basket, comment skipped
+	if db.NumTx() != 2 {
+		t.Fatalf("NumTx = %d, want 2", db.NumTx())
+	}
+	if db.Tx[0].Size() != 0 {
+		t.Fatalf("first basket not empty: %v", db.Tx[0])
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"#item 0 a x\n",            // missing price
+		"#item 0 a x notanum\n",    // bad price
+		"#item zero a x 1\n",       // bad id
+		"#item 0 a x 1\n0 bogus\n", // bad tx item
+		"#item 0 a x 1\n5\n",       // out of catalog
+		"#item 3 a x 1\n",          // non-dense id
+	}
+	for i, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	db := roundTripDB(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#item 0 milk dairy 2.49") {
+		t.Fatalf("missing item header in:\n%s", out)
+	}
+	if !strings.Contains(out, "0 1 2\n") {
+		t.Fatalf("missing tx line in:\n%s", out)
+	}
+}

@@ -1,0 +1,25 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample returns a database of n transactions drawn uniformly without
+// replacement from db, sharing transaction storage. Mining a sample first
+// and verifying on the full database is the classic scale-up of Toivonen
+// (VLDB'96), which the paper's introduction surveys; because correlation is
+// a statistical property, thresholds should be re-expressed as fractions
+// (Params.CellSupportFrac) so they carry over to the sample size.
+func Sample(db *DB, n int, seed int64) (*DB, error) {
+	if n < 0 || n > db.NumTx() {
+		return nil, fmt.Errorf("dataset: sample of %d from %d transactions", n, db.NumTx())
+	}
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(db.NumTx())
+	tx := make([]Transaction, n)
+	for i := 0; i < n; i++ {
+		tx[i] = db.Tx[perm[i]]
+	}
+	return &DB{Catalog: db.Catalog, Tx: tx}, nil
+}

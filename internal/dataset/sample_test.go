@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"testing"
+
+	"ccs/internal/itemset"
+)
+
+func TestSampleSizeAndMembership(t *testing.T) {
+	db := testDB(t) // 5 transactions
+	s, err := Sample(db, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTx() != 3 {
+		t.Fatalf("NumTx = %d", s.NumTx())
+	}
+	// every sampled transaction is one of the originals
+	for _, tx := range s.Tx {
+		found := false
+		for _, orig := range db.Tx {
+			if tx.Equal(orig) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("sampled transaction %v not in original", tx)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	// distinct singleton transactions: a full-size sample must be a
+	// permutation with no duplicates
+	cat := SyntheticCatalog(10, nil)
+	tx := make([]Transaction, 10)
+	for i := range tx {
+		tx[i] = itemset.New(itemset.Item(i))
+	}
+	db, err := NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sample(db, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tr := range s.Tx {
+		k := tr.Key()
+		if seen[k] {
+			t.Fatalf("duplicate transaction in full sample")
+		}
+		seen[k] = true
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	db := testDB(t)
+	a, _ := Sample(db, 4, 7)
+	b, _ := Sample(db, 4, 7)
+	for i := range a.Tx {
+		if !a.Tx[i].Equal(b.Tx[i]) {
+			t.Fatalf("same seed produced different samples")
+		}
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	db := testDB(t)
+	if _, err := Sample(db, -1, 1); err == nil {
+		t.Errorf("negative sample accepted")
+	}
+	if _, err := Sample(db, 6, 1); err == nil {
+		t.Errorf("oversized sample accepted")
+	}
+	empty, err := Sample(db, 0, 1)
+	if err != nil || empty.NumTx() != 0 {
+		t.Errorf("empty sample: %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+package freq_test
+
+import (
+	"fmt"
+
+	"ccs/internal/constraint"
+	"ccs/internal/dataset"
+	"ccs/internal/freq"
+	"ccs/internal/itemset"
+)
+
+// ExampleCAP mines constrained frequent sets, pushing the anti-monotone
+// price bound into the search.
+func ExampleCAP() {
+	cat := dataset.SyntheticCatalog(4, nil) // prices 1..4
+	tx := []dataset.Transaction{
+		itemset.New(0, 1), itemset.New(0, 1), itemset.New(0, 1),
+		itemset.New(0, 3), itemset.New(1, 3), itemset.New(2, 3),
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		panic(err)
+	}
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 2))
+	res, err := freq.CAP(db, freq.Params{MinSupport: 3}, q)
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range res.Sets {
+		fmt.Printf("%v support %d\n", f.Items, f.Support)
+	}
+	// Output:
+	// {0} support 4
+	// {1} support 4
+	// {0, 1} support 3
+}

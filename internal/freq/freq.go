@@ -1,0 +1,182 @@
+// Package freq implements classical and constrained frequent-itemset
+// mining: Apriori (Agrawal & Srikant, VLDB'94) and a CAP-style constrained
+// variant after Ng, Lakshmanan, Han & Pang (SIGMOD'98) — the framework the
+// paper extends from frequency to correlation. It both serves as a
+// comparison baseline for the correlation miner and documents the key
+// structural difference: for frequent-set queries the answer is *all* valid
+// frequent sets, so monotone constraints are a mere output filter, whereas
+// the correlated-set algorithms exploit them in the search itself.
+package freq
+
+import (
+	"fmt"
+	"sort"
+
+	"ccs/internal/constraint"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// Params carries the frequency threshold.
+type Params struct {
+	// MinSupport is the absolute support threshold; if zero,
+	// MinSupportFrac is used.
+	MinSupport int
+	// MinSupportFrac expresses the threshold as a fraction of the
+	// transaction count.
+	MinSupportFrac float64
+	// MaxLevel caps the itemset size (0 = default 12).
+	MaxLevel int
+}
+
+func (p Params) resolve(numTx int) (support, maxLevel int, err error) {
+	switch {
+	case p.MinSupport > 0:
+		support = p.MinSupport
+	case p.MinSupport < 0:
+		return 0, 0, fmt.Errorf("freq: negative MinSupport %d", p.MinSupport)
+	case p.MinSupportFrac > 0 && p.MinSupportFrac <= 1:
+		support = int(p.MinSupportFrac * float64(numTx))
+		if support < 1 {
+			support = 1
+		}
+	default:
+		return 0, 0, fmt.Errorf("freq: need MinSupport > 0 or MinSupportFrac in (0,1]")
+	}
+	maxLevel = p.MaxLevel
+	if maxLevel == 0 {
+		maxLevel = 12
+	}
+	if maxLevel < 1 {
+		return 0, 0, fmt.Errorf("freq: MaxLevel %d below 1", maxLevel)
+	}
+	return support, maxLevel, nil
+}
+
+// FrequentSet is an itemset with its support count.
+type FrequentSet struct {
+	Items   itemset.Set
+	Support int
+}
+
+// Stats records the work performed.
+type Stats struct {
+	Candidates      int // candidate itemsets generated
+	SupportsCounted int // support computations performed
+	Levels          int
+}
+
+// Result is the outcome of a frequent-set mining run, in canonical order.
+type Result struct {
+	Sets  []FrequentSet
+	Stats Stats
+}
+
+// Apriori computes all frequent itemsets of size >= 1.
+func Apriori(db *dataset.DB, p Params) (*Result, error) {
+	return mine(db, p, nil)
+}
+
+// CAP computes all frequent itemsets that satisfy the query, pushing
+// anti-monotone constraints into the level-wise search (succinct ones into
+// the item pool, the rest as a pre-count check) and applying monotone
+// constraints on output. Constraints that are neither anti-monotone nor
+// monotone are rejected.
+func CAP(db *dataset.DB, p Params, q *constraint.Conjunction) (*Result, error) {
+	if q == nil {
+		q = constraint.And()
+	}
+	split, err := q.Classify()
+	if err != nil {
+		return nil, err
+	}
+	if split.HasUnclassified() {
+		return nil, fmt.Errorf("freq: CAP requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
+	}
+	return mine(db, p, split)
+}
+
+// mine is the shared level-wise engine; split == nil mines unconstrained.
+func mine(db *dataset.DB, p Params, split *constraint.Split) (*Result, error) {
+	support, maxLevel, err := p.resolve(db.NumTx())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	idx := dataset.BuildVerticalIndex(db)
+	cat := db.Catalog
+
+	var allowed constraint.ItemFilter
+	if split != nil {
+		allowed = split.AMMGF().Allowed
+	}
+
+	// level 1
+	var level []FrequentSet
+	for i, c := range db.ItemSupports() {
+		id := itemset.Item(i)
+		if c < support {
+			continue
+		}
+		if allowed != nil && !allowed(cat.Info(id)) {
+			continue
+		}
+		s := itemset.New(id)
+		if split != nil && !split.SatisfiesAMOther(cat, s) {
+			continue
+		}
+		level = append(level, FrequentSet{Items: s, Support: c})
+	}
+	res.Stats.Candidates += cat.Len()
+	res.Stats.SupportsCounted += cat.Len()
+
+	frequent := itemset.NewRegistry()
+	for k := 1; len(level) > 0 && k <= maxLevel; k++ {
+		res.Stats.Levels++
+		for _, f := range level {
+			frequent.Add(f.Items)
+			if split == nil || split.SatisfiesM(cat, f.Items) {
+				res.Sets = append(res.Sets, f)
+			}
+		}
+		if k == maxLevel {
+			break
+		}
+		// candidate generation: Apriori join over this level + prune
+		sets := make([]itemset.Set, len(level))
+		for i, f := range level {
+			sets[i] = f.Items
+		}
+		var next []FrequentSet
+		for _, cand := range itemset.Join(sets) {
+			res.Stats.Candidates++
+			ok := true
+			cand.Subsets1(func(sub itemset.Set) bool {
+				if !frequent.Has(sub) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				continue
+			}
+			if split != nil && !split.SatisfiesAMOther(cat, cand) {
+				continue
+			}
+			res.Stats.SupportsCounted++
+			if sup := idx.Support(cand); sup >= support {
+				next = append(next, FrequentSet{Items: cand, Support: sup})
+			}
+		}
+		level = next
+	}
+	sortFrequent(res.Sets)
+	return res, nil
+}
+
+func sortFrequent(fs []FrequentSet) {
+	sort.Slice(fs, func(i, j int) bool {
+		return itemset.Compare(fs[i].Items, fs[j].Items) < 0
+	})
+}

@@ -1,0 +1,265 @@
+package freq
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+func smallDB(t *testing.T) *dataset.DB {
+	t.Helper()
+	cat := dataset.SyntheticCatalog(5, []string{"a", "b"})
+	db, err := dataset.NewDB(cat, []dataset.Transaction{
+		itemset.New(0, 1, 2),
+		itemset.New(0, 1),
+		itemset.New(0, 1, 3),
+		itemset.New(2, 3),
+		itemset.New(0, 2),
+		itemset.New(1, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func randomDB(r *rand.Rand, nItems, nTx int) *dataset.DB {
+	cat := dataset.SyntheticCatalog(nItems, []string{"a", "b", "c"})
+	tx := make([]dataset.Transaction, nTx)
+	for i := range tx {
+		var items []itemset.Item
+		for j := 0; j < nItems; j++ {
+			if r.Intn(3) == 0 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		tx[i] = itemset.New(items...)
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func find(res *Result, s itemset.Set) (int, bool) {
+	for _, f := range res.Sets {
+		if f.Items.Equal(s) {
+			return f.Support, true
+		}
+	}
+	return 0, false
+}
+
+func TestAprioriKnownDB(t *testing.T) {
+	db := smallDB(t)
+	res, err := Apriori(db, Params{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// supports: 0:4, 1:4, 2:4, 3:2; {0,1}:3, {0,2}:2, {1,2}:2
+	wantIn := map[string]int{
+		"{0}":    4,
+		"{1}":    4,
+		"{2}":    4,
+		"{0, 1}": 3,
+	}
+	wantOut := []itemset.Set{itemset.New(3), itemset.New(0, 2), itemset.New(1, 2), itemset.New(0, 1, 2)}
+	for k, sup := range wantIn {
+		found := false
+		for _, f := range res.Sets {
+			if f.Items.String() == k {
+				found = true
+				if f.Support != sup {
+					t.Errorf("%s support = %d, want %d", k, f.Support, sup)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s not mined", k)
+		}
+	}
+	for _, s := range wantOut {
+		if _, ok := find(res, s); ok {
+			t.Errorf("%v mined but infrequent", s)
+		}
+	}
+	if len(res.Sets) != 4 {
+		t.Errorf("mined %d sets, want 4", len(res.Sets))
+	}
+}
+
+func TestAprioriAgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 7, 40)
+		minSup := 5
+		res, err := Apriori(db, Params{MinSupport: minSup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// brute force over all subsets of size 1..7
+		v := dataset.BuildVerticalIndex(db)
+		got := itemset.NewRegistry()
+		for _, f := range res.Sets {
+			got.Add(f.Items)
+			if v.Support(f.Items) != f.Support {
+				t.Fatalf("seed %d: %v support %d, want %d", seed, f.Items, f.Support, v.Support(f.Items))
+			}
+		}
+		for mask := 1; mask < 1<<7; mask++ {
+			var items []itemset.Item
+			for j := 0; j < 7; j++ {
+				if mask&(1<<j) != 0 {
+					items = append(items, itemset.Item(j))
+				}
+			}
+			s := itemset.New(items...)
+			want := v.Support(s) >= minSup
+			if got.Has(s) != want {
+				t.Fatalf("seed %d: %v mined=%v, frequent=%v", seed, s, got.Has(s), want)
+			}
+		}
+	}
+}
+
+func TestCAPEqualsFilteredApriori(t *testing.T) {
+	// CAP(q) must equal Apriori filtered by q — the pruning is only an
+	// optimization.
+	queries := []*constraint.Conjunction{
+		constraint.And(),
+		constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 4)),
+		constraint.And(constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.LE, 8)),
+		constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 2)),
+		constraint.And(constraint.NewAggregate(constraint.AggSum, constraint.Price, constraint.GE, 5)),
+		constraint.And(constraint.NewDomain(constraint.OpDisjoint, constraint.Type, "b")),
+		constraint.And(
+			constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 6),
+			constraint.NewAggregate(constraint.AggCount, constraint.Price, constraint.LE, 2)),
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 8, 60)
+		for qi, q := range queries {
+			full, err := Apriori(db, Params{MinSupport: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cap_, err := CAP(db, Params{MinSupport: 8}, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := itemset.NewRegistry()
+			for _, f := range full.Sets {
+				if q.Satisfies(db.Catalog, f.Items) {
+					want.Add(f.Items)
+				}
+			}
+			if want.Len() != len(cap_.Sets) {
+				t.Fatalf("seed %d query %d: CAP %d sets, filtered Apriori %d",
+					seed, qi, len(cap_.Sets), want.Len())
+			}
+			for _, f := range cap_.Sets {
+				if !want.Has(f.Items) {
+					t.Fatalf("seed %d query %d: CAP mined %v not in filtered Apriori", seed, qi, f.Items)
+				}
+			}
+		}
+	}
+}
+
+func TestCAPPrunesWork(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	db := randomDB(r, 10, 80)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 3))
+	full, err := Apriori(db, Params{MinSupport: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap_, err := CAP(db, Params{MinSupport: 8}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap_.Stats.SupportsCounted >= full.Stats.SupportsCounted {
+		t.Fatalf("CAP counted %d supports, Apriori %d — no pruning",
+			cap_.Stats.SupportsCounted, full.Stats.SupportsCounted)
+	}
+}
+
+func TestCAPRejectsUnclassified(t *testing.T) {
+	db := smallDB(t)
+	q := constraint.And(constraint.NewAggregate(constraint.AggAvg, constraint.Price, constraint.LE, 3))
+	if _, err := CAP(db, Params{MinSupport: 1}, q); err == nil {
+		t.Fatalf("avg constraint accepted")
+	}
+}
+
+func TestCAPNilQuery(t *testing.T) {
+	db := smallDB(t)
+	a, err := CAP(db, Params{MinSupport: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Apriori(db, Params{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sets) != len(b.Sets) {
+		t.Fatalf("nil query CAP %d sets, Apriori %d", len(a.Sets), len(b.Sets))
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	db := smallDB(t)
+	bad := []Params{
+		{},
+		{MinSupport: -1},
+		{MinSupportFrac: 1.5},
+		{MinSupport: 1, MaxLevel: -2},
+	}
+	for i, p := range bad {
+		if _, err := Apriori(db, p); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestFractionalSupport(t *testing.T) {
+	db := smallDB(t)                                     // 6 transactions
+	res, err := Apriori(db, Params{MinSupportFrac: 0.5}) // s = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := find(res, itemset.New(0, 1)); !ok {
+		t.Fatalf("{0,1} (support 3) not mined at 50%%")
+	}
+}
+
+func TestMaxLevelCap(t *testing.T) {
+	db := smallDB(t)
+	res, err := Apriori(db, Params{MinSupport: 1, MaxLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Sets {
+		if f.Items.Size() > 1 {
+			t.Fatalf("mined %v beyond MaxLevel", f.Items)
+		}
+	}
+}
+
+func TestResultsSorted(t *testing.T) {
+	db := smallDB(t)
+	res, err := Apriori(db, Params{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Sets); i++ {
+		if itemset.Compare(res.Sets[i-1].Items, res.Sets[i].Items) >= 0 {
+			t.Fatalf("results not in canonical order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package gen implements the two synthetic-data generators of the paper's
+// evaluation (Section 4):
+//
+//   - Method1 — the IBM Almaden generator of Agrawal & Srikant (VLDB'94),
+//     reimplemented from the published description: transactions of
+//     Poisson-distributed size are assembled from a pool of potentially
+//     large itemsets with exponentially distributed weights, inter-pattern
+//     correlation, and per-pattern corruption levels.
+//   - Method2 — the rule-planted generator: a fixed number of correlation
+//     rules, each an itemset inserted into a basket with probability drawn
+//     from [MinProb, MaxProb]; baskets are padded with random items. The
+//     planted rules are returned so tests can verify the miner recovers
+//     exactly the correlations that are known to exist.
+//
+// All randomness is driven by a caller-supplied seed, making datasets
+// reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// Method1Config parametrizes the Agrawal–Srikant generator. The defaults
+// (via DefaultMethod1) follow the paper: |T| = 20, |I| = 4, N = 1000.
+type Method1Config struct {
+	NumTx          int     // |D|: number of baskets
+	NumItems       int     // N: catalog size
+	AvgTxSize      int     // |T|: mean basket size
+	AvgPatternLen  int     // |I|: mean size of potentially large itemsets
+	NumPatterns    int     // |L|: size of the pattern pool
+	CorruptionMean float64 // mean of per-pattern corruption level
+	CorruptionSD   float64 // std dev of per-pattern corruption level
+	Correlation    float64 // fraction of a pattern drawn from its predecessor
+	Types          []string
+	Seed           int64
+}
+
+// DefaultMethod1 returns the paper's data-set-1 parameters for the given
+// basket count.
+func DefaultMethod1(numTx int, seed int64) Method1Config {
+	return Method1Config{
+		NumTx:          numTx,
+		NumItems:       1000,
+		AvgTxSize:      20,
+		AvgPatternLen:  4,
+		NumPatterns:    2000,
+		CorruptionMean: 0.5,
+		CorruptionSD:   0.1,
+		Correlation:    0.5,
+		Seed:           seed,
+	}
+}
+
+func (c Method1Config) validate() error {
+	switch {
+	case c.NumTx < 0:
+		return fmt.Errorf("gen: NumTx %d negative", c.NumTx)
+	case c.NumItems <= 0:
+		return fmt.Errorf("gen: NumItems %d not positive", c.NumItems)
+	case c.AvgTxSize <= 0:
+		return fmt.Errorf("gen: AvgTxSize %d not positive", c.AvgTxSize)
+	case c.AvgPatternLen <= 0:
+		return fmt.Errorf("gen: AvgPatternLen %d not positive", c.AvgPatternLen)
+	case c.NumPatterns <= 0:
+		return fmt.Errorf("gen: NumPatterns %d not positive", c.NumPatterns)
+	case c.Correlation < 0 || c.Correlation > 1:
+		return fmt.Errorf("gen: Correlation %g outside [0,1]", c.Correlation)
+	}
+	return nil
+}
+
+// poisson samples a Poisson variate with the given mean (Knuth's method;
+// the means used here are small).
+func poisson(r *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// pattern is a potentially large itemset with its selection weight and
+// corruption level.
+type pattern struct {
+	items      itemset.Set
+	weight     float64
+	corruption float64
+}
+
+// Method1 generates a database with the Agrawal–Srikant procedure.
+func Method1(cfg Method1Config) (*dataset.DB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cat := dataset.SyntheticCatalog(cfg.NumItems, cfg.Types)
+
+	// Build the pattern pool. Each pattern draws a Poisson length; a
+	// Correlation fraction of its items comes from the previous pattern,
+	// the rest uniformly at random. Weights are exponential, normalized
+	// into a cumulative distribution; corruption levels are clipped
+	// normal.
+	patterns := make([]pattern, cfg.NumPatterns)
+	var prev itemset.Set
+	totalW := 0.0
+	for i := range patterns {
+		size := poisson(r, float64(cfg.AvgPatternLen-1)) + 1
+		if size > cfg.NumItems {
+			size = cfg.NumItems
+		}
+		var items []itemset.Item
+		if len(prev) > 0 {
+			fromPrev := int(cfg.Correlation * float64(size))
+			perm := r.Perm(len(prev))
+			for j := 0; j < fromPrev && j < len(prev); j++ {
+				items = append(items, prev[perm[j]])
+			}
+		}
+		for len(itemset.New(items...)) < size {
+			items = append(items, itemset.Item(r.Intn(cfg.NumItems)))
+		}
+		p := pattern{
+			items:      itemset.New(items...),
+			weight:     r.ExpFloat64(),
+			corruption: clamp(r.NormFloat64()*cfg.CorruptionSD+cfg.CorruptionMean, 0, 1),
+		}
+		patterns[i] = p
+		prev = p.items
+		totalW += p.weight
+	}
+	cum := make([]float64, len(patterns))
+	acc := 0.0
+	for i, p := range patterns {
+		acc += p.weight / totalW
+		cum[i] = acc
+	}
+
+	pick := func() *pattern {
+		x := r.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return &patterns[lo]
+	}
+
+	tx := make([]dataset.Transaction, cfg.NumTx)
+	for t := range tx {
+		size := poisson(r, float64(cfg.AvgTxSize-1)) + 1
+		var items []itemset.Item
+		for len(items) < size {
+			p := pick()
+			// corrupt: drop items from the pattern while a coin keeps
+			// coming up below the corruption level
+			kept := append(itemset.Set(nil), p.items...)
+			for len(kept) > 0 && r.Float64() < p.corruption {
+				kept = kept.Without(kept[r.Intn(len(kept))])
+			}
+			if len(items)+len(kept) > size {
+				// half the time force the oversized pattern in, otherwise
+				// stop the basket here (the published rule, simplified to
+				// per-basket rather than carrying to the next basket)
+				if r.Intn(2) == 0 {
+					items = append(items, kept...)
+				}
+				break
+			}
+			items = append(items, kept...)
+		}
+		tx[t] = itemset.New(items...)
+	}
+	return dataset.NewDB(cat, tx)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Rule is a planted correlation: Items co-occur in a basket with
+// probability Prob. A Negative rule is a planted repulsion instead: its
+// two items are mutually exclusive, each appearing alone with probability
+// Prob/2 — dependence the chi-squared test detects but co-occurrence
+// counting never sees.
+type Rule struct {
+	Items    itemset.Set
+	Prob     float64
+	Negative bool
+}
+
+// Method2Config parametrizes the rule-planted generator. Defaults (via
+// DefaultMethod2) follow the paper: ten rules with per-rule support in
+// [70%, 90%] of baskets, basket size 20, 1000 items.
+type Method2Config struct {
+	NumTx     int
+	NumItems  int
+	AvgTxSize int
+	NumRules  int
+	// NumNegRules plants additional two-item mutual-exclusion rules.
+	NumNegRules int
+	RuleMinLen  int
+	RuleMaxLen  int
+	MinProb     float64
+	MaxProb     float64
+	Types       []string
+	Seed        int64
+}
+
+// DefaultMethod2 returns the paper's data-set-2 parameters for the given
+// basket count.
+func DefaultMethod2(numTx int, seed int64) Method2Config {
+	return Method2Config{
+		NumTx:      numTx,
+		NumItems:   1000,
+		AvgTxSize:  20,
+		NumRules:   10,
+		RuleMinLen: 2,
+		RuleMaxLen: 3,
+		MinProb:    0.7,
+		MaxProb:    0.9,
+		Seed:       seed,
+	}
+}
+
+func (c Method2Config) validate() error {
+	switch {
+	case c.NumTx < 0:
+		return fmt.Errorf("gen: NumTx %d negative", c.NumTx)
+	case c.NumItems <= 0:
+		return fmt.Errorf("gen: NumItems %d not positive", c.NumItems)
+	case c.AvgTxSize <= 0:
+		return fmt.Errorf("gen: AvgTxSize %d not positive", c.AvgTxSize)
+	case c.NumRules < 0:
+		return fmt.Errorf("gen: NumRules %d negative", c.NumRules)
+	case c.RuleMinLen < 2 || c.RuleMaxLen < c.RuleMinLen:
+		return fmt.Errorf("gen: rule length range [%d,%d] invalid", c.RuleMinLen, c.RuleMaxLen)
+	case c.MinProb <= 0 || c.MaxProb > 1 || c.MaxProb < c.MinProb:
+		return fmt.Errorf("gen: probability range [%g,%g] invalid", c.MinProb, c.MaxProb)
+	case c.NumNegRules < 0:
+		return fmt.Errorf("gen: NumNegRules %d negative", c.NumNegRules)
+	case c.NumRules*c.RuleMaxLen+c.NumNegRules*2 > c.NumItems:
+		return fmt.Errorf("gen: %d rules of up to %d items plus %d negative rules exceed catalog of %d",
+			c.NumRules, c.RuleMaxLen, c.NumNegRules, c.NumItems)
+	}
+	return nil
+}
+
+// Method2 generates a database from planted correlation rules and returns
+// the rules (the ground truth) alongside it. Rules are built over disjoint
+// item sets so each rule's internal correlation is unconfounded.
+func Method2(cfg Method2Config) (*dataset.DB, []Rule, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cat := dataset.SyntheticCatalog(cfg.NumItems, cfg.Types)
+
+	// carve disjoint rule itemsets out of a random permutation
+	perm := r.Perm(cfg.NumItems)
+	rules := make([]Rule, cfg.NumRules, cfg.NumRules+cfg.NumNegRules)
+	next := 0
+	for i := range rules {
+		size := cfg.RuleMinLen
+		if cfg.RuleMaxLen > cfg.RuleMinLen {
+			size += r.Intn(cfg.RuleMaxLen - cfg.RuleMinLen + 1)
+		}
+		items := make([]itemset.Item, size)
+		for j := range items {
+			items[j] = itemset.Item(perm[next])
+			next++
+		}
+		rules[i] = Rule{
+			Items: itemset.New(items...),
+			Prob:  cfg.MinProb + r.Float64()*(cfg.MaxProb-cfg.MinProb),
+		}
+	}
+	for i := 0; i < cfg.NumNegRules; i++ {
+		a, b := itemset.Item(perm[next]), itemset.Item(perm[next+1])
+		next += 2
+		rules = append(rules, Rule{
+			Items:    itemset.New(a, b),
+			Prob:     cfg.MinProb + r.Float64()*(cfg.MaxProb-cfg.MinProb),
+			Negative: true,
+		})
+	}
+	// items reserved by rules must not reappear as padding, or the planted
+	// exclusions would be diluted; padding draws from the remaining pool
+	reserved := make(map[itemset.Item]bool)
+	for _, rule := range rules {
+		for _, it := range rule.Items {
+			reserved[it] = true
+		}
+	}
+	var padPool []itemset.Item
+	for i := 0; i < cfg.NumItems; i++ {
+		if !reserved[itemset.Item(i)] {
+			padPool = append(padPool, itemset.Item(i))
+		}
+	}
+
+	tx := make([]dataset.Transaction, cfg.NumTx)
+	for t := range tx {
+		var items []itemset.Item
+		for _, rule := range rules {
+			if rule.Negative {
+				// mutual exclusion: one of the two appears, never both
+				x := r.Float64()
+				switch {
+				case x < rule.Prob/2:
+					items = append(items, rule.Items[0])
+				case x < rule.Prob:
+					items = append(items, rule.Items[1])
+				}
+				continue
+			}
+			if r.Float64() < rule.Prob {
+				items = append(items, rule.Items...)
+			}
+		}
+		// pad with random non-reserved items up to the average basket size
+		for len(padPool) > 0 && len(items) < cfg.AvgTxSize {
+			items = append(items, padPool[r.Intn(len(padPool))])
+		}
+		tx[t] = itemset.New(items...)
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, rules, nil
+}

@@ -1,0 +1,368 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/core"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+func TestMethod1Validation(t *testing.T) {
+	bad := []Method1Config{
+		{NumTx: -1, NumItems: 10, AvgTxSize: 5, AvgPatternLen: 2, NumPatterns: 5},
+		{NumTx: 10, NumItems: 0, AvgTxSize: 5, AvgPatternLen: 2, NumPatterns: 5},
+		{NumTx: 10, NumItems: 10, AvgTxSize: 0, AvgPatternLen: 2, NumPatterns: 5},
+		{NumTx: 10, NumItems: 10, AvgTxSize: 5, AvgPatternLen: 0, NumPatterns: 5},
+		{NumTx: 10, NumItems: 10, AvgTxSize: 5, AvgPatternLen: 2, NumPatterns: 0},
+		{NumTx: 10, NumItems: 10, AvgTxSize: 5, AvgPatternLen: 2, NumPatterns: 5, Correlation: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Method1(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMethod1Shape(t *testing.T) {
+	cfg := DefaultMethod1(2000, 7)
+	cfg.NumItems = 200
+	cfg.NumPatterns = 100
+	db, err := Method1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTx() != 2000 {
+		t.Fatalf("NumTx = %d", db.NumTx())
+	}
+	st := dataset.Summarize(db)
+	// mean basket size should be in the right ballpark (patterns overlap,
+	// so a loose band suffices)
+	if st.AvgBasketSize < 5 || st.AvgBasketSize > 40 {
+		t.Fatalf("AvgBasketSize = %g, want roughly 20", st.AvgBasketSize)
+	}
+	if st.DistinctItems < 50 {
+		t.Fatalf("DistinctItems = %d, generator barely uses the catalog", st.DistinctItems)
+	}
+}
+
+func TestMethod1Deterministic(t *testing.T) {
+	cfg := DefaultMethod1(200, 3)
+	cfg.NumItems = 100
+	cfg.NumPatterns = 50
+	a, err := Method1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Method1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumTx() != b.NumTx() {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a.Tx {
+		if !a.Tx[i].Equal(b.Tx[i]) {
+			t.Fatalf("tx %d differs: %v vs %v", i, a.Tx[i], b.Tx[i])
+		}
+	}
+	cfg.Seed = 4
+	c, err := Method1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Tx {
+		if !a.Tx[i].Equal(c.Tx[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical data")
+	}
+}
+
+func TestMethod1ProducesPatterns(t *testing.T) {
+	// With few patterns and low corruption, frequent co-occurrence must
+	// appear: some pair should have support far above independence.
+	cfg := Method1Config{
+		NumTx: 3000, NumItems: 50, AvgTxSize: 10, AvgPatternLen: 3,
+		NumPatterns: 10, CorruptionMean: 0.2, CorruptionSD: 0.05,
+		Correlation: 0.5, Seed: 11,
+	}
+	db, err := Method1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := dataset.BuildVerticalIndex(db)
+	n := float64(db.NumTx())
+	best := 0.0
+	for a := 0; a < 50; a++ {
+		for b := a + 1; b < 50; b++ {
+			sa := float64(v.Support(itemset.New(itemset.Item(a)))) / n
+			sb := float64(v.Support(itemset.New(itemset.Item(b)))) / n
+			sab := float64(v.Support(itemset.New(itemset.Item(a), itemset.Item(b)))) / n
+			if sa > 0.02 && sb > 0.02 {
+				lift := sab / (sa * sb)
+				if lift > best {
+					best = lift
+				}
+			}
+		}
+	}
+	if best < 2 {
+		t.Fatalf("max lift = %g; generator produced no co-occurrence structure", best)
+	}
+}
+
+func TestMethod2Validation(t *testing.T) {
+	bad := []Method2Config{
+		{NumTx: -1, NumItems: 100, AvgTxSize: 5, NumRules: 2, RuleMinLen: 2, RuleMaxLen: 2, MinProb: 0.7, MaxProb: 0.9},
+		{NumTx: 10, NumItems: 100, AvgTxSize: 5, NumRules: 2, RuleMinLen: 1, RuleMaxLen: 2, MinProb: 0.7, MaxProb: 0.9},
+		{NumTx: 10, NumItems: 100, AvgTxSize: 5, NumRules: 2, RuleMinLen: 3, RuleMaxLen: 2, MinProb: 0.7, MaxProb: 0.9},
+		{NumTx: 10, NumItems: 100, AvgTxSize: 5, NumRules: 2, RuleMinLen: 2, RuleMaxLen: 2, MinProb: 0, MaxProb: 0.9},
+		{NumTx: 10, NumItems: 100, AvgTxSize: 5, NumRules: 2, RuleMinLen: 2, RuleMaxLen: 2, MinProb: 0.9, MaxProb: 0.7},
+		{NumTx: 10, NumItems: 4, AvgTxSize: 5, NumRules: 3, RuleMinLen: 2, RuleMaxLen: 2, MinProb: 0.7, MaxProb: 0.9},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Method2(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMethod2RulesDisjointAndInRange(t *testing.T) {
+	cfg := DefaultMethod2(500, 5)
+	cfg.NumItems = 100
+	_, rules, err := Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 10 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	seen := map[itemset.Item]bool{}
+	for _, r := range rules {
+		if r.Items.Size() < 2 || r.Items.Size() > 3 {
+			t.Fatalf("rule size %d", r.Items.Size())
+		}
+		if r.Prob < 0.7 || r.Prob > 0.9 {
+			t.Fatalf("rule prob %g", r.Prob)
+		}
+		for _, it := range r.Items {
+			if seen[it] {
+				t.Fatalf("rules share item %d", it)
+			}
+			seen[it] = true
+		}
+	}
+}
+
+func TestMethod2RuleSupportsMatchProbs(t *testing.T) {
+	cfg := DefaultMethod2(4000, 9)
+	cfg.NumItems = 200
+	db, rules, err := Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := dataset.BuildVerticalIndex(db)
+	n := float64(db.NumTx())
+	for _, r := range rules {
+		got := float64(v.Support(r.Items)) / n
+		// padding adds extra occurrences only of single items, not the
+		// whole rule, so support ≈ prob with small noise
+		if math.Abs(got-r.Prob) > 0.05 {
+			t.Fatalf("rule %v support %.3f, prob %.3f", r.Items, got, r.Prob)
+		}
+	}
+}
+
+func TestMethod2MinerRecoversPlantedRules(t *testing.T) {
+	// The paper's stated purpose of data set 2: verify the algorithms mine
+	// out the known correlations. Every minimal correlated set found over
+	// the rule items must be a subset of a planted rule, and every rule
+	// must be covered by at least one answer.
+	cfg := DefaultMethod2(1500, 21)
+	cfg.NumItems = 60
+	cfg.NumRules = 5
+	db, rules, err := Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(db, core.Params{Alpha: 0.95, CellSupportFrac: 0.05, CTFraction: 0.25, MaxLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.BMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ruleItems := map[itemset.Item]int{}
+	for ri, r := range rules {
+		for _, it := range r.Items {
+			ruleItems[it] = ri
+		}
+	}
+	covered := make([]bool, len(rules))
+	for _, s := range res.Answers {
+		// classify: does s lie entirely within one rule?
+		ri, pure := -1, true
+		for _, it := range s {
+			r, ok := ruleItems[it]
+			if !ok {
+				pure = false
+				break
+			}
+			if ri == -1 {
+				ri = r
+			} else if ri != r {
+				pure = false
+				break
+			}
+		}
+		if pure && ri >= 0 {
+			covered[ri] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Errorf("rule %d (%v, prob %.2f) not recovered; answers = %d sets",
+				i, rules[i].Items, rules[i].Prob, len(res.Answers))
+		}
+	}
+}
+
+func TestMethod2ValidMinRespectsConstraint(t *testing.T) {
+	cfg := DefaultMethod2(800, 13)
+	cfg.NumItems = 60
+	cfg.NumRules = 5
+	db, _, err := Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(db, core.Params{Alpha: 0.95, CellSupportFrac: 0.05, CTFraction: 0.25, MaxLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := db.Catalog.PriceQuantile(0.5)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, v))
+	res, err := m.BMSPlusPlus(q, core.PlusPlusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Answers {
+		if !q.Satisfies(db.Catalog, s) {
+			t.Fatalf("answer %v violates %s", s, q)
+		}
+	}
+}
+
+func TestMethod2ZeroRules(t *testing.T) {
+	cfg := DefaultMethod2(50, 2)
+	cfg.NumItems = 50
+	cfg.NumRules = 0
+	db, rules, err := Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 || db.NumTx() != 50 {
+		t.Fatalf("rules=%d tx=%d", len(rules), db.NumTx())
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{1, 4, 19} {
+		sum := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += poisson(r, mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.15*mean+0.1 {
+			t.Fatalf("poisson(%g) sample mean %g", mean, got)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(-1, 0, 1) != 0 || clamp(2, 0, 1) != 1 || clamp(0.5, 0, 1) != 0.5 {
+		t.Fatalf("clamp wrong")
+	}
+}
+
+func TestMethod2NegativeRules(t *testing.T) {
+	cfg := DefaultMethod2(3000, 17)
+	cfg.NumItems = 100
+	cfg.NumRules = 2
+	cfg.NumNegRules = 3
+	db, rules, err := Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("rules = %d, want 5", len(rules))
+	}
+	v := dataset.BuildVerticalIndex(db)
+	n := float64(db.NumTx())
+	negSeen := 0
+	for _, r := range rules {
+		if !r.Negative {
+			continue
+		}
+		negSeen++
+		if r.Items.Size() != 2 {
+			t.Fatalf("negative rule size %d", r.Items.Size())
+		}
+		// the pair never co-occurs, but each side appears
+		if v.Support(r.Items) != 0 {
+			t.Fatalf("negative rule %v co-occurs %d times", r.Items, v.Support(r.Items))
+		}
+		for _, it := range r.Items {
+			f := float64(v.Support(itemset.New(it))) / n
+			if f < r.Prob/2-0.05 || f > r.Prob/2+0.05 {
+				t.Fatalf("negative rule item %d frequency %.3f, want ~%.3f", it, f, r.Prob/2)
+			}
+		}
+	}
+	if negSeen != 3 {
+		t.Fatalf("negative rules seen = %d", negSeen)
+	}
+}
+
+func TestMinerDetectsNegativeDependence(t *testing.T) {
+	// The chi-squared test is two-sided: planted mutual exclusions are
+	// correlated sets even though their joint support is zero — the point
+	// of Brin et al.'s critique of support-confidence.
+	cfg := DefaultMethod2(3000, 19)
+	cfg.NumItems = 60
+	cfg.NumRules = 0
+	cfg.NumNegRules = 2
+	db, rules, err := Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(db, core.Params{Alpha: 0.99, CellSupportFrac: 0.05, CTFraction: 0.25, MaxLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.BMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, r := range rules {
+		for _, s := range res.Answers {
+			if s.Equal(r.Items) {
+				found++
+			}
+		}
+	}
+	if found != len(rules) {
+		t.Fatalf("found %d of %d planted exclusions; answers = %d", found, len(rules), len(res.Answers))
+	}
+}

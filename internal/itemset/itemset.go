@@ -1,0 +1,343 @@
+// Package itemset defines the canonical itemset representation used across
+// the miner: a strictly increasing slice of item IDs. It provides the
+// lattice algebra the level-wise algorithms need — subset enumeration,
+// Apriori-style candidate joins, and canonical string keys for hashing.
+package itemset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item identifies an item in the catalog. IDs are dense, starting at 0.
+type Item uint32
+
+// Set is an itemset in canonical form: item IDs strictly increasing.
+// Construct with New (which normalizes) or by methods that preserve
+// canonical form.
+type Set []Item
+
+// New returns the canonical itemset containing the given items, removing
+// duplicates and sorting.
+func New(items ...Item) Set {
+	s := make(Set, len(items))
+	copy(s, items)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// dedupe in place
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Size returns |S|.
+func (s Set) Size() int { return len(s) }
+
+// Contains reports whether item x is in s.
+func (s Set) Contains(x Item) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// ContainsAll reports whether every item of t is in s (t ⊆ s).
+func (s Set) ContainsAll(t Set) bool {
+	i := 0
+	for _, x := range t {
+		for i < len(s) && s[i] < x {
+			i++
+		}
+		if i >= len(s) || s[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same items.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// With returns a new canonical set s ∪ {x}.
+func (s Set) With(x Item) Set {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		return s.Clone()
+	}
+	out := make(Set, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, x)
+	out = append(out, s[i:]...)
+	return out
+}
+
+// Without returns a new canonical set s \ {x}.
+func (s Set) Without(x Item) Set {
+	out := make(Set, 0, len(s))
+	for _, v := range s {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t in canonical form.
+func (s Set) Union(t Set) Set {
+	out := make(Set, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Intersect returns s ∩ t in canonical form.
+func (s Set) Intersect(t Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Minus returns s \ t in canonical form.
+func (s Set) Minus(t Set) Set {
+	var out Set
+	j := 0
+	for _, v := range s {
+		for j < len(t) && t[j] < v {
+			j++
+		}
+		if j < len(t) && t[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Subsets1 calls fn with each (|s|-1)-subset of s, i.e. s with one item
+// dropped, in order of the dropped item's position. The slice passed to fn
+// is reused across calls; clone it to retain.
+func (s Set) Subsets1(fn func(sub Set) bool) {
+	if len(s) == 0 {
+		return
+	}
+	buf := make(Set, len(s)-1)
+	for drop := range s {
+		copy(buf, s[:drop])
+		copy(buf[drop:], s[drop+1:])
+		if !fn(buf) {
+			return
+		}
+	}
+}
+
+// ProperSubsets calls fn with every proper nonempty subset of s, in
+// increasing size order within each mask pass. The slice passed to fn is
+// freshly allocated per call. Intended for small sets (brute-force
+// reference, tests); panics for |s| > 20.
+func (s Set) ProperSubsets(fn func(sub Set) bool) {
+	k := len(s)
+	if k > 20 {
+		panic("itemset: ProperSubsets on set larger than 20")
+	}
+	full := uint32(1)<<uint(k) - 1
+	for mask := uint32(1); mask < full; mask++ {
+		sub := make(Set, 0, k)
+		for i := 0; i < k; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sub = append(sub, s[i])
+			}
+		}
+		if !fn(sub) {
+			return
+		}
+	}
+}
+
+// Key returns a canonical, compact string key for s, suitable as a map key.
+func (s Set) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(len(s) * 5)
+	var buf [binary.MaxVarintLen32]byte
+	prev := Item(0)
+	for i, v := range s {
+		delta := uint64(v)
+		if i > 0 {
+			delta = uint64(v - prev) // strictly positive since canonical
+		}
+		n := binary.PutUvarint(buf[:], delta)
+		b.Write(buf[:n])
+		prev = v
+	}
+	return b.String()
+}
+
+// String renders s as {a, b, c}.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Compare orders itemsets first by size, then lexicographically — the
+// canonical ordering for deterministic output.
+func Compare(a, b Set) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// SortSets sorts a slice of itemsets into the canonical order of Compare.
+func SortSets(sets []Set) {
+	sort.Slice(sets, func(i, j int) bool { return Compare(sets[i], sets[j]) < 0 })
+}
+
+// Join performs the Apriori join: given the canonical sorted list of
+// k-itemsets `level`, it returns all (k+1)-itemsets whose two generating
+// k-subsets (sharing the first k-1 items) both appear in level. The prune
+// step (checking the remaining k-subsets) is left to the caller, since the
+// constrained algorithms prune against different membership predicates.
+// level must be sorted by Compare and contain sets of equal size ≥ 1.
+func Join(level []Set) []Set {
+	var out []Set
+	for i := 0; i < len(level); i++ {
+		k := len(level[i])
+		for j := i + 1; j < len(level); j++ {
+			if !samePrefix(level[i], level[j], k-1) {
+				break
+			}
+			cand := make(Set, 0, k+1)
+			cand = append(cand, level[i]...)
+			cand = append(cand, level[j][k-1])
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b Set, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Registry is a set-of-itemsets keyed by canonical encoding. The zero value
+// is not ready; use NewRegistry.
+type Registry struct {
+	m map[string]Set
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Set)} }
+
+// Add inserts s, returning true if it was not already present.
+func (r *Registry) Add(s Set) bool {
+	k := s.Key()
+	if _, ok := r.m[k]; ok {
+		return false
+	}
+	r.m[k] = s.Clone()
+	return true
+}
+
+// Has reports whether s is present.
+func (r *Registry) Has(s Set) bool {
+	_, ok := r.m[s.Key()]
+	return ok
+}
+
+// Len returns the number of itemsets stored.
+func (r *Registry) Len() int { return len(r.m) }
+
+// Sets returns all stored itemsets in canonical order.
+func (r *Registry) Sets() []Set {
+	out := make([]Set, 0, len(r.m))
+	for _, s := range r.m {
+		out = append(out, s)
+	}
+	SortSets(out)
+	return out
+}
+
+// ContainsSubsetOf reports whether the registry holds any set that is a
+// subset (not necessarily proper) of s. Used for minimality filtering.
+func (r *Registry) ContainsSubsetOf(s Set) bool {
+	for _, t := range r.m {
+		if s.ContainsAll(t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,365 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	s := New(5, 3, 5, 1, 3)
+	if got, want := s.String(), "{1, 3, 5}"; got != want {
+		t.Fatalf("New = %s, want %s", got, want)
+	}
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", s.Size())
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	s := New()
+	if s.Size() != 0 {
+		t.Fatalf("empty set has size %d", s.Size())
+	}
+	if s.Key() != "" {
+		t.Fatalf("empty key = %q", s.Key())
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(2, 4, 6)
+	for _, x := range []Item{2, 4, 6} {
+		if !s.Contains(x) {
+			t.Fatalf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []Item{0, 1, 3, 5, 7} {
+		if s.Contains(x) {
+			t.Fatalf("Contains(%d) = true", x)
+		}
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	s := New(1, 2, 3, 4)
+	cases := []struct {
+		sub  Set
+		want bool
+	}{
+		{New(), true},
+		{New(1), true},
+		{New(1, 4), true},
+		{New(1, 2, 3, 4), true},
+		{New(5), false},
+		{New(1, 5), false},
+		{New(0, 1), false},
+	}
+	for _, c := range cases {
+		if got := s.ContainsAll(c.sub); got != c.want {
+			t.Errorf("ContainsAll(%v) = %v, want %v", c.sub, got, c.want)
+		}
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	s := New(1, 3)
+	if got := s.With(2).String(); got != "{1, 2, 3}" {
+		t.Fatalf("With(2) = %s", got)
+	}
+	if got := s.With(3).String(); got != "{1, 3}" {
+		t.Fatalf("With(existing) = %s", got)
+	}
+	if got := s.With(0).String(); got != "{0, 1, 3}" {
+		t.Fatalf("With(0) = %s", got)
+	}
+	if got := s.With(9).String(); got != "{1, 3, 9}" {
+		t.Fatalf("With(9) = %s", got)
+	}
+	if got := s.Without(1).String(); got != "{3}" {
+		t.Fatalf("Without(1) = %s", got)
+	}
+	if got := s.Without(7).String(); got != "{1, 3}" {
+		t.Fatalf("Without(absent) = %s", got)
+	}
+	// originals untouched
+	if s.String() != "{1, 3}" {
+		t.Fatalf("original mutated: %s", s)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(2, 3, 4)
+	if got := a.Union(b).String(); got != "{1, 2, 3, 4}" {
+		t.Fatalf("Union = %s", got)
+	}
+	if got := a.Intersect(b).String(); got != "{2, 3}" {
+		t.Fatalf("Intersect = %s", got)
+	}
+	if got := a.Minus(b).String(); got != "{1}" {
+		t.Fatalf("Minus = %s", got)
+	}
+	if got := b.Minus(a).String(); got != "{4}" {
+		t.Fatalf("Minus = %s", got)
+	}
+}
+
+func TestSubsets1(t *testing.T) {
+	s := New(1, 2, 3)
+	var got []string
+	s.Subsets1(func(sub Set) bool {
+		got = append(got, sub.Clone().String())
+		return true
+	})
+	want := []string{"{2, 3}", "{1, 3}", "{1, 2}"}
+	if len(got) != len(want) {
+		t.Fatalf("Subsets1 = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Subsets1 = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubsets1EarlyStop(t *testing.T) {
+	n := 0
+	New(1, 2, 3, 4).Subsets1(func(Set) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestProperSubsetsCount(t *testing.T) {
+	s := New(1, 2, 3, 4)
+	n := 0
+	s.ProperSubsets(func(Set) bool { n++; return true })
+	if n != 14 { // 2^4 - 2
+		t.Fatalf("ProperSubsets visited %d, want 14", n)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	sets := []Set{
+		New(), New(0), New(1), New(0, 1), New(2),
+		New(1, 2), New(0, 2), New(0, 1, 2), New(300), New(1, 300),
+	}
+	seen := map[string]string{}
+	for _, s := range sets {
+		k := s.Key()
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key collision between %s and %s", prev, s)
+		}
+		seen[k] = s.String()
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Set
+		want int
+	}{
+		{New(1), New(1, 2), -1},
+		{New(1, 2), New(1), 1},
+		{New(1, 2), New(1, 3), -1},
+		{New(2, 3), New(1, 9), 1},
+		{New(1, 2), New(1, 2), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJoinPairs(t *testing.T) {
+	level := []Set{New(1), New(2), New(3)}
+	got := Join(level)
+	want := []string{"{1, 2}", "{1, 3}", "{2, 3}"}
+	if len(got) != len(want) {
+		t.Fatalf("Join = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i].String() != want[i] {
+			t.Fatalf("Join = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJoinTriples(t *testing.T) {
+	level := []Set{New(1, 2), New(1, 3), New(1, 4), New(2, 3)}
+	got := Join(level)
+	// join on shared first item: {1,2}+{1,3}->{1,2,3}, {1,2}+{1,4}->{1,2,4},
+	// {1,3}+{1,4}->{1,3,4}. {2,3} has no join partner.
+	want := []string{"{1, 2, 3}", "{1, 2, 4}", "{1, 3, 4}"}
+	if len(got) != len(want) {
+		t.Fatalf("Join = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i].String() != want[i] {
+			t.Fatalf("Join = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	if got := Join(nil); len(got) != 0 {
+		t.Fatalf("Join(nil) = %v", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if !r.Add(New(1, 2)) {
+		t.Fatalf("first Add returned false")
+	}
+	if r.Add(New(2, 1)) {
+		t.Fatalf("duplicate Add returned true")
+	}
+	if !r.Has(New(1, 2)) {
+		t.Fatalf("Has = false")
+	}
+	if r.Has(New(1, 3)) {
+		t.Fatalf("Has absent = true")
+	}
+	r.Add(New(3))
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	sets := r.Sets()
+	if sets[0].String() != "{3}" || sets[1].String() != "{1, 2}" {
+		t.Fatalf("Sets = %v", sets)
+	}
+}
+
+func TestRegistryContainsSubsetOf(t *testing.T) {
+	r := NewRegistry()
+	r.Add(New(1, 2))
+	if !r.ContainsSubsetOf(New(1, 2, 3)) {
+		t.Fatalf("superset not detected")
+	}
+	if !r.ContainsSubsetOf(New(1, 2)) {
+		t.Fatalf("equal set not detected")
+	}
+	if r.ContainsSubsetOf(New(1, 3)) {
+		t.Fatalf("non-superset detected")
+	}
+}
+
+func TestRegistryAddIsolation(t *testing.T) {
+	r := NewRegistry()
+	s := New(1, 2)
+	r.Add(s)
+	s[0] = 9 // mutate caller's slice
+	if !r.Has(New(1, 2)) {
+		t.Fatalf("registry affected by caller mutation")
+	}
+}
+
+// model-based property tests
+
+func randSet(r *rand.Rand) Set {
+	n := r.Intn(8)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item(r.Intn(12))
+	}
+	return New(items...)
+}
+
+func toMap(s Set) map[Item]bool {
+	m := make(map[Item]bool, len(s))
+	for _, v := range s {
+		m[v] = true
+	}
+	return m
+}
+
+func TestQuickAlgebraAgainstMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r), randSet(r)
+		ma, mb := toMap(a), toMap(b)
+
+		u := toMap(a.Union(b))
+		i := toMap(a.Intersect(b))
+		d := toMap(a.Minus(b))
+		for x := Item(0); x < 12; x++ {
+			if u[x] != (ma[x] || mb[x]) {
+				return false
+			}
+			if i[x] != (ma[x] && mb[x]) {
+				return false
+			}
+			if d[x] != (ma[x] && !mb[x]) {
+				return false
+			}
+		}
+		// ContainsAll consistency
+		if a.ContainsAll(a.Intersect(b)) != true {
+			return false
+		}
+		return a.Union(b).ContainsAll(a) && a.Union(b).ContainsAll(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r), randSet(r)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJoinProducesAllAprioriCandidates(t *testing.T) {
+	// Every (k+1)-set whose ALL k-subsets are in the level must appear in
+	// Join(level); and everything Join emits has its two generators in it.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// build a random level of 2-sets over a small universe
+		reg := NewRegistry()
+		for i := 0; i < 10; i++ {
+			a, b := Item(r.Intn(6)), Item(r.Intn(6))
+			if a != b {
+				reg.Add(New(a, b))
+			}
+		}
+		level := reg.Sets()
+		joined := NewRegistry()
+		for _, s := range Join(level) {
+			joined.Add(s)
+		}
+		// completeness: all 3-sets whose every 2-subset is in level
+		for a := Item(0); a < 6; a++ {
+			for b := a + 1; b < 6; b++ {
+				for c := b + 1; c < 6; c++ {
+					s := New(a, b, c)
+					all := true
+					s.Subsets1(func(sub Set) bool {
+						if !reg.Has(sub) {
+							all = false
+							return false
+						}
+						return true
+					})
+					if all && !joined.Has(s) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package rules_test
+
+import (
+	"fmt"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+	"ccs/internal/rules"
+)
+
+// ExampleFromSet derives both directions of an association rule with
+// support, confidence and lift.
+func ExampleFromSet() {
+	cat := dataset.SyntheticCatalog(2, nil)
+	// 10 baskets: {0,1} x4, {0} x1, {1} x2, {} x3
+	tx := []dataset.Transaction{
+		itemset.New(0, 1), itemset.New(0, 1), itemset.New(0, 1), itemset.New(0, 1),
+		itemset.New(0), itemset.New(1), itemset.New(1),
+		itemset.New(), itemset.New(), itemset.New(),
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		panic(err)
+	}
+	idx := dataset.BuildVerticalIndex(db)
+	rs, err := rules.FromSet(idx, itemset.New(0, 1), rules.Params{})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rs {
+		fmt.Println(r)
+	}
+	// Output:
+	// {0} => {1} (sup 0.400, conf 0.800, lift 1.33)
+	// {1} => {0} (sup 0.400, conf 0.667, lift 1.33)
+}

@@ -1,0 +1,141 @@
+// Package rules derives association rules from mined itemsets — the
+// classical layer (Agrawal et al., SIGMOD'93) that frequent- and
+// correlated-set mining feed. It exists because the paper positions
+// correlated sets as an alternative foundation for rule generation: the
+// same API produces confidence/lift-annotated rules from either a
+// frequent-set result or a correlated set, letting the examples contrast
+// "confident" with "statistically dependent".
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// Rule is an association rule Antecedent => Consequent with its standard
+// measures over the database it was derived from.
+type Rule struct {
+	Antecedent itemset.Set
+	Consequent itemset.Set
+	// Support is the fraction of transactions containing the whole set.
+	Support float64
+	// Confidence is P(Consequent | Antecedent).
+	Confidence float64
+	// Lift is Confidence / P(Consequent); 1 means independence, above 1
+	// positive correlation of the two sides.
+	Lift float64
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %.3f, conf %.3f, lift %.2f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// Params sets the rule-quality thresholds.
+type Params struct {
+	// MinConfidence is the lowest acceptable confidence in [0, 1].
+	MinConfidence float64
+	// MinLift is the lowest acceptable lift (0 disables the filter).
+	MinLift float64
+}
+
+func (p Params) validate() error {
+	if p.MinConfidence < 0 || p.MinConfidence > 1 {
+		return fmt.Errorf("rules: MinConfidence %g outside [0,1]", p.MinConfidence)
+	}
+	if p.MinLift < 0 {
+		return fmt.Errorf("rules: negative MinLift %g", p.MinLift)
+	}
+	return nil
+}
+
+// FromSet expands one itemset into every rule A => S\A with nonempty sides,
+// computing measures against the database's vertical index, and returns the
+// rules meeting the thresholds. Sets larger than 16 items are rejected (the
+// expansion is exponential).
+func FromSet(idx *dataset.VerticalIndex, s itemset.Set, p Params) ([]Rule, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if s.Size() < 2 {
+		return nil, fmt.Errorf("rules: itemset %v too small to split", s)
+	}
+	if s.Size() > 16 {
+		return nil, fmt.Errorf("rules: itemset of %d items too large to expand", s.Size())
+	}
+	n := idx.NumTx()
+	if n == 0 {
+		return nil, fmt.Errorf("rules: empty database")
+	}
+	whole := float64(idx.Support(s)) / float64(n)
+
+	var out []Rule
+	s.ProperSubsets(func(ante itemset.Set) bool {
+		cons := s.Minus(ante)
+		supA := float64(idx.Support(ante)) / float64(n)
+		if supA == 0 {
+			return true
+		}
+		conf := whole / supA
+		supC := float64(idx.Support(cons)) / float64(n)
+		lift := 0.0
+		if supC > 0 {
+			lift = conf / supC
+		}
+		if conf >= p.MinConfidence && (p.MinLift == 0 || lift >= p.MinLift) {
+			out = append(out, Rule{
+				Antecedent: ante.Clone(),
+				Consequent: cons,
+				Support:    whole,
+				Confidence: conf,
+				Lift:       lift,
+			})
+		}
+		return true
+	})
+	sortRules(out)
+	return out, nil
+}
+
+// FromSets expands a batch of itemsets, deduplicating identical rules that
+// arise when the input sets overlap.
+func FromSets(idx *dataset.VerticalIndex, sets []itemset.Set, p Params) ([]Rule, error) {
+	seen := map[string]bool{}
+	var out []Rule
+	for _, s := range sets {
+		rs, err := FromSet(idx, s, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			key := r.Antecedent.Key() + "=>" + r.Consequent.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, r)
+		}
+	}
+	sortRules(out)
+	return out, nil
+}
+
+// sortRules orders by descending confidence, then lift, then canonical
+// itemset order — a stable presentation order for reports.
+func sortRules(rs []Rule) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Confidence != rs[j].Confidence {
+			return rs[i].Confidence > rs[j].Confidence
+		}
+		if rs[i].Lift != rs[j].Lift {
+			return rs[i].Lift > rs[j].Lift
+		}
+		if c := itemset.Compare(rs[i].Antecedent, rs[j].Antecedent); c != 0 {
+			return c < 0
+		}
+		return itemset.Compare(rs[i].Consequent, rs[j].Consequent) < 0
+	})
+}

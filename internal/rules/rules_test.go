@@ -1,0 +1,190 @@
+package rules
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// ruleDB: 10 transactions; {0,1} co-occur 4 times, 0 appears 5 times,
+// 1 appears 6 times.
+func ruleDB(t *testing.T) *dataset.VerticalIndex {
+	t.Helper()
+	cat := dataset.SyntheticCatalog(4, nil)
+	tx := []dataset.Transaction{
+		itemset.New(0, 1), itemset.New(0, 1), itemset.New(0, 1), itemset.New(0, 1),
+		itemset.New(0), itemset.New(1), itemset.New(1),
+		itemset.New(2), itemset.New(2, 3), itemset.New(3),
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.BuildVerticalIndex(db)
+}
+
+func TestFromSetMeasures(t *testing.T) {
+	idx := ruleDB(t)
+	rules, err := FromSet(idx, itemset.New(0, 1), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(rules))
+	}
+	// 0 => 1: support 0.4, confidence 4/5 = 0.8, lift 0.8/0.6 = 1.333
+	var r01 *Rule
+	for i := range rules {
+		if rules[i].Antecedent.Equal(itemset.New(0)) {
+			r01 = &rules[i]
+		}
+	}
+	if r01 == nil {
+		t.Fatalf("rule 0=>1 missing")
+	}
+	if math.Abs(r01.Support-0.4) > 1e-12 {
+		t.Errorf("support = %g", r01.Support)
+	}
+	if math.Abs(r01.Confidence-0.8) > 1e-12 {
+		t.Errorf("confidence = %g", r01.Confidence)
+	}
+	if math.Abs(r01.Lift-0.8/0.6) > 1e-12 {
+		t.Errorf("lift = %g", r01.Lift)
+	}
+}
+
+func TestFromSetThresholds(t *testing.T) {
+	idx := ruleDB(t)
+	// confidence 0.75 keeps 0=>1 (0.8) but drops 1=>0 (4/6 = 0.667)
+	rules, err := FromSet(idx, itemset.New(0, 1), Params{MinConfidence: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || !rules[0].Antecedent.Equal(itemset.New(0)) {
+		t.Fatalf("rules = %v", rules)
+	}
+	// lift filter: 0=>1 has lift 1.33; demand 2.0
+	rules, err = FromSet(idx, itemset.New(0, 1), Params{MinLift: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Fatalf("rules = %v", rules)
+	}
+}
+
+func TestFromSetThreeWay(t *testing.T) {
+	cat := dataset.SyntheticCatalog(3, nil)
+	tx := []dataset.Transaction{
+		itemset.New(0, 1, 2), itemset.New(0, 1, 2), itemset.New(0, 1),
+		itemset.New(2), itemset.New(0),
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := dataset.BuildVerticalIndex(db)
+	rules, err := FromSet(idx, itemset.New(0, 1, 2), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 6 { // 2^3 - 2 splits
+		t.Fatalf("rules = %d, want 6", len(rules))
+	}
+	// {0,1} => {2}: support 0.4, conf 2/3
+	for _, r := range rules {
+		if r.Antecedent.Equal(itemset.New(0, 1)) {
+			if math.Abs(r.Confidence-2.0/3) > 1e-12 {
+				t.Errorf("conf = %g", r.Confidence)
+			}
+		}
+	}
+}
+
+func TestFromSetErrors(t *testing.T) {
+	idx := ruleDB(t)
+	if _, err := FromSet(idx, itemset.New(0), Params{}); err == nil {
+		t.Errorf("singleton accepted")
+	}
+	if _, err := FromSet(idx, itemset.New(0, 1), Params{MinConfidence: 2}); err == nil {
+		t.Errorf("confidence > 1 accepted")
+	}
+	if _, err := FromSet(idx, itemset.New(0, 1), Params{MinLift: -1}); err == nil {
+		t.Errorf("negative lift accepted")
+	}
+	big := make([]itemset.Item, 17)
+	for i := range big {
+		big[i] = itemset.Item(i)
+	}
+	bigCat := dataset.SyntheticCatalog(20, nil)
+	bigDB, _ := dataset.NewDB(bigCat, nil)
+	if _, err := FromSet(dataset.BuildVerticalIndex(bigDB), itemset.New(big...), Params{}); err == nil {
+		t.Errorf("17-item set accepted")
+	}
+	emptyCat := dataset.SyntheticCatalog(3, nil)
+	emptyDB, _ := dataset.NewDB(emptyCat, nil)
+	if _, err := FromSet(dataset.BuildVerticalIndex(emptyDB), itemset.New(0, 1), Params{}); err == nil {
+		t.Errorf("empty database accepted")
+	}
+}
+
+func TestFromSetsDedupes(t *testing.T) {
+	idx := ruleDB(t)
+	rules, err := FromSets(idx, []itemset.Set{itemset.New(0, 1), itemset.New(0, 1)}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d, want 2 after dedupe", len(rules))
+	}
+}
+
+func TestRulesSortedByConfidence(t *testing.T) {
+	idx := ruleDB(t)
+	rules, err := FromSets(idx, []itemset.Set{itemset.New(0, 1), itemset.New(2, 3)}, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].Confidence < rules[i].Confidence {
+			t.Fatalf("rules not sorted: %v", rules)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Antecedent: itemset.New(0),
+		Consequent: itemset.New(1),
+		Support:    0.4, Confidence: 0.8, Lift: 1.33,
+	}
+	s := r.String()
+	for _, want := range []string{"{0} => {1}", "sup 0.400", "conf 0.800", "lift 1.33"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestZeroSupportAntecedentSkipped(t *testing.T) {
+	cat := dataset.SyntheticCatalog(3, nil)
+	// item 2 never occurs; {0,1,2} expansion must not divide by zero
+	tx := []dataset.Transaction{itemset.New(0, 1), itemset.New(0)}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := dataset.BuildVerticalIndex(db)
+	rules, err := FromSet(idx, itemset.New(0, 1, 2), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if math.IsNaN(r.Confidence) || math.IsInf(r.Confidence, 0) {
+			t.Fatalf("bad confidence in %v", r)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"ccs/internal/constraint"
+	"ccs/internal/core"
+	"ccs/internal/cql"
+	"ccs/internal/freq"
+)
+
+// FrequentRequest is the JSON body of POST /v1/frequent.
+type FrequentRequest struct {
+	Dataset string `json:"dataset"`
+	// Query is an optional constraint expression; anti-monotone members
+	// are pushed into the search (CAP), the rest filter the output.
+	Query string `json:"query,omitempty"`
+	// MinSupport / MinSupportFrac set the frequency threshold.
+	MinSupport     int     `json:"min_support,omitempty"`
+	MinSupportFrac float64 `json:"min_support_frac,omitempty"`
+	MaxLevel       int     `json:"max_level,omitempty"`
+}
+
+// FrequentSetJSON is one frequent itemset in the reply.
+type FrequentSetJSON struct {
+	Items   []uint32 `json:"items"`
+	Names   []string `json:"names"`
+	Support int      `json:"support"`
+}
+
+// FrequentResponse is the JSON reply of POST /v1/frequent.
+type FrequentResponse struct {
+	Query string            `json:"query"`
+	Sets  []FrequentSetJSON `json:"sets"`
+	Stats freq.Stats        `json:"stats"`
+}
+
+func (s *Server) handleFrequent(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req FrequentRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	db, ok := s.lookup(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not loaded", req.Dataset)
+		return
+	}
+	queryText := req.Query
+	if queryText == "" {
+		queryText = "true"
+	}
+	q, err := cql.Parse(queryText)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := constraint.CheckDomain(db.Catalog, q.All...); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := freq.Params{MinSupport: req.MinSupport, MinSupportFrac: req.MinSupportFrac, MaxLevel: req.MaxLevel}
+	if p.MinSupport == 0 && p.MinSupportFrac == 0 {
+		p.MinSupportFrac = 0.25 // the paper's default threshold
+	}
+	res, err := freq.CAP(db, p, q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := FrequentResponse{Query: q.String(), Stats: res.Stats, Sets: make([]FrequentSetJSON, len(res.Sets))}
+	for i, f := range res.Sets {
+		js := FrequentSetJSON{Support: f.Support}
+		for _, id := range f.Items {
+			js.Items = append(js.Items, uint32(id))
+			js.Names = append(js.Names, db.Catalog.Info(id).Name)
+		}
+		resp.Sets[i] = js
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExplainResponse is the JSON reply of POST /v1/explain.
+type ExplainResponse struct {
+	Query           string   `json:"query"`
+	ItemSelectivity float64  `json:"item_selectivity"`
+	AllAntiMonotone bool     `json:"all_anti_monotone"`
+	HasUnclassified bool     `json:"has_unclassified"`
+	ForValidMin     string   `json:"for_valid_min"`
+	ForMinValid     string   `json:"for_min_valid"`
+	Reasons         []string `json:"reasons"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req MineRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	db, ok := s.lookup(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not loaded", req.Dataset)
+		return
+	}
+	queryText := req.Query
+	if queryText == "" {
+		queryText = "true"
+	}
+	q, err := cql.Parse(queryText)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := core.New(db, core.DefaultParams())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	advice, err := m.Advise(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Query:           q.String(),
+		ItemSelectivity: advice.ItemSelectivity,
+		AllAntiMonotone: advice.AllAntiMonotone,
+		HasUnclassified: advice.HasUnclassified,
+		ForValidMin:     advice.ForValidMin,
+		ForMinValid:     advice.ForMinValid,
+		Reasons:         advice.Reasons,
+	})
+}

@@ -1,0 +1,353 @@
+// Package server exposes the miner as an HTTP JSON service — the
+// integration-with-database-systems deployment the paper's introduction
+// motivates (cf. Sarawagi et al., SIGMOD'98). Datasets are uploaded in the
+// binary format or generated server-side; constrained correlation queries
+// run against them by name.
+//
+// Endpoints:
+//
+//	GET  /healthz                   liveness probe
+//	GET  /v1/datasets               list loaded datasets with statistics
+//	PUT  /v1/datasets/{name}        upload a binary dataset
+//	POST /v1/datasets/{name}:generate  generate synthetic data (JSON spec)
+//	GET  /v1/datasets/{name}        statistics of one dataset
+//	DELETE /v1/datasets/{name}      unload
+//	POST /v1/mine                   run a correlation query (JSON)
+//	POST /v1/frequent               run a constrained frequent-set query (JSON)
+//	POST /v1/explain                classify a query and recommend an algorithm
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ccs/internal/constraint"
+	"ccs/internal/core"
+	"ccs/internal/cql"
+	"ccs/internal/dataset"
+	"ccs/internal/gen"
+	"ccs/internal/itemset"
+)
+
+// maxUploadBytes bounds dataset uploads (64 MiB).
+const maxUploadBytes = 64 << 20
+
+// Server is the HTTP handler with its dataset registry. Create with New;
+// it is safe for concurrent use.
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*dataset.DB
+	mux      *http.ServeMux
+}
+
+// New returns a ready handler.
+func New() *Server {
+	s := &Server{datasets: make(map[string]*dataset.DB), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/datasets", s.handleList)
+	s.mux.HandleFunc("/v1/datasets/", s.handleDataset)
+	s.mux.HandleFunc("/v1/mine", s.handleMine)
+	s.mux.HandleFunc("/v1/frequent", s.handleFrequent)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// AddDataset registers a database under a name programmatically.
+func (s *Server) AddDataset(name string, db *dataset.DB) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = db
+}
+
+func (s *Server) lookup(name string) (*dataset.DB, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	db, ok := s.datasets[name]
+	return db, ok
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported to the client;
+	// they surface as a truncated body.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// DatasetInfo summarizes one loaded dataset.
+type DatasetInfo struct {
+	Name          string  `json:"name"`
+	Baskets       int     `json:"baskets"`
+	Items         int     `json:"items"`
+	AvgBasketSize float64 `json:"avg_basket_size"`
+	MaxBasketSize int     `json:"max_basket_size"`
+}
+
+func infoFor(name string, db *dataset.DB) DatasetInfo {
+	st := dataset.Summarize(db)
+	return DatasetInfo{
+		Name:          name,
+		Baskets:       st.NumTx,
+		Items:         st.NumItems,
+		AvgBasketSize: st.AvgBasketSize,
+		MaxBasketSize: st.MaxBasketSize,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]DatasetInfo, 0, len(names))
+	for _, n := range names {
+		if db, ok := s.lookup(n); ok {
+			out = append(out, infoFor(n, db))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// GenerateSpec is the JSON body of the :generate action.
+type GenerateSpec struct {
+	Method   int   `json:"method"` // 1 or 2
+	Baskets  int   `json:"baskets"`
+	Items    int   `json:"items"`
+	Rules    int   `json:"rules,omitempty"`
+	Patterns int   `json:"patterns,omitempty"`
+	Seed     int64 `json:"seed"`
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/datasets/")
+	if rest == "" {
+		writeError(w, http.StatusNotFound, "dataset name missing")
+		return
+	}
+	if name, ok := strings.CutSuffix(rest, ":generate"); ok {
+		s.handleGenerate(w, r, name)
+		return
+	}
+	name := rest
+	switch r.Method {
+	case http.MethodPut:
+		body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+		db, err := dataset.Read(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parse dataset: %v", err)
+			return
+		}
+		s.AddDataset(name, db)
+		writeJSON(w, http.StatusCreated, infoFor(name, db))
+	case http.MethodGet:
+		db, ok := s.lookup(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "dataset %q not loaded", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, infoFor(name, db))
+	case http.MethodDelete:
+		s.mu.Lock()
+		_, ok := s.datasets[name]
+		delete(s.datasets, name)
+		s.mu.Unlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, "dataset %q not loaded", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var spec GenerateSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "parse spec: %v", err)
+		return
+	}
+	if spec.Baskets <= 0 || spec.Baskets > 1_000_000 {
+		writeError(w, http.StatusBadRequest, "baskets %d outside (0, 1e6]", spec.Baskets)
+		return
+	}
+	var db *dataset.DB
+	var err error
+	switch spec.Method {
+	case 1:
+		cfg := gen.DefaultMethod1(spec.Baskets, spec.Seed)
+		if spec.Items > 0 {
+			cfg.NumItems = spec.Items
+		}
+		if spec.Patterns > 0 {
+			cfg.NumPatterns = spec.Patterns
+		}
+		db, err = gen.Method1(cfg)
+	case 2:
+		cfg := gen.DefaultMethod2(spec.Baskets, spec.Seed)
+		if spec.Items > 0 {
+			cfg.NumItems = spec.Items
+		}
+		if spec.Rules > 0 {
+			cfg.NumRules = spec.Rules
+		}
+		db, _, err = gen.Method2(cfg)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown method %d (want 1 or 2)", spec.Method)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "generate: %v", err)
+		return
+	}
+	s.AddDataset(name, db)
+	writeJSON(w, http.StatusCreated, infoFor(name, db))
+}
+
+// MineRequest is the JSON body of POST /v1/mine.
+type MineRequest struct {
+	Dataset string `json:"dataset"`
+	// Algo is one of bms, bms+, bms++, bms*, bms**.
+	Algo string `json:"algo"`
+	// Query is a constraint expression in the textual language.
+	Query string `json:"query,omitempty"`
+	// Thresholds (zero values fall back to the paper defaults).
+	Alpha           float64 `json:"alpha,omitempty"`
+	CellSupport     int     `json:"cell_support,omitempty"`
+	CellSupportFrac float64 `json:"cell_support_frac,omitempty"`
+	CTFraction      float64 `json:"ct_fraction,omitempty"`
+	MaxLevel        int     `json:"max_level,omitempty"`
+	// Push enables the paper's witness push for bms++/bms**.
+	Push bool `json:"push,omitempty"`
+}
+
+// MineResponse is the JSON reply of POST /v1/mine.
+type MineResponse struct {
+	Query   string     `json:"query"`
+	Answers [][]uint32 `json:"answers"`
+	Named   [][]string `json:"named_answers"`
+	Stats   core.Stats `json:"stats"`
+	Elapsed float64    `json:"elapsed_seconds"`
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req MineRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	db, ok := s.lookup(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not loaded", req.Dataset)
+		return
+	}
+	queryText := req.Query
+	if queryText == "" {
+		queryText = "true"
+	}
+	q, err := cql.Parse(queryText)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := constraint.CheckDomain(db.Catalog, q.All...); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params := core.DefaultParams()
+	if req.Alpha != 0 {
+		params.Alpha = req.Alpha
+	}
+	if req.CellSupport != 0 {
+		params.CellSupport = req.CellSupport
+		params.CellSupportFrac = 0
+	} else if req.CellSupportFrac != 0 {
+		params.CellSupportFrac = req.CellSupportFrac
+	}
+	if req.CTFraction != 0 {
+		params.CTFraction = req.CTFraction
+	}
+	if req.MaxLevel != 0 {
+		params.MaxLevel = req.MaxLevel
+	}
+	m, err := core.New(db, params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	var res *core.Result
+	switch strings.ToLower(req.Algo) {
+	case "bms", "":
+		res, err = m.BMS()
+	case "bms+":
+		res, err = m.BMSPlus(q)
+	case "bms++":
+		res, err = m.BMSPlusPlus(q, core.PlusPlusOptions{PushMonotoneSuccinct: req.Push})
+	case "bms*":
+		res, err = m.BMSStar(q)
+	case "bms**":
+		res, err = m.BMSStarStar(q, core.StarStarOptions{PushMonotoneSuccinct: req.Push})
+	default:
+		writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algo)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := MineResponse{
+		Query:   q.String(),
+		Answers: make([][]uint32, len(res.Answers)),
+		Named:   make([][]string, len(res.Answers)),
+		Stats:   res.Stats,
+		Elapsed: time.Since(start).Seconds(),
+	}
+	for i, set := range res.Answers {
+		ids := make([]uint32, set.Size())
+		names := make([]string, set.Size())
+		for j, id := range set {
+			ids[j] = uint32(id)
+			names[j] = db.Catalog.Info(itemset.Item(id)).Name
+		}
+		resp.Answers[i] = ids
+		resp.Named[i] = names
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ccs/internal/dataset"
+	"ccs/internal/gen"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func doJSON(t *testing.T, method, url string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestHealth(t *testing.T) {
+	srv := testServer(t)
+	resp, body := doJSON(t, http.MethodGet, srv.URL+"/healthz", nil)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "ok") {
+		t.Fatalf("health: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestUploadListMineDelete(t *testing.T) {
+	srv := testServer(t)
+
+	// build and upload a dataset in binary form
+	cfg := gen.DefaultMethod2(600, 5)
+	cfg.NumItems = 50
+	cfg.NumRules = 3
+	db, _, err := gen.Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := dataset.Write(&bin, db); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/datasets/market", bytes.NewReader(bin.Bytes()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+
+	// list
+	resp, body := doJSON(t, http.MethodGet, srv.URL+"/v1/datasets", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("list: %d", resp.StatusCode)
+	}
+	var infos []DatasetInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "market" || infos[0].Baskets != 600 {
+		t.Fatalf("list = %+v", infos)
+	}
+
+	// stats of one
+	resp, body = doJSON(t, http.MethodGet, srv.URL+"/v1/datasets/market", nil)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"baskets":600`) {
+		t.Fatalf("get: %d %s", resp.StatusCode, body)
+	}
+
+	// mine
+	resp, body = doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{
+		Dataset: "market",
+		Algo:    "bms++",
+		Query:   "max(price) <= 40",
+		Alpha:   0.95,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("mine: %d %s", resp.StatusCode, body)
+	}
+	var mr MineResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Query != "max(price) <= 40" {
+		t.Fatalf("query echoed as %q", mr.Query)
+	}
+	if len(mr.Answers) != len(mr.Named) {
+		t.Fatalf("answers/named mismatch")
+	}
+	if mr.Stats.SetsConsidered == 0 {
+		t.Fatalf("no work recorded: %+v", mr.Stats)
+	}
+
+	// delete
+	resp, _ = doJSON(t, http.MethodDelete, srv.URL+"/v1/datasets/market", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodGet, srv.URL+"/v1/datasets/market", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted dataset still present: %d", resp.StatusCode)
+	}
+}
+
+func TestGenerateEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/datasets/synth:generate", GenerateSpec{
+		Method: 2, Baskets: 300, Items: 40, Rules: 2, Seed: 9,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+	var info DatasetInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Baskets != 300 || info.Items != 40 {
+		t.Fatalf("info = %+v", info)
+	}
+	// mine over the generated data
+	resp, body = doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{
+		Dataset: "synth", Algo: "bms",
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("mine: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestGenerateMethod1(t *testing.T) {
+	srv := testServer(t)
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/datasets/d1:generate", GenerateSpec{
+		Method: 1, Baskets: 200, Items: 50, Patterns: 20, Seed: 1,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   interface{}
+		want   int
+	}{
+		{"missing name", http.MethodGet, "/v1/datasets/", nil, http.StatusNotFound},
+		{"unknown dataset", http.MethodGet, "/v1/datasets/nope", nil, http.StatusNotFound},
+		{"delete unknown", http.MethodDelete, "/v1/datasets/nope", nil, http.StatusNotFound},
+		{"bad dataset method", http.MethodPatch, "/v1/datasets/x", nil, http.StatusMethodNotAllowed},
+		{"list bad method", http.MethodPost, "/v1/datasets", nil, http.StatusMethodNotAllowed},
+		{"mine bad method", http.MethodGet, "/v1/mine", nil, http.StatusMethodNotAllowed},
+		{"mine unknown dataset", http.MethodPost, "/v1/mine", MineRequest{Dataset: "nope"}, http.StatusNotFound},
+		{"generate bad method", http.MethodGet, "/v1/datasets/x:generate", nil, http.StatusMethodNotAllowed},
+		{"generate bad spec", http.MethodPost, "/v1/datasets/x:generate", GenerateSpec{Method: 7, Baskets: 10}, http.StatusBadRequest},
+		{"generate zero baskets", http.MethodPost, "/v1/datasets/x:generate", GenerateSpec{Method: 1}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := doJSON(t, c.method, srv.URL+c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.want, body)
+		}
+		if resp.StatusCode >= 400 && !strings.Contains(string(body), "error") {
+			t.Errorf("%s: error body missing: %s", c.name, body)
+		}
+	}
+}
+
+func TestMineErrorPaths(t *testing.T) {
+	srv := testServer(t)
+	// load a tiny dataset first
+	resp, _ := doJSON(t, http.MethodPost, srv.URL+"/v1/datasets/d:generate", GenerateSpec{
+		Method: 2, Baskets: 100, Items: 30, Rules: 2, Seed: 1,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatal("setup failed")
+	}
+	cases := []MineRequest{
+		{Dataset: "d", Algo: "frob"},
+		{Dataset: "d", Query: "max(price) <"},
+		{Dataset: "d", Algo: "bms++", Query: "avg(price) <= 3"},
+		{Dataset: "d", Alpha: 3},
+	}
+	for i, req := range cases {
+		resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/mine", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestUploadRejectsGarbage(t *testing.T) {
+	srv := testServer(t)
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/datasets/bad", strings.NewReader("not a dataset"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload: %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentMining(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := doJSON(t, http.MethodPost, srv.URL+"/v1/datasets/c:generate", GenerateSpec{
+		Method: 2, Baskets: 300, Items: 40, Rules: 3, Seed: 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatal("setup failed")
+	}
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			r, body := doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{
+				Dataset: "c", Algo: "bms+", Query: fmt.Sprintf("max(price) <= %d", 10+i*3),
+			})
+			if r.StatusCode != 200 {
+				errs <- fmt.Errorf("status %d: %s", r.StatusCode, body)
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFrequentEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := doJSON(t, http.MethodPost, srv.URL+"/v1/datasets/f:generate", GenerateSpec{
+		Method: 2, Baskets: 500, Items: 40, Rules: 3, Seed: 4,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatal("setup failed")
+	}
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/frequent", FrequentRequest{
+		Dataset: "f", Query: "max(price) <= 30", MinSupportFrac: 0.25,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("frequent: %d %s", resp.StatusCode, body)
+	}
+	var fr FrequentResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Sets) == 0 {
+		t.Fatalf("no frequent sets: %s", body)
+	}
+	for _, s := range fr.Sets {
+		if len(s.Items) != len(s.Names) || s.Support <= 0 {
+			t.Fatalf("bad set %+v", s)
+		}
+	}
+	// error paths
+	resp, _ = doJSON(t, http.MethodPost, srv.URL+"/v1/frequent", FrequentRequest{Dataset: "nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset: %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodPost, srv.URL+"/v1/frequent", FrequentRequest{Dataset: "f", Query: "bad("})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query: %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodGet, srv.URL+"/v1/frequent", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET allowed: %d", resp.StatusCode)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := doJSON(t, http.MethodPost, srv.URL+"/v1/datasets/e:generate", GenerateSpec{
+		Method: 2, Baskets: 200, Items: 40, Rules: 2, Seed: 4,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatal("setup failed")
+	}
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/explain", MineRequest{
+		Dataset: "e", Query: "min(price) <= 5",
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("explain: %d %s", resp.StatusCode, body)
+	}
+	var er ExplainResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.ForValidMin == "" || er.ForMinValid == "" || len(er.Reasons) == 0 {
+		t.Fatalf("explain response: %+v", er)
+	}
+	resp, _ = doJSON(t, http.MethodPost, srv.URL+"/v1/explain", MineRequest{Dataset: "nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,38 @@
+package taxonomy_test
+
+import (
+	"fmt"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+	"ccs/internal/taxonomy"
+)
+
+// Example builds a small store hierarchy and evaluates class constraints
+// with membership inherited through it.
+func Example() {
+	tr := taxonomy.New()
+	tr.AddClass("food", "")
+	tr.AddClass("snacks", "food")
+	tr.AddClass("chips", "snacks")
+	tr.AddClass("drinks", "")
+
+	tr.AssignItem(0, "chips")
+	tr.AssignItem(1, "drinks")
+
+	cat := dataset.SyntheticCatalog(2, nil)
+	noSnacks, err := tr.NotInClass("snacks")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("constraint:", noSnacks)
+	fmt.Println("anti-monotone:", noSnacks.AntiMonotone())
+	// item 0 is a chip, hence a snack via the hierarchy
+	fmt.Println("{chips} valid:", noSnacks.Satisfies(cat, itemset.New(0)))
+	fmt.Println("{drinks} valid:", noSnacks.Satisfies(cat, itemset.New(1)))
+	// Output:
+	// constraint: none(class "snacks")
+	// anti-monotone: true
+	// {chips} valid: false
+	// {drinks} valid: true
+}

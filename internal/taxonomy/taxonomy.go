@@ -1,0 +1,236 @@
+// Package taxonomy implements item-class hierarchies and the class
+// constraints of the paper's query language (after Srikant, Vu & Agrawal,
+// KDD'97, and the class constraints of Ng et al., SIGMOD'98): items are
+// assigned to leaf classes organized in a forest, and queries may demand or
+// forbid membership in any class, with membership inherited from
+// descendants ("snacks ∉ S.class" also excludes items in any subclass of
+// snacks).
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+
+	"ccs/internal/constraint"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// Tree is an item-class forest. Build it with AddClass/AssignItem, then
+// derive constraints. The zero value is not ready; use New.
+type Tree struct {
+	parent map[string]string // class -> parent ("" = root)
+	items  map[itemset.Item]string
+}
+
+// New returns an empty taxonomy.
+func New() *Tree {
+	return &Tree{parent: make(map[string]string), items: make(map[itemset.Item]string)}
+}
+
+// AddClass registers a class under the given parent; an empty parent makes
+// it a root. The parent must already exist (or be empty), the class must be
+// new, and the edge must not create a cycle.
+func (t *Tree) AddClass(name, parent string) error {
+	if name == "" {
+		return fmt.Errorf("taxonomy: empty class name")
+	}
+	if _, ok := t.parent[name]; ok {
+		return fmt.Errorf("taxonomy: class %q already defined", name)
+	}
+	if parent != "" {
+		if _, ok := t.parent[parent]; !ok {
+			return fmt.Errorf("taxonomy: parent class %q not defined", parent)
+		}
+	}
+	t.parent[name] = parent
+	return nil
+}
+
+// AssignItem maps an item to its (leaf) class, which must exist.
+func (t *Tree) AssignItem(id itemset.Item, class string) error {
+	if _, ok := t.parent[class]; !ok {
+		return fmt.Errorf("taxonomy: class %q not defined", class)
+	}
+	t.items[id] = class
+	return nil
+}
+
+// HasClass reports whether the class is defined.
+func (t *Tree) HasClass(name string) bool {
+	_, ok := t.parent[name]
+	return ok
+}
+
+// Classes returns all defined class names in sorted order.
+func (t *Tree) Classes() []string {
+	out := make([]string, 0, len(t.parent))
+	for c := range t.parent {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ancestors returns the chain from the class's parent up to its root,
+// nearest first. Unknown classes yield nil.
+func (t *Tree) Ancestors(class string) []string {
+	var out []string
+	seen := map[string]bool{class: true}
+	for {
+		p, ok := t.parent[class]
+		if !ok || p == "" {
+			return out
+		}
+		if seen[p] {
+			// defensive: AddClass prevents cycles, but a malformed tree
+			// must not hang
+			return out
+		}
+		seen[p] = true
+		out = append(out, p)
+		class = p
+	}
+}
+
+// ItemClass returns the item's direct class ("" if unassigned).
+func (t *Tree) ItemClass(id itemset.Item) string { return t.items[id] }
+
+// IsMember reports whether the item belongs to the class directly or
+// through any ancestor.
+func (t *Tree) IsMember(id itemset.Item, class string) bool {
+	c := t.items[id]
+	if c == "" {
+		return false
+	}
+	if c == class {
+		return true
+	}
+	for _, a := range t.Ancestors(c) {
+		if a == class {
+			return true
+		}
+	}
+	return false
+}
+
+// memberFilter builds the item-level predicate "belongs to class". The
+// filter works by item ID, so it ignores the ItemInfo attributes and is
+// valid only for the catalog the taxonomy was built against.
+func (t *Tree) memberFilter(class string) constraint.ItemFilter {
+	return func(info dataset.ItemInfo) bool { return t.IsMember(info.ID, class) }
+}
+
+// InClass returns the monotone succinct constraint "S contains an item of
+// the class" (descendants included).
+func (t *Tree) InClass(class string) (constraint.Constraint, error) {
+	if !t.HasClass(class) {
+		return nil, fmt.Errorf("taxonomy: class %q not defined", class)
+	}
+	return constraint.NewItemPred(fmt.Sprintf("class %q", class), constraint.SomeMember, t.memberFilter(class)), nil
+}
+
+// NotInClass returns the anti-monotone succinct constraint "no item of S
+// belongs to the class".
+func (t *Tree) NotInClass(class string) (constraint.Constraint, error) {
+	if !t.HasClass(class) {
+		return nil, fmt.Errorf("taxonomy: class %q not defined", class)
+	}
+	return constraint.NewItemPred(fmt.Sprintf("class %q", class), constraint.NoMember, t.memberFilter(class)), nil
+}
+
+// WithinClass returns the anti-monotone succinct constraint "every item of
+// S belongs to the class".
+func (t *Tree) WithinClass(class string) (constraint.Constraint, error) {
+	if !t.HasClass(class) {
+		return nil, fmt.Errorf("taxonomy: class %q not defined", class)
+	}
+	return constraint.NewItemPred(fmt.Sprintf("class %q", class), constraint.AllMembers, t.memberFilter(class)), nil
+}
+
+// ContainsClasses returns the monotone succinct constraint "S contains at
+// least one item of every listed class" — a multi-witness MGF, like the
+// paper's {soda, frozen food} ⊆ S.type example lifted to a hierarchy.
+func (t *Tree) ContainsClasses(classes ...string) (constraint.Constraint, error) {
+	if len(classes) == 0 {
+		return constraint.True{}, nil
+	}
+	cs := make([]constraint.Constraint, len(classes))
+	for i, c := range classes {
+		in, err := t.InClass(c)
+		if err != nil {
+			return nil, err
+		}
+		cs[i] = in
+	}
+	if len(cs) == 1 {
+		return cs[0], nil
+	}
+	return &allOf{cs}, nil
+}
+
+// allOf conjoins same-classification constraints into a single constraint
+// value (all monotone succinct here), combining their MGFs.
+type allOf struct {
+	cs []constraint.Constraint
+}
+
+func (a *allOf) String() string {
+	out := ""
+	for i, c := range a.cs {
+		if i > 0 {
+			out += " & "
+		}
+		out += c.String()
+	}
+	return out
+}
+
+// Satisfies implements constraint.Constraint.
+func (a *allOf) Satisfies(cat *dataset.Catalog, s itemset.Set) bool {
+	for _, c := range a.cs {
+		if !c.Satisfies(cat, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// AntiMonotone implements constraint.Constraint.
+func (a *allOf) AntiMonotone() bool {
+	for _, c := range a.cs {
+		if !c.AntiMonotone() {
+			return false
+		}
+	}
+	return true
+}
+
+// Monotone implements constraint.Constraint.
+func (a *allOf) Monotone() bool {
+	for _, c := range a.cs {
+		if !c.Monotone() {
+			return false
+		}
+	}
+	return true
+}
+
+// Succinct implements constraint.Constraint.
+func (a *allOf) Succinct() bool {
+	for _, c := range a.cs {
+		if !c.Succinct() {
+			return false
+		}
+	}
+	return true
+}
+
+// MGF implements constraint.Succinct.
+func (a *allOf) MGF() constraint.MGF {
+	m := constraint.MGF{}
+	for _, c := range a.cs {
+		m = m.Combine(c.(constraint.Succinct).MGF())
+	}
+	return m
+}

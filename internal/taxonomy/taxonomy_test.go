@@ -1,0 +1,289 @@
+package taxonomy
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/core"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// groceryTree builds:
+//
+//	food
+//	├── snacks
+//	│   └── chips
+//	└── dairy
+//	drinks
+//	└── soda
+//
+// items: 0 chips, 1 dairy, 2 soda, 3 drinks(direct), 4 unassigned
+func groceryTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := New()
+	for _, c := range []struct{ name, parent string }{
+		{"food", ""},
+		{"snacks", "food"},
+		{"chips", "snacks"},
+		{"dairy", "food"},
+		{"drinks", ""},
+		{"soda", "drinks"},
+	} {
+		if err := tr.AddClass(c.name, c.parent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assign := map[itemset.Item]string{0: "chips", 1: "dairy", 2: "soda", 3: "drinks"}
+	for id, class := range assign {
+		if err := tr.AssignItem(id, class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestAddClassValidation(t *testing.T) {
+	tr := New()
+	if err := tr.AddClass("", ""); err == nil {
+		t.Errorf("empty name accepted")
+	}
+	if err := tr.AddClass("a", "missing"); err == nil {
+		t.Errorf("missing parent accepted")
+	}
+	if err := tr.AddClass("a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddClass("a", ""); err == nil {
+		t.Errorf("duplicate accepted")
+	}
+	if err := tr.AssignItem(0, "missing"); err == nil {
+		t.Errorf("assign to missing class accepted")
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tr := groceryTree(t)
+	cases := []struct {
+		class string
+		want  []string
+	}{
+		{"chips", []string{"snacks", "food"}},
+		{"snacks", []string{"food"}},
+		{"food", nil},
+		{"soda", []string{"drinks"}},
+		{"unknown", nil},
+	}
+	for _, c := range cases {
+		got := tr.Ancestors(c.class)
+		if len(got) != len(c.want) {
+			t.Errorf("Ancestors(%s) = %v, want %v", c.class, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Ancestors(%s) = %v, want %v", c.class, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIsMember(t *testing.T) {
+	tr := groceryTree(t)
+	cases := []struct {
+		id    itemset.Item
+		class string
+		want  bool
+	}{
+		{0, "chips", true},
+		{0, "snacks", true},
+		{0, "food", true},
+		{0, "drinks", false},
+		{1, "food", true},
+		{1, "snacks", false},
+		{2, "drinks", true},
+		{3, "drinks", true},
+		{3, "soda", false},
+		{4, "food", false}, // unassigned
+	}
+	for _, c := range cases {
+		if got := tr.IsMember(c.id, c.class); got != c.want {
+			t.Errorf("IsMember(%d, %s) = %v, want %v", c.id, c.class, got, c.want)
+		}
+	}
+}
+
+func TestClasses(t *testing.T) {
+	tr := groceryTree(t)
+	got := tr.Classes()
+	if len(got) != 6 || got[0] != "chips" {
+		t.Fatalf("Classes = %v", got)
+	}
+	if tr.ItemClass(0) != "chips" || tr.ItemClass(4) != "" {
+		t.Fatalf("ItemClass wrong")
+	}
+	if !tr.HasClass("soda") || tr.HasClass("bogus") {
+		t.Fatalf("HasClass wrong")
+	}
+}
+
+func TestClassConstraints(t *testing.T) {
+	tr := groceryTree(t)
+	cat := dataset.SyntheticCatalog(5, nil)
+	set := func(items ...itemset.Item) itemset.Set { return itemset.New(items...) }
+
+	in, err := tr.InClass("food")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Monotone() || in.AntiMonotone() || !in.Succinct() {
+		t.Fatalf("InClass classification wrong")
+	}
+	if !in.Satisfies(cat, set(0, 2)) { // chips is food
+		t.Errorf("InClass(food) on {chips, soda} = false")
+	}
+	if in.Satisfies(cat, set(2, 3)) { // drinks only
+		t.Errorf("InClass(food) on drinks = true")
+	}
+
+	notIn, err := tr.NotInClass("snacks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !notIn.AntiMonotone() || notIn.Monotone() {
+		t.Fatalf("NotInClass classification wrong")
+	}
+	if notIn.Satisfies(cat, set(0)) { // chips ∈ snacks via hierarchy
+		t.Errorf("NotInClass(snacks) on {chips} = true")
+	}
+	if !notIn.Satisfies(cat, set(1, 2)) {
+		t.Errorf("NotInClass(snacks) on {dairy, soda} = false")
+	}
+
+	within, err := tr.WithinClass("drinks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within.AntiMonotone() {
+		t.Fatalf("WithinClass classification wrong")
+	}
+	if !within.Satisfies(cat, set(2, 3)) {
+		t.Errorf("WithinClass(drinks) on {soda, drinks} = false")
+	}
+	if within.Satisfies(cat, set(0, 2)) {
+		t.Errorf("WithinClass(drinks) on {chips, soda} = true")
+	}
+	if within.Satisfies(cat, set(4)) { // unassigned item belongs nowhere
+		t.Errorf("WithinClass(drinks) on unassigned item = true")
+	}
+
+	for _, bad := range []func() (constraint.Constraint, error){
+		func() (constraint.Constraint, error) { return tr.InClass("bogus") },
+		func() (constraint.Constraint, error) { return tr.NotInClass("bogus") },
+		func() (constraint.Constraint, error) { return tr.WithinClass("bogus") },
+		func() (constraint.Constraint, error) { return tr.ContainsClasses("food", "bogus") },
+	} {
+		if _, err := bad(); err == nil {
+			t.Errorf("unknown class accepted")
+		}
+	}
+}
+
+func TestContainsClasses(t *testing.T) {
+	tr := groceryTree(t)
+	cat := dataset.SyntheticCatalog(5, nil)
+	c, err := tr.ContainsClasses("food", "drinks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Monotone() || !c.Succinct() {
+		t.Fatalf("ContainsClasses classification wrong")
+	}
+	if !c.Satisfies(cat, itemset.New(0, 2)) {
+		t.Errorf("{chips, soda} should satisfy")
+	}
+	if c.Satisfies(cat, itemset.New(0, 1)) {
+		t.Errorf("{chips, dairy} lacks drinks")
+	}
+	m := c.(constraint.Succinct).MGF()
+	if len(m.Witnesses) != 2 {
+		t.Fatalf("MGF witnesses = %d", len(m.Witnesses))
+	}
+	// empty list degenerates to True
+	tc, err := tr.ContainsClasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.Satisfies(cat, itemset.New()) {
+		t.Errorf("empty ContainsClasses not trivially true")
+	}
+	// single class returns the InClass constraint directly
+	one, err := tr.ContainsClasses("food")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Satisfies(cat, itemset.New(2)) {
+		t.Errorf("single-class constraint wrong")
+	}
+}
+
+func TestClassConstraintsInMiner(t *testing.T) {
+	// End-to-end: class constraints drive BMS++ and agree with the brute
+	// reference.
+	tr := groceryTree(t)
+	cat := dataset.SyntheticCatalog(5, nil)
+	r := rand.New(rand.NewSource(6))
+	var tx []dataset.Transaction
+	for i := 0; i < 200; i++ {
+		var items []itemset.Item
+		for j := 0; j < 5; j++ {
+			if r.Intn(3) == 0 {
+				items = append(items, itemset.Item(j))
+			}
+		}
+		s := itemset.New(items...)
+		if s.Contains(0) && r.Intn(8) != 0 {
+			s = s.With(1)
+		}
+		tx = append(tx, s)
+	}
+	db, err := dataset.NewDB(cat, tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(db, core.Params{Alpha: 0.9, CellSupportFrac: 0.05, CTFraction: 0.25, MaxLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	notSnacks, err := tr.NotInClass("snacks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDrinks, err := tr.InClass("drinks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := constraint.And(notSnacks, inDrinks)
+	res, err := m.BMSPlusPlus(q, core.PlusPlusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := m.Brute(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != len(brute.ValidMin) {
+		t.Fatalf("BMS++ %d answers, brute %d", len(res.Answers), len(brute.ValidMin))
+	}
+	for i := range res.Answers {
+		if !res.Answers[i].Equal(brute.ValidMin[i]) {
+			t.Fatalf("answers differ: %v vs %v", res.Answers[i], brute.ValidMin[i])
+		}
+	}
+	for _, s := range res.Answers {
+		if s.Contains(0) {
+			t.Fatalf("answer %v contains a snack item", s)
+		}
+	}
+}
