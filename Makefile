@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures report clean
+.PHONY: all build vet lint test race fuzz-smoke bench figures report clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+# project-specific static analysis (see internal/lint and DESIGN.md §6)
+lint:
+	$(GO) run ./cmd/ccslint
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# ~30 seconds of fuzzing across the parser, the binary reader, and the
+# bitset algebra — the CI smoke; run with a larger -fuzztime to dig deeper
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/cql
+	$(GO) test -run='^$$' -fuzz='^FuzzRead$$' -fuzztime=10s ./internal/dataset
+	$(GO) test -run='^$$' -fuzz=FuzzSetOps -fuzztime=10s ./internal/bitset
 
 # one testing.B benchmark per paper figure plus the per-algorithm benches
 bench:

@@ -25,7 +25,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ccsbench", flag.ContinueOnError)
 	fig := fs.String("fig", "", "figure id: 1a..8b, or a bare number for both panels")
 	all := fs.Bool("all", false, "run every figure")
@@ -60,12 +60,15 @@ func run(args []string, out io.Writer) error {
 
 	var csvFile *os.File
 	if *csvPath != "" {
-		var err error
 		csvFile, err = os.Create(*csvPath)
 		if err != nil {
 			return err
 		}
-		defer csvFile.Close()
+		defer func() {
+			if cerr := csvFile.Close(); err == nil {
+				err = cerr
+			}
+		}()
 	}
 
 	var allSeries []*bench.Series
@@ -107,12 +110,12 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := bench.WriteReport(f, allSeries); err != nil {
-			f.Close()
-			return err
+		werr := bench.WriteReport(f, allSeries)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
 		}
-		if err := f.Close(); err != nil {
-			return err
+		if werr != nil {
+			return werr
 		}
 	}
 	return nil

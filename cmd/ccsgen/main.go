@@ -91,12 +91,12 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := dataset.WriteText(f, db); err != nil {
-			f.Close()
-			return err
+		werr := dataset.WriteText(f, db)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
 		}
-		if err := f.Close(); err != nil {
-			return err
+		if werr != nil {
+			return werr
 		}
 	} else if err := dataset.WriteFile(*output, db); err != nil {
 		return err

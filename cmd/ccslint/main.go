@@ -1,0 +1,89 @@
+// Command ccslint runs the project's static-analysis suite over every
+// package of the module and exits non-zero on findings. The four analyzers
+// machine-check invariants go vet cannot express (shared TID-list aliasing,
+// itemset canonicity, float equality in the numerical packages, dropped
+// errors on I/O paths); see internal/lint for what each enforces and
+// DESIGN.md §6 for how to add the next one.
+//
+// Usage:
+//
+//	ccslint [-dir module] [-run a,b] [-list]
+//
+// Findings print as file:line:col: analyzer: message. A finding can be
+// suppressed at the call site with a justified
+// `//ccslint:ignore <analyzer> <reason>` comment on the same or the
+// preceding line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ccs/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccslint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("ccslint", flag.ContinueOnError)
+	dir := fs.String("dir", "", "module root (default: nearest go.mod above the working directory)")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+
+	analyzers := lint.Analyzers
+	if *runNames != "" {
+		var err error
+		analyzers, err = lint.ByName(*runNames)
+		if err != nil {
+			return 2, err
+		}
+	}
+
+	root := *dir
+	if root == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return 2, err
+		}
+		root, err = lint.FindModuleRoot(wd)
+		if err != nil {
+			return 2, err
+		}
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return 2, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return 2, err
+	}
+	diags := lint.RelDiagnostics(root, lint.Run(pkgs, analyzers))
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "ccslint: %d finding(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ccs/internal/lint"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run -list: code=%d err=%v", code, err)
+	}
+	for _, name := range []string{"sharedmut", "canonical", "floatcmp", "droppederr"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"-run", "nonesuch"}, &out); err == nil {
+		t.Fatal("expected error for unknown analyzer name")
+	}
+}
+
+// TestModuleExitsClean drives the driver exactly as `make lint` does and
+// requires a clean tree.
+func TestModuleExitsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module from source")
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run([]string{"-dir", root}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("ccslint found issues in a tree that must be clean:\n%s", out.String())
+	}
+}

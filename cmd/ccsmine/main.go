@@ -67,7 +67,9 @@ func run(args []string, out io.Writer) error {
 			return ferr
 		}
 		db, err = dataset.ReadText(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	} else {
 		db, err = dataset.ReadFile(*data)
 	}

@@ -44,7 +44,9 @@ func run(args []string, out io.Writer) error {
 			return ferr
 		}
 		db, err = dataset.ReadText(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	} else {
 		db, err = dataset.ReadFile(*data)
 	}
@@ -84,7 +86,9 @@ func run(args []string, out io.Writer) error {
 			prev*100, b*100, counts[i], strings.Repeat("#", scaleBar(counts[i], st.NumItems)))
 		prev = b
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 
 	// top items
 	type itemSup struct {

@@ -1,0 +1,191 @@
+package bitset
+
+import (
+	"sort"
+	"testing"
+)
+
+// Opcodes of the FuzzSetOps interpreter. Each instruction is two bytes:
+// an opcode (selecting the operation and the destination register) and an
+// argument (a bit index or a pair of source registers).
+const (
+	opAdd = iota
+	opRemove
+	opAnd
+	opOr
+	opAndNot
+	opNot
+	opClear
+	opFill
+	opCopy
+	opClone
+	opCheckBit
+	numOps
+)
+
+// FuzzSetOps differentially fuzzes the bitset algebra against a
+// map[int]bool reference model: a random program over three registers is
+// run against both representations and every intermediate Count plus the
+// final full contents must agree. Seeds pin the word-boundary universes
+// (63, 64, 65 bits) where trim() bugs would live.
+func FuzzSetOps(f *testing.F) {
+	f.Add(uint16(63), []byte{opFill, 0, opNot, 0})
+	f.Add(uint16(64), []byte{opFill, 0, opAdd, 63, opNot, 0})
+	f.Add(uint16(65), []byte{opAdd, 64, opFill + numOps, 0, opAndNot + 2*numOps, 1, opNot, 0})
+	f.Add(uint16(1), []byte{})
+	f.Add(uint16(0), []byte{opFill, 0})
+	f.Add(uint16(129), []byte{opAdd, 127, opAdd + numOps, 128, opOr + 2*numOps, 1, opClone, 2, opRemove, 128})
+
+	f.Fuzz(func(t *testing.T, n uint16, program []byte) {
+		size := int(n % 130) // covers both sides of the 64- and 128-bit word boundaries
+		sets := [3]*Set{New(size), New(size), New(size)}
+		model := [3]map[int]bool{{}, {}, {}}
+
+		for pc := 0; pc+1 < len(program); pc += 2 {
+			code, arg := program[pc], program[pc+1]
+			op := int(code) % numOps
+			dst := int(code/numOps) % 3
+			a := int(arg) % 3
+			b := int(arg/3) % 3
+			var bit int
+			if size > 0 {
+				bit = int(arg) % size
+			}
+
+			switch op {
+			case opAdd:
+				if size == 0 {
+					continue
+				}
+				sets[dst].Add(bit)
+				model[dst][bit] = true
+			case opRemove:
+				if size == 0 {
+					continue
+				}
+				sets[dst].Remove(bit)
+				delete(model[dst], bit)
+			case opAnd:
+				sets[dst].And(sets[a], sets[b])
+				model[dst] = intersectModel(model[a], model[b])
+			case opOr:
+				sets[dst].Or(sets[a], sets[b])
+				model[dst] = unionModel(model[a], model[b])
+			case opAndNot:
+				sets[dst].AndNot(sets[a], sets[b])
+				model[dst] = diffModel(model[a], model[b])
+			case opNot:
+				sets[dst].Not(sets[a])
+				model[dst] = complementModel(model[a], size)
+			case opClear:
+				sets[dst].Clear()
+				model[dst] = map[int]bool{}
+			case opFill:
+				sets[dst].Fill()
+				model[dst] = complementModel(map[int]bool{}, size)
+			case opCopy:
+				sets[dst].CopyFrom(sets[a])
+				model[dst] = cloneModel(model[a])
+			case opClone:
+				sets[dst] = sets[a].Clone()
+				model[dst] = cloneModel(model[a])
+			case opCheckBit:
+				if size == 0 {
+					continue
+				}
+				if got, want := sets[dst].Contains(bit), model[dst][bit]; got != want {
+					t.Fatalf("pc %d: Contains(%d) on reg %d = %v, model %v", pc, bit, dst, got, want)
+				}
+			}
+
+			if got, want := sets[dst].Count(), len(model[dst]); got != want {
+				t.Fatalf("pc %d: op %d: Count() on reg %d = %d, model %d", pc, op, dst, got, want)
+			}
+		}
+
+		for r := range sets {
+			if got, want := sets[r].Indices(), modelIndices(model[r]); !equalInts(got, want) {
+				t.Fatalf("reg %d: Indices() = %v, model %v", r, got, want)
+			}
+			if got, want := sets[r].Any(), len(model[r]) > 0; got != want {
+				t.Fatalf("reg %d: Any() = %v, model %v", r, got, want)
+			}
+		}
+		if got, want := AndCount(sets[0], sets[1]), len(intersectModel(model[0], model[1])); got != want {
+			t.Fatalf("AndCount = %d, model %d", got, want)
+		}
+		if got, want := AndNotCount(sets[0], sets[1]), len(diffModel(model[0], model[1])); got != want {
+			t.Fatalf("AndNotCount = %d, model %d", got, want)
+		}
+		if got, want := Equal(sets[1], sets[2]), equalInts(modelIndices(model[1]), modelIndices(model[2])); got != want {
+			t.Fatalf("Equal(r1, r2) = %v, model %v", got, want)
+		}
+	})
+}
+
+func cloneModel(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectModel(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func unionModel(a, b map[int]bool) map[int]bool {
+	out := cloneModel(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func diffModel(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for k := range a {
+		if !b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func complementModel(a map[int]bool, size int) map[int]bool {
+	out := map[int]bool{}
+	for i := 0; i < size; i++ {
+		if !a[i] {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func modelIndices(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -27,9 +27,15 @@ const (
 // it indicates parameters far outside the supported range.
 var ErrNotConverged = errors.New("chisq: series did not converge")
 
+// almostZero is the package tolerance test for nonnegative inputs: exact
+// float equality is banned here (ccslint floatcmp), and anything below the
+// smallest magnitude the expansions can distinguish is zero for our
+// purposes.
+func almostZero(x float64) bool { return math.Abs(x) < tinyFloat }
+
 // gammaPSeries computes P(a,x) by series expansion; valid for x < a+1.
 func gammaPSeries(a, x float64) (float64, error) {
-	if x == 0 {
+	if almostZero(x) {
 		return 0, nil
 	}
 	lg, _ := math.Lgamma(a)
@@ -144,7 +150,7 @@ func Quantile(p float64, df int) (float64, error) {
 	if p < 0 || p >= 1 || math.IsNaN(p) {
 		return 0, fmt.Errorf("chisq: quantile probability %g outside [0,1)", p)
 	}
-	if p == 0 {
+	if almostZero(p) {
 		return 0, nil
 	}
 	// Bracket: the mean is df and the tail decays exponentially; double the

@@ -22,6 +22,14 @@ import (
 // level-wise algorithms reach in practice.
 const MaxItems = 20
 
+// zeroTol is the package tolerance below which an expected count is treated
+// as zero: only when the marginal product has fully underflowed (or a
+// marginal is exactly empty) — exact float equality is banned here
+// (ccslint floatcmp).
+const zeroTol = 1e-300
+
+func almostZero(x float64) bool { return math.Abs(x) < zeroTol }
+
 // Table is the contingency table of an itemset over a database of N
 // transactions.
 type Table struct {
@@ -121,7 +129,7 @@ func (t *Table) ChiSquared() float64 {
 				e *= 1 - p[j]
 			}
 		}
-		if e == 0 {
+		if almostZero(e) {
 			if o != 0 {
 				return math.Inf(1)
 			}

@@ -218,18 +218,14 @@ func pairs(plus, minus []itemset.Item) []itemset.Set {
 	for _, a := range plus {
 		for _, b := range plus {
 			if a < b {
-				out = append(out, itemset.Set{a, b})
+				out = append(out, itemset.New(a, b))
 			}
 		}
 		for _, b := range minus {
-			var s itemset.Set
-			if a < b {
-				s = itemset.Set{a, b}
-			} else if b < a {
-				s = itemset.Set{b, a}
-			} else {
+			if a == b {
 				continue
 			}
+			s := itemset.New(a, b)
 			if seen.Add(s) {
 				out = append(out, s)
 			}

@@ -91,12 +91,16 @@ func (c *DiskScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table,
 // scan streams the file, calling fn per transaction. On the first scan
 // (supports == nil) it also sizes the supports slice from the catalog
 // header.
-func (c *DiskScanCounter) scan(fn func(dataset.Transaction)) error {
+func (c *DiskScanCounter) scan(fn func(dataset.Transaction)) (err error) {
 	f, err := os.Open(c.path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	br := bufio.NewReaderSize(f, 1<<20)
 
 	var magic [4]byte

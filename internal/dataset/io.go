@@ -161,11 +161,11 @@ func WriteFile(path string, db *DB) error {
 	if err != nil {
 		return err
 	}
-	if err := Write(f, db); err != nil {
-		f.Close()
-		return err
+	err = Write(f, db)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	return f.Close()
+	return err
 }
 
 // ReadFile parses a database from path.
@@ -174,8 +174,11 @@ func ReadFile(path string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Read(f)
+	db, err := Read(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	return db, err
 }
 
 // WriteText emits a human-readable form: a header line per item

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Canonical flags itemset.Set values built outside the canonical
+// constructor — multi-element composite literals and raw append — that are
+// then handed across a package boundary to an API whose parameter or
+// receiver is itemset.Set. Every such API (subset tests, Apriori joins, the
+// registry, support counting) assumes strictly increasing item IDs;
+// binary-search membership and merge joins silently return wrong answers on
+// unsorted input. Build sets with itemset.New or a canonical-preserving
+// method (Clone, With, Union, ...). The itemset package itself is exempt:
+// it is the trusted implementation of the invariant.
+var Canonical = &Analyzer{
+	Name: "canonical",
+	Doc:  "flags raw-built itemset.Set values passed to canonicity-assuming APIs",
+	Run:  runCanonical,
+}
+
+func runCanonical(pass *Pass) {
+	if pass.Pkg.Path == itemsetPkgPath {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			cw := &canonicalWalker{pass: pass, raw: map[types.Object]bool{}}
+			ast.Inspect(fn.Body, cw.visit)
+		}
+	}
+}
+
+type canonicalWalker struct {
+	pass *Pass
+	raw  map[types.Object]bool // locals holding a raw-built (possibly non-canonical) set
+}
+
+func (cw *canonicalWalker) visit(n ast.Node) bool {
+	info := cw.pass.Pkg.Info
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				cw.assign(lhs, cw.isRaw(n.Rhs[i]))
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				cw.assign(lhs, false)
+			}
+		}
+	case *ast.GenDecl:
+		for _, spec := range n.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != len(vs.Names) {
+				continue
+			}
+			for i, name := range vs.Names {
+				if obj := info.Defs[name]; obj != nil {
+					cw.raw[obj] = cw.isRaw(vs.Values[i])
+				}
+			}
+		}
+	case *ast.CallExpr:
+		cw.checkCall(n)
+	}
+	return true
+}
+
+func (cw *canonicalWalker) assign(lhs ast.Expr, raw bool) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+		if obj := identObj(cw.pass.Pkg.Info, id); obj != nil {
+			cw.raw[obj] = raw
+		}
+	}
+}
+
+// isRaw reports whether e is an itemset.Set of unproven canonicity: a
+// composite literal with two or more elements (order unverifiable
+// statically), a raw append producing a Set, or a local known to hold one.
+func (cw *canonicalWalker) isRaw(e ast.Expr) bool {
+	info := cw.pass.Pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		tv, ok := info.Types[e]
+		return ok && isNamed(tv.Type, itemsetPkgPath, "Set") && len(e.Elts) >= 2
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+				tv, ok := info.Types[e]
+				return ok && isNamed(tv.Type, itemsetPkgPath, "Set")
+			}
+		}
+		// Any genuine call (itemset.New, Clone, Union, ...) yields a value
+		// the callee vouches for.
+		return false
+	case *ast.Ident:
+		obj := identObj(info, e)
+		return obj != nil && cw.raw[obj]
+	}
+	return false
+}
+
+// checkCall reports raw sets crossing a package boundary into a parameter
+// or receiver declared as itemset.Set.
+func (cw *canonicalWalker) checkCall(call *ast.CallExpr) {
+	info := cw.pass.Pkg.Info
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() == cw.pass.Pkg.Path {
+		return
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if recv := sig.Recv(); recv != nil && isNamed(recv.Type(), itemsetPkgPath, "Set") {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && cw.isRaw(sel.X) {
+			cw.pass.Reportf(call.Pos(), "receiver of %s.%s is an itemset.Set built without the canonical constructor; use itemset.New", f.Pkg().Name(), f.Name())
+		}
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if !cw.isRaw(arg) {
+			continue
+		}
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (params.Len() > 0 && i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if slice, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = slice.Elem()
+			}
+		}
+		if pt != nil && isNamed(pt, itemsetPkgPath, "Set") {
+			cw.pass.Reportf(arg.Pos(), "itemset.Set built without the canonical constructor passed to %s.%s; use itemset.New or a canonical-preserving method", f.Pkg().Name(), f.Name())
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// droppedErrStdPkgs are the standard-library packages whose error results
+// always sit on an I/O or serialization path. fmt is deliberately absent:
+// Fprint-family errors on a tabwriter or buffered writer surface through
+// the terminal Flush, which this analyzer does check.
+var droppedErrStdPkgs = map[string]bool{
+	"os": true, "io": true, "io/fs": true, "bufio": true,
+	"net": true, "net/http": true,
+	"encoding/json": true, "encoding/csv": true, "encoding/gob": true,
+	"encoding/binary": true, "encoding/xml": true,
+	"compress/gzip": true, "compress/flate": true, "compress/zlib": true,
+	"archive/zip": true, "archive/tar": true,
+	"text/tabwriter": true, "database/sql": true,
+}
+
+// droppedErrVerbs match module-local functions on serialization paths by
+// name (Write*, Read*, Encode*, Close, Flush, ...).
+var droppedErrVerbs = []string{
+	"Close", "Flush", "Sync",
+	"Write", "Read", "Save", "Load",
+	"Encode", "Decode", "Marshal", "Unmarshal", "Serialize",
+}
+
+// DroppedErr flags discarded error results on I/O and serialization paths:
+// bare call statements, defer/go statements, and assignments that blank
+// every error result (`_ = f.Close()`, `n, _ := w.Write(p)`). It is
+// stricter than go vet, which does not check dropped errors at all.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flags discarded error results on I/O and serialization paths",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call)
+			case *ast.GoStmt:
+				checkDroppedCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkDroppedAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall reports a call used as a bare statement (or deferred)
+// whose error result vanishes.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr) {
+	if f, _ := ioPathCallee(pass, call); f != nil {
+		pass.Reportf(call.Pos(), "error result of %s is discarded on an I/O path; check it (or annotate with ccslint:ignore and a reason)", calleeLabel(f))
+	}
+}
+
+// checkDroppedAssign reports assignments where every error-typed result of
+// an I/O-path call is assigned to the blank identifier.
+func checkDroppedAssign(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	f, sig := ioPathCallee(pass, call)
+	if f == nil {
+		return
+	}
+	results := sig.Results()
+	errSeen, errKept := false, false
+	for i := 0; i < results.Len() && i < len(assign.Lhs); i++ {
+		if !isErrorType(results.At(i).Type()) {
+			continue
+		}
+		errSeen = true
+		if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); !ok || id.Name != "_" {
+			errKept = true
+		}
+	}
+	if errSeen && !errKept {
+		pass.Reportf(assign.Pos(), "error result of %s is blanked on an I/O path; check it (or annotate with ccslint:ignore and a reason)", calleeLabel(f))
+	}
+}
+
+// ioPathCallee resolves the call's target and reports it (with its
+// signature) when it returns an error and sits on an I/O path: declared in
+// one of the known standard-library packages, or named with a
+// serialization verb (any package, including module-local).
+func ioPathCallee(pass *Pass, call *ast.CallExpr) (*types.Func, *types.Signature) {
+	f := calleeFunc(pass.Pkg.Info, call)
+	if f == nil {
+		return nil, nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return nil, nil
+	}
+	// strings.Builder and bytes.Buffer writes are documented to always
+	// return a nil error; flagging them is pure noise.
+	if recv := sig.Recv(); recv != nil {
+		if isPtrToNamed(recv.Type(), "strings", "Builder") || isPtrToNamed(recv.Type(), "bytes", "Buffer") {
+			return nil, nil
+		}
+	}
+	if pkg := f.Pkg(); pkg != nil && droppedErrStdPkgs[pkg.Path()] {
+		return f, sig
+	}
+	if hasIOVerb(f.Name()) {
+		return f, sig
+	}
+	return nil, nil
+}
+
+// hasIOVerb reports whether name is a serialization verb or a verb-prefixed
+// camel-case name (WriteFile, EncodeTo — but not Closest).
+func hasIOVerb(name string) bool {
+	for _, verb := range droppedErrVerbs {
+		if name == verb {
+			return true
+		}
+		if rest, ok := strings.CutPrefix(name, verb); ok {
+			r, _ := utf8.DecodeRuneInString(rest)
+			if unicode.IsUpper(r) || unicode.IsDigit(r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func calleeLabel(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return types.TypeString(sig.Recv().Type(), types.RelativeTo(f.Pkg())) + "." + f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// floatCmpPackages selects the numerical packages where exact float
+// equality is banned: every comparison must go through the package
+// tolerance helper (math.Abs(a-b) <= eps), because the chi-squared pipeline
+// feeds measured statistics through series expansions where exact equality
+// is never meaningful.
+var floatCmpPackages = regexp.MustCompile(`(^|/)(chisq|contingency)($|/)`)
+
+// FloatCmp flags == and != between floating-point operands inside the
+// numerical packages (internal/chisq, internal/contingency).
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags exact float equality in the numerical packages",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	if !floatCmpPackages.MatchString(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(info, be.X) || isFloat(info, be.Y) {
+				pass.Reportf(be.OpPos, "exact float comparison (%s); use the package tolerance helper", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

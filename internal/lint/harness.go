@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// wantRe extracts the quoted regexp of a `// want "..."` annotation; a line
+// may carry several.
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want annotation: a diagnostic matching re must be
+// reported on this line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// AnalyzerTest loads the package rooted at dir under the given import path
+// (module-local imports resolve against moduleDir), runs a single analyzer,
+// and cross-checks its diagnostics against `// want "regexp"` annotations:
+// every annotation must be matched by a diagnostic on its line, and every
+// diagnostic must be claimed by an annotation. It returns one error string
+// per mismatch. The import path is significant for analyzers that filter by
+// package path (floatcmp).
+func AnalyzerTest(moduleDir, dir, importPath string, a *Analyzer) ([]string, error) {
+	loader, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	abs := dir
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(moduleDir, dir)
+	}
+	pkg, err := loader.LoadDir(abs, importPath)
+	if err != nil {
+		return nil, err
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := unquoteWant(m[1])
+					if err != nil {
+						return nil, err
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("lint: bad want pattern %q: %w", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	var problems []string
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re))
+		}
+	}
+	return problems, nil
+}
+
+// unquoteWant resolves the escapes the want grammar allows inside its
+// quoted pattern (\" and \\); everything else passes through to the regexp.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// RelDiagnostics rewrites diagnostic file names relative to root for stable
+// driver output.
+func RelDiagnostics(root string, diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos = token.Position{Filename: rel, Line: d.Pos.Line, Column: d.Pos.Column, Offset: d.Pos.Offset}
+		}
+		out[i] = d
+	}
+	return out
+}

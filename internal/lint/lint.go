@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects a single package and reports
+// findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers is the full suite, in the order `ccslint` runs them.
+var Analyzers = []*Analyzer{SharedMut, Canonical, FloatCmp, DroppedErr}
+
+// ByName returns the analyzers with the given comma-separated names.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range Analyzers {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: no analyzers selected")
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to each package, drops findings suppressed by
+// a `//ccslint:ignore <analyzer...> <reason>` comment on the same or the
+// preceding line, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignored := ignoreDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report: func(d Diagnostic) {
+					if names, ok := ignored[lineKey{d.Pos.Filename, d.Pos.Line}]; ok && names.allows(d.Analyzer) {
+						return
+					}
+					diags = append(diags, d)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type ignoreSet []string
+
+func (s ignoreSet) allows(analyzer string) bool {
+	for _, n := range s {
+		if n == analyzer || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirectives maps every line covered by a ccslint:ignore comment (the
+// comment's own line and the one after it, so the directive can sit on its
+// own line above the flagged statement) to the analyzer names it silences.
+func ignoreDirectives(pkg *Package) map[lineKey]ignoreSet {
+	out := make(map[lineKey]ignoreSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "ccslint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				var names ignoreSet
+				for _, fd := range fields {
+					if fd == "all" || isAnalyzerName(fd) {
+						names = append(names, fd)
+						continue
+					}
+					break // first non-analyzer token starts the reason
+				}
+				if len(names) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[lineKey{pos.Filename, pos.Line}] = append(out[lineKey{pos.Filename, pos.Line}], names...)
+				out[lineKey{pos.Filename, pos.Line + 1}] = append(out[lineKey{pos.Filename, pos.Line + 1}], names...)
+			}
+		}
+	}
+	return out
+}
+
+func isAnalyzerName(s string) bool {
+	for _, a := range Analyzers {
+		if a.Name == s {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared type helpers used by several analyzers ---
+
+const (
+	bitsetPkgPath  = "ccs/internal/bitset"
+	itemsetPkgPath = "ccs/internal/itemset"
+)
+
+// isPtrToNamed reports whether t is *N where N is the named type pkgPath.name.
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamed(ptr.Elem(), pkgPath, name)
+}
+
+// isNamed reports whether t is the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for calls to
+// builtins, conversions, and function-typed variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// lastResultIsError reports whether the call's final result is error.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,92 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccs/internal/lint"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// runFixture checks one analyzer against its annotated testdata package:
+// every `// want` must be matched and every diagnostic claimed.
+func runFixture(t *testing.T, a *lint.Analyzer, rel, importPath string) {
+	t.Helper()
+	root := moduleRoot(t)
+	problems, err := lint.AnalyzerTest(root, filepath.Join("internal", "lint", "testdata", "src", rel), importPath, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestSharedMut(t *testing.T)  { runFixture(t, lint.SharedMut, "sharedmut", "sharedmut") }
+func TestCanonical(t *testing.T)  { runFixture(t, lint.Canonical, "canonical", "canonical") }
+func TestFloatCmp(t *testing.T)   { runFixture(t, lint.FloatCmp, filepath.Join("floatcmp", "chisq"), "floatcmp/chisq") }
+func TestDroppedErr(t *testing.T) { runFixture(t, lint.DroppedErr, "droppederr", "droppederr") }
+
+// TestFloatCmpPathFilter loads the floatcmp fixture under an import path
+// outside the numerical packages: the analyzer must stay silent, so every
+// want annotation goes unmatched and no diagnostic is unexpected.
+func TestFloatCmpPathFilter(t *testing.T) {
+	root := moduleRoot(t)
+	problems, err := lint.AnalyzerTest(root, filepath.Join("internal", "lint", "testdata", "src", "floatcmp", "chisq"), "elsewhere/numerics", lint.FloatCmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) == 0 {
+		t.Fatal("expected unmatched want annotations when the path filter excludes the package")
+	}
+	for _, p := range problems {
+		if strings.Contains(p, "unexpected diagnostic") {
+			t.Errorf("floatcmp fired outside chisq/contingency: %s", p)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := lint.ByName("floatcmp, droppederr")
+	if err != nil || len(as) != 2 || as[0] != lint.FloatCmp || as[1] != lint.DroppedErr {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := lint.ByName("nonesuch"); err == nil {
+		t.Fatal("expected error for unknown analyzer")
+	}
+	if _, err := lint.ByName(""); err == nil {
+		t.Fatal("expected error for empty selection")
+	}
+}
+
+// TestModuleIsClean runs the full suite over the whole module — the same
+// invariant `make lint` gates CI on: the tree must be finding-free.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module from source")
+	}
+	root := moduleRoot(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module discovery is broken", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, lint.Analyzers) {
+		t.Errorf("finding in clean tree: %s", d)
+	}
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// bitsetMutators are the bitset.Set methods that write into their receiver
+// in place. Calling any of them on a set that aliases a shared TID-list
+// (the columns handed out by VerticalIndex.Column) corrupts the vertical
+// index for every later candidate count.
+var bitsetMutators = map[string]bool{
+	"Add":      true,
+	"Remove":   true,
+	"Clear":    true,
+	"Fill":     true,
+	"CopyFrom": true,
+	"And":      true,
+	"Or":       true,
+	"AndNot":   true,
+	"Not":      true,
+}
+
+// SharedMut flags in-place mutation of shared vertical-index columns: any
+// mutating bitset.Set method whose receiver flows, intra-procedurally, from
+// a Column(...) call without an intervening Clone() (or CopyFrom into a
+// locally-owned set, where the column is only the argument). Aliases stored
+// into local slices or maps taint the container, so receivers read back out
+// of such containers are flagged too.
+var SharedMut = &Analyzer{
+	Name: "sharedmut",
+	Doc:  "flags in-place mutation of bitset columns returned by Column()",
+	Run:  runSharedMut,
+}
+
+func runSharedMut(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sm := &sharedMutWalker{pass: pass, tainted: map[types.Object]bool{}, containers: map[types.Object]bool{}}
+			ast.Inspect(fn.Body, sm.visit)
+		}
+	}
+}
+
+type sharedMutWalker struct {
+	pass       *Pass
+	tainted    map[types.Object]bool // locals aliasing a shared column
+	containers map[types.Object]bool // locals (slices/maps) holding a shared column
+}
+
+// visit runs in pre-order, which follows source order within a body: taint
+// state is updated as assignments are encountered and consulted at each
+// mutating call.
+func (w *sharedMutWalker) visit(n ast.Node) bool {
+	info := w.pass.Pkg.Info
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				w.assign(lhs, w.isTainted(n.Rhs[i]))
+			}
+		} else {
+			// Multi-value call: Column returns a single value, so every
+			// destination is clean.
+			for _, lhs := range n.Lhs {
+				w.assign(lhs, false)
+			}
+		}
+	case *ast.GenDecl:
+		for _, spec := range n.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != len(vs.Names) {
+				continue
+			}
+			for i, name := range vs.Names {
+				if obj := info.Defs[name]; obj != nil {
+					w.tainted[obj] = w.isTainted(vs.Values[i])
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Ranging over a container of shared columns taints the value var.
+		if base, ok := ast.Unparen(n.X).(*ast.Ident); ok && n.Value != nil {
+			if obj := identObj(info, base); obj != nil && w.containers[obj] {
+				if v, ok := n.Value.(*ast.Ident); ok {
+					if vo := info.Defs[v]; vo != nil {
+						w.tainted[vo] = true
+					}
+				}
+			}
+		}
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, n)
+		if f == nil || !bitsetMutators[f.Name()] {
+			return true
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !isPtrToNamed(sig.Recv().Type(), bitsetPkgPath, "Set") {
+			return true
+		}
+		if w.isTainted(sel.X) {
+			w.pass.Reportf(n.Pos(), "%s mutates a shared TID-list obtained from Column(); Clone() it into a locally-owned set first", f.Name())
+		}
+	}
+	return true
+}
+
+func (w *sharedMutWalker) assign(lhs ast.Expr, taint bool) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		if obj := identObj(w.pass.Pkg.Info, lhs); obj != nil {
+			w.tainted[obj] = taint
+		}
+	case *ast.IndexExpr:
+		// Storing a shared column into a slice or map taints the container.
+		if !taint {
+			return
+		}
+		if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			if obj := identObj(w.pass.Pkg.Info, base); obj != nil {
+				w.containers[obj] = true
+			}
+		}
+	}
+}
+
+// isTainted reports whether e may alias a shared column right now.
+func (w *sharedMutWalker) isTainted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return isColumnCall(w.pass.Pkg.Info, e)
+	case *ast.Ident:
+		obj := identObj(w.pass.Pkg.Info, e)
+		return obj != nil && w.tainted[obj]
+	case *ast.IndexExpr:
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			obj := identObj(w.pass.Pkg.Info, base)
+			return obj != nil && w.containers[obj]
+		}
+	}
+	return false
+}
+
+// isColumnCall reports whether call invokes a method named Column returning
+// *bitset.Set — VerticalIndex.Column today, and any sharded successor that
+// keeps the accessor shape.
+func isColumnCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != "Column" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	return isPtrToNamed(sig.Results().At(0).Type(), bitsetPkgPath, "Set")
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

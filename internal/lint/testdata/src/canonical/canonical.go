@@ -1,0 +1,51 @@
+// Package canonical seeds violations and negative cases for the canonical
+// analyzer against the real itemset package.
+package canonical
+
+import "ccs/internal/itemset"
+
+func literalReceiver() bool {
+	s := itemset.Set{3, 1}
+	return s.Contains(2) // want "built without the canonical constructor"
+}
+
+func literalArg(r *itemset.Registry) {
+	r.Add(itemset.Set{2, 1}) // want "passed to itemset.Add"
+}
+
+func literalToMethodArg() itemset.Set {
+	return itemset.New(1).Union(itemset.Set{9, 4}) // want "passed to itemset.Union"
+}
+
+func appended(r *itemset.Registry, items []itemset.Item) {
+	var s itemset.Set
+	for _, it := range items {
+		s = append(s, it)
+	}
+	r.Has(s) // want "passed to itemset.Has"
+}
+
+func constructed(r *itemset.Registry) {
+	s := itemset.New(3, 1)
+	r.Add(s)          // ok: canonical constructor
+	r.Add(s.With(7))  // ok: canonical-preserving method
+	r.Add(itemset.Set{5}) // ok: single-element literal is trivially canonical
+}
+
+func laundered(r *itemset.Registry, items []itemset.Item) {
+	var s itemset.Set
+	for _, it := range items {
+		s = append(s, it)
+	}
+	s = itemset.New(s...)
+	r.Add(s) // ok: normalized before crossing the boundary
+}
+
+func sliceOfSets(level []itemset.Set) []itemset.Set {
+	return itemset.Join(level) // ok: element canonicity is checked where elements are built
+}
+
+func localUse() int {
+	s := itemset.Set{2, 1}
+	return len(s) // ok: never crosses a package boundary via a Set parameter
+}

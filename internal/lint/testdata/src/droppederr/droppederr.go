@@ -1,0 +1,76 @@
+// Package droppederr seeds violations and negative cases for the
+// droppederr analyzer.
+package droppederr
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+)
+
+type payload struct{ A int }
+
+func bare(f *os.File) {
+	f.Close() // want "error result of .*Close is discarded"
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "error result of .*Close is discarded"
+}
+
+func blanked(w io.Writer, v payload) {
+	_ = json.NewEncoder(w).Encode(v) // want "error result of .*Encode is blanked"
+}
+
+func blankedMulti(w io.Writer, p []byte) {
+	n, _ := w.Write(p) // want "error result of .*Write is blanked"
+	_ = n
+}
+
+func verbNamed() {
+	WriteSnapshot() // want "error result of droppederr.WriteSnapshot is discarded"
+}
+
+// WriteSnapshot stands in for a module-local serialization function: the
+// analyzer matches it by verb prefix, not by package.
+func WriteSnapshot() error { return nil }
+
+func suppressed(f *os.File) {
+	//ccslint:ignore droppederr fixture file is opened read-only
+	f.Close() // ok: explicitly suppressed with a reason
+}
+
+func handled(f *os.File) error {
+	if err := f.Close(); err != nil { // ok: checked
+		return err
+	}
+	return nil
+}
+
+func joined(f *os.File) (err error) {
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil { // ok: joined into the return
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+func kept(w io.Writer, p []byte) error {
+	_, err := w.Write(p) // ok: error kept
+	return err
+}
+
+func notIO() {
+	helper() // ok: not an I/O verb and not a std I/O package
+}
+
+func builderWrites() string {
+	var b strings.Builder
+	b.WriteString("always") // ok: strings.Builder never returns an error
+	b.WriteByte('!')        // ok
+	return b.String()
+}
+
+func helper() error { return nil }

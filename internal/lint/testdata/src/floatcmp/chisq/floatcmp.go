@@ -1,0 +1,37 @@
+// Package chisq seeds violations and negative cases for the floatcmp
+// analyzer; its synthetic import path floatcmp/chisq places it inside the
+// analyzer's numerical-package filter.
+package chisq
+
+const eps = 1e-12
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func almostEqual(a, b float64) bool { return abs(a-b) <= eps }
+
+func bad(x, y float64) bool {
+	if x == 0 { // want "exact float comparison"
+		return true
+	}
+	return x != y // want "exact float comparison"
+}
+
+func badTyped(x float32) bool {
+	return x == 1.5 // want "exact float comparison"
+}
+
+func badConstLeft(y float64) bool {
+	return 0.25 != y // want "exact float comparison"
+}
+
+func ok(x, y float64, n int) bool {
+	if n == 0 { // ok: integer comparison
+		return false
+	}
+	return almostEqual(x, y) && x < y // ok: tolerance helper and ordering
+}

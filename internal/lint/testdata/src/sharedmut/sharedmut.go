@@ -1,0 +1,70 @@
+// Package sharedmut seeds violations and negative cases for the sharedmut
+// analyzer against the real bitset and dataset packages.
+package sharedmut
+
+import (
+	"ccs/internal/bitset"
+	"ccs/internal/dataset"
+)
+
+func direct(v *dataset.VerticalIndex) {
+	v.Column(0).Add(1) // want "Add mutates a shared TID-list"
+}
+
+func viaLocal(v *dataset.VerticalIndex) {
+	col := v.Column(0)
+	col.And(col, v.Column(1)) // want "And mutates a shared TID-list"
+}
+
+func viaAlias(v *dataset.VerticalIndex) {
+	col := v.Column(0)
+	alias := col
+	alias.Clear() // want "Clear mutates a shared TID-list"
+}
+
+func viaContainer(v *dataset.VerticalIndex) {
+	cols := make([]*bitset.Set, 2)
+	cols[0] = v.Column(0)
+	cols[0].Remove(3) // want "Remove mutates a shared TID-list"
+}
+
+func viaRange(v *dataset.VerticalIndex) {
+	cols := make([]*bitset.Set, 1)
+	cols[0] = v.Column(0)
+	for _, c := range cols {
+		c.Fill() // want "Fill mutates a shared TID-list"
+	}
+}
+
+func overwrittenByCopy(v *dataset.VerticalIndex) {
+	col := v.Column(0)
+	col.CopyFrom(v.Column(1)) // want "CopyFrom mutates a shared TID-list"
+}
+
+func cloned(v *dataset.VerticalIndex) {
+	col := v.Column(0).Clone()
+	col.Add(1) // ok: locally owned copy
+}
+
+func reassigned(v *dataset.VerticalIndex) {
+	col := v.Column(0)
+	col = col.Clone()
+	col.Fill() // ok: rebound to a clone before mutation
+}
+
+func copyInto(v *dataset.VerticalIndex) {
+	dst := bitset.New(v.NumTx())
+	dst.CopyFrom(v.Column(0)) // ok: the column is only the source operand
+	dst.And(dst, v.Column(1)) // ok: receiver is locally owned
+}
+
+func readOnly(v *dataset.VerticalIndex) int {
+	return bitset.AndCount(v.Column(0), v.Column(1)) // ok: no mutation
+}
+
+func freshSets() {
+	s := bitset.New(64)
+	s.Add(7) // ok: not a column
+	t := bitset.FromIndices(64, 1, 2)
+	t.Or(t, s) // ok
+}

@@ -84,6 +84,7 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.WriteHeader(status)
 	// Encoding errors past the header cannot be reported to the client;
 	// they surface as a truncated body.
+	//ccslint:ignore droppederr response status is already committed
 	_ = json.NewEncoder(w).Encode(v)
 }
 
