@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-smoke bench figures report clean
+.PHONY: all build vet lint test race faults fuzz-smoke bench figures report clean
 
 all: build vet lint test
 
@@ -21,6 +21,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fault-injection and cancellation suite under the race detector: injected
+# I/O faults (dataset/counting), per-algorithm cancellation (core/freq),
+# HTTP truncation + shutdown (server/ccsserve); see DESIGN.md §7
+faults:
+	$(GO) test -race -run 'Fault|Cancel|Truncat|Budget|Transient|Retry|Drain|Signal|Recover|Timeout' \
+		./internal/dataset ./internal/counting ./internal/core ./internal/freq ./internal/server ./cmd/ccsserve
 
 # ~30 seconds of fuzzing across the parser, the binary reader, and the
 # bitset algebra — the CI smoke; run with a larger -fuzztime to dig deeper

@@ -4,6 +4,9 @@
 //
 // Datasets given with -data are preloaded; more can be uploaded or
 // generated over the API (see internal/server for the endpoint list).
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight requests get -shutdown-timeout to drain, and the process
+// exits 0 on a clean drain.
 //
 // Example session:
 //
@@ -15,11 +18,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ccs/internal/dataset"
@@ -27,7 +36,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ccsserve:", err)
 		os.Exit(1)
 	}
@@ -39,16 +50,20 @@ type dataFlags []string
 func (d *dataFlags) String() string     { return strings.Join(*d, ",") }
 func (d *dataFlags) Set(v string) error { *d = append(*d, v); return nil }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a request, headers plus body (0 = unlimited)")
+	writeTimeout := fs.Duration("write-timeout", 5*time.Minute, "max time to write a response (0 = unlimited)")
+	mineTimeout := fs.Duration("mine-timeout", time.Minute, "wall-clock budget per mining request; exceeding it returns the completed levels with truncated=true (0 = unlimited)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "drain deadline for in-flight requests on SIGINT/SIGTERM")
 	var data dataFlags
 	fs.Var(&data, "data", "preload dataset as name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New()
+	srv := server.New(server.WithMineTimeout(*mineTimeout))
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -59,14 +74,51 @@ func run(args []string) error {
 			return fmt.Errorf("load %s: %w", path, err)
 		}
 		srv.AddDataset(name, db)
-		fmt.Printf("loaded %s: %d baskets, %d items\n", name, db.NumTx(), db.NumItems())
+		fmt.Fprintf(out, "loaded %s: %d baskets, %d items\n", name, db.NumTx(), db.NumItems())
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
 	}
-	fmt.Printf("listening on %s\n", *addr)
-	return httpSrv.ListenAndServe()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "listening on %s\n", ln.Addr())
+	return serve(ctx, httpSrv, ln, *shutdownTimeout, out)
+}
+
+// serve runs httpSrv on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests get drain to finish,
+// and a clean drain returns nil. Separated from run so tests can inject a
+// listener and a cancelable context.
+func serve(ctx context.Context, httpSrv *http.Server, ln net.Listener, drain time.Duration, out io.Writer) error {
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serve never returns nil; a closed listener is the only benign case.
+		if errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "shutting down, draining for up to %v\n", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		// The drain deadline passed with requests still in flight; close
+		// them hard so the process can exit.
+		//ccslint:ignore droppederr best-effort close after a failed drain
+		_ = httpSrv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(out, "drained, exiting")
+	return nil
 }

@@ -1,28 +1,38 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
-// run blocks on success (it serves), so tests exercise only the error
-// paths before the listener starts.
+// run blocks on success (it serves), so the flag tests exercise only the
+// error paths before the listener starts.
 
 func TestBadFlag(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard); err == nil {
 		t.Fatalf("bad flag accepted")
 	}
 }
 
 func TestBadDataSpec(t *testing.T) {
-	if err := run([]string{"-data", "nopath"}); err == nil {
+	if err := run(context.Background(), []string{"-data", "nopath"}, io.Discard); err == nil {
 		t.Fatalf("spec without '=' accepted")
 	}
 }
 
 func TestMissingDataFile(t *testing.T) {
 	missing := filepath.Join(t.TempDir(), "nope.ccs")
-	if err := run([]string{"-data", "x=" + missing}); err == nil {
+	if err := run(context.Background(), []string{"-data", "x=" + missing}, io.Discard); err == nil {
 		t.Fatalf("missing file accepted")
 	}
 }
@@ -33,5 +43,147 @@ func TestDataFlagsAccumulate(t *testing.T) {
 	d.Set("b=2")
 	if d.String() != "a=1,b=2" {
 		t.Fatalf("String = %q", d.String())
+	}
+}
+
+// slowHandler blocks until release closes, then answers 200 — an in-flight
+// request for the drain tests.
+type slowHandler struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (h *slowHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	close(h.started)
+	<-h.release
+	fmt.Fprintln(w, "done")
+}
+
+// TestGracefulDrain cancels serve's context while a request is in flight
+// and checks the request completes and serve returns nil (exit 0).
+func TestGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &slowHandler{started: make(chan struct{}), release: make(chan struct{})}
+	httpSrv := &http.Server{Handler: h}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, httpSrv, ln, 5*time.Second, io.Discard) }()
+
+	reqErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			reqErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			reqErr <- err
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			reqErr <- fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		reqErr <- nil
+	}()
+
+	<-h.started // request is now in flight
+	cancel()    // "SIGTERM": begin the drain
+	// Give Shutdown a moment to close the listener, then release the
+	// handler so the drain can complete.
+	time.Sleep(50 * time.Millisecond)
+	close(h.release)
+
+	if err := <-reqErr; err != nil {
+		t.Fatalf("in-flight request not drained: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve after drain = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+}
+
+// TestDrainDeadline checks that a request outliving the drain window is
+// cut off and serve reports the failed shutdown.
+func TestDrainDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &slowHandler{started: make(chan struct{}), release: make(chan struct{})}
+	defer close(h.release)
+	httpSrv := &http.Server{Handler: h}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, httpSrv, ln, 20*time.Millisecond, io.Discard) }()
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	<-h.started
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("serve = nil despite unfinished request at the drain deadline")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain deadline")
+	}
+}
+
+// TestSignalShutdown sends SIGTERM to the test process itself and checks a
+// signal.NotifyContext-driven serve drains an idle server and returns nil.
+func TestSignalShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})}
+
+	var out strings.Builder
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(ctx, httpSrv, ln, time.Second, &out) }()
+
+	// Confirm the server answers before signalling.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("serve after SIGTERM = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("missing drain log, got %q", out.String())
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"ccs/internal/constraint"
 	"ccs/internal/itemset"
 )
@@ -18,10 +20,19 @@ import (
 // Constraints with no classification cost one evaluation per CT-supported
 // correlated set — the price of their irregular geometry.
 func (m *Miner) AllValid(q *constraint.Conjunction) (*Result, error) {
+	return m.AllValidContext(context.Background(), q)
+}
+
+// AllValidContext is AllValid honoring ctx and the Miner's Budget; on
+// truncation the valid sets of the completed levels are returned with
+// Result.Truncated set.
+func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) (*Result, error) {
 	split, err := q.Classify()
 	if err != nil {
 		return nil, err
 	}
+	ctl, release := m.newCtl(ctx)
+	defer release()
 	stats := Stats{}
 	l1 := m.frequentItems(split.AMMGF().Allowed)
 	cands := pairs(l1, nil)
@@ -29,7 +40,11 @@ func (m *Miner) AllValid(q *constraint.Conjunction) (*Result, error) {
 
 	supp := itemset.NewRegistry()
 	var answers []itemset.Set
+	var cause error
 	for level := 2; len(cands) > 0 && level <= m.res.maxLevel; level++ {
+		if cause = ctl.interrupted(&stats); cause != nil {
+			break
+		}
 		stats.Levels++
 		m.report("AllValid", "levelwise", level, len(cands))
 		kept := cands[:0]
@@ -41,8 +56,11 @@ func (m *Miner) AllValid(q *constraint.Conjunction) (*Result, error) {
 			}
 		}
 		cands = kept
-		tables, err := m.countBatch(&stats, cands)
+		tables, err := m.countBatchCtl(ctl, &stats, cands)
 		if err != nil {
+			if cause = ctl.truncation(err); cause != nil {
+				break
+			}
 			return nil, err
 		}
 		var suppLevel []itemset.Set
@@ -65,7 +83,11 @@ func (m *Miner) AllValid(q *constraint.Conjunction) (*Result, error) {
 		stats.Candidates += len(cands)
 	}
 	itemset.SortSets(answers)
-	return &Result{Answers: answers, Stats: stats}, nil
+	res := &Result{Answers: answers, Stats: stats}
+	if cause != nil {
+		truncate(res, cause)
+	}
+	return res, nil
 }
 
 func satisfiesOther(split *constraint.Split, m *Miner, s itemset.Set) bool {

@@ -1,21 +1,27 @@
 package core
 
 import (
+	"context"
+
 	"ccs/internal/itemset"
 )
 
 // bmsOutcome is the result of the unconstrained baseline run: the minimal
-// correlated and CT-supported sets (SIG) plus cost statistics.
+// correlated and CT-supported sets (SIG) plus cost statistics. cause is
+// non-nil when the run was truncated (cancellation, deadline, budget); sig
+// then covers only the completed levels.
 type bmsOutcome struct {
 	sig   []itemset.Set
 	stats Stats
+	cause error
 }
 
 // runBaseline executes Brin et al.'s level-wise algorithm: candidates whose
 // every subset is CT-supported but uncorrelated (NOTSIG) are counted; a
 // candidate that is CT-supported and correlated is a minimal correlated set
-// and is never expanded.
-func (m *Miner) runBaseline() (*bmsOutcome, error) {
+// and is never expanded. Truncation discards the level in flight, so sig is
+// always a per-level prefix of the full run.
+func (m *Miner) runBaseline(ctl *runCtl) (*bmsOutcome, error) {
 	out := &bmsOutcome{}
 	l1 := m.frequentItems(nil)
 	notsig := itemset.NewRegistry()
@@ -23,10 +29,18 @@ func (m *Miner) runBaseline() (*bmsOutcome, error) {
 	out.stats.Candidates += len(cands)
 
 	for level := 2; len(cands) > 0 && level <= m.res.maxLevel; level++ {
+		if cause := ctl.interrupted(&out.stats); cause != nil {
+			out.cause = cause
+			break
+		}
 		out.stats.Levels++
 		m.report("BMS", "levelwise", level, len(cands))
-		tables, err := m.countBatch(&out.stats, cands)
+		tables, err := m.countBatchCtl(ctl, &out.stats, cands)
 		if err != nil {
+			if cause := ctl.truncation(err); cause != nil {
+				out.cause = cause
+				break
+			}
 			return nil, err
 		}
 		var notsigLevel []itemset.Set
@@ -51,9 +65,5 @@ func (m *Miner) runBaseline() (*bmsOutcome, error) {
 // BMS computes the unconstrained answer set of Brin et al.: all minimal
 // correlated and CT-supported itemsets.
 func (m *Miner) BMS() (*Result, error) {
-	out, err := m.runBaseline()
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Answers: out.sig, Stats: out.stats}, nil
+	return m.BMSContext(context.Background())
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ccs/internal/constraint"
@@ -64,6 +65,8 @@ func (m *Miner) SolutionSpace(q *constraint.Conjunction) (*SpaceDescription, err
 		return nil, fmt.Errorf("core: SolutionSpace requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
 	}
 
+	ctl, release := m.newCtl(context.Background())
+	defer release()
 	desc := &SpaceDescription{}
 	stats := &desc.Stats
 	l1 := m.frequentItems(split.AMMGF().Allowed)
@@ -86,7 +89,7 @@ func (m *Miner) SolutionSpace(q *constraint.Conjunction) (*SpaceDescription, err
 			}
 		}
 		cands = kept
-		tables, err := m.countBatch(stats, cands)
+		tables, err := m.countBatchCtl(ctl, stats, cands)
 		if err != nil {
 			return nil, err
 		}

@@ -117,6 +117,16 @@ type Result struct {
 	Answers []itemset.Set
 	// Stats records the work performed.
 	Stats Stats
+	// Truncated reports that the run stopped before exhausting the search
+	// space — the context was cancelled, its deadline passed, or the
+	// Budget ran out. Answers then holds the sound answers of the lattice
+	// levels that completed: every reported set genuinely belongs to the
+	// full answer set, but some answers may be missing.
+	Truncated bool
+	// Cause is the truncation cause: context.Canceled,
+	// context.DeadlineExceeded, or an error wrapping ErrBudgetExceeded.
+	// Nil when Truncated is false.
+	Cause error
 }
 
 // Miner binds a database, a counting engine and query parameters. Create
@@ -127,6 +137,7 @@ type Miner struct {
 	cnt      counting.Counter
 	res      resolved
 	progress ProgressFunc
+	budget   Budget
 }
 
 // Option configures a Miner.
@@ -135,6 +146,7 @@ type Option func(*minerConfig)
 type minerConfig struct {
 	counter  counting.Counter
 	progress ProgressFunc
+	budget   Budget
 }
 
 // WithCounter selects the counting engine (default: a BitmapCounter built
@@ -180,7 +192,7 @@ func New(db *dataset.DB, p Params, opts ...Option) (*Miner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Miner{cat: db.Catalog, cnt: cfg.counter, res: r, progress: cfg.progress}, nil
+	return &Miner{cat: db.Catalog, cnt: cfg.counter, res: r, progress: cfg.progress, budget: cfg.budget}, nil
 }
 
 // Catalog returns the item catalog the miner operates over.
@@ -271,16 +283,6 @@ func extend(bases []itemset.Set, pool []itemset.Item, relevant func(itemset.Set)
 	}
 	itemset.SortSets(out)
 	return out
-}
-
-// countBatch builds tables for the batch, updating scan statistics.
-func (m *Miner) countBatch(stats *Stats, sets []itemset.Set) ([]*contingency.Table, error) {
-	if len(sets) == 0 {
-		return nil, nil
-	}
-	stats.DBScans++
-	stats.SetsConsidered += len(sets)
-	return m.cnt.CountTables(sets)
 }
 
 // report emits a progress event if an observer is installed.

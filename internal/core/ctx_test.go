@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ccs/internal/constraint"
+	"ccs/internal/itemset"
+)
+
+func testQuery() *constraint.Conjunction {
+	return constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 3))
+}
+
+// runners enumerates every algorithm's Context entry point so the
+// cancellation contract is tested uniformly across all of them.
+var runners = []struct {
+	name string
+	run  func(m *Miner, ctx context.Context, q *constraint.Conjunction) (*Result, error)
+}{
+	{"BMS", func(m *Miner, ctx context.Context, q *constraint.Conjunction) (*Result, error) {
+		return m.BMSContext(ctx)
+	}},
+	{"BMS+", func(m *Miner, ctx context.Context, q *constraint.Conjunction) (*Result, error) {
+		return m.BMSPlusContext(ctx, q)
+	}},
+	{"BMS++", func(m *Miner, ctx context.Context, q *constraint.Conjunction) (*Result, error) {
+		return m.BMSPlusPlusContext(ctx, q, PlusPlusOptions{PushMonotoneSuccinct: true})
+	}},
+	{"BMS*", func(m *Miner, ctx context.Context, q *constraint.Conjunction) (*Result, error) {
+		return m.BMSStarContext(ctx, q)
+	}},
+	{"BMS**", func(m *Miner, ctx context.Context, q *constraint.Conjunction) (*Result, error) {
+		return m.BMSStarStarContext(ctx, q, StarStarOptions{})
+	}},
+	{"AllValid", func(m *Miner, ctx context.Context, q *constraint.Conjunction) (*Result, error) {
+		return m.AllValidContext(ctx, q)
+	}},
+}
+
+func answerSet(res *Result) map[string]bool {
+	out := make(map[string]bool, len(res.Answers))
+	for _, s := range res.Answers {
+		out[s.String()] = true
+	}
+	return out
+}
+
+// TestCancelMidRun cancels each algorithm from its progress observer after
+// a couple of levels and checks the contract: prompt return, Truncated set
+// with Cause == context.Canceled, and every reported answer also present
+// in the uncancelled run's answer set (soundness of the partial result).
+func TestCancelMidRun(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(11)), 9, 300)
+	q := testQuery()
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			full, err := New(db, testParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := r.run(full, context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Truncated {
+				t.Fatalf("uncancelled run reports Truncated")
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			events := 0
+			m, err := New(db, testParams(), WithProgress(func(ProgressEvent) {
+				events++
+				if events == 2 {
+					cancel()
+				}
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.run(m, ctx, q)
+			if err != nil {
+				t.Fatalf("cancelled run failed: %v", err)
+			}
+			if !got.Truncated {
+				// Tiny searches can finish before the second progress
+				// event; then there is nothing to truncate.
+				if events < 2 {
+					t.Skip("search too small to cancel mid-run")
+				}
+				t.Fatalf("cancelled run not marked Truncated (events=%d)", events)
+			}
+			if !errors.Is(got.Cause, context.Canceled) {
+				t.Fatalf("Cause = %v, want context.Canceled", got.Cause)
+			}
+			wantSet := answerSet(want)
+			for _, s := range got.Answers {
+				if !wantSet[s.String()] {
+					t.Errorf("truncated run reported %v, absent from the full answer set", s)
+				}
+			}
+			if len(got.Answers) > len(want.Answers) {
+				t.Errorf("truncated run has %d answers, full run %d", len(got.Answers), len(want.Answers))
+			}
+		})
+	}
+}
+
+// TestPreCancelledContext checks a context cancelled before the run starts
+// yields an empty truncated result, not an error.
+func TestPreCancelledContext(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(5)), 7, 150)
+	q := testQuery()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			m, err := New(db, testParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.run(m, ctx, q)
+			if err != nil {
+				t.Fatalf("pre-cancelled run failed: %v", err)
+			}
+			if !res.Truncated || !errors.Is(res.Cause, context.Canceled) {
+				t.Fatalf("Truncated=%v Cause=%v, want truncation by context.Canceled", res.Truncated, res.Cause)
+			}
+			if len(res.Answers) != 0 {
+				t.Fatalf("pre-cancelled run reported %d answers", len(res.Answers))
+			}
+		})
+	}
+}
+
+// TestDeadlineTruncates drives BMS++ against an already-expired deadline
+// and checks the cause is context.DeadlineExceeded, not the budget.
+func TestDeadlineTruncates(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(7)), 8, 200)
+	m, err := New(db, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := m.BMSPlusPlusContext(ctx, testQuery(), PlusPlusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !errors.Is(res.Cause, context.DeadlineExceeded) {
+		t.Fatalf("Truncated=%v Cause=%v, want DeadlineExceeded", res.Truncated, res.Cause)
+	}
+	if errors.Is(res.Cause, ErrBudgetExceeded) {
+		t.Fatalf("caller deadline misattributed to the budget: %v", res.Cause)
+	}
+}
+
+// TestBudgetMaxCandidates checks candidate-count exhaustion truncates with
+// an ErrBudgetExceeded cause.
+func TestBudgetMaxCandidates(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(11)), 9, 300)
+	m, err := New(db, testParams(), WithBudget(Budget{MaxCandidates: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.BMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !errors.Is(res.Cause, ErrBudgetExceeded) {
+		t.Fatalf("Truncated=%v Cause=%v, want ErrBudgetExceeded", res.Truncated, res.Cause)
+	}
+}
+
+// TestBudgetMaxCells checks the contingency-cell budget truncates likewise.
+func TestBudgetMaxCells(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(11)), 9, 300)
+	m, err := New(db, testParams(), WithBudget(Budget{MaxCells: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.BMSPlusContext(context.Background(), testQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !errors.Is(res.Cause, ErrBudgetExceeded) {
+		t.Fatalf("Truncated=%v Cause=%v, want ErrBudgetExceeded", res.Truncated, res.Cause)
+	}
+}
+
+// TestBudgetMaxWall checks wall-clock exhaustion is attributed to the
+// budget even though it is delivered as a context deadline.
+func TestBudgetMaxWall(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(11)), 9, 300)
+	m, err := New(db, testParams(), WithBudget(Budget{MaxWall: time.Nanosecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond) // let the nanosecond deadline expire
+	res, err := m.BMSContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !errors.Is(res.Cause, ErrBudgetExceeded) {
+		t.Fatalf("Truncated=%v Cause=%v, want ErrBudgetExceeded via MaxWall", res.Truncated, res.Cause)
+	}
+}
+
+// TestUnbudgetedRunsUnaffected checks the zero Budget and background
+// context leave results untouched — BMS via the Context path must match
+// the plain call exactly.
+func TestUnbudgetedRunsUnaffected(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(13)), 8, 200)
+	m1, err := New(db, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m1.BMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(db, testParams(), WithBudget(Budget{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := m2.BMSContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCtx.Truncated || plain.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+	if len(plain.Answers) != len(viaCtx.Answers) {
+		t.Fatalf("answer counts differ: %d vs %d", len(plain.Answers), len(viaCtx.Answers))
+	}
+	for i := range plain.Answers {
+		if itemset.Compare(plain.Answers[i], viaCtx.Answers[i]) != 0 {
+			t.Fatalf("answers differ at %d: %v vs %v", i, plain.Answers[i], viaCtx.Answers[i])
+		}
+	}
+}

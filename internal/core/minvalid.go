@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ccs/internal/constraint"
@@ -14,6 +15,14 @@ import (
 // skips the chi-squared test: a superset of a correlated set is correlated
 // (upward closure of the statistic under table collapse).
 func (m *Miner) BMSStar(q *constraint.Conjunction) (*Result, error) {
+	return m.BMSStarContext(context.Background(), q)
+}
+
+// BMSStarContext is BMSStar honoring ctx and the Miner's Budget. On
+// truncation — in the baseline or in the upward sweep — the answers found
+// so far are returned with Result.Truncated set; every one of them is a
+// genuine member of MINVALID(Q).
+func (m *Miner) BMSStarContext(ctx context.Context, q *constraint.Conjunction) (*Result, error) {
 	split, err := q.Classify()
 	if err != nil {
 		return nil, err
@@ -21,7 +30,9 @@ func (m *Miner) BMSStar(q *constraint.Conjunction) (*Result, error) {
 	if split.HasUnclassified() {
 		return nil, fmt.Errorf("core: BMS* requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
 	}
-	out, err := m.runBaseline()
+	ctl, release := m.newCtl(ctx)
+	defer release()
+	out, err := m.runBaseline(ctl)
 	if err != nil {
 		return nil, err
 	}
@@ -44,22 +55,31 @@ func (m *Miner) BMSStar(q *constraint.Conjunction) (*Result, error) {
 		}
 	}
 
-	if err := m.sweepUp(&stats, split, seeds, answers); err != nil {
-		return nil, err
+	cause := out.cause
+	if cause == nil {
+		cause, err = m.sweepUp(ctl, &stats, split, seeds, answers)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return &Result{Answers: answers.Sets(), Stats: stats}, nil
+	res := &Result{Answers: answers.Sets(), Stats: stats}
+	if cause != nil {
+		truncate(res, cause)
+	}
+	return res, nil
 }
 
 // sweepUp grows the seed sets (correlated, CT-supported, AM-valid, not yet
 // M-valid) upward one item at a time, adding each minimal valid superset to
-// answers. Invariants maintained per level:
+// answers. A non-nil cause means the sweep was truncated at a level
+// boundary. Invariants maintained per level:
 //
 //   - every examined set is a superset of a correlated set, hence
 //     correlated; only CT-support and constraints are re-checked;
 //   - a set containing an already-found answer cannot be minimal valid and
 //     is dropped together with its supersets;
 //   - a set failing an anti-monotone constraint is dropped likewise.
-func (m *Miner) sweepUp(stats *Stats, split *constraint.Split, seeds []itemset.Set, answers *itemset.Registry) error {
+func (m *Miner) sweepUp(ctl *runCtl, stats *Stats, split *constraint.Split, seeds []itemset.Set, answers *itemset.Registry) (cause error, err error) {
 	pool := m.frequentItems(split.AMMGF().Allowed)
 	// group seeds by level so the sweep proceeds smallest-first
 	byLevel := map[int][]itemset.Set{}
@@ -71,7 +91,7 @@ func (m *Miner) sweepUp(stats *Stats, split *constraint.Split, seeds []itemset.S
 		}
 	}
 	if len(seeds) == 0 {
-		return nil
+		return nil, nil
 	}
 	minSeed := maxSeed
 	for k := range byLevel {
@@ -89,6 +109,9 @@ func (m *Miner) sweepUp(stats *Stats, split *constraint.Split, seeds []itemset.S
 	for level := minSeed; len(frontierLevel) > 0 || level < maxSeed; level++ {
 		if level+1 > m.res.maxLevel {
 			break
+		}
+		if cause := ctl.interrupted(stats); cause != nil {
+			return cause, nil
 		}
 		stats.Levels++
 		cands := extendAny(frontierLevel, pool)
@@ -111,9 +134,12 @@ func (m *Miner) sweepUp(stats *Stats, split *constraint.Split, seeds []itemset.S
 		}
 		cands = kept
 
-		tables, err := m.countBatch(stats, cands)
+		tables, err := m.countBatchCtl(ctl, stats, cands)
 		if err != nil {
-			return err
+			if cause := ctl.truncation(err); cause != nil {
+				return cause, nil
+			}
+			return nil, err
 		}
 		frontierLevel = frontierLevel[:0]
 		for i, t := range tables {
@@ -132,7 +158,7 @@ func (m *Miner) sweepUp(stats *Stats, split *constraint.Split, seeds []itemset.S
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // extendAny returns the deduplicated one-item extensions of the bases — the
@@ -173,6 +199,15 @@ type StarStarOptions struct {
 // space (Σ v_i in the paper's analysis), which is why it wins under
 // selective constraints and loses badly under unselective ones.
 func (m *Miner) BMSStarStar(q *constraint.Conjunction, opts StarStarOptions) (*Result, error) {
+	return m.BMSStarStarContext(context.Background(), q, opts)
+}
+
+// BMSStarStarContext is BMSStarStar honoring ctx and the Miner's Budget.
+// Truncation in phase 1 cuts the stored SUPP levels (phase 2 then sweeps
+// what exists); truncation in phase 2 stops the sweep at a level boundary.
+// Either way the partial answers are genuine MINVALID members from the
+// completed levels.
+func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunction, opts StarStarOptions) (*Result, error) {
 	split, err := q.Classify()
 	if err != nil {
 		return nil, err
@@ -181,6 +216,8 @@ func (m *Miner) BMSStarStar(q *constraint.Conjunction, opts StarStarOptions) (*R
 		return nil, fmt.Errorf("core: BMS** requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
 	}
 
+	ctl, release := m.newCtl(ctx)
+	defer release()
 	stats := Stats{}
 	amAllowed := split.AMMGF().Allowed
 	var witness constraint.ItemFilter
@@ -227,8 +264,12 @@ func (m *Miner) BMSStarStar(q *constraint.Conjunction, opts StarStarOptions) (*R
 	}
 	var levels []suppLevel
 	var allTables []*tableEntry
+	var cause error
 	supp := itemset.NewRegistry()
 	for level := 2; len(cands) > 0 && level <= m.res.maxLevel; level++ {
+		if cause = ctl.interrupted(&stats); cause != nil {
+			break
+		}
 		stats.Levels++
 		m.report("BMS**", "supp", level, len(cands))
 		kept := cands[:0]
@@ -240,8 +281,11 @@ func (m *Miner) BMSStarStar(q *constraint.Conjunction, opts StarStarOptions) (*R
 			}
 		}
 		cands = kept
-		tables, err := m.countBatch(&stats, cands)
+		tables, err := m.countBatchCtl(ctl, &stats, cands)
 		if err != nil {
+			if cause = ctl.truncation(err); cause != nil {
+				break
+			}
 			return nil, err
 		}
 		var lv suppLevel
@@ -265,6 +309,11 @@ func (m *Miner) BMSStarStar(q *constraint.Conjunction, opts StarStarOptions) (*R
 	notsig := itemset.NewRegistry()
 	var answers []itemset.Set
 	for li, lv := range levels {
+		if cause == nil {
+			if cause = ctl.interrupted(&stats); cause != nil {
+				break
+			}
+		}
 		m.report("BMS**", "chi", li+2, len(lv.sets))
 		for i, s := range lv.sets {
 			if li > 0 { // level-2 sets (li == 0) are always examined
@@ -293,7 +342,11 @@ func (m *Miner) BMSStarStar(q *constraint.Conjunction, opts StarStarOptions) (*R
 		}
 	}
 	itemset.SortSets(answers)
-	return &Result{Answers: answers, Stats: stats}, nil
+	res := &Result{Answers: answers, Stats: stats}
+	if cause != nil {
+		truncate(res, cause)
+	}
+	return res, nil
 }
 
 // tableEntry caches the statistic of a phase-1 table so phase 2 does not

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ccs/internal/constraint"
@@ -12,7 +13,16 @@ import (
 // constraints are applied only as a final filter, BMSPlus handles any
 // constraint — including ones that are neither anti-monotone nor monotone.
 func (m *Miner) BMSPlus(q *constraint.Conjunction) (*Result, error) {
-	out, err := m.runBaseline()
+	return m.BMSPlusContext(context.Background(), q)
+}
+
+// BMSPlusContext is BMSPlus honoring ctx and the Miner's Budget; on
+// truncation the filtered answers of the completed levels are returned
+// with Result.Truncated set.
+func (m *Miner) BMSPlusContext(ctx context.Context, q *constraint.Conjunction) (*Result, error) {
+	ctl, release := m.newCtl(ctx)
+	defer release()
+	out, err := m.runBaseline(ctl)
 	if err != nil {
 		return nil, err
 	}
@@ -22,7 +32,11 @@ func (m *Miner) BMSPlus(q *constraint.Conjunction) (*Result, error) {
 			answers = append(answers, s)
 		}
 	}
-	return &Result{Answers: answers, Stats: out.stats}, nil
+	res := &Result{Answers: answers, Stats: out.stats}
+	if out.cause != nil {
+		truncate(res, out.cause)
+	}
+	return res, nil
 }
 
 // PlusPlusOptions configures BMSPlusPlus.
@@ -45,6 +59,14 @@ type PlusPlusOptions struct {
 // (with correlated-but-invalid sets still blocking their supersets, which
 // preserves Definition 1 minimality).
 func (m *Miner) BMSPlusPlus(q *constraint.Conjunction, opts PlusPlusOptions) (*Result, error) {
+	return m.BMSPlusPlusContext(context.Background(), q, opts)
+}
+
+// BMSPlusPlusContext is BMSPlusPlus honoring ctx and the Miner's Budget;
+// cancellation is observed at level and batch boundaries and the level in
+// flight is discarded, so the partial answers are those of the completed
+// levels.
+func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunction, opts PlusPlusOptions) (*Result, error) {
 	split, err := q.Classify()
 	if err != nil {
 		return nil, err
@@ -53,6 +75,8 @@ func (m *Miner) BMSPlusPlus(q *constraint.Conjunction, opts PlusPlusOptions) (*R
 		return nil, fmt.Errorf("core: BMS++ requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
 	}
 
+	ctl, release := m.newCtl(ctx)
+	defer release()
 	stats := Stats{}
 	amAllowed := split.AMMGF().Allowed
 
@@ -98,7 +122,11 @@ func (m *Miner) BMSPlusPlus(q *constraint.Conjunction, opts PlusPlusOptions) (*R
 
 	notsig := itemset.NewRegistry()
 	var answers []itemset.Set
+	var cause error
 	for level := 2; len(cands) > 0 && level <= m.res.maxLevel; level++ {
+		if cause = ctl.interrupted(&stats); cause != nil {
+			break
+		}
 		stats.Levels++
 		m.report("BMS++", "levelwise", level, len(cands))
 		// Non-succinct anti-monotone constraints prune before counting:
@@ -115,8 +143,11 @@ func (m *Miner) BMSPlusPlus(q *constraint.Conjunction, opts PlusPlusOptions) (*R
 		}
 		cands = kept
 
-		tables, err := m.countBatch(&stats, cands)
+		tables, err := m.countBatchCtl(ctl, &stats, cands)
 		if err != nil {
+			if cause = ctl.truncation(err); cause != nil {
+				break
+			}
 			return nil, err
 		}
 		var notsigLevel []itemset.Set
@@ -141,5 +172,9 @@ func (m *Miner) BMSPlusPlus(q *constraint.Conjunction, opts PlusPlusOptions) (*R
 		stats.Candidates += len(cands)
 	}
 	itemset.SortSets(answers)
-	return &Result{Answers: answers, Stats: stats}, nil
+	res := &Result{Answers: answers, Stats: stats}
+	if cause != nil {
+		truncate(res, cause)
+	}
+	return res, nil
 }

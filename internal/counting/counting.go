@@ -12,6 +12,7 @@
 package counting
 
 import (
+	"context"
 	"fmt"
 
 	"ccs/internal/bitset"
@@ -40,6 +41,36 @@ type Counter interface {
 	Stats() Stats
 }
 
+// ContextCounter is a Counter that also supports cooperative cancellation.
+// All counters in this package implement it; the mining core uses the
+// context-aware path whenever the caller supplied a cancellable context.
+type ContextCounter interface {
+	Counter
+	// CountTablesContext is CountTables honoring ctx: once ctx is
+	// cancelled it returns (nil, ctx.Err()) promptly, abandoning the
+	// batch mid-flight. Partially counted tables are never returned.
+	CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error)
+}
+
+// checkEvery is how many transactions (or sets) a counting loop processes
+// between cancellation polls — coarse enough to stay off the hot path,
+// fine enough to stop within microseconds of a cancel.
+const checkEvery = 1024
+
+// cancelled polls ctx without blocking; done is ctx.Done(), hoisted by the
+// caller so the nil-channel fast path costs one compare per poll.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // ScanCounter counts minterms by scanning the horizontal transaction list.
 type ScanCounter struct {
 	db    *dataset.DB
@@ -63,6 +94,12 @@ func (s *ScanCounter) Stats() Stats { return s.stats }
 // CountTables implements Counter with a single pass over the database for
 // the whole batch.
 func (s *ScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
+	return s.CountTablesContext(context.Background(), sets)
+}
+
+// CountTablesContext implements ContextCounter, polling ctx every
+// checkEvery transactions of the pass.
+func (s *ScanCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	s.stats.Batches++
 	s.stats.TablesBuilt += len(sets)
 	cells := make([][]int, len(sets))
@@ -72,7 +109,11 @@ func (s *ScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, err
 		}
 		cells[i] = make([]int, 1<<uint(set.Size()))
 	}
-	for _, tx := range s.db.Tx {
+	done := ctx.Done()
+	for ti, tx := range s.db.Tx {
+		if ti%checkEvery == 0 && cancelled(done) {
+			return nil, ctx.Err()
+		}
 		for i, set := range sets {
 			cells[i][mintermIndex(set, tx)]++
 		}
@@ -141,10 +182,20 @@ func (b *BitmapCounter) Stats() Stats { return b.stats }
 
 // CountTables implements Counter.
 func (b *BitmapCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
+	return b.CountTablesContext(context.Background(), sets)
+}
+
+// CountTablesContext implements ContextCounter, polling ctx between sets
+// (one set costs 2^k bitset intersections, so the granularity is fine).
+func (b *BitmapCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	b.stats.Batches++
 	b.stats.TablesBuilt += len(sets)
+	done := ctx.Done()
 	out := make([]*contingency.Table, len(sets))
 	for i, set := range sets {
+		if cancelled(done) {
+			return nil, ctx.Err()
+		}
 		t, err := b.countOne(set)
 		if err != nil {
 			return nil, err

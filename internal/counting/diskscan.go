@@ -2,15 +2,52 @@ package counting
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"time"
 
 	"ccs/internal/contingency"
 	"ccs/internal/dataset"
 	"ccs/internal/itemset"
 )
+
+// RetryPolicy bounds how the disk scanner retries reads that fail with a
+// transient error (see dataset.IsTransient). Transient errors consume no
+// input by contract, so a retried Read resumes byte-exactly and a scan
+// that survives its faults produces counts identical to a fault-free one.
+type RetryPolicy struct {
+	// MaxRetries is the total transient failures absorbed per scan; the
+	// next one becomes the scan's error (0 = fail on the first).
+	MaxRetries int
+	// Backoff is the sleep before the first retry; it doubles on each
+	// consecutive retry.
+	Backoff time.Duration
+	// MaxBackoff caps the doubled backoff (0 = uncapped).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy absorbs a handful of transient faults per scan with
+// millisecond-scale backoff — free on healthy files, cheap insurance on
+// flaky storage.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 4, Backoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+}
+
+// DiskScanOptions configures NewDiskScanCounterWith.
+type DiskScanOptions struct {
+	// FS supplies the dataset file; nil means the OS filesystem and an OS
+	// path. A non-nil FS (os.DirFS, fstest.MapFS, dataset.FaultFS, ...)
+	// resolves the counter's path as an fs.FS path and is re-opened on
+	// every scan, so injected per-file faults are per-scan faults.
+	FS fs.FS
+	// Retry is the transient-error policy; the zero value retries nothing.
+	Retry RetryPolicy
+}
 
 // DiskScanCounter counts minterms by re-reading a binary dataset file on
 // every batch, holding only one transaction in memory at a time — the
@@ -19,16 +56,24 @@ import (
 // and per-item supports are read once at construction.
 type DiskScanCounter struct {
 	path     string
+	fsys     fs.FS
+	retry    RetryPolicy
 	numTx    int
 	supports []int
 	stats    Stats
 }
 
 // NewDiskScanCounter validates the file once (full scan) and returns the
-// counter.
+// counter, with DefaultRetryPolicy absorbing transient read errors.
 func NewDiskScanCounter(path string) (*DiskScanCounter, error) {
-	c := &DiskScanCounter{path: path}
-	err := c.scan(func(tx dataset.Transaction) {
+	return NewDiskScanCounterWith(path, DiskScanOptions{Retry: DefaultRetryPolicy()})
+}
+
+// NewDiskScanCounterWith is NewDiskScanCounter with an explicit filesystem
+// and retry policy.
+func NewDiskScanCounterWith(path string, opts DiskScanOptions) (*DiskScanCounter, error) {
+	c := &DiskScanCounter{path: path, fsys: opts.FS, retry: opts.Retry}
+	err := c.scan(context.Background(), func(tx dataset.Transaction) {
 		c.numTx++
 		for _, id := range tx {
 			c.supports[id]++
@@ -55,6 +100,12 @@ func (c *DiskScanCounter) Stats() Stats { return c.stats }
 
 // CountTables implements Counter with one streaming pass per batch.
 func (c *DiskScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
+	return c.CountTablesContext(context.Background(), sets)
+}
+
+// CountTablesContext implements ContextCounter, polling ctx every
+// checkEvery transactions of the streaming pass.
+func (c *DiskScanCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	c.stats.Batches++
 	c.stats.TablesBuilt += len(sets)
 	cells := make([][]int, len(sets))
@@ -65,7 +116,7 @@ func (c *DiskScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table,
 		cells[i] = make([]int, 1<<uint(set.Size()))
 	}
 	n := 0
-	err := c.scan(func(tx dataset.Transaction) {
+	err := c.scan(ctx, func(tx dataset.Transaction) {
 		n++
 		for i, set := range sets {
 			cells[i][mintermIndex(set, tx)]++
@@ -88,11 +139,70 @@ func (c *DiskScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table,
 	return out, nil
 }
 
+// open returns the dataset stream for one scan.
+func (c *DiskScanCounter) open() (io.ReadCloser, error) {
+	if c.fsys != nil {
+		return c.fsys.Open(c.path)
+	}
+	return os.Open(c.path)
+}
+
+// retryReader retries reads whose error is classified transient, with
+// bounded exponential backoff. It sits below the scanner's bufio layer, so
+// a retried scan delivers a byte-identical stream: transient errors
+// consume no input by contract.
+type retryReader struct {
+	r       io.Reader
+	policy  RetryPolicy
+	retries int // consumed across the whole scan
+}
+
+func (r *retryReader) Read(p []byte) (int, error) {
+	backoff := r.policy.Backoff
+	for {
+		n, err := r.r.Read(p)
+		if err == nil || n > 0 || !dataset.IsTransient(err) {
+			return n, err
+		}
+		if r.retries >= r.policy.MaxRetries {
+			return 0, fmt.Errorf("transient error persisted after %d retries: %w", r.retries, err)
+		}
+		r.retries++
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if r.policy.MaxBackoff > 0 && backoff > r.policy.MaxBackoff {
+				backoff = r.policy.MaxBackoff
+			}
+		}
+	}
+}
+
+// classifyFault labels a scan failure for diagnostics: transient means the
+// retry budget ran out on a retryable error, permanent means retrying is
+// pointless.
+func classifyFault(err error) string {
+	if dataset.IsTransient(err) {
+		return "transient"
+	}
+	return "permanent"
+}
+
 // scan streams the file, calling fn per transaction. On the first scan
 // (supports == nil) it also sizes the supports slice from the catalog
-// header.
-func (c *DiskScanCounter) scan(fn func(dataset.Transaction)) (err error) {
-	f, err := os.Open(c.path)
+// header. Non-cancellation failures come back wrapped with their fault
+// classification; cancellation surfaces as a bare ctx.Err() so the mining
+// core can treat it as truncation rather than failure.
+func (c *DiskScanCounter) scan(ctx context.Context, fn func(dataset.Transaction)) error {
+	err := c.scanOnce(ctx, fn)
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("%s i/o failure: %w", classifyFault(err), err)
+}
+
+func (c *DiskScanCounter) scanOnce(ctx context.Context, fn func(dataset.Transaction)) (err error) {
+	f, err := c.open()
 	if err != nil {
 		return err
 	}
@@ -101,7 +211,7 @@ func (c *DiskScanCounter) scan(fn func(dataset.Transaction)) (err error) {
 			err = cerr
 		}
 	}()
-	br := bufio.NewReaderSize(f, 1<<20)
+	br := bufio.NewReaderSize(&retryReader{r: f, policy: c.retry}, 1<<20)
 
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -141,8 +251,12 @@ func (c *DiskScanCounter) scan(fn func(dataset.Transaction)) (err error) {
 	if err := binary.Read(br, binary.LittleEndian, &numTx); err != nil {
 		return err
 	}
+	done := ctx.Done()
 	buf := make(itemset.Set, 0, 64)
 	for t := uint32(0); t < numTx; t++ {
+		if t%checkEvery == 0 && cancelled(done) {
+			return ctx.Err()
+		}
 		var size uint32
 		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
 			return fmt.Errorf("counting: %s: tx %d: %w", c.path, t, err)

@@ -1,0 +1,175 @@
+package counting
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// faultCounterFor writes db to disk and opens it through a FaultFS with
+// the given plan, using the given retry policy.
+func faultCounterFor(t *testing.T, db *dataset.DB, plan dataset.FaultPlan, retry RetryPolicy) (*DiskScanCounter, error) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := dataset.WriteFile(filepath.Join(dir, "d.ccs"), db); err != nil {
+		t.Fatal(err)
+	}
+	ffs := &dataset.FaultFS{Base: os.DirFS(dir), Plan: plan}
+	return NewDiskScanCounterWith("d.ccs", DiskScanOptions{FS: ffs, Retry: retry})
+}
+
+// TestDiskScanSurvivesTransientFaults injects up to two transient faults
+// per scan (the file is re-opened per batch, so per-file faults are
+// per-batch faults) and checks the counts are byte-identical to a
+// fault-free run — the retry layer sits below bufio, so a retried stream
+// is the same stream.
+func TestDiskScanSurvivesTransientFaults(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	db := randomDB(r, 12, 300)
+	path := writeTempDB(t, db)
+	clean, err := NewDiskScanCounter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := dataset.FaultPlan{TransientEvery: 3, MaxTransient: 2, ShortReadMax: 4096}
+	faulty, err := faultCounterFor(t, db, plan, RetryPolicy{MaxRetries: 2, Backoff: time.Microsecond})
+	if err != nil {
+		t.Fatalf("construction scan did not survive its faults: %v", err)
+	}
+
+	if faulty.NumTx() != clean.NumTx() {
+		t.Fatalf("NumTx: %d vs %d", faulty.NumTx(), clean.NumTx())
+	}
+	cs, fs := clean.ItemSupports(), faulty.ItemSupports()
+	for i := range cs {
+		if cs[i] != fs[i] {
+			t.Fatalf("item %d support: %d vs %d", i, cs[i], fs[i])
+		}
+	}
+	sets := batchOfPairs(12)
+	want, err := clean.CountTables(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := faulty.CountTables(sets)
+	if err != nil {
+		t.Fatalf("faulty batch failed: %v", err)
+	}
+	for i := range want {
+		if want[i].String() != got[i].String() {
+			t.Fatalf("table %d differs under faults:\n%v\nvs\n%v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestDiskScanRetryBudgetExhausted checks that more consecutive faults
+// than the policy absorbs surfaces a transient-classified failure.
+func TestDiskScanRetryBudgetExhausted(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	db := randomDB(r, 8, 100)
+	// every read fails: no retry budget can get a byte through
+	plan := dataset.FaultPlan{TransientEvery: 1}
+	_, err := faultCounterFor(t, db, plan, RetryPolicy{MaxRetries: 3, Backoff: time.Microsecond})
+	if err == nil {
+		t.Fatal("scan succeeded though every read faults")
+	}
+	if !errors.Is(err, dataset.ErrTransient) {
+		t.Fatalf("err = %v, want wrapped dataset.ErrTransient", err)
+	}
+	if !strings.Contains(err.Error(), "transient i/o failure") {
+		t.Fatalf("err %q not classified transient", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 retries") {
+		t.Fatalf("err %q does not report the exhausted retry budget", err)
+	}
+}
+
+// TestDiskScanNoRetryPolicy checks the zero policy fails on the first
+// transient fault, still classified for the caller.
+func TestDiskScanNoRetryPolicy(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	db := randomDB(r, 8, 100)
+	// short reads guarantee the 5th read actually happens before EOF
+	plan := dataset.FaultPlan{TransientEvery: 5, MaxTransient: 1, ShortReadMax: 64}
+	_, err := faultCounterFor(t, db, plan, RetryPolicy{})
+	if err == nil {
+		t.Fatal("zero retry policy absorbed a fault")
+	}
+	if !errors.Is(err, dataset.ErrTransient) {
+		t.Fatalf("err = %v, want wrapped dataset.ErrTransient", err)
+	}
+}
+
+// TestDiskScanPermanentFault checks a permanent mid-file failure is not
+// retried and comes back wrapped with its classification and the
+// underlying cause reachable through errors.Is.
+func TestDiskScanPermanentFault(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	db := randomDB(r, 8, 200)
+	sentinel := errors.New("medium error")
+	plan := dataset.FaultPlan{FailAtByte: 512, FailWith: sentinel}
+	_, err := faultCounterFor(t, db, plan, DefaultRetryPolicy())
+	if err == nil {
+		t.Fatal("scan succeeded past a permanent fault")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v; underlying cause not reachable", err)
+	}
+	if !strings.Contains(err.Error(), "permanent i/o failure") {
+		t.Fatalf("err %q not classified permanent", err)
+	}
+}
+
+// TestDiskScanMidRecordTruncation checks a stream ending mid-record is
+// detected by the scanner's framing and reported as a permanent failure.
+func TestDiskScanMidRecordTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	db := randomDB(r, 8, 200)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.ccs")
+	if err := dataset.WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := dataset.FaultPlan{TruncateAtByte: st.Size() - 3}
+	ffs := &dataset.FaultFS{Base: os.DirFS(dir), Plan: plan}
+	_, err = NewDiskScanCounterWith("d.ccs", DiskScanOptions{FS: ffs, Retry: DefaultRetryPolicy()})
+	if err == nil {
+		t.Fatal("scan accepted a truncated stream")
+	}
+	if !strings.Contains(err.Error(), "permanent i/o failure") {
+		t.Fatalf("err %q not classified permanent", err)
+	}
+}
+
+// TestDiskScanFaultyBatchUnderMiner drives the context path with faults:
+// cancellation still passes through bare while transient faults retry.
+func TestDiskScanFaultyBatchUnderMiner(t *testing.T) {
+	r := rand.New(rand.NewSource(26))
+	db := randomDB(r, 10, 300)
+	plan := dataset.FaultPlan{TransientEvery: 7, MaxTransient: 2, ShortReadMax: 1024}
+	c, err := faultCounterFor(t, db, plan, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := []itemset.Set{itemset.New(0, 1), itemset.New(2, 3)}
+	if _, err := c.CountTablesContext(context.Background(), sets); err != nil {
+		t.Fatalf("faulty batch with retries failed: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.CountTablesContext(ctx, sets); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want bare context.Canceled", err)
+	}
+}

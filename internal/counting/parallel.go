@@ -1,6 +1,7 @@
 package counting
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -41,6 +42,13 @@ func (p *ParallelCounter) Stats() Stats { return p.stats }
 // CountTables implements Counter. Workers pull itemset indices from a
 // shared channel; the first error wins and the batch still drains.
 func (p *ParallelCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
+	return p.CountTablesContext(context.Background(), sets)
+}
+
+// CountTablesContext implements ContextCounter. Each worker polls ctx
+// before every set it counts; on cancellation the workers stop pulling,
+// the remaining indices are abandoned, and the call returns ctx.Err().
+func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	p.stats.Batches++
 	p.stats.TablesBuilt += len(sets)
 	out := make([]*contingency.Table, len(sets))
@@ -57,23 +65,31 @@ func (p *ParallelCounter) CountTables(sets []itemset.Set) ([]*contingency.Table,
 	}
 	close(idx)
 
+	done := ctx.Done()
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if cancelled(done) {
+					setErr(ctx.Err())
+					return
+				}
 				t, err := p.inner.countOne(sets[i])
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					setErr(err)
 					continue
 				}
 				out[i] = t

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"syscall"
+)
+
+// ErrTransient classifies an I/O failure as retryable: no bytes were
+// consumed, and repeating the read may succeed. Injected faults wrap it;
+// real EAGAIN/EINTR-style errno failures are recognized by IsTransient
+// without wrapping.
+var ErrTransient = errors.New("dataset: transient I/O error")
+
+// IsTransient reports whether err is a transient, safely retryable read
+// error: an injected ErrTransient, or an interrupted/again-style errno.
+// Transient errors are defined to have consumed no input, so a reader that
+// sees one may repeat the same Read call without corrupting its position.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EINTR)
+}
+
+// FaultPlan scripts the faults a FaultReader injects into a stream. The
+// zero plan injects nothing. Plans compose: a reader can simultaneously
+// shorten reads, throw transient errors, and truncate or fail permanently
+// at a byte offset.
+type FaultPlan struct {
+	// ShortReadMax caps the bytes delivered per Read call (0 = no cap),
+	// exercising callers that assume full reads.
+	ShortReadMax int
+	// TransientEvery injects a transient error before every Nth Read call
+	// (0 = never). The failed call consumes nothing, so a retry resumes
+	// byte-exactly.
+	TransientEvery int
+	// MaxTransient bounds the total transient errors injected
+	// (0 = unbounded while TransientEvery is set).
+	MaxTransient int
+	// FailAtByte makes every Read at or past this stream offset fail
+	// permanently with FailWith (0 = never; the error repeats on retry).
+	FailAtByte int64
+	// FailWith is the permanent error used by FailAtByte
+	// (nil = io.ErrUnexpectedEOF, the shape of mid-record truncation).
+	FailWith error
+	// TruncateAtByte ends the stream early with io.EOF at this offset
+	// (0 = never) — a mid-record truncation the consumer must detect
+	// through its own framing.
+	TruncateAtByte int64
+}
+
+// FaultReader wraps an io.Reader and injects the faults its plan scripts.
+// It delivers exactly the underlying byte stream (up to any truncation or
+// permanent failure point), so a consumer that retries transient errors
+// must observe byte-identical input.
+type FaultReader struct {
+	r        io.Reader
+	plan     FaultPlan
+	off      int64
+	reads    int
+	injected int
+}
+
+// NewFaultReader wraps r with the given plan.
+func NewFaultReader(r io.Reader, plan FaultPlan) *FaultReader {
+	return &FaultReader{r: r, plan: plan}
+}
+
+// Injected returns how many transient errors have been injected so far.
+func (f *FaultReader) Injected() int { return f.injected }
+
+// Read implements io.Reader under the fault plan.
+func (f *FaultReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return f.r.Read(p)
+	}
+	f.reads++
+	if f.plan.TransientEvery > 0 && f.reads%f.plan.TransientEvery == 0 &&
+		(f.plan.MaxTransient == 0 || f.injected < f.plan.MaxTransient) {
+		f.injected++
+		return 0, fmt.Errorf("injected fault #%d at offset %d: %w", f.injected, f.off, ErrTransient)
+	}
+	if f.plan.TruncateAtByte > 0 && f.off >= f.plan.TruncateAtByte {
+		return 0, io.EOF
+	}
+	if f.plan.FailAtByte > 0 && f.off >= f.plan.FailAtByte {
+		err := f.plan.FailWith
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("injected permanent fault at offset %d: %w", f.off, err)
+	}
+	n := len(p)
+	if f.plan.ShortReadMax > 0 && n > f.plan.ShortReadMax {
+		n = f.plan.ShortReadMax
+	}
+	// stop exactly on the scripted boundaries so the fault fires at its
+	// stated offset rather than somewhere inside an oversized read
+	if f.plan.TruncateAtByte > 0 && f.off+int64(n) > f.plan.TruncateAtByte {
+		n = int(f.plan.TruncateAtByte - f.off)
+	}
+	if f.plan.FailAtByte > 0 && f.off+int64(n) > f.plan.FailAtByte {
+		n = int(f.plan.FailAtByte - f.off)
+	}
+	m, err := f.r.Read(p[:n])
+	f.off += int64(m)
+	return m, err
+}
+
+// FaultFS is an fs.FS whose opened files read through a FaultReader with a
+// fresh fault plan per file — the injection substrate for code that opens
+// files by path (the disk scanner re-opens its dataset every batch, so
+// per-file faults are per-scan faults).
+type FaultFS struct {
+	// Base supplies the real files.
+	Base fs.FS
+	// Plan is the fault script applied to every opened file.
+	Plan FaultPlan
+}
+
+// Open implements fs.FS.
+func (f *FaultFS) Open(name string) (fs.File, error) {
+	base, err := f.Base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: base, r: NewFaultReader(base, f.Plan)}, nil
+}
+
+// faultFile routes Read through the FaultReader while delegating Stat and
+// Close to the underlying file.
+type faultFile struct {
+	fs.File
+	r *FaultReader
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.r.Read(p) }

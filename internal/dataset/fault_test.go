@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"syscall"
+	"testing"
+	"testing/fstest"
+)
+
+// retryAll reads r to the end, retrying transient errors — the consumer
+// contract the fault layer is designed against.
+func retryAll(t *testing.T, r io.Reader) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	buf := make([]byte, 7) // odd size to stress boundary arithmetic
+	for {
+		n, err := r.Read(buf)
+		out.Write(buf[:n])
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			return out.Bytes()
+		case IsTransient(err):
+			// retry
+		default:
+			t.Fatalf("permanent error: %v", err)
+		}
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrTransient, true},
+		{io.ErrUnexpectedEOF, false},
+		{syscall.EAGAIN, true},
+		{syscall.EINTR, true},
+		{syscall.ENOENT, false},
+		{io.EOF, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestShortReadsDeliverIdenticalBytes checks a short-read plan changes
+// only the chunking, never the content.
+func TestShortReadsDeliverIdenticalBytes(t *testing.T) {
+	data := []byte(strings.Repeat("the quick brown fox ", 50))
+	fr := NewFaultReader(bytes.NewReader(data), FaultPlan{ShortReadMax: 3})
+	if got := retryAll(t, fr); !bytes.Equal(got, data) {
+		t.Fatalf("short reads corrupted the stream: %d bytes vs %d", len(got), len(data))
+	}
+}
+
+// TestTransientErrorsConsumeNothing checks injected transient failures are
+// invisible to a retrying consumer: identical bytes, counted injections.
+func TestTransientErrorsConsumeNothing(t *testing.T) {
+	data := []byte(strings.Repeat("0123456789", 100))
+	fr := NewFaultReader(bytes.NewReader(data), FaultPlan{TransientEvery: 3, ShortReadMax: 11})
+	got := retryAll(t, fr)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("transient faults corrupted the stream")
+	}
+	if fr.Injected() == 0 {
+		t.Fatal("plan injected no faults; the test tested nothing")
+	}
+}
+
+func TestMaxTransientBounds(t *testing.T) {
+	data := make([]byte, 1000)
+	fr := NewFaultReader(bytes.NewReader(data), FaultPlan{TransientEvery: 2, MaxTransient: 3, ShortReadMax: 10})
+	retryAll(t, fr)
+	if fr.Injected() != 3 {
+		t.Fatalf("injected %d faults, want exactly 3", fr.Injected())
+	}
+}
+
+func TestTruncateAtByte(t *testing.T) {
+	data := []byte(strings.Repeat("x", 500))
+	fr := NewFaultReader(bytes.NewReader(data), FaultPlan{TruncateAtByte: 123})
+	got := retryAll(t, fr)
+	if len(got) != 123 {
+		t.Fatalf("truncated stream delivered %d bytes, want 123", len(got))
+	}
+}
+
+func TestFailAtByte(t *testing.T) {
+	data := []byte(strings.Repeat("y", 500))
+	sentinel := errors.New("disk on fire")
+	fr := NewFaultReader(bytes.NewReader(data), FaultPlan{FailAtByte: 200, FailWith: sentinel})
+	var got bytes.Buffer
+	buf := make([]byte, 64)
+	var err error
+	for err == nil {
+		var n int
+		n, err = fr.Read(buf)
+		got.Write(buf[:n])
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the injected sentinel", err)
+	}
+	if got.Len() != 200 {
+		t.Fatalf("delivered %d bytes before the permanent fault, want 200", got.Len())
+	}
+	// the fault is permanent: retrying must fail again
+	if _, err := fr.Read(buf); !errors.Is(err, sentinel) {
+		t.Fatalf("retry after permanent fault: %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("permanent fault classified transient")
+	}
+}
+
+func TestFailAtByteDefaultsToUnexpectedEOF(t *testing.T) {
+	fr := NewFaultReader(bytes.NewReader(make([]byte, 100)), FaultPlan{FailAtByte: 10})
+	buf := make([]byte, 100)
+	var err error
+	for err == nil {
+		_, err = fr.Read(buf)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestFaultFS checks the fs wrapper injects per-open and still satisfies
+// fs.FS (Stat delegates, content survives a retrying reader).
+func TestFaultFS(t *testing.T) {
+	content := []byte(strings.Repeat("payload!", 64))
+	base := fstest.MapFS{"d.bin": &fstest.MapFile{Data: content}}
+	ffs := &FaultFS{Base: base, Plan: FaultPlan{TransientEvery: 4, ShortReadMax: 13}}
+
+	for round := 0; round < 2; round++ { // each Open gets a fresh plan
+		f, err := ffs.Open("d.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != int64(len(content)) {
+			t.Fatalf("Stat size = %d, want %d", st.Size(), len(content))
+		}
+		got := retryAll(t, f)
+		if !bytes.Equal(got, content) {
+			t.Fatalf("round %d: FaultFS corrupted the stream", round)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := ffs.Open("missing"); err == nil {
+		t.Fatal("Open(missing) succeeded")
+	}
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	data := []byte("untouched")
+	fr := NewFaultReader(bytes.NewReader(data), FaultPlan{})
+	got, err := io.ReadAll(fr)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("zero plan altered the stream: %q, %v", got, err)
+	}
+	if fr.Injected() != 0 {
+		t.Fatalf("zero plan injected %d faults", fr.Injected())
+	}
+}

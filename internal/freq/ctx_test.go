@@ -1,0 +1,64 @@
+package freq
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestAprioriPreCancelled checks a cancelled context truncates before the
+// first level is published — no sets, Truncated set, cause preserved.
+func TestAprioriPreCancelled(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	db := randomDB(r, 8, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AprioriContext(ctx, db, Params{MinSupportFrac: 0.1})
+	if err != nil {
+		t.Fatalf("cancelled run failed: %v", err)
+	}
+	if !res.Truncated || !errors.Is(res.Cause, context.Canceled) {
+		t.Fatalf("Truncated=%v Cause=%v, want truncation by context.Canceled", res.Truncated, res.Cause)
+	}
+	if len(res.Sets) != 0 {
+		t.Fatalf("pre-cancelled run published %d sets", len(res.Sets))
+	}
+}
+
+// TestCAPTruncatedIsPrefix mines with MaxLevel steps as a stand-in for the
+// level structure, then checks a cancelled run's sets are a subset of the
+// full run's — the per-level prefix guarantee.
+func TestCAPTruncatedIsPrefix(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	db := randomDB(r, 9, 80)
+	p := Params{MinSupportFrac: 0.05}
+	full, err := CAP(db, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("background run truncated")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	part, err := CAPContext(ctx, db, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Truncated {
+		t.Fatal("cancelled run not truncated")
+	}
+	seen := make(map[string]int, len(full.Sets))
+	for _, f := range full.Sets {
+		seen[f.Items.String()] = f.Support
+	}
+	for _, f := range part.Sets {
+		sup, ok := seen[f.Items.String()]
+		if !ok {
+			t.Errorf("truncated run reported %v, absent from the full run", f.Items)
+		} else if sup != f.Support {
+			t.Errorf("support of %v differs: %d vs %d", f.Items, f.Support, sup)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package freq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -70,11 +71,24 @@ type Stats struct {
 type Result struct {
 	Sets  []FrequentSet
 	Stats Stats
+	// Truncated reports the run stopped at a level boundary because the
+	// context was cancelled; Sets then holds the frequent sets of the
+	// completed levels — all genuinely frequent, some possibly missing.
+	Truncated bool
+	// Cause is the context error behind the truncation (nil otherwise).
+	Cause error
 }
 
 // Apriori computes all frequent itemsets of size >= 1.
 func Apriori(db *dataset.DB, p Params) (*Result, error) {
-	return mine(db, p, nil)
+	return AprioriContext(context.Background(), db, p)
+}
+
+// AprioriContext is Apriori honoring ctx: cancellation is observed at
+// level boundaries and the completed levels are returned with
+// Result.Truncated set.
+func AprioriContext(ctx context.Context, db *dataset.DB, p Params) (*Result, error) {
+	return mine(ctx, db, p, nil)
 }
 
 // CAP computes all frequent itemsets that satisfy the query, pushing
@@ -83,6 +97,13 @@ func Apriori(db *dataset.DB, p Params) (*Result, error) {
 // constraints on output. Constraints that are neither anti-monotone nor
 // monotone are rejected.
 func CAP(db *dataset.DB, p Params, q *constraint.Conjunction) (*Result, error) {
+	return CAPContext(context.Background(), db, p, q)
+}
+
+// CAPContext is CAP honoring ctx: cancellation is observed at level
+// boundaries and the completed levels are returned with Result.Truncated
+// set.
+func CAPContext(ctx context.Context, db *dataset.DB, p Params, q *constraint.Conjunction) (*Result, error) {
 	if q == nil {
 		q = constraint.And()
 	}
@@ -93,11 +114,11 @@ func CAP(db *dataset.DB, p Params, q *constraint.Conjunction) (*Result, error) {
 	if split.HasUnclassified() {
 		return nil, fmt.Errorf("freq: CAP requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
 	}
-	return mine(db, p, split)
+	return mine(ctx, db, p, split)
 }
 
 // mine is the shared level-wise engine; split == nil mines unconstrained.
-func mine(db *dataset.DB, p Params, split *constraint.Split) (*Result, error) {
+func mine(ctx context.Context, db *dataset.DB, p Params, split *constraint.Split) (*Result, error) {
 	support, maxLevel, err := p.resolve(db.NumTx())
 	if err != nil {
 		return nil, err
@@ -132,6 +153,12 @@ func mine(db *dataset.DB, p Params, split *constraint.Split) (*Result, error) {
 
 	frequent := itemset.NewRegistry()
 	for k := 1; len(level) > 0 && k <= maxLevel; k++ {
+		// The check sits before the level's sets are published, so a
+		// truncated result is always a whole-level prefix of the full run.
+		if err := ctx.Err(); err != nil {
+			res.Truncated, res.Cause = true, err
+			break
+		}
 		res.Stats.Levels++
 		for _, f := range level {
 			frequent.Add(f.Items)

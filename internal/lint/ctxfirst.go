@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// ctxFirstPackages selects the packages whose exported API participates in
+// the cancellation chain: request contexts flow server → core → counting,
+// and a context parameter buried mid-signature is both unidiomatic and easy
+// to miss when wiring the chain.
+var ctxFirstPackages = regexp.MustCompile(`(^|/)(core|counting|server)($|/)`)
+
+// CtxFirst flags exported functions and methods in internal/core,
+// internal/counting, and internal/server that take a context.Context in any
+// position but the first parameter.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "flags exported functions taking context.Context anywhere but first",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	if !ctxFirstPackages.MatchString(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || fd.Type.Params == nil {
+				continue
+			}
+			// Flatten the parameter fields: one field may declare several
+			// names (a, b context.Context), and unnamed parameters count as
+			// one position each.
+			pos := 0
+			for _, field := range fd.Type.Params.List {
+				n := len(field.Names)
+				if n == 0 {
+					n = 1
+				}
+				if isNamed(info.TypeOf(field.Type), "context", "Context") {
+					if pos > 0 {
+						pass.Reportf(field.Pos(), "%s takes context.Context as parameter %d; context must be the first parameter", fd.Name.Name, pos+1)
+					}
+				}
+				pos += n
+			}
+		}
+	}
+}

@@ -35,6 +35,27 @@ func TestSharedMut(t *testing.T)  { runFixture(t, lint.SharedMut, "sharedmut", "
 func TestCanonical(t *testing.T)  { runFixture(t, lint.Canonical, "canonical", "canonical") }
 func TestFloatCmp(t *testing.T)   { runFixture(t, lint.FloatCmp, filepath.Join("floatcmp", "chisq"), "floatcmp/chisq") }
 func TestDroppedErr(t *testing.T) { runFixture(t, lint.DroppedErr, "droppederr", "droppederr") }
+func TestCtxFirst(t *testing.T) {
+	runFixture(t, lint.CtxFirst, filepath.Join("ctxfirst", "core"), "ctxfirst/core")
+}
+
+// TestCtxFirstPathFilter loads the ctxfirst fixture under an import path
+// outside the cancellation-chain packages: the analyzer must stay silent.
+func TestCtxFirstPathFilter(t *testing.T) {
+	root := moduleRoot(t)
+	problems, err := lint.AnalyzerTest(root, filepath.Join("internal", "lint", "testdata", "src", "ctxfirst", "core"), "elsewhere/api", lint.CtxFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) == 0 {
+		t.Fatal("expected unmatched want annotations when the path filter excludes the package")
+	}
+	for _, p := range problems {
+		if strings.Contains(p, "unexpected diagnostic") {
+			t.Errorf("ctxfirst fired outside core/counting/server: %s", p)
+		}
+	}
+}
 
 // TestFloatCmpPathFilter loads the floatcmp fixture under an import path
 // outside the numerical packages: the analyzer must stay silent, so every

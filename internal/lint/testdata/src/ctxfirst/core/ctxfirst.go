@@ -1,0 +1,26 @@
+// Package core seeds violations and negative cases for the ctxfirst
+// analyzer; its synthetic import path ctxfirst/core places it inside the
+// analyzer's cancellation-chain package filter.
+package core
+
+import "context"
+
+type Miner struct{}
+
+func Good(ctx context.Context, n int) {}
+
+func (m *Miner) GoodMethod(ctx context.Context) {}
+
+func GoodNoCtx(a, b int) {}
+
+func Bad(n int, ctx context.Context) {} // want "Bad takes context.Context as parameter 2"
+
+func (m *Miner) BadMethod(name string, ctx context.Context, n int) { // want "BadMethod takes context.Context as parameter 2"
+}
+
+func BadShared(a int, b, c context.Context) {} // want "BadShared takes context.Context as parameter 2"
+
+func BadUnnamed(int, context.Context) {} // want "BadUnnamed takes context.Context as parameter 2"
+
+// unexported functions are the callee's own business.
+func badButUnexported(n int, ctx context.Context) {}

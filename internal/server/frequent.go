@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"net/http"
 
 	"ccs/internal/constraint"
@@ -34,6 +33,10 @@ type FrequentResponse struct {
 	Query string            `json:"query"`
 	Sets  []FrequentSetJSON `json:"sets"`
 	Stats freq.Stats        `json:"stats"`
+	// Truncated / TruncatedCause mirror MineResponse: the run stopped at a
+	// level boundary and Sets holds the completed levels only.
+	Truncated      bool   `json:"truncated,omitempty"`
+	TruncatedCause string `json:"truncated_cause,omitempty"`
 }
 
 func (s *Server) handleFrequent(w http.ResponseWriter, r *http.Request) {
@@ -42,8 +45,7 @@ func (s *Server) handleFrequent(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req FrequentRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	db, ok := s.lookup(req.Dataset)
@@ -68,12 +70,18 @@ func (s *Server) handleFrequent(w http.ResponseWriter, r *http.Request) {
 	if p.MinSupport == 0 && p.MinSupportFrac == 0 {
 		p.MinSupportFrac = 0.25 // the paper's default threshold
 	}
-	res, err := freq.CAP(db, p, q)
+	res, err := freq.CAPContext(r.Context(), db, p, q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := FrequentResponse{Query: q.String(), Stats: res.Stats, Sets: make([]FrequentSetJSON, len(res.Sets))}
+	resp := FrequentResponse{
+		Query:          q.String(),
+		Stats:          res.Stats,
+		Sets:           make([]FrequentSetJSON, len(res.Sets)),
+		Truncated:      res.Truncated,
+		TruncatedCause: truncationCause(res.Cause),
+	}
 	for i, f := range res.Sets {
 		js := FrequentSetJSON{Support: f.Support}
 		for _, id := range f.Items {
@@ -102,8 +110,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req MineRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	db, ok := s.lookup(req.Dataset)

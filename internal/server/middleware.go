@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// withRecover converts a panic in next into a 500 response plus a stack
+// trace in the log, so one bad request cannot take down the process. The
+// net/http sentinel http.ErrAbortHandler passes through untouched — it is
+// the documented way to abort a response and the server handles it itself.
+func withRecover(logf func(string, ...interface{}), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			// If the handler already wrote a header this write fails
+			// silently and the client sees a truncated body — the best
+			// that can be done after the fact.
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout attaches a deadline to each request's context. Handlers that
+// propagate their request context — the mining endpoints do — observe it
+// as cancellation; a mine request that exceeds the deadline returns 200
+// with truncated=true rather than an error, which is why this is a context
+// deadline and not http.TimeoutHandler's 503.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// maxBodyBytes bounds the JSON request bodies of the query endpoints
+// (/v1/mine, /v1/frequent, /v1/explain, :generate). Dataset uploads have
+// their own, larger bound (maxUploadBytes).
+const maxBodyBytes = 1 << 20
+
+// decodeJSON parses a bounded JSON request body into v. On failure it
+// writes the error response itself — 413 with a structured body when the
+// request exceeds maxBodyBytes, 400 otherwise — and returns false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "parse request: %v", err)
+	return false
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ccs/internal/gen"
+)
+
+// wideServer returns a test server preloaded with a dataset wide enough
+// that an unconstrained mine takes well over a few milliseconds.
+func wideServer(t *testing.T, opts ...Option) *httptest.Server {
+	t.Helper()
+	s := New(opts...)
+	cfg := gen.DefaultMethod1(2000, 42)
+	cfg.NumItems = 80
+	db, err := gen.Method1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddDataset("wide", db)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestMineRequestTimeoutTruncates runs a mine with a millisecond
+// per-request deadline on the wide dataset: the reply must be 200 with
+// truncated=true and cause "deadline" — the acceptance criterion.
+func TestMineRequestTimeoutTruncates(t *testing.T) {
+	srv := wideServer(t)
+	// An uncut run at these thresholds takes ~1s; 1ms cannot finish it.
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{
+		Dataset: "wide", Algo: "bms", CellSupportFrac: 0.05, MaxLevel: 4, TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine under deadline: %d %s", resp.StatusCode, body)
+	}
+	var mr MineResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Truncated {
+		t.Fatalf("response not truncated: %s", body)
+	}
+	if mr.TruncatedCause != "deadline" {
+		t.Fatalf("truncated_cause = %q, want deadline", mr.TruncatedCause)
+	}
+}
+
+// TestMineServerTimeoutTruncates exercises the server-wide WithMineTimeout
+// option (the -mine-timeout flag's backing) the same way.
+func TestMineServerTimeoutTruncates(t *testing.T) {
+	// A nanosecond timeout is expired before the miner starts: truncation
+	// is deterministic whatever the workload.
+	srv := wideServer(t, WithMineTimeout(time.Nanosecond))
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{
+		Dataset: "wide", Algo: "bms++", Query: "max(price) <= 50", MaxLevel: 6,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine under server timeout: %d %s", resp.StatusCode, body)
+	}
+	var mr MineResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Truncated || mr.TruncatedCause != "deadline" {
+		t.Fatalf("truncated=%v cause=%q, want deadline truncation", mr.Truncated, mr.TruncatedCause)
+	}
+}
+
+// TestMineBudgetTruncates caps candidates through the request body and
+// checks the budget cause comes back on the wire.
+func TestMineBudgetTruncates(t *testing.T) {
+	srv := wideServer(t)
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{
+		Dataset: "wide", Algo: "bms", CellSupportFrac: 0.05, MaxLevel: 4, MaxCandidates: 10,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine under budget: %d %s", resp.StatusCode, body)
+	}
+	var mr MineResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Truncated || mr.TruncatedCause != "budget" {
+		t.Fatalf("truncated=%v cause=%q, want budget truncation", mr.Truncated, mr.TruncatedCause)
+	}
+}
+
+// TestUntruncatedOmitsFields checks a completing run leaves the truncation
+// fields off the wire entirely (omitempty) — clients see them only when
+// they mean something.
+func TestUntruncatedOmitsFields(t *testing.T) {
+	srv := testServer(t)
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/datasets/d:generate", GenerateSpec{
+		Method: 2, Baskets: 200, Items: 40, Seed: 3,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{Dataset: "d", Algo: "bms"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine: %d %s", resp.StatusCode, body)
+	}
+	if strings.Contains(string(body), "truncated") {
+		t.Fatalf("untruncated reply carries truncation fields: %s", body)
+	}
+}
+
+// TestOversizedBodyRejected413 posts a body beyond maxBodyBytes to every
+// bounded JSON endpoint and expects the structured 413.
+func TestOversizedBodyRejected413(t *testing.T) {
+	srv := testServer(t)
+	huge := append([]byte(`{"dataset":"`), bytes.Repeat([]byte("x"), maxBodyBytes+1)...)
+	huge = append(huge, []byte(`"}`)...)
+	for _, path := range []string{"/v1/mine", "/v1/frequent", "/v1/explain", "/v1/datasets/big:generate"} {
+		t.Run(path, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(huge))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("status = %d, want 413", resp.StatusCode)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("413 body not structured: %v", err)
+			}
+			if !strings.Contains(eb.Error, "exceeds") {
+				t.Fatalf("413 error = %q", eb.Error)
+			}
+		})
+	}
+}
+
+// TestRecoverMiddleware panics inside a handler and checks the client gets
+// a 500, the panic is logged with a stack, and the server keeps serving.
+func TestRecoverMiddleware(t *testing.T) {
+	var logged bytes.Buffer
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(&logged, format+"\n", args...)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	mux.HandleFunc("/fine", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := httptest.NewServer(withRecover(logf, mux))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(logged.String(), "panic serving") {
+		t.Fatalf("panic not logged: %q", logged.String())
+	}
+	// the process (and the server) must keep serving
+	resp, err = http.Get(srv.URL + "/fine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("server unhealthy after panic: %d", resp.StatusCode)
+	}
+}
+
+// TestFrequentTimeoutTruncates checks /v1/frequent propagates its request
+// context and reports truncation like /v1/mine.
+func TestFrequentTimeoutTruncates(t *testing.T) {
+	srv := wideServer(t, WithMineTimeout(time.Nanosecond))
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/frequent", FrequentRequest{
+		Dataset: "wide", MinSupportFrac: 0.01, MaxLevel: 6,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frequent under deadline: %d %s", resp.StatusCode, body)
+	}
+	var fr FrequentResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Truncated || fr.TruncatedCause != "deadline" {
+		t.Fatalf("truncated=%v cause=%q, want deadline truncation", fr.Truncated, fr.TruncatedCause)
+	}
+}
+
+// TestWithTimeoutZeroIsTransparent checks the zero mine timeout installs
+// no middleware at all.
+func TestWithTimeoutZeroIsTransparent(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); ok {
+			t.Error("unexpected deadline on the request context")
+		}
+	})
+	h := withTimeout(0, inner)
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+}

@@ -18,8 +18,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
@@ -43,22 +46,50 @@ type Server struct {
 	mu       sync.RWMutex
 	datasets map[string]*dataset.DB
 	mux      *http.ServeMux
+	handler  http.Handler
+
+	mineTimeout time.Duration
+	logf        func(string, ...interface{})
 }
 
-// New returns a ready handler.
-func New() *Server {
-	s := &Server{datasets: make(map[string]*dataset.DB), mux: http.NewServeMux()}
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMineTimeout bounds the wall-clock time of every mining request
+// (/v1/mine, /v1/frequent) via a request-context deadline. A mine request
+// that exceeds it returns 200 with truncated=true and the completed
+// levels; 0 (the default) means no server-side limit.
+func WithMineTimeout(d time.Duration) Option {
+	return func(s *Server) { s.mineTimeout = d }
+}
+
+// WithLogf routes the server's diagnostics (panic recoveries) to f
+// (default log.Printf).
+func WithLogf(f func(string, ...interface{})) Option {
+	return func(s *Server) { s.logf = f }
+}
+
+// New returns a ready handler. Every route is wrapped in panic recovery —
+// a panicking handler logs a stack trace and answers 500, and the process
+// survives; the mining routes additionally carry the configured
+// per-request deadline on their context.
+func New(opts ...Option) *Server {
+	s := &Server{datasets: make(map[string]*dataset.DB), mux: http.NewServeMux(), logf: log.Printf}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/datasets", s.handleList)
 	s.mux.HandleFunc("/v1/datasets/", s.handleDataset)
-	s.mux.HandleFunc("/v1/mine", s.handleMine)
-	s.mux.HandleFunc("/v1/frequent", s.handleFrequent)
+	s.mux.Handle("/v1/mine", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleMine)))
+	s.mux.Handle("/v1/frequent", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleFrequent)))
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.handler = withRecover(s.logf, s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // AddDataset registers a database under a name programmatically.
 func (s *Server) AddDataset(name string, db *dataset.DB) {
@@ -196,8 +227,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request, name str
 		return
 	}
 	var spec GenerateSpec
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "parse spec: %v", err)
+	if !decodeJSON(w, r, &spec) {
 		return
 	}
 	if spec.Baskets <= 0 || spec.Baskets > 1_000_000 {
@@ -252,6 +282,14 @@ type MineRequest struct {
 	MaxLevel        int     `json:"max_level,omitempty"`
 	// Push enables the paper's witness push for bms++/bms**.
 	Push bool `json:"push,omitempty"`
+	// TimeoutMS bounds this request's wall clock; on expiry the reply is
+	// still 200, with truncated=true and the completed levels. It cannot
+	// extend a server-configured mine timeout, only tighten it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MaxCandidates / MaxCells cap the work performed (core.Budget);
+	// exceeding either truncates the run the same way a timeout does.
+	MaxCandidates int   `json:"max_candidates,omitempty"`
+	MaxCells      int64 `json:"max_cells,omitempty"`
 }
 
 // MineResponse is the JSON reply of POST /v1/mine.
@@ -261,6 +299,28 @@ type MineResponse struct {
 	Named   [][]string `json:"named_answers"`
 	Stats   core.Stats `json:"stats"`
 	Elapsed float64    `json:"elapsed_seconds"`
+	// Truncated reports the run stopped early (deadline, cancellation, or
+	// budget). Answers then holds the completed levels only: every set
+	// reported is a genuine answer, but some answers may be missing.
+	Truncated bool `json:"truncated,omitempty"`
+	// TruncatedCause says why: "deadline", "canceled", or "budget".
+	TruncatedCause string `json:"truncated_cause,omitempty"`
+}
+
+// truncationCause maps a core truncation cause to its wire label.
+func truncationCause(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return err.Error()
+	}
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -269,8 +329,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req MineRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	db, ok := s.lookup(req.Dataset)
@@ -307,24 +366,37 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if req.MaxLevel != 0 {
 		params.MaxLevel = req.MaxLevel
 	}
-	m, err := core.New(db, params)
+	opts := []core.Option{}
+	if req.MaxCandidates > 0 || req.MaxCells > 0 {
+		opts = append(opts, core.WithBudget(core.Budget{
+			MaxCandidates: req.MaxCandidates,
+			MaxCells:      req.MaxCells,
+		}))
+	}
+	m, err := core.New(db, params, opts...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
 	}
 	start := time.Now()
 	var res *core.Result
 	switch strings.ToLower(req.Algo) {
 	case "bms", "":
-		res, err = m.BMS()
+		res, err = m.BMSContext(ctx)
 	case "bms+":
-		res, err = m.BMSPlus(q)
+		res, err = m.BMSPlusContext(ctx, q)
 	case "bms++":
-		res, err = m.BMSPlusPlus(q, core.PlusPlusOptions{PushMonotoneSuccinct: req.Push})
+		res, err = m.BMSPlusPlusContext(ctx, q, core.PlusPlusOptions{PushMonotoneSuccinct: req.Push})
 	case "bms*":
-		res, err = m.BMSStar(q)
+		res, err = m.BMSStarContext(ctx, q)
 	case "bms**":
-		res, err = m.BMSStarStar(q, core.StarStarOptions{PushMonotoneSuccinct: req.Push})
+		res, err = m.BMSStarStarContext(ctx, q, core.StarStarOptions{PushMonotoneSuccinct: req.Push})
 	default:
 		writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algo)
 		return
@@ -334,11 +406,13 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := MineResponse{
-		Query:   q.String(),
-		Answers: make([][]uint32, len(res.Answers)),
-		Named:   make([][]string, len(res.Answers)),
-		Stats:   res.Stats,
-		Elapsed: time.Since(start).Seconds(),
+		Query:          q.String(),
+		Answers:        make([][]uint32, len(res.Answers)),
+		Named:          make([][]string, len(res.Answers)),
+		Stats:          res.Stats,
+		Elapsed:        time.Since(start).Seconds(),
+		Truncated:      res.Truncated,
+		TruncatedCause: truncationCause(res.Cause),
 	}
 	for i, set := range res.Answers {
 		ids := make([]uint32, set.Size())
