@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race faults fuzz-smoke bench figures report clean
+.PHONY: all build vet lint test race obs faults fuzz-smoke bench figures report clean
 
 all: build vet lint test
 
@@ -21,6 +21,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# observability suite: the obs package itself, then the instrumented
+# layers (mining core, counting engines, HTTP server) under the race
+# detector — counters and histograms are hammered concurrently while the
+# exposition renders; see DESIGN.md §8
+obs:
+	$(GO) test ./internal/obs
+	$(GO) test -race ./internal/obs ./internal/core ./internal/counting ./internal/server
 
 # fault-injection and cancellation suite under the race detector: injected
 # I/O faults (dataset/counting), per-algorithm cancellation (core/freq),

@@ -1,10 +1,11 @@
 // Command ccslint runs the project's static-analysis suite over every
-// package of the module and exits non-zero on findings. The five analyzers
+// package of the module and exits non-zero on findings. The six analyzers
 // machine-check invariants go vet cannot express (shared TID-list aliasing,
 // itemset canonicity, float equality in the numerical packages, dropped
 // errors on I/O paths, context parameters out of first position in the
-// cancellation chain); see internal/lint for what each enforces and
-// DESIGN.md §6 for how to add the next one.
+// cancellation chain, metric names that are not package-level constants);
+// see internal/lint for what each enforces and DESIGN.md §6 for how to add
+// the next one.
 //
 // Usage:
 //

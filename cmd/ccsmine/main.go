@@ -35,6 +35,10 @@ func main() {
 	}
 }
 
+// progressOut is where -progress writes its live lines. A variable so
+// tests can capture it; the answers on stdout stay machine-readable.
+var progressOut io.Writer = os.Stderr
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsmine", flag.ContinueOnError)
 	data := fs.String("data", "", "dataset path (binary format; required)")
@@ -49,6 +53,7 @@ func run(args []string, out io.Writer) error {
 	push := fs.Bool("push", false, "push single-witness monotone succinct constraints (paper mode)")
 	names := fs.Bool("names", false, "print item names instead of IDs")
 	verbose := fs.Bool("v", false, "print per-level progress while mining")
+	progress := fs.Bool("progress", false, "write live per-level progress with elapsed time to stderr while mining")
 	stream := fs.Bool("stream", false, "stream the dataset from disk on every scan (bounded memory; binary format only)")
 	explain := fs.Bool("explain", false, "print the query plan (classification, selectivity, recommendation) and exit")
 	asJSON := fs.Bool("json", false, "emit the answers and statistics as JSON")
@@ -103,9 +108,19 @@ func run(args []string, out io.Writer) error {
 		}
 		opts = append(opts, core.WithCounter(dc))
 	}
-	if *verbose {
+	// -v and -progress share the single progress callback: WithProgress is
+	// last-wins, so both sinks live in one function.
+	if *verbose || *progress {
+		v, p := *verbose, *progress
+		progStart := time.Now()
 		opts = append(opts, core.WithProgress(func(e core.ProgressEvent) {
-			fmt.Fprintf(out, "# %s %s level %d: %d candidates\n", e.Algorithm, e.Phase, e.Level, e.Candidates)
+			if v {
+				fmt.Fprintf(out, "# %s %s level %d: %d candidates\n", e.Algorithm, e.Phase, e.Level, e.Candidates)
+			}
+			if p {
+				fmt.Fprintf(progressOut, "[%8.3fs] %s %s level %d: %d candidates\n",
+					time.Since(progStart).Seconds(), e.Algorithm, e.Phase, e.Level, e.Candidates)
+			}
 		}))
 	}
 	m, err := core.New(db, params, opts...)

@@ -202,3 +202,42 @@ func TestMineJSONOutput(t *testing.T) {
 		t.Fatalf("decoded: %+v", decoded)
 	}
 }
+
+// TestMineProgressFlag checks -progress streams per-level lines to the
+// progress sink (stderr in production) while stdout stays clean, and that
+// -v and -progress compose.
+func TestMineProgressFlag(t *testing.T) {
+	path := writeDataset(t, false)
+	var prog bytes.Buffer
+	old := progressOut
+	progressOut = &prog
+	defer func() { progressOut = old }()
+
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-algo", "bms", "-progress",
+		"-supportfrac", "0.25", "-alpha", "0.95"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "level 2") || !strings.Contains(prog.String(), "s] BMS") {
+		t.Fatalf("progress sink missing level lines:\n%s", prog.String())
+	}
+	if strings.Contains(out.String(), "s] BMS") {
+		t.Fatalf("progress lines leaked to stdout:\n%s", out.String())
+	}
+
+	// -v and -progress together feed both sinks from the one callback.
+	prog.Reset()
+	out.Reset()
+	err = run([]string{"-data", path, "-algo", "bms", "-progress", "-v",
+		"-supportfrac", "0.25", "-alpha", "0.95"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "level 2") {
+		t.Fatalf("-v suppressed -progress:\n%s", prog.String())
+	}
+	if !strings.Contains(out.String(), "# BMS") {
+		t.Fatalf("-progress suppressed -v:\n%s", out.String())
+	}
+}

@@ -1,9 +1,13 @@
 // Command ccsserve runs the mining HTTP service.
 //
-//	ccsserve -addr :8080 [-data name=path ...]
+//	ccsserve -addr :8080 [-ops-addr :9090] [-data name=path ...]
 //
 // Datasets given with -data are preloaded; more can be uploaded or
 // generated over the API (see internal/server for the endpoint list).
+// -ops-addr starts a second listener with the operator surface —
+// /metrics (Prometheus text), /debug/traces, /debug/vars, and
+// /debug/pprof — kept off the public port on purpose; bind it to a
+// loopback or otherwise private address.
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // in-flight requests get -shutdown-timeout to drain, and the process
 // exits 0 on a clean drain.
@@ -53,6 +57,7 @@ func (d *dataFlags) Set(v string) error { *d = append(*d, v); return nil }
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	opsAddr := fs.String("ops-addr", "", "operator listen address serving /metrics, /debug/traces, /debug/vars, and /debug/pprof (empty = disabled); keep it off the public network")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a request, headers plus body (0 = unlimited)")
 	writeTimeout := fs.Duration("write-timeout", 5*time.Minute, "max time to write a response (0 = unlimited)")
 	mineTimeout := fs.Duration("mine-timeout", time.Minute, "wall-clock budget per mining request; exceeding it returns the completed levels with truncated=true (0 = unlimited)")
@@ -89,6 +94,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "listening on %s\n", ln.Addr())
+
+	// The ops surface runs on its own listener: pprof and the trace ring
+	// expose internals that must not share a port with the public API.
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			//ccslint:ignore droppederr best-effort cleanup while failing startup
+			_ = ln.Close()
+			return fmt.Errorf("ops listener: %w", err)
+		}
+		opsSrv := &http.Server{
+			Handler: srv.OpsHandler(func() map[string]interface{} {
+				return map[string]interface{}{
+					"addr":     ln.Addr().String(),
+					"ops_addr": opsLn.Addr().String(),
+				}
+			}),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := opsSrv.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(out, "ops server: %v\n", err)
+			}
+		}()
+		//ccslint:ignore droppederr ops listener teardown on exit is best-effort
+		defer opsSrv.Close()
+		fmt.Fprintf(out, "ops listening on %s\n", opsLn.Addr())
+	}
 	return serve(ctx, httpSrv, ln, *shutdownTimeout, out)
 }
 

@@ -187,3 +187,94 @@ func TestSignalShutdown(t *testing.T) {
 		t.Fatalf("missing drain log, got %q", out.String())
 	}
 }
+
+// chanWriter forwards each Write to a channel so a test can watch run()'s
+// startup log lines without polling.
+type chanWriter struct{ lines chan string }
+
+func (w *chanWriter) Write(p []byte) (int, error) {
+	w.lines <- string(p)
+	return len(p), nil
+}
+
+// TestOpsListener boots run() with -ops-addr, scrapes /metrics and
+// /debug/vars off the second listener, and checks shutdown still drains.
+func TestOpsListener(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &chanWriter{lines: make(chan string, 16)}
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-ops-addr", "127.0.0.1:0", "-shutdown-timeout", "2s"}, out)
+	}()
+
+	var opsAddr string
+	deadline := time.After(5 * time.Second)
+	for opsAddr == "" {
+		select {
+		case line := <-out.lines:
+			if rest, ok := strings.CutPrefix(line, "ops listening on "); ok {
+				opsAddr = strings.TrimSpace(rest)
+			}
+		case err := <-runErr:
+			t.Fatalf("run exited early: %v", err)
+		case <-deadline:
+			t.Fatal("ops listener never announced")
+		}
+	}
+	// drain further startup lines so run() never blocks on the channel
+	go func() {
+		for range out.lines {
+		}
+	}()
+
+	resp, err := http.Get("http://" + opsAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ccs_") {
+		t.Fatalf("ops /metrics: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + opsAddr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "ops_addr") {
+		t.Fatalf("ops /debug/vars missing ops_addr: %q", body)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run after cancel = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+}
+
+// TestOpsAddrInUse checks a dead ops address fails startup rather than
+// silently serving without the ops surface.
+func TestOpsAddrInUse(t *testing.T) {
+	taken, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer taken.Close()
+	err = run(context.Background(), []string{"-addr", "127.0.0.1:0", "-ops-addr", taken.Addr().String()}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "ops listener") {
+		t.Fatalf("run = %v, want ops listener error", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"ccs/internal/constraint"
 	"ccs/internal/itemset"
@@ -31,6 +32,8 @@ func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) 
 	if err != nil {
 		return nil, err
 	}
+	const algo = "all"
+	startMine(algo)
 	ctl, release := m.newCtl(ctx)
 	defer release()
 	stats := Stats{}
@@ -46,6 +49,7 @@ func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) 
 			break
 		}
 		stats.Levels++
+		levelStart := time.Now()
 		m.report("AllValid", "levelwise", level, len(cands))
 		kept := cands[:0]
 		for _, c := range cands {
@@ -59,6 +63,7 @@ func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) 
 		tables, err := m.countBatchCtl(ctl, &stats, cands)
 		if err != nil {
 			if cause = ctl.truncation(err); cause != nil {
+				stats.endLevel(levelStart)
 				break
 			}
 			return nil, err
@@ -81,12 +86,14 @@ func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) 
 		}
 		cands = extend(suppLevel, l1, nil, supp)
 		stats.Candidates += len(cands)
+		stats.endLevel(levelStart)
 	}
 	itemset.SortSets(answers)
 	res := &Result{Answers: answers, Stats: stats}
 	if cause != nil {
 		truncate(res, cause)
 	}
+	recordMine(algo, res, ctl)
 	return res, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"ccs/internal/itemset"
 )
@@ -34,11 +35,13 @@ func (m *Miner) runBaseline(ctl *runCtl) (*bmsOutcome, error) {
 			break
 		}
 		out.stats.Levels++
+		levelStart := time.Now()
 		m.report("BMS", "levelwise", level, len(cands))
 		tables, err := m.countBatchCtl(ctl, &out.stats, cands)
 		if err != nil {
 			if cause := ctl.truncation(err); cause != nil {
 				out.cause = cause
+				out.stats.endLevel(levelStart)
 				break
 			}
 			return nil, err
@@ -57,6 +60,7 @@ func (m *Miner) runBaseline(ctl *runCtl) (*bmsOutcome, error) {
 		}
 		cands = extend(notsigLevel, l1, nil, notsig)
 		out.stats.Candidates += len(cands)
+		out.stats.endLevel(levelStart)
 	}
 	itemset.SortSets(out.sig)
 	return out, nil

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ccs/internal/chisq"
 	"ccs/internal/constraint"
@@ -109,6 +110,11 @@ type Stats struct {
 	Levels          int // lattice levels visited
 	Candidates      int // candidates generated (before AM pre-checks)
 	DBScans         int // batch counting passes issued to the Counter
+
+	// LevelDurations holds the wall-clock time of each lattice level
+	// visited, in visit order; len(LevelDurations) == Levels. Excluded
+	// from JSON — the server surfaces it as level_seconds.
+	LevelDurations []time.Duration `json:"-"`
 }
 
 // Result is the outcome of a mining run.

@@ -148,6 +148,8 @@ func truncate(res *Result, cause error) *Result {
 // BMSContext is BMS honoring ctx and the Miner's Budget; see the Result
 // fields Truncated and Cause for the partial-answer contract.
 func (m *Miner) BMSContext(ctx context.Context) (*Result, error) {
+	const algo = "bms"
+	startMine(algo)
 	ctl, release := m.newCtl(ctx)
 	defer release()
 	out, err := m.runBaseline(ctl)
@@ -158,5 +160,6 @@ func (m *Miner) BMSContext(ctx context.Context) (*Result, error) {
 	if out.cause != nil {
 		truncate(res, out.cause)
 	}
+	recordMine(algo, res, ctl)
 	return res, nil
 }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"time"
+
+	"ccs/internal/obs"
+)
+
+// Metric names exported by the mining core. Keep metric names as
+// package-level consts: the ccslint metriconst analyzer rejects computed
+// names so the catalog in DESIGN.md stays greppable and complete.
+const (
+	// MetricMinesTotal counts mining runs started, by algorithm.
+	MetricMinesTotal = "ccs_mines_total"
+	// MetricMinesCompletedTotal counts runs that exhausted their search space.
+	MetricMinesCompletedTotal = "ccs_mines_completed_total"
+	// MetricMinesTruncatedTotal counts runs cut short by cancellation,
+	// deadline, or budget (Result.Truncated).
+	MetricMinesTruncatedTotal = "ccs_mines_truncated_total"
+	// MetricLevelsTotal counts lattice levels visited.
+	MetricLevelsTotal = "ccs_mine_levels_total"
+	// MetricCandidatesTotal counts candidate sets generated.
+	MetricCandidatesTotal = "ccs_candidates_total"
+	// MetricCellsCountedTotal counts contingency-table cells charged to
+	// counting batches (2^k per k-set).
+	MetricCellsCountedTotal = "ccs_cells_counted_total"
+)
+
+var (
+	minesStarted   = obs.Default().CounterVec(MetricMinesTotal, "Mining runs started, by algorithm.", "algo")
+	minesCompleted = obs.Default().CounterVec(MetricMinesCompletedTotal, "Mining runs that ran to completion, by algorithm.", "algo")
+	minesTruncated = obs.Default().CounterVec(MetricMinesTruncatedTotal, "Mining runs truncated by cancellation, deadline, or budget, by algorithm.", "algo")
+	minedLevels    = obs.Default().CounterVec(MetricLevelsTotal, "Lattice levels visited, by algorithm.", "algo")
+	minedCands     = obs.Default().CounterVec(MetricCandidatesTotal, "Candidate sets generated, by algorithm.", "algo")
+	countedCells   = obs.Default().CounterVec(MetricCellsCountedTotal, "Contingency-table cells counted (2^k per k-set), by algorithm.", "algo")
+)
+
+// startMine records the start of one algorithm run.
+func startMine(algo string) { minesStarted.With(algo).Inc() }
+
+// recordMine records the outcome of one successful run: work totals from
+// its Stats, the cells its control block charged, and whether it completed
+// or was truncated. Failed runs (error return) record nothing beyond the
+// start, so started - completed - truncated counts hard failures.
+func recordMine(algo string, res *Result, ctl *runCtl) {
+	if ctl != nil {
+		countedCells.With(algo).Add(ctl.cells)
+	}
+	if res == nil {
+		return
+	}
+	minedLevels.With(algo).Add(int64(res.Stats.Levels))
+	minedCands.With(algo).Add(int64(res.Stats.Candidates))
+	if res.Truncated {
+		minesTruncated.With(algo).Inc()
+	} else {
+		minesCompleted.With(algo).Inc()
+	}
+}
+
+// endLevel appends the elapsed wall-clock time of one completed lattice
+// level; every loop that increments Stats.Levels pairs it with exactly one
+// endLevel call, so len(LevelDurations) == Levels on every Result.
+func (s *Stats) endLevel(start time.Time) {
+	s.LevelDurations = append(s.LevelDurations, time.Since(start))
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"ccs/internal/constraint"
 	"ccs/internal/itemset"
@@ -30,6 +31,8 @@ func (m *Miner) BMSStarContext(ctx context.Context, q *constraint.Conjunction) (
 	if split.HasUnclassified() {
 		return nil, fmt.Errorf("core: BMS* requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
 	}
+	const algo = "bms*"
+	startMine(algo)
 	ctl, release := m.newCtl(ctx)
 	defer release()
 	out, err := m.runBaseline(ctl)
@@ -66,6 +69,7 @@ func (m *Miner) BMSStarContext(ctx context.Context, q *constraint.Conjunction) (
 	if cause != nil {
 		truncate(res, cause)
 	}
+	recordMine(algo, res, ctl)
 	return res, nil
 }
 
@@ -114,6 +118,7 @@ func (m *Miner) sweepUp(ctl *runCtl, stats *Stats, split *constraint.Split, seed
 			return cause, nil
 		}
 		stats.Levels++
+		levelStart := time.Now()
 		cands := extendAny(frontierLevel, pool)
 		m.report("BMS*", "sweep", level+1, len(cands))
 		// new seeds arriving at the next level join the frontier directly
@@ -137,6 +142,7 @@ func (m *Miner) sweepUp(ctl *runCtl, stats *Stats, split *constraint.Split, seed
 		tables, err := m.countBatchCtl(ctl, stats, cands)
 		if err != nil {
 			if cause := ctl.truncation(err); cause != nil {
+				stats.endLevel(levelStart)
 				return cause, nil
 			}
 			return nil, err
@@ -157,6 +163,7 @@ func (m *Miner) sweepUp(ctl *runCtl, stats *Stats, split *constraint.Split, seed
 				frontierLevel = append(frontierLevel, s)
 			}
 		}
+		stats.endLevel(levelStart)
 	}
 	return nil, nil
 }
@@ -216,6 +223,8 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 		return nil, fmt.Errorf("core: BMS** requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
 	}
 
+	const algo = "bms**"
+	startMine(algo)
 	ctl, release := m.newCtl(ctx)
 	defer release()
 	stats := Stats{}
@@ -271,6 +280,7 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 			break
 		}
 		stats.Levels++
+		levelStart := time.Now()
 		m.report("BMS**", "supp", level, len(cands))
 		kept := cands[:0]
 		for _, c := range cands {
@@ -284,6 +294,7 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 		tables, err := m.countBatchCtl(ctl, &stats, cands)
 		if err != nil {
 			if cause = ctl.truncation(err); cause != nil {
+				stats.endLevel(levelStart)
 				break
 			}
 			return nil, err
@@ -301,6 +312,7 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 		levels = append(levels, lv)
 		cands = extend(lv.sets, l1, relevant, supp)
 		stats.Candidates += len(cands)
+		stats.endLevel(levelStart)
 	}
 
 	// Phase 2: bottom-up chi-squared + monotone sweep over the SUPP
@@ -346,6 +358,7 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 	if cause != nil {
 		truncate(res, cause)
 	}
+	recordMine(algo, res, ctl)
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"ccs/internal/constraint"
 	"ccs/internal/itemset"
@@ -20,6 +21,8 @@ func (m *Miner) BMSPlus(q *constraint.Conjunction) (*Result, error) {
 // truncation the filtered answers of the completed levels are returned
 // with Result.Truncated set.
 func (m *Miner) BMSPlusContext(ctx context.Context, q *constraint.Conjunction) (*Result, error) {
+	const algo = "bms+"
+	startMine(algo)
 	ctl, release := m.newCtl(ctx)
 	defer release()
 	out, err := m.runBaseline(ctl)
@@ -36,6 +39,7 @@ func (m *Miner) BMSPlusContext(ctx context.Context, q *constraint.Conjunction) (
 	if out.cause != nil {
 		truncate(res, out.cause)
 	}
+	recordMine(algo, res, ctl)
 	return res, nil
 }
 
@@ -75,6 +79,8 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 		return nil, fmt.Errorf("core: BMS++ requires anti-monotone or monotone constraints; %d constraint(s) are neither", len(split.Other))
 	}
 
+	const algo = "bms++"
+	startMine(algo)
 	ctl, release := m.newCtl(ctx)
 	defer release()
 	stats := Stats{}
@@ -128,6 +134,7 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 			break
 		}
 		stats.Levels++
+		levelStart := time.Now()
 		m.report("BMS++", "levelwise", level, len(cands))
 		// Non-succinct anti-monotone constraints prune before counting:
 		// a failing set is invalid and so is every superset, and (AM
@@ -146,6 +153,7 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 		tables, err := m.countBatchCtl(ctl, &stats, cands)
 		if err != nil {
 			if cause = ctl.truncation(err); cause != nil {
+				stats.endLevel(levelStart)
 				break
 			}
 			return nil, err
@@ -170,11 +178,13 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 		}
 		cands = extend(notsigLevel, l1, relevant, notsig)
 		stats.Candidates += len(cands)
+		stats.endLevel(levelStart)
 	}
 	itemset.SortSets(answers)
 	res := &Result{Answers: answers, Stats: stats}
 	if cause != nil {
 		truncate(res, cause)
 	}
+	recordMine(algo, res, ctl)
 	return res, nil
 }

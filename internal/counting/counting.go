@@ -102,6 +102,7 @@ func (s *ScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, err
 func (s *ScanCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	s.stats.Batches++
 	s.stats.TablesBuilt += len(sets)
+	recordSetsCounted("scan", len(sets))
 	cells := make([][]int, len(sets))
 	for i, set := range sets {
 		if set.Size() > contingency.MaxItems {
@@ -190,6 +191,7 @@ func (b *BitmapCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, e
 func (b *BitmapCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	b.stats.Batches++
 	b.stats.TablesBuilt += len(sets)
+	recordSetsCounted("bitmap", len(sets))
 	done := ctx.Done()
 	out := make([]*contingency.Table, len(sets))
 	for i, set := range sets {

@@ -108,6 +108,7 @@ func (c *DiskScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table,
 func (c *DiskScanCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	c.stats.Batches++
 	c.stats.TablesBuilt += len(sets)
+	recordSetsCounted("disk", len(sets))
 	cells := make([][]int, len(sets))
 	for i, set := range sets {
 		if set.Size() > contingency.MaxItems {
@@ -211,7 +212,16 @@ func (c *DiskScanCounter) scanOnce(ctx context.Context, fn func(dataset.Transact
 			err = cerr
 		}
 	}()
-	br := bufio.NewReaderSize(&retryReader{r: f, policy: c.retry}, 1<<20)
+	rr := &retryReader{r: f, policy: c.retry}
+	cr := &byteCountReader{r: rr}
+	defer func() {
+		diskBytes.Add(cr.n)
+		diskRetries.Add(int64(rr.retries))
+		if err == nil {
+			transientFaults.Add(int64(rr.retries))
+		}
+	}()
+	br := bufio.NewReaderSize(cr, 1<<20)
 
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {

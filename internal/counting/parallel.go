@@ -51,6 +51,7 @@ func (p *ParallelCounter) CountTables(sets []itemset.Set) ([]*contingency.Table,
 func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	p.stats.Batches++
 	p.stats.TablesBuilt += len(sets)
+	recordSetsCounted("parallel", len(sets))
 	out := make([]*contingency.Table, len(sets))
 	if len(sets) == 0 {
 		return out, nil

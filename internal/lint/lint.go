@@ -45,7 +45,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 }
 
 // Analyzers is the full suite, in the order `ccslint` runs them.
-var Analyzers = []*Analyzer{SharedMut, Canonical, FloatCmp, DroppedErr, CtxFirst}
+var Analyzers = []*Analyzer{SharedMut, Canonical, FloatCmp, DroppedErr, CtxFirst, MetricConst}
 
 // ByName returns the analyzers with the given comma-separated names.
 func ByName(names string) ([]*Analyzer, error) {

@@ -31,13 +31,16 @@ func runFixture(t *testing.T, a *lint.Analyzer, rel, importPath string) {
 	}
 }
 
-func TestSharedMut(t *testing.T)  { runFixture(t, lint.SharedMut, "sharedmut", "sharedmut") }
-func TestCanonical(t *testing.T)  { runFixture(t, lint.Canonical, "canonical", "canonical") }
-func TestFloatCmp(t *testing.T)   { runFixture(t, lint.FloatCmp, filepath.Join("floatcmp", "chisq"), "floatcmp/chisq") }
+func TestSharedMut(t *testing.T) { runFixture(t, lint.SharedMut, "sharedmut", "sharedmut") }
+func TestCanonical(t *testing.T) { runFixture(t, lint.Canonical, "canonical", "canonical") }
+func TestFloatCmp(t *testing.T) {
+	runFixture(t, lint.FloatCmp, filepath.Join("floatcmp", "chisq"), "floatcmp/chisq")
+}
 func TestDroppedErr(t *testing.T) { runFixture(t, lint.DroppedErr, "droppederr", "droppederr") }
 func TestCtxFirst(t *testing.T) {
 	runFixture(t, lint.CtxFirst, filepath.Join("ctxfirst", "core"), "ctxfirst/core")
 }
+func TestMetricConst(t *testing.T) { runFixture(t, lint.MetricConst, "metriconst", "metriconst") }
 
 // TestCtxFirstPathFilter loads the ctxfirst fixture under an import path
 // outside the cancellation-chain packages: the analyzer must stay silent.

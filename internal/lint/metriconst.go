@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const obsPkgPath = "ccs/internal/obs"
+
+// metricCtors are the *obs.Registry methods whose first argument is a
+// metric name destined for the exposition format.
+var metricCtors = map[string]bool{
+	"Counter":      true,
+	"CounterVec":   true,
+	"Gauge":        true,
+	"GaugeVec":     true,
+	"Histogram":    true,
+	"HistogramVec": true,
+}
+
+// MetricConst flags metric registrations whose name is not a package-level
+// constant. A metric name is an external contract — dashboards, alerts, and
+// scrape configs key on it — so it must be a single greppable const, never
+// assembled at runtime (fmt.Sprintf over a label value silently explodes
+// series cardinality and breaks every consumer when the format drifts).
+var MetricConst = &Analyzer{
+	Name: "metriconst",
+	Doc:  "flags obs.Registry metric registrations whose name is not a package-level const",
+	Run:  runMetricConst,
+}
+
+func runMetricConst(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || !metricCtors[fn.Name()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isPtrToNamed(sig.Recv().Type(), obsPkgPath, "Registry") {
+				return true
+			}
+			if !isPackageLevelConst(info, call.Args[0]) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name passed to %s must be a package-level const (dashboards and alerts key on it), not a computed value", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isPackageLevelConst reports whether e resolves to a constant declared at
+// package scope — locally, or as pkg.Name in another package.
+func isPackageLevelConst(info *types.Info, e ast.Expr) bool {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return false
+	}
+	// Dot-imported or same-package consts both live in their package scope;
+	// a const declared inside a function does not.
+	return c.Pkg() == nil || c.Parent() == c.Pkg().Scope()
+}

@@ -1,0 +1,44 @@
+// Package metriconst seeds violations and negative cases for the
+// metriconst analyzer: metric names handed to obs.Registry constructors
+// must be package-level constants.
+package metriconst
+
+import (
+	"fmt"
+
+	"ccs/internal/core"
+	"ccs/internal/obs"
+)
+
+const MetricGoodTotal = "good_total"
+
+const metricUnexported = "unexported_total"
+
+var reg = obs.NewRegistry()
+
+// Package-level consts, exported or not, local or from another package,
+// all pass.
+var (
+	good1 = reg.Counter(MetricGoodTotal, "fine")
+	good2 = reg.Gauge(metricUnexported, "fine")
+	good3 = reg.CounterVec(core.MetricMinesTotal, "cross-package const", "algo")
+)
+
+func register(name string) {
+	reg.Counter("inline_literal_total", "help")                       // want "metric name passed to Counter must be a package-level const"
+	reg.Counter(name, "help")                                         // want "metric name passed to Counter must be a package-level const"
+	reg.Histogram(fmt.Sprintf("h_%s_seconds", name), "help", nil)     // want "metric name passed to Histogram must be a package-level const"
+	reg.GaugeVec(MetricGoodTotal+"_sub", "concatenation is computed") // want "metric name passed to GaugeVec must be a package-level const"
+
+	const local = "local_total"
+	reg.Counter(local, "function-scope const is not greppable policy") // want "metric name passed to Counter must be a package-level const"
+
+	reg.HistogramVec((MetricGoodTotal), "parenthesized const still passes", nil, "route")
+
+	// Non-registry calls with the same method names stay out of scope.
+	other{}.Counter("whatever")
+}
+
+type other struct{}
+
+func (other) Counter(name string) {}

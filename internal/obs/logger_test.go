@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLoggerLine checks the emitted line is one JSON object with ts and
+// event first and the fields in call order.
+func TestLoggerLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.now = func() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) }
+	l.Log("request", F("route", "/v1/mine"), F("status", 200), F("duration_seconds", 0.25))
+
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("not exactly one line: %q", line)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("line does not parse: %v\n%s", err, line)
+	}
+	if m["ts"] != "2026-08-06T12:00:00Z" || m["event"] != "request" || m["route"] != "/v1/mine" || m["status"] != float64(200) {
+		t.Errorf("unexpected fields: %v", m)
+	}
+	// field order is preserved, unlike a marshalled map
+	if !strings.Contains(line, `"route":"/v1/mine","status":200,"duration_seconds":0.25`) {
+		t.Errorf("fields not in call order: %s", line)
+	}
+}
+
+// TestLoggerNilSafe checks nil loggers (and loggers with nil sinks) no-op.
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Log("ignored", F("k", "v"))
+	NewLogger(nil).Log("ignored")
+}
+
+// TestLoggerBadValue checks an unmarshalable value degrades to an error
+// string instead of dropping the line.
+func TestLoggerBadValue(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Log("oops", F("fn", func() {}))
+	var m map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("line with bad value does not parse: %v\n%s", err, buf.String())
+	}
+	s, _ := m["fn"].(string)
+	if !strings.Contains(s, "marshal error") {
+		t.Errorf("bad value not degraded to error string: %v", m)
+	}
+}
+
+// TestLoggerConcurrent checks concurrent Log calls never interleave bytes.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Log("tick", F("worker", w), F("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved line: %v\n%s", err, line)
+		}
+	}
+}

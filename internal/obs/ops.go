@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+)
+
+// OpsOptions configures NewOpsHandler.
+type OpsOptions struct {
+	// Registry is the metric source for /metrics (nil = Default()).
+	Registry *Registry
+	// Tracer backs /debug/traces (nil serves an empty list).
+	Tracer *Tracer
+	// Vars supplies extra /debug/vars content (config, dataset names, ...)
+	// merged over the built-in build/runtime facts. May be nil.
+	Vars func() map[string]interface{}
+}
+
+// NewOpsHandler builds the operator surface:
+//
+//	GET /metrics        Prometheus text exposition of the registry
+//	GET /debug/traces   recent traces as JSON, newest first
+//	GET /debug/vars     build/runtime/config facts as JSON
+//	GET /debug/pprof/*  net/http/pprof profiles
+//
+// It is intended for a second, non-public listener (ccsserve -ops-addr):
+// pprof and the trace ring expose internals (queries, timings, heap
+// contents) that must not reach the request-serving port.
+func NewOpsHandler(opts OpsOptions) http.Handler {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A failure here means the client hung up mid-scrape; the next
+		// scrape retries from scratch.
+		//ccslint:ignore droppederr exposition write failure is the scraper's problem
+		_, _ = reg.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		//ccslint:ignore droppederr response started; nothing to report to
+		_ = opts.Tracer.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		vars := map[string]interface{}{
+			"go_version": runtime.Version(),
+			"goroutines": runtime.NumGoroutine(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"num_cpu":    runtime.NumCPU(),
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			vars["main_path"] = bi.Path
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision", "vcs.time", "vcs.modified":
+					vars[s.Key] = s.Value
+				}
+			}
+		}
+		if opts.Vars != nil {
+			for k, v := range opts.Vars() {
+				vars[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		//ccslint:ignore droppederr response started; nothing to report to
+		_ = enc.Encode(vars)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestOpsHandlerEndpoints checks each route of the ops surface responds
+// with the right content type and a parseable body.
+func TestOpsHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_test_total", "a counter").Add(2)
+	tracer := NewTracer(2)
+	tracer.Start("mine").Finish()
+	h := NewOpsHandler(OpsOptions{
+		Registry: reg,
+		Tracer:   tracer,
+		Vars:     func() map[string]interface{} { return map[string]interface{}{"datasets": 3} },
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "ops_test_total 2") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	body, ct = get("/debug/traces")
+	if ct != "application/json" {
+		t.Errorf("/debug/traces content type = %q", ct)
+	}
+	var recs []TraceRecord
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("/debug/traces does not parse: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Name != "mine" {
+		t.Errorf("unexpected traces: %+v", recs)
+	}
+
+	body, _ = get("/debug/vars")
+	var vars map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v", err)
+	}
+	if vars["go_version"] == nil || vars["datasets"] != float64(3) {
+		t.Errorf("unexpected vars: %v", vars)
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+// TestOpsHandlerDefaults checks nil registry falls back to Default() and
+// nil tracer serves an empty trace list.
+func TestOpsHandlerDefaults(t *testing.T) {
+	h := NewOpsHandler(OpsOptions{})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("/debug/traces with nil tracer = %q, want []", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics with nil registry: status %d", resp.StatusCode)
+	}
+}

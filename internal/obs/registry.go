@@ -1,0 +1,418 @@
+// Package obs is the service's observability layer: a concurrency-safe
+// metrics registry with Prometheus text-format exposition, lightweight
+// in-process tracing with a bounded ring of recent traces, a structured
+// (JSON-lines) logger, and an ops HTTP handler tying the three together
+// with net/http/pprof. Everything is standard library only.
+//
+// Metric names are expected to be package-level constants at every
+// registration site — the `metriconst` ccslint analyzer enforces this, so
+// a dynamically built name can never explode the series space.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// kind is a metric family's type.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefaultBuckets are the histogram bounds used when a registration passes
+// nil: latency-shaped, from 1ms to 10s.
+var DefaultBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. All methods are safe for concurrent use; registration
+// is idempotent (same name, kind, and label names return the existing
+// family) and a conflicting re-registration panics, since it is always a
+// programming error.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry backs the package-level Default accessor.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the mining core, the
+// counting engines, and the HTTP server register into.
+func Default() *Registry { return defaultRegistry }
+
+// family is one named metric with its label schema and live series.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]interface{} // label-value key -> *Counter | *Gauge | *Histogram
+}
+
+// seriesKeySep joins label values into a map key; \xff cannot appear in
+// UTF-8 label values, so the join is unambiguous.
+const seriesKeySep = "\xff"
+
+func (r *Registry) family(name, help string, k kind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: conflicting registration of %q: have %s%v, want %s%v",
+				name, f.kind, f.labels, k, labels))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    k,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		series:  make(map[string]interface{}),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// at returns (creating on demand) the series for the given label values.
+func (f *family) at(values []string, make func() interface{}) interface{} {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label value(s), got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, seriesKeySep)
+	f.mu.RLock()
+	m, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m = make()
+	f.series[key] = m
+	return m
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are a caller bug and are ignored to keep the
+// counter monotone.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// checkBuckets validates and normalizes histogram bounds.
+func checkBuckets(buckets []float64) []float64 {
+	if buckets == nil {
+		return DefaultBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("obs: histogram buckets not strictly ascending: %v", buckets))
+		}
+	}
+	return append([]float64(nil), buckets...)
+}
+
+// Counter registers (or finds) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, nil, nil)
+	return f.at(nil, func() interface{} { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or finds) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, nil, nil)
+	return f.at(nil, func() interface{} { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram registers (or finds) an unlabelled histogram; nil buckets mean
+// DefaultBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, kindHistogram, checkBuckets(buckets), nil)
+	return f.at(nil, func() interface{} { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or finds) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, nil, labels)}
+}
+
+// With returns the counter for the given label values (created on first
+// use). The number of values must match the registered label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.at(values, func() interface{} { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or finds) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, nil, labels)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.at(values, func() interface{} { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or finds) a labelled histogram family; nil
+// buckets mean DefaultBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, checkBuckets(buckets), labels)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.at(values, func() interface{} { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (families sorted by name, series by label values), implementing
+// io.WriterTo. Values are read atomically per series; the snapshot is not
+// globally consistent, which exposition never requires.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	cw := &countWriter{w: w}
+	for _, f := range fams {
+		if err := f.write(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	metrics := make([]interface{}, len(keys))
+	for i, k := range keys {
+		metrics[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind)
+	for i, key := range keys {
+		var values []string
+		if len(f.labels) > 0 {
+			values = strings.Split(key, seriesKeySep)
+		}
+		switch m := metrics[i].(type) {
+		case *Counter:
+			b.WriteString(f.name)
+			writeLabels(&b, f.labels, values, "", "")
+			fmt.Fprintf(&b, " %d\n", m.Value())
+		case *Gauge:
+			b.WriteString(f.name)
+			writeLabels(&b, f.labels, values, "", "")
+			fmt.Fprintf(&b, " %d\n", m.Value())
+		case *Histogram:
+			cum := int64(0)
+			for bi, bound := range m.bounds {
+				cum += m.counts[bi].Load()
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, f.labels, values, "le", formatFloat(bound))
+				fmt.Fprintf(&b, " %d\n", cum)
+			}
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(&b, f.labels, values, "le", "+Inf")
+			fmt.Fprintf(&b, " %d\n", m.Count())
+			b.WriteString(f.name)
+			b.WriteString("_sum")
+			writeLabels(&b, f.labels, values, "", "")
+			fmt.Fprintf(&b, " %s\n", formatFloat(m.Sum()))
+			b.WriteString(f.name)
+			b.WriteString("_count")
+			writeLabels(&b, f.labels, values, "", "")
+			fmt.Fprintf(&b, " %d\n", m.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeLabels renders {k="v",...}, appending the extra pair (used for a
+// histogram's le) when extraKey is non-empty. No braces print when there
+// are no labels at all.
+func writeLabels(b *strings.Builder, names, values []string, extraKey, extraVal string) {
+	if len(names) == 0 && extraKey == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one family of each kind and
+// deterministic values, for byte-exact exposition checks.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_plain_total", "an unlabelled counter").Add(7)
+	cv := r.CounterVec("test_requests_total", "requests by route and method", "route", "method")
+	cv.With("/v1/mine", "POST").Add(3)
+	cv.With("/healthz", "GET").Inc()
+	g := r.Gauge("test_in_flight", "requests in flight")
+	g.Set(5)
+	g.Dec()
+	hv := r.HistogramVec("test_latency_seconds", "latency with \"quoted\" help", []float64{0.1, 1, 10}, "route")
+	h := hv.With("/v1/mine")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(99)
+	return r
+}
+
+// TestExpositionGolden renders the deterministic registry and compares it
+// byte for byte with the checked-in golden file (-update rewrites it).
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := goldenRegistry().WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestExpositionFormat spot-checks structural properties independent of
+// the golden file: cumulative buckets, +Inf, escaping, sorted families.
+func TestExpositionFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := goldenRegistry().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_plain_total counter\n",
+		"# TYPE test_in_flight gauge\n",
+		"# TYPE test_latency_seconds histogram\n",
+		`test_requests_total{route="/v1/mine",method="POST"} 3`,
+		`test_latency_seconds_bucket{route="/v1/mine",le="0.1"} 1`,
+		`test_latency_seconds_bucket{route="/v1/mine",le="1"} 2`,
+		`test_latency_seconds_bucket{route="/v1/mine",le="10"} 3`,
+		`test_latency_seconds_bucket{route="/v1/mine",le="+Inf"} 4`,
+		`test_latency_seconds_count{route="/v1/mine"} 4`,
+		"# HELP test_latency_seconds latency with \"quoted\" help\n",
+		"test_in_flight 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "# HELP test_in_flight") > strings.Index(out, "# HELP test_latency_seconds") {
+		t.Error("families not sorted by name")
+	}
+}
+
+// TestRegistryConcurrent hammers counters, gauges, and histograms from 8
+// goroutines while WriteTo renders concurrently — the -race suite's main
+// target. Counts are verified exactly afterwards.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("hammer_total", "hammered counter", "worker")
+	g := r.Gauge("hammer_gauge", "hammered gauge")
+	h := r.Histogram("hammer_seconds", "hammered histogram", []float64{0.5})
+	const workers, iters = 8, 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				cv.With(lbl).Inc()
+				cv.With("shared").Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(float64(i%2) + 0.25) // alternates 0.25 / 1.25
+			}
+		}(w)
+	}
+	// render continuously while the writers run
+	stop := make(chan struct{})
+	var renderWG sync.WaitGroup
+	renderWG.Add(1)
+	go func() {
+		defer renderWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				if _, err := r.WriteTo(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	renderWG.Wait()
+
+	if got := cv.With("shared").Value(); got != workers*iters {
+		t.Errorf("shared counter = %d, want %d", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		if got := cv.With(string(rune('a' + w))).Value(); got != iters {
+			t.Errorf("worker %d counter = %d, want %d", w, got, iters)
+		}
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	wantSum := float64(workers) * (float64(iters/2)*0.25 + float64(iters/2)*1.25)
+	if got := h.Sum(); got < wantSum-0.01 || got > wantSum+0.01 {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+// TestRegistryIdempotentAndConflicts checks re-registration semantics.
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "help")
+	b := r.Counter("same_total", "help again")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind conflict did not panic")
+			}
+		}()
+		r.Gauge("same_total", "now a gauge")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label conflict did not panic")
+			}
+		}()
+		r.CounterVec("same_total", "now labelled", "x")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label arity mismatch did not panic")
+			}
+		}()
+		r.CounterVec("vec_total", "labelled", "x").With("a", "b")
+	}()
+}
+
+// TestCounterMonotone checks negative Add is ignored.
+func TestCounterMonotone(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d after negative add, want 5", c.Value())
+	}
+}
+
+// TestDefaultRegistryShared checks package-level Default is a singleton.
+func TestDefaultRegistryShared(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() not stable")
+	}
+}

@@ -41,16 +41,16 @@ type FrequentResponse struct {
 
 func (s *Server) handleFrequent(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
 	var req FrequentRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	db, ok := s.lookup(req.Dataset)
 	if !ok {
-		writeError(w, http.StatusNotFound, "dataset %q not loaded", req.Dataset)
+		s.writeError(w, http.StatusNotFound, "dataset %q not loaded", req.Dataset)
 		return
 	}
 	queryText := req.Query
@@ -59,11 +59,11 @@ func (s *Server) handleFrequent(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := cql.Parse(queryText)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if err := constraint.CheckDomain(db.Catalog, q.All...); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	p := freq.Params{MinSupport: req.MinSupport, MinSupportFrac: req.MinSupportFrac, MaxLevel: req.MaxLevel}
@@ -72,8 +72,11 @@ func (s *Server) handleFrequent(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := freq.CAPContext(r.Context(), db, p, q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if res.Truncated {
+		noteTruncation(r.Context(), truncationCause(res.Cause))
 	}
 	resp := FrequentResponse{
 		Query:          q.String(),
@@ -90,7 +93,7 @@ func (s *Server) handleFrequent(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Sets[i] = js
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // ExplainResponse is the JSON reply of POST /v1/explain.
@@ -106,16 +109,16 @@ type ExplainResponse struct {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
 	var req MineRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	db, ok := s.lookup(req.Dataset)
 	if !ok {
-		writeError(w, http.StatusNotFound, "dataset %q not loaded", req.Dataset)
+		s.writeError(w, http.StatusNotFound, "dataset %q not loaded", req.Dataset)
 		return
 	}
 	queryText := req.Query
@@ -124,20 +127,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := cql.Parse(queryText)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	m, err := core.New(db, core.DefaultParams())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	advice, err := m.Advise(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ExplainResponse{
+	s.writeJSON(w, http.StatusOK, ExplainResponse{
 		Query:           q.String(),
 		ItemSelectivity: advice.ItemSelectivity,
 		AllAntiMonotone: advice.AllAntiMonotone,

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ccs/internal/obs"
+)
+
+// Metric names exported by the HTTP layer. Keep metric names as
+// package-level consts: the ccslint metriconst analyzer rejects computed
+// names so the catalog in DESIGN.md stays greppable and complete.
+const (
+	// MetricHTTPRequestsTotal counts requests received, by route and method.
+	MetricHTTPRequestsTotal = "ccs_http_requests_total"
+	// MetricHTTPResponsesTotal counts responses sent, by route and status.
+	MetricHTTPResponsesTotal = "ccs_http_responses_total"
+	// MetricHTTPInFlight gauges requests currently being served.
+	MetricHTTPInFlight = "ccs_http_in_flight"
+	// MetricHTTPDurationSeconds is the request latency histogram, by route.
+	MetricHTTPDurationSeconds = "ccs_http_request_duration_seconds"
+	// MetricHTTPEncodeErrorsTotal counts response bodies that failed to
+	// encode after the status line was committed.
+	MetricHTTPEncodeErrorsTotal = "ccs_http_encode_errors_total"
+)
+
+var (
+	httpRequests  = obs.Default().CounterVec(MetricHTTPRequestsTotal, "HTTP requests received, by route and method.", "route", "method")
+	httpResponses = obs.Default().CounterVec(MetricHTTPResponsesTotal, "HTTP responses sent, by route and status code.", "route", "code")
+	httpInFlight  = obs.Default().Gauge(MetricHTTPInFlight, "HTTP requests currently in flight.")
+	httpDuration  = obs.Default().HistogramVec(MetricHTTPDurationSeconds, "HTTP request latency in seconds, by route.", nil, "route")
+	encodeErrors  = obs.Default().Counter(MetricHTTPEncodeErrorsTotal, "Response bodies that failed to encode after the status was committed.")
+)
+
+// reqInfo is the per-request record the instrument middleware threads
+// through the context so handlers can annotate the request log line.
+type reqInfo struct {
+	id int64
+
+	mu         sync.Mutex
+	truncation string
+}
+
+type reqInfoKey struct{}
+
+// noteTruncation records a mining truncation cause ("deadline", "budget",
+// ...) on the in-flight request so it lands in the request log line.
+// A request outside the instrument middleware (or an empty cause) no-ops.
+func noteTruncation(ctx context.Context, cause string) {
+	ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo)
+	if !ok || cause == "" {
+		return
+	}
+	ri.mu.Lock()
+	ri.truncation = cause
+	ri.mu.Unlock()
+}
+
+// statusWriter captures the response status for metrics and logging; a
+// handler that never calls WriteHeader implies 200 on first write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps one route with the observability surface: request and
+// response counters, the in-flight gauge, the latency histogram, and one
+// structured log line per request (id, method, route, status, duration,
+// truncation cause). A panic is recorded as a 500 and re-raised for the
+// outer recovery middleware to log and answer.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ri := &reqInfo{id: s.reqSeq.Add(1)}
+		httpRequests.With(route, r.Method).Inc()
+		httpInFlight.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			v := recover()
+			status := sw.status
+			if status == 0 {
+				if v != nil {
+					status = http.StatusInternalServerError
+				} else {
+					status = http.StatusOK
+				}
+			}
+			elapsed := time.Since(start)
+			httpInFlight.Dec()
+			httpDuration.With(route).Observe(elapsed.Seconds())
+			httpResponses.With(route, strconv.Itoa(status)).Inc()
+			fields := []obs.Field{
+				obs.F("id", ri.id),
+				obs.F("method", r.Method),
+				obs.F("route", route),
+				obs.F("path", r.URL.Path),
+				obs.F("status", status),
+				obs.F("duration_seconds", elapsed.Seconds()),
+			}
+			ri.mu.Lock()
+			if ri.truncation != "" {
+				fields = append(fields, obs.F("truncated", ri.truncation))
+			}
+			ri.mu.Unlock()
+			s.logger.Log("request", fields...)
+			if v != nil {
+				panic(v)
+			}
+		}()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))
+	})
+}

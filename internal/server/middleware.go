@@ -4,16 +4,20 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"ccs/internal/obs"
 )
 
-// withRecover converts a panic in next into a 500 response plus a stack
-// trace in the log, so one bad request cannot take down the process. The
-// net/http sentinel http.ErrAbortHandler passes through untouched — it is
-// the documented way to abort a response and the server handles it itself.
-func withRecover(logf func(string, ...interface{}), next http.Handler) http.Handler {
+// withRecover converts a panic in next into a 500 response plus a
+// structured log event carrying the stack trace, so one bad request
+// cannot take down the process. The net/http sentinel
+// http.ErrAbortHandler passes through untouched — it is the documented
+// way to abort a response and the server handles it itself.
+func (s *Server) withRecover(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			v := recover()
@@ -23,11 +27,15 @@ func withRecover(logf func(string, ...interface{}), next http.Handler) http.Hand
 			if v == http.ErrAbortHandler {
 				panic(v)
 			}
-			logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			s.logger.Log("panic",
+				obs.F("method", r.Method),
+				obs.F("path", r.URL.Path),
+				obs.F("value", fmt.Sprint(v)),
+				obs.F("stack", string(debug.Stack())))
 			// If the handler already wrote a header this write fails
 			// silently and the client sees a truncated body — the best
 			// that can be done after the fact.
-			writeError(w, http.StatusInternalServerError, "internal error")
+			s.writeError(w, http.StatusInternalServerError, "internal error")
 		}()
 		next.ServeHTTP(w, r)
 	})
@@ -57,16 +65,16 @@ const maxBodyBytes = 1 << 20
 // decodeJSON parses a bounded JSON request body into v. On failure it
 // writes the error response itself — 413 with a structured body when the
 // request exceeds maxBodyBytes, 400 otherwise — and returns false.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
 	if err == nil {
 		return true
 	}
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
-		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
 		return false
 	}
-	writeError(w, http.StatusBadRequest, "parse request: %v", err)
+	s.writeError(w, http.StatusBadRequest, "parse request: %v", err)
 	return false
 }

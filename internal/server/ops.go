@@ -1,0 +1,48 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+
+	"ccs/internal/obs"
+)
+
+// OpsHandler returns the operator surface for this server — /metrics
+// (Prometheus text), /debug/traces (recent mine traces as JSON),
+// /debug/vars (build/runtime/server facts), and /debug/pprof/*. extra, if
+// non-nil, contributes additional /debug/vars entries (flag values,
+// listener addresses, ...).
+//
+// Serve it on a second, non-public listener (ccsserve -ops-addr): pprof
+// and the trace ring expose internals — queries, timings, heap contents —
+// that must not reach the request-serving port.
+func (s *Server) OpsHandler(extra func() map[string]interface{}) http.Handler {
+	return obs.NewOpsHandler(obs.OpsOptions{
+		Tracer: s.tracer,
+		Vars: func() map[string]interface{} {
+			vars := map[string]interface{}{
+				"datasets":     s.datasetNames(),
+				"requests":     s.reqSeq.Load(),
+				"mine_timeout": s.mineTimeout.String(),
+			}
+			if extra != nil {
+				for k, v := range extra() {
+					vars[k] = v
+				}
+			}
+			return vars
+		},
+	})
+}
+
+// datasetNames returns the loaded dataset names, sorted.
+func (s *Server) datasetNames() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -3,7 +3,6 @@ package server
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -145,17 +144,12 @@ func TestOversizedBodyRejected413(t *testing.T) {
 // a 500, the panic is logged with a stack, and the server keeps serving.
 func TestRecoverMiddleware(t *testing.T) {
 	var logged bytes.Buffer
-	logf := func(format string, args ...interface{}) {
-		fmt.Fprintf(&logged, format+"\n", args...)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+	s := New(WithLogWriter(&logged))
+	// register an extra panicking route behind the same recovery chain
+	s.mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
 		panic("kaboom")
 	})
-	mux.HandleFunc("/fine", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusNoContent)
-	})
-	srv := httptest.NewServer(withRecover(logf, mux))
+	srv := httptest.NewServer(s)
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/boom")
@@ -166,16 +160,18 @@ func TestRecoverMiddleware(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("panicking handler answered %d, want 500", resp.StatusCode)
 	}
-	if !strings.Contains(logged.String(), "panic serving") {
-		t.Fatalf("panic not logged: %q", logged.String())
+	for _, want := range []string{`"event":"panic"`, "kaboom", "stack"} {
+		if !strings.Contains(logged.String(), want) {
+			t.Fatalf("panic log missing %q: %q", want, logged.String())
+		}
 	}
 	// the process (and the server) must keep serving
-	resp, err = http.Get(srv.URL + "/fine")
+	resp, err = http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("server unhealthy after panic: %d", resp.StatusCode)
 	}
 }

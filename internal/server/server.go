@@ -22,11 +22,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccs/internal/constraint"
@@ -35,10 +36,14 @@ import (
 	"ccs/internal/dataset"
 	"ccs/internal/gen"
 	"ccs/internal/itemset"
+	"ccs/internal/obs"
 )
 
 // maxUploadBytes bounds dataset uploads (64 MiB).
 const maxUploadBytes = 64 << 20
+
+// traceCap bounds the server's in-memory ring of finished mine traces.
+const traceCap = 128
 
 // Server is the HTTP handler with its dataset registry. Create with New;
 // it is safe for concurrent use.
@@ -49,43 +54,57 @@ type Server struct {
 	handler  http.Handler
 
 	mineTimeout time.Duration
-	logf        func(string, ...interface{})
+	logger      *obs.Logger
+	tracer      *obs.Tracer
+	reqSeq      atomic.Int64
 }
 
 // Option configures a Server.
 type Option func(*Server)
 
 // WithMineTimeout bounds the wall-clock time of every mining request
-// (/v1/mine, /v1/frequent) via a request-context deadline. A mine request
-// that exceeds it returns 200 with truncated=true and the completed
-// levels; 0 (the default) means no server-side limit.
+// (/v1/mine, /v1/frequent, /v1/explain, :generate) via a request-context
+// deadline. A mine request that exceeds it returns 200 with
+// truncated=true and the completed levels; 0 (the default) means no
+// server-side limit.
 func WithMineTimeout(d time.Duration) Option {
 	return func(s *Server) { s.mineTimeout = d }
 }
 
-// WithLogf routes the server's diagnostics (panic recoveries) to f
-// (default log.Printf).
-func WithLogf(f func(string, ...interface{})) Option {
-	return func(s *Server) { s.logf = f }
+// WithLogWriter routes the server's structured log — one JSON object per
+// line: request outcomes, panic recoveries, encode failures — to w
+// (default: the standard log package's writer).
+func WithLogWriter(w io.Writer) Option {
+	return func(s *Server) { s.logger = obs.NewLogger(w) }
 }
 
-// New returns a ready handler. Every route is wrapped in panic recovery —
-// a panicking handler logs a stack trace and answers 500, and the process
-// survives; the mining routes additionally carry the configured
-// per-request deadline on their context.
+// New returns a ready handler. Every route is instrumented (request
+// counters, latency histogram, in-flight gauge, one structured log line
+// per request) and wrapped in panic recovery — a panicking handler logs a
+// stack trace and answers 500, and the process survives. The mining
+// routes (/v1/mine, /v1/frequent, /v1/explain, and the :generate action)
+// additionally carry the configured per-request deadline on their context.
 func New(opts ...Option) *Server {
-	s := &Server{datasets: make(map[string]*dataset.DB), mux: http.NewServeMux(), logf: log.Printf}
+	s := &Server{datasets: make(map[string]*dataset.DB), mux: http.NewServeMux(), tracer: obs.NewTracer(traceCap)}
 	for _, o := range opts {
 		o(s)
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/datasets", s.handleList)
-	s.mux.HandleFunc("/v1/datasets/", s.handleDataset)
-	s.mux.Handle("/v1/mine", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleMine)))
-	s.mux.Handle("/v1/frequent", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleFrequent)))
-	s.mux.HandleFunc("/v1/explain", s.handleExplain)
-	s.handler = withRecover(s.logf, s.mux)
+	if s.logger == nil {
+		s.logger = obs.NewLogger(log.Writer())
+	}
+	s.route("/healthz", http.HandlerFunc(s.handleHealth))
+	s.route("/v1/datasets", http.HandlerFunc(s.handleList))
+	s.route("/v1/datasets/", http.HandlerFunc(s.handleDataset))
+	s.route("/v1/mine", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleMine)))
+	s.route("/v1/frequent", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleFrequent)))
+	s.route("/v1/explain", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleExplain)))
+	s.handler = s.withRecover(s.mux)
 	return s
+}
+
+// route registers one instrumented route on the mux.
+func (s *Server) route(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, s.instrument(pattern, h))
 }
 
 // ServeHTTP implements http.Handler.
@@ -110,21 +129,24 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding errors past the header cannot be reported to the client;
-	// they surface as a truncated body.
-	//ccslint:ignore droppederr response status is already committed
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already committed, so the client sees a
+		// truncated body; the failure is counted and logged rather than
+		// silently swallowed.
+		encodeErrors.Inc()
+		s.logger.Log("encode_error", obs.F("status", status), obs.F("error", err.Error()))
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // DatasetInfo summarizes one loaded dataset.
@@ -149,23 +171,17 @@ func infoFor(name string, db *dataset.DB) DatasetInfo {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	s.mu.RLock()
-	names := make([]string, 0, len(s.datasets))
-	for n := range s.datasets {
-		names = append(names, n)
-	}
-	s.mu.RUnlock()
-	sort.Strings(names)
+	names := s.datasetNames()
 	out := make([]DatasetInfo, 0, len(names))
 	for _, n := range names {
 		if db, ok := s.lookup(n); ok {
 			out = append(out, infoFor(n, db))
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // GenerateSpec is the JSON body of the :generate action.
@@ -181,11 +197,15 @@ type GenerateSpec struct {
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/datasets/")
 	if rest == "" {
-		writeError(w, http.StatusNotFound, "dataset name missing")
+		s.writeError(w, http.StatusNotFound, "dataset name missing")
 		return
 	}
 	if name, ok := strings.CutSuffix(rest, ":generate"); ok {
-		s.handleGenerate(w, r, name)
+		// generation is mining-grade work, so it runs under the same
+		// per-request deadline as /v1/mine
+		withTimeout(s.mineTimeout, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.handleGenerate(w, r, name)
+		})).ServeHTTP(w, r)
 		return
 	}
 	name := rest
@@ -194,44 +214,44 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 		body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
 		db, err := dataset.Read(body)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "parse dataset: %v", err)
+			s.writeError(w, http.StatusBadRequest, "parse dataset: %v", err)
 			return
 		}
 		s.AddDataset(name, db)
-		writeJSON(w, http.StatusCreated, infoFor(name, db))
+		s.writeJSON(w, http.StatusCreated, infoFor(name, db))
 	case http.MethodGet:
 		db, ok := s.lookup(name)
 		if !ok {
-			writeError(w, http.StatusNotFound, "dataset %q not loaded", name)
+			s.writeError(w, http.StatusNotFound, "dataset %q not loaded", name)
 			return
 		}
-		writeJSON(w, http.StatusOK, infoFor(name, db))
+		s.writeJSON(w, http.StatusOK, infoFor(name, db))
 	case http.MethodDelete:
 		s.mu.Lock()
 		_, ok := s.datasets[name]
 		delete(s.datasets, name)
 		s.mu.Unlock()
 		if !ok {
-			writeError(w, http.StatusNotFound, "dataset %q not loaded", name)
+			s.writeError(w, http.StatusNotFound, "dataset %q not loaded", name)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+		s.writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 	default:
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 	}
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request, name string) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
 	var spec GenerateSpec
-	if !decodeJSON(w, r, &spec) {
+	if !s.decodeJSON(w, r, &spec) {
 		return
 	}
 	if spec.Baskets <= 0 || spec.Baskets > 1_000_000 {
-		writeError(w, http.StatusBadRequest, "baskets %d outside (0, 1e6]", spec.Baskets)
+		s.writeError(w, http.StatusBadRequest, "baskets %d outside (0, 1e6]", spec.Baskets)
 		return
 	}
 	var db *dataset.DB
@@ -256,15 +276,15 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request, name str
 		}
 		db, _, err = gen.Method2(cfg)
 	default:
-		writeError(w, http.StatusBadRequest, "unknown method %d (want 1 or 2)", spec.Method)
+		s.writeError(w, http.StatusBadRequest, "unknown method %d (want 1 or 2)", spec.Method)
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "generate: %v", err)
+		s.writeError(w, http.StatusBadRequest, "generate: %v", err)
 		return
 	}
 	s.AddDataset(name, db)
-	writeJSON(w, http.StatusCreated, infoFor(name, db))
+	s.writeJSON(w, http.StatusCreated, infoFor(name, db))
 }
 
 // MineRequest is the JSON body of POST /v1/mine.
@@ -305,6 +325,9 @@ type MineResponse struct {
 	Truncated bool `json:"truncated,omitempty"`
 	// TruncatedCause says why: "deadline", "canceled", or "budget".
 	TruncatedCause string `json:"truncated_cause,omitempty"`
+	// LevelSeconds is the wall-clock duration of each lattice level the
+	// run visited, in visit order (len == stats.Levels).
+	LevelSeconds []float64 `json:"level_seconds,omitempty"`
 }
 
 // truncationCause maps a core truncation cause to its wire label.
@@ -325,16 +348,16 @@ func truncationCause(err error) string {
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
 	var req MineRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	db, ok := s.lookup(req.Dataset)
 	if !ok {
-		writeError(w, http.StatusNotFound, "dataset %q not loaded", req.Dataset)
+		s.writeError(w, http.StatusNotFound, "dataset %q not loaded", req.Dataset)
 		return
 	}
 	queryText := req.Query
@@ -343,11 +366,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := cql.Parse(queryText)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if err := constraint.CheckDomain(db.Catalog, q.All...); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	params := core.DefaultParams()
@@ -366,6 +389,20 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if req.MaxLevel != 0 {
 		params.MaxLevel = req.MaxLevel
 	}
+	algo := strings.ToLower(req.Algo)
+	if algo == "" {
+		algo = "bms"
+	}
+
+	// Trace the request: one span per mining phase/level, driven by the
+	// core's progress events. Spans chain contiguously — each event ends
+	// the previous span — so their durations sum to the trace duration.
+	tr := s.tracer.Start("mine",
+		obs.String("dataset", req.Dataset),
+		obs.String("algo", algo),
+		obs.String("query", queryText))
+	span := tr.StartSpan("setup")
+
 	opts := []core.Option{}
 	if req.MaxCandidates > 0 || req.MaxCells > 0 {
 		opts = append(opts, core.WithBudget(core.Budget{
@@ -373,9 +410,16 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			MaxCells:      req.MaxCells,
 		}))
 	}
+	opts = append(opts, core.WithProgress(func(ev core.ProgressEvent) {
+		span.End()
+		span = tr.StartSpan(fmt.Sprintf("%s %d", ev.Phase, ev.Level),
+			obs.String("algo", ev.Algorithm),
+			obs.Int("candidates", ev.Candidates))
+	}))
 	m, err := core.New(db, params, opts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		tr.Finish(obs.String("outcome", "error"))
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ctx := r.Context()
@@ -386,8 +430,8 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	var res *core.Result
-	switch strings.ToLower(req.Algo) {
-	case "bms", "":
+	switch algo {
+	case "bms":
 		res, err = m.BMSContext(ctx)
 	case "bms+":
 		res, err = m.BMSPlusContext(ctx, q)
@@ -398,13 +442,22 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	case "bms**":
 		res, err = m.BMSStarStarContext(ctx, q, core.StarStarOptions{PushMonotoneSuccinct: req.Push})
 	default:
-		writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algo)
+		tr.Finish(obs.String("outcome", "error"))
+		s.writeError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algo)
 		return
 	}
+	span.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		tr.Finish(obs.String("outcome", "error"))
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	outcome := "ok"
+	if res.Truncated {
+		outcome = "truncated"
+		noteTruncation(r.Context(), truncationCause(res.Cause))
+	}
+	tr.Finish(obs.String("outcome", outcome), obs.Int("answers", len(res.Answers)))
 	resp := MineResponse{
 		Query:          q.String(),
 		Answers:        make([][]uint32, len(res.Answers)),
@@ -413,6 +466,9 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		Elapsed:        time.Since(start).Seconds(),
 		Truncated:      res.Truncated,
 		TruncatedCause: truncationCause(res.Cause),
+	}
+	for _, d := range res.Stats.LevelDurations {
+		resp.LevelSeconds = append(resp.LevelSeconds, d.Seconds())
 	}
 	for i, set := range res.Answers {
 		ids := make([]uint32, set.Size())
@@ -424,5 +480,5 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		resp.Answers[i] = ids
 		resp.Named[i] = names
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
