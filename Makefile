@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race obs faults fuzz-smoke bench figures report clean
+.PHONY: all build vet lint test race obs faults fuzz-smoke bench bench-all bench-check figures report clean
 
 all: build vet lint test
 
@@ -44,8 +44,18 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzRead$$' -fuzztime=10s ./internal/dataset
 	$(GO) test -run='^$$' -fuzz=FuzzSetOps -fuzztime=10s ./internal/bitset
 
-# one testing.B benchmark per paper figure plus the per-algorithm benches
+# tracked benchmark baseline: counting kernels + mining algorithms,
+# written to BENCH_counting.json (see DESIGN.md §9 and cmd/ccsperf)
 bench:
+	$(GO) run ./cmd/ccsperf -out BENCH_counting.json
+
+# CI variant: small fixed iteration counts, compared against the committed
+# baseline (allocation regressions fail, wall-clock only warns)
+bench-check:
+	$(GO) run ./cmd/ccsperf -short -out BENCH_counting.ci.json -check BENCH_counting.json
+
+# every testing.B benchmark in the repo, including the paper figures
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # regenerate every figure of the paper into results/

@@ -1,0 +1,146 @@
+// Command ccsperf runs the counting-kernel and algorithm benchmark suites
+// and writes the results as a stable JSON baseline (BENCH_counting.json).
+//
+//	ccsperf [-out BENCH_counting.json] [-short] [-check baseline.json] [-pkg ...]
+//
+// The suite covers the counting engines (BenchmarkCount, level 2-4, all
+// engines, with cache hit rates) and the end-to-end mining algorithms
+// (BenchmarkAlgo). -short shrinks -benchtime for CI; -check compares the
+// fresh run against a committed baseline and exits nonzero when an
+// allocation count regresses (allocations are deterministic; wall-clock
+// differences only warn).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"ccs/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsperf:", err)
+		os.Exit(1)
+	}
+}
+
+// suiteSpec is one `go test -bench` invocation of the suite.
+type suiteSpec struct {
+	pkg     string
+	pattern string
+}
+
+var defaultSuite = []suiteSpec{
+	{pkg: "./internal/counting", pattern: "^(BenchmarkCount|BenchmarkCountCrossLevel)$"},
+	{pkg: "./internal/core", pattern: "^(BenchmarkAlgo|BenchmarkAblationPrefixCacheOn|BenchmarkAblationPrefixCacheOff)$"},
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccsperf", flag.ContinueOnError)
+	outPath := fs.String("out", "BENCH_counting.json", "where to write the JSON report (empty = stdout only)")
+	short := fs.Bool("short", false, "CI mode: fixed small -benchtime instead of the 1s default")
+	check := fs.String("check", "", "baseline JSON to compare against; allocation regressions fail the run")
+	benchtime := fs.String("benchtime", "", "override -benchtime passed to go test (default: 20x with -short, 1s otherwise)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	bt := *benchtime
+	if bt == "" {
+		bt = "1s"
+		if *short {
+			bt = "20x"
+		}
+	}
+
+	report := &bench.PerfReport{Suite: "counting+core", GoVersion: runtime.Version()}
+	if *short {
+		report.Suite += " short"
+	}
+	for _, s := range defaultSuite {
+		rep, err := runSuite(s, bt, out)
+		if err != nil {
+			return err
+		}
+		if rep.CPU != "" {
+			report.CPU = rep.CPU
+		}
+		report.Benchmarks = append(report.Benchmarks, rep.Benchmarks...)
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines parsed — wrong working directory?")
+	}
+	report.Sort()
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d benchmarks)\n", *outPath, len(report.Benchmarks))
+	} else {
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	}
+
+	if *check != "" {
+		return checkBaseline(*check, report, out)
+	}
+	return nil
+}
+
+// runSuite executes one go test -bench invocation and parses its output.
+// The test binary's stderr passes through so failures are diagnosable.
+func runSuite(s suiteSpec, benchtime string, out io.Writer) (*bench.PerfReport, error) {
+	args := []string{
+		"test", "-run", "^$", "-bench", s.pattern,
+		"-benchmem", "-benchtime", benchtime, s.pkg,
+	}
+	fmt.Fprintf(out, "go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = io.MultiWriter(&buf, out)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test %s: %w", s.pkg, err)
+	}
+	return bench.ParseBenchLines(&buf)
+}
+
+// checkBaseline loads the committed baseline and fails on fatal regressions.
+func checkBaseline(path string, current *bench.PerfReport, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	baseline := &bench.PerfReport{}
+	if err := json.Unmarshal(data, baseline); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	regs := bench.CheckRegressions(baseline, current)
+	fatal := 0
+	for _, r := range regs {
+		fmt.Fprintln(out, r)
+		if r.Fatal {
+			fatal++
+		}
+	}
+	if fatal > 0 {
+		return fmt.Errorf("%d allocation regression(s) against %s", fatal, path)
+	}
+	fmt.Fprintf(out, "baseline check ok against %s (%d advisory warnings)\n", path, len(regs))
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccs/internal/bench"
+)
+
+func TestCheckBaselinePasses(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	base := &bench.PerfReport{Benchmarks: []bench.PerfBenchmark{
+		{Name: "BenchmarkCount/bitmap/level=3", NsPerOp: 100, AllocsPerOp: 100},
+	}}
+	writeJSON(t, path, base)
+
+	cur := &bench.PerfReport{Benchmarks: []bench.PerfBenchmark{
+		{Name: "BenchmarkCount/bitmap/level=3", NsPerOp: 120, AllocsPerOp: 110},
+	}}
+	var out bytes.Buffer
+	if err := checkBaseline(path, cur, &out); err != nil {
+		t.Fatalf("within-slack run failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestCheckBaselineFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	base := &bench.PerfReport{Benchmarks: []bench.PerfBenchmark{
+		{Name: "BenchmarkCount/bitmap/level=3", NsPerOp: 100, AllocsPerOp: 100},
+	}}
+	writeJSON(t, path, base)
+
+	cur := &bench.PerfReport{Benchmarks: []bench.PerfBenchmark{
+		{Name: "BenchmarkCount/bitmap/level=3", NsPerOp: 100, AllocsPerOp: 500},
+	}}
+	var out bytes.Buffer
+	if err := checkBaseline(path, cur, &out); err == nil {
+		t.Fatalf("allocation regression passed:\n%s", out.String())
+	}
+}
+
+func TestCheckBaselineNsOnlyWarns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	base := &bench.PerfReport{Benchmarks: []bench.PerfBenchmark{
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 10},
+	}}
+	writeJSON(t, path, base)
+
+	cur := &bench.PerfReport{Benchmarks: []bench.PerfBenchmark{
+		{Name: "B", NsPerOp: 10000, AllocsPerOp: 10},
+	}}
+	var out bytes.Buffer
+	if err := checkBaseline(path, cur, &out); err != nil {
+		t.Fatalf("ns-only slowdown must warn, not fail: %v", err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("warn")) {
+		t.Fatalf("expected a warning, got:\n%s", out.String())
+	}
+}
+
+func writeJSON(t *testing.T, path string, v interface{}) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

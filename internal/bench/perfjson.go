@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file parses `go test -bench` output into a stable JSON shape
+// (BENCH_counting.json) so the counting-kernel baseline can be committed,
+// diffed in review, and checked for regressions in CI. cmd/ccsperf drives
+// it.
+
+// PerfBenchmark is one benchmark line of a `go test -bench -benchmem` run.
+type PerfBenchmark struct {
+	// Name is the benchmark path with the GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkCount/cached/level=3".
+	Name string `json:"name"`
+	// Iterations is the b.N the numbers were averaged over.
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is -1 when the line carried no allocs figure.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units, e.g. "cache-hit-rate".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// PerfReport is the file layout of BENCH_counting.json.
+type PerfReport struct {
+	// Suite labels the run, e.g. "counting+core short".
+	Suite string `json:"suite"`
+	// GoVersion and CPU record the environment the numbers came from;
+	// regressions are only meaningful against a comparable machine.
+	GoVersion  string          `json:"go_version,omitempty"`
+	CPU        string          `json:"cpu,omitempty"`
+	Benchmarks []PerfBenchmark `json:"benchmarks"`
+}
+
+// Benchmark returns the named benchmark, or nil.
+func (r *PerfReport) Benchmark(name string) *PerfBenchmark {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// Sort orders benchmarks by name so the JSON diffs cleanly across runs.
+func (r *PerfReport) Sort() {
+	sort.Slice(r.Benchmarks, func(i, j int) bool {
+		return r.Benchmarks[i].Name < r.Benchmarks[j].Name
+	})
+}
+
+// ParseBenchLines reads `go test -bench` output and returns the benchmark
+// lines, preserving custom metrics. Header lines (goos/goarch/pkg/cpu) fill
+// the report's environment fields; anything else is ignored, so the full
+// test output can be piped in unfiltered.
+func ParseBenchLines(r io.Reader) (*PerfReport, error) {
+	rep := &PerfReport{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if v, ok := strings.CutPrefix(line, "cpu:"); ok {
+			rep.CPU = strings.TrimSpace(v)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseBenchLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w in line %q", err, line)
+		}
+		if b != nil {
+			rep.Benchmarks = append(rep.Benchmarks, *b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkCount/cached/level=3-8  20  96528 ns/op  0.9688 cache-hit-rate  43661 B/op  730 allocs/op
+//
+// Returns (nil, nil) for Benchmark-prefixed lines that are not results
+// (e.g. "BenchmarkX" printed alone when -v interleaves output).
+func parseBenchLine(line string) (*PerfBenchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil, nil
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so baselines compare across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // not a result line
+	}
+	b := &PerfBenchmark{Name: name, Iterations: iters, AllocsPerOp: -1}
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if b.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return nil, fmt.Errorf("bad ns/op %q", val)
+			}
+		case "B/op":
+			if b.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad B/op %q", val)
+			}
+		case "allocs/op":
+			if b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return nil, fmt.Errorf("bad allocs/op %q", val)
+			}
+		default:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric %s %q", unit, val)
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = f
+		}
+	}
+	return b, nil
+}
+
+// Regression is one benchmark that moved against the baseline.
+type Regression struct {
+	Name string
+	// What regressed ("allocs/op" or "ns/op"), the two values, and
+	// whether the check treats it as fatal.
+	Unit     string
+	Old, New float64
+	Fatal    bool
+}
+
+func (r Regression) String() string {
+	sev := "warn"
+	if r.Fatal {
+		sev = "FAIL"
+	}
+	return fmt.Sprintf("%s: %s %s %.4g -> %.4g", sev, r.Name, r.Unit, r.Old, r.New)
+}
+
+// Allocation counts are deterministic, so growth past the slack is a hard
+// failure; wall-clock is machine-dependent, so ns/op growth only warns.
+const (
+	allocGrowthFactor = 1.5
+	allocGrowthSlack  = 8
+	nsGrowthFactor    = 2.0
+)
+
+// CheckRegressions compares a fresh run against a committed baseline.
+// Benchmarks present in only one report are skipped: the suite is allowed
+// to grow and shrink without invalidating the baseline.
+func CheckRegressions(baseline, current *PerfReport) []Regression {
+	var out []Regression
+	for _, old := range baseline.Benchmarks {
+		cur := current.Benchmark(old.Name)
+		if cur == nil {
+			continue
+		}
+		if old.AllocsPerOp >= 0 && cur.AllocsPerOp >= 0 {
+			limit := int64(float64(old.AllocsPerOp)*allocGrowthFactor) + allocGrowthSlack
+			if cur.AllocsPerOp > limit {
+				out = append(out, Regression{
+					Name: old.Name, Unit: "allocs/op",
+					Old: float64(old.AllocsPerOp), New: float64(cur.AllocsPerOp),
+					Fatal: true,
+				})
+			}
+		}
+		if old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*nsGrowthFactor {
+			out = append(out, Regression{
+				Name: old.Name, Unit: "ns/op",
+				Old: old.NsPerOp, New: cur.NsPerOp,
+			})
+		}
+	}
+	return out
+}

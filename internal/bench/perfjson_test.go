@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: ccs/internal/counting
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkCount/scan/level=3-8         	      20	   1650930 ns/op	   69504 B/op	     749 allocs/op
+BenchmarkCount/cached/level=3-8       	      20	     96528 ns/op	         0.9688 cache-hit-rate	   43661 B/op	     730 allocs/op
+BenchmarkCountCrossLevel/bitmap-8     	      20	   1476613 ns/op	  282263 B/op	    4372 allocs/op
+PASS
+ok  	ccs/internal/counting	0.349s
+`
+
+func TestParseBenchLines(t *testing.T) {
+	rep, err := ParseBenchLines(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPU == "" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu not captured: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	scan := rep.Benchmark("BenchmarkCount/scan/level=3")
+	if scan == nil {
+		t.Fatal("scan line missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if scan.Iterations != 20 || scan.AllocsPerOp != 749 || scan.BytesPerOp != 69504 {
+		t.Errorf("scan parsed wrong: %+v", scan)
+	}
+	if scan.NsPerOp < 1650929 || scan.NsPerOp > 1650931 {
+		t.Errorf("scan ns/op = %v", scan.NsPerOp)
+	}
+
+	cached := rep.Benchmark("BenchmarkCount/cached/level=3")
+	if cached == nil {
+		t.Fatal("cached line missing")
+	}
+	rate, ok := cached.Metrics["cache-hit-rate"]
+	if !ok || rate < 0.96 || rate > 0.97 {
+		t.Errorf("cache-hit-rate = %v (present %v)", rate, ok)
+	}
+}
+
+func TestParseBenchLinesIgnoresNoise(t *testing.T) {
+	in := "BenchmarkInterleaved\nnot a line\nBenchmarkOK-4 10 5 ns/op\n"
+	rep, err := ParseBenchLines(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("got %+v", rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].AllocsPerOp != -1 {
+		t.Errorf("missing allocs should be -1, got %d", rep.Benchmarks[0].AllocsPerOp)
+	}
+}
+
+func TestCheckRegressions(t *testing.T) {
+	base := &PerfReport{Benchmarks: []PerfBenchmark{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 100},
+		{Name: "C", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "Gone", NsPerOp: 100, AllocsPerOp: 10},
+	}}
+	cur := &PerfReport{Benchmarks: []PerfBenchmark{
+		// A: allocs within factor+slack (10*1.5+8 = 23), ns within 2x.
+		{Name: "A", NsPerOp: 150, AllocsPerOp: 23},
+		// B: allocs blown (limit 158) -> fatal.
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 400},
+		// C: ns/op blown -> advisory only.
+		{Name: "C", NsPerOp: 500, AllocsPerOp: 10},
+		{Name: "New", NsPerOp: 1, AllocsPerOp: 1},
+	}}
+	regs := CheckRegressions(base, cur)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	byName := map[string]Regression{}
+	for _, r := range regs {
+		byName[r.Name] = r
+	}
+	if r := byName["B"]; !r.Fatal || r.Unit != "allocs/op" {
+		t.Errorf("B: %+v", r)
+	}
+	if r := byName["C"]; r.Fatal || r.Unit != "ns/op" {
+		t.Errorf("C: %+v", r)
+	}
+	if _, ok := byName["Gone"]; ok {
+		t.Error("benchmark missing from current run must not regress")
+	}
+}
+
+func TestReportSortStable(t *testing.T) {
+	rep := &PerfReport{Benchmarks: []PerfBenchmark{{Name: "b"}, {Name: "a"}, {Name: "c"}}}
+	rep.Sort()
+	got := []string{rep.Benchmarks[0].Name, rep.Benchmarks[1].Name, rep.Benchmarks[2].Name}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("sort order %v", got)
+	}
+}

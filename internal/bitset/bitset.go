@@ -137,6 +137,16 @@ func (s *Set) And(a, b *Set) {
 	}
 }
 
+// AndWith intersects s with t in place: s = s ∩ t. It is the
+// allocation-free building block for folding a chain of TID-lists into an
+// accumulator.
+func (s *Set) AndWith(t *Set) {
+	s.mustMatch(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
 // Or stores the union of a and b into s (s may alias either).
 func (s *Set) Or(a, b *Set) {
 	a.mustMatch(b)

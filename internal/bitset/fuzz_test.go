@@ -20,6 +20,7 @@ const (
 	opCopy
 	opClone
 	opCheckBit
+	opAndWith
 	numOps
 )
 
@@ -35,6 +36,10 @@ func FuzzSetOps(f *testing.F) {
 	f.Add(uint16(1), []byte{})
 	f.Add(uint16(0), []byte{opFill, 0})
 	f.Add(uint16(129), []byte{opAdd, 127, opAdd + numOps, 128, opOr + 2*numOps, 1, opClone, 2, opRemove, 128})
+	// Pin the allocation-free kernels on a word-straddling universe: the
+	// final-state checks compare AndCount/AndNotCount against the model on
+	// every run, and opAndWith exercises the in-place fold.
+	f.Add(uint16(100), []byte{opFill, 0, opAdd + numOps, 63, opAdd + numOps, 64, opAndWith, 1})
 
 	f.Fuzz(func(t *testing.T, n uint16, program []byte) {
 		size := int(n % 130) // covers both sides of the 64- and 128-bit word boundaries
@@ -96,6 +101,13 @@ func FuzzSetOps(f *testing.F) {
 				if got, want := sets[dst].Contains(bit), model[dst][bit]; got != want {
 					t.Fatalf("pc %d: Contains(%d) on reg %d = %v, model %v", pc, bit, dst, got, want)
 				}
+			case opAndWith:
+				// AndCount must agree with And+Count before the operands change.
+				if got, want := AndCount(sets[dst], sets[a]), len(intersectModel(model[dst], model[a])); got != want {
+					t.Fatalf("pc %d: AndCount on regs %d,%d = %d, model %d", pc, dst, a, got, want)
+				}
+				sets[dst].AndWith(sets[a])
+				model[dst] = intersectModel(model[dst], model[a])
 			}
 
 			if got, want := sets[dst].Count(), len(model[dst]); got != want {

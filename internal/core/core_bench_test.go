@@ -105,6 +105,100 @@ func BenchmarkBMSStarStar(b *testing.B) {
 	}
 }
 
+// BenchmarkAlgo runs every mining algorithm end to end over a shared
+// prefix-cached counter — the configuration ccsserve uses per request and
+// the suite cmd/ccsperf tracks in BENCH_counting.json.
+func BenchmarkAlgo(b *testing.B) {
+	db := getBenchDB(b)
+	q := benchQuery()
+	qMin := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 5))
+	cases := []struct {
+		name string
+		run  func(m *Miner) error
+	}{
+		{"bms", func(m *Miner) error { _, err := m.BMS(); return err }},
+		{"bms-plus", func(m *Miner) error { _, err := m.BMSPlus(q); return err }},
+		{"bms-plus-plus", func(m *Miner) error { _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); return err }},
+		{"bms-star", func(m *Miner) error { _, err := m.BMSStar(qMin); return err }},
+		{"bms-star-star", func(m *Miner) error {
+			_, err := m.BMSStarStar(qMin, StarStarOptions{PushMonotoneSuccinct: true})
+			return err
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cc := counting.NewCachedBitmapCounter(db, counting.DefaultCacheBytes)
+			defer cc.ReleaseCache()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := New(db, benchParams(), WithCounter(cc))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.run(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cc.CacheStats().HitRate(), "cache-hit-rate")
+		})
+	}
+	// Brute refuses catalogs past 24 items, so it gets its own small DB.
+	b.Run("brute", func(b *testing.B) {
+		small := corrDB(rand.New(rand.NewSource(2)), 15, 2000)
+		cc := counting.NewCachedBitmapCounter(small, counting.DefaultCacheBytes)
+		defer cc.ReleaseCache()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := New(small, benchParams(), WithCounter(cc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Brute(q, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(cc.CacheStats().HitRate(), "cache-hit-rate")
+	})
+}
+
+// BenchmarkAblationPrefixCache contrasts the plain bitmap kernel with the
+// prefix-cached one on the same BMS++ run — the end-to-end effect of the
+// shared-prefix intersection cache.
+func BenchmarkAblationPrefixCacheOff(b *testing.B) {
+	db := getBenchDB(b)
+	q := benchQuery()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams(), WithCounter(counting.NewBitmapCounter(db)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPrefixCacheOn(b *testing.B) {
+	db := getBenchDB(b)
+	q := benchQuery()
+	cc := counting.NewCachedBitmapCounter(db, counting.DefaultCacheBytes)
+	defer cc.ReleaseCache()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(db, benchParams(), WithCounter(cc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cc.CacheStats().HitRate(), "cache-hit-rate")
+}
+
 // BenchmarkAblationScanVsBitmap contrasts the two counting engines on the
 // same BMS++ run — the design choice DESIGN.md calls out.
 func BenchmarkAblationScanCounter(b *testing.B) {

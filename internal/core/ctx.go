@@ -120,6 +120,14 @@ func (c *runCtl) truncation(err error) error {
 // countBatchCtl builds tables for the batch under ctl: it charges the cell
 // budget, bails out when the run is interrupted, and uses the counter's
 // context-aware path when available so cancellation lands mid-batch.
+//
+// Batch ordering contract: every candidate generator (pairs, extend,
+// extendAny) sorts its output with itemset.SortSets before it reaches this
+// call, so sets that share a prefix arrive adjacent. The cached counting
+// engines rely on that adjacency — a sibling group hits the prefix
+// TID-list its first member materialized, and the parallel counter shards
+// the batch along those prefix runs — so any new generator must keep
+// emitting canonically sorted batches.
 func (m *Miner) countBatchCtl(ctl *runCtl, stats *Stats, sets []itemset.Set) ([]*contingency.Table, error) {
 	if len(sets) == 0 {
 		return nil, nil

@@ -1,0 +1,159 @@
+package counting
+
+import (
+	"fmt"
+	"testing"
+
+	"ccs/internal/dataset"
+	"ccs/internal/gen"
+	"ccs/internal/itemset"
+)
+
+// benchGenDB builds the paper's Agrawal–Srikant (Method 1) dataset at
+// benchmark scale, shrunk to a catalog the batch builders can saturate.
+func benchGenDB(b *testing.B) *dataset.DB {
+	b.Helper()
+	cfg := gen.DefaultMethod1(20000, 1)
+	cfg.NumItems = 100
+	cfg.NumPatterns = 50
+	db, err := gen.Method1(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// prefixBatch returns every k-subset of the first m items in canonical
+// order — the shape of a real candidate batch, where long runs of siblings
+// share their (k-1)-item prefix.
+func prefixBatch(m, k int) []itemset.Set {
+	var out []itemset.Set
+	var rec func(start int, cur []itemset.Item)
+	rec = func(start int, cur []itemset.Item) {
+		if len(cur) == k {
+			out = append(out, itemset.New(cur...))
+			return
+		}
+		for i := start; i <= m-(k-len(cur)); i++ {
+			rec(i+1, append(cur, itemset.Item(i)))
+		}
+	}
+	rec(0, nil)
+	itemset.SortSets(out)
+	return out
+}
+
+// reportCache attaches the cache hit rate to the benchmark line so the
+// BENCH_counting.json trajectory records reuse alongside ns/op.
+func reportCache(b *testing.B, st CacheStats) {
+	b.Helper()
+	b.ReportMetric(st.HitRate(), "cache-hit-rate")
+}
+
+// BenchmarkCount measures one batch per iteration on every engine, at
+// levels 2–4. The batch is prefix-sharing (all k-subsets of 12 items), so
+// the cached engines demonstrate sibling reuse and the plain engines set
+// the allocation baseline.
+func BenchmarkCount(b *testing.B) {
+	db := benchGenDB(b)
+	for _, k := range []int{2, 3, 4} {
+		batch := prefixBatch(12, k)
+		b.Run(fmt.Sprintf("scan/level=%d", k), func(b *testing.B) {
+			c := NewScanCounter(db)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.CountTables(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("bitmap/level=%d", k), func(b *testing.B) {
+			c := NewBitmapCounter(db)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.CountTables(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cached/level=%d", k), func(b *testing.B) {
+			c := NewCachedBitmapCounter(db, DefaultCacheBytes)
+			defer c.ReleaseCache()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.CountTables(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCache(b, c.CacheStats())
+		})
+		b.Run(fmt.Sprintf("parallel-cached/level=%d", k), func(b *testing.B) {
+			c := NewParallelCounterCached(db, 0, DefaultCacheBytes)
+			defer c.ReleaseCache()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.CountTables(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCache(b, c.CacheStats())
+		})
+	}
+}
+
+// BenchmarkCountCrossLevel replays a miner-shaped level walk (levels 2→4,
+// candidates joined from the previous level) per iteration, the workload
+// the prefix cache is built for: each level's candidates extend sets whose
+// TID-lists the previous level just materialized.
+func BenchmarkCountCrossLevel(b *testing.B) {
+	db := benchGenDB(b)
+	var levels [][]itemset.Set
+	level := prefixBatch(14, 2)
+	for k := 2; k <= 4; k++ {
+		levels = append(levels, level)
+		next := itemset.Join(level)
+		itemset.SortSets(next)
+		level = next
+	}
+
+	walk := func(b *testing.B, c Counter) {
+		b.Helper()
+		for _, batch := range levels {
+			if _, err := c.CountTables(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bitmap", func(b *testing.B) {
+		c := NewBitmapCounter(db)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			walk(b, c)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		c := NewCachedBitmapCounter(db, DefaultCacheBytes)
+		defer c.ReleaseCache()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			walk(b, c)
+		}
+		reportCache(b, c.CacheStats())
+	})
+	b.Run("parallel-cached", func(b *testing.B) {
+		c := NewParallelCounterCached(db, 0, DefaultCacheBytes)
+		defer c.ReleaseCache()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			walk(b, c)
+		}
+		reportCache(b, c.CacheStats())
+	})
+}

@@ -1,0 +1,163 @@
+package counting
+
+import (
+	"container/list"
+	"sync"
+
+	"ccs/internal/bitset"
+)
+
+// DefaultCacheBytes is the prefix-cache byte budget used when a caller
+// passes a non-positive budget to NewCachedBitmapCounter (32 MiB).
+const DefaultCacheBytes = 32 << 20
+
+// CacheStats is a point-in-time snapshot of one prefix cache's counters.
+type CacheStats struct {
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that fell through to recomputation
+	Evictions int64 // entries dropped to stay under the byte budget
+	Bytes     int64 // bytes currently held
+	Entries   int   // TID-lists currently held
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// prefixCache is a byte-budgeted LRU of materialized TID-lists, keyed by
+// the canonical encoding of the sub-itemset each list is the intersection
+// of. It persists across counting batches, which is the whole point: the
+// level-k prefix of a level-(k+1) candidate was counted one batch ago, and
+// sibling candidates in a sorted batch share their (k-1)-item prefix.
+//
+// Entries are immutable once inserted — a stored *bitset.Set may be read
+// concurrently (as an AND operand) but never written; eviction only drops
+// the cache's reference, so readers holding one stay safe. All methods are
+// safe for concurrent use.
+type prefixCache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses, evictions int64
+}
+
+// cacheEntry is one cached TID-list with its popcount, so hits skip the
+// Count as well as the intersection.
+type cacheEntry struct {
+	key   string
+	tids  *bitset.Set
+	count int
+	size  int64
+}
+
+func newPrefixCache(budget int64) *prefixCache {
+	if budget <= 0 {
+		budget = DefaultCacheBytes
+	}
+	return &prefixCache{budget: budget, entries: make(map[string]*list.Element), lru: list.New()}
+}
+
+// entrySize approximates an entry's resident footprint: the bitset words,
+// the key string, and a fixed overhead for the map/list bookkeeping.
+func entrySize(keyLen int, tids *bitset.Set) int64 {
+	const overhead = 128
+	return int64((tids.Len()+63)/64)*8 + int64(keyLen) + overhead
+}
+
+// get returns the cached TID-list and popcount for the sub-itemset whose
+// encoded key (itemset.Set.AppendKey) is key, marking it most recently
+// used. Taking the key as a byte slice keeps the lookup allocation-free:
+// the map access through string(key) is elided by the compiler. The
+// returned set is shared and must not be mutated.
+func (c *prefixCache) get(key []byte) (*bitset.Set, int, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[string(key)]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		cacheMisses.Inc()
+		return nil, 0, false
+	}
+	c.lru.MoveToFront(e)
+	ent := e.Value.(*cacheEntry)
+	c.hits++
+	c.mu.Unlock()
+	cacheHits.Inc()
+	return ent.tids, ent.count, true
+}
+
+// put stores a TID-list under its encoded sub-itemset key, evicting
+// least-recently-used entries until the byte budget holds. The key bytes
+// are copied only on an actual insert (misses are rare once the cache is
+// warm). It reports whether the cache took ownership of tids: on true the
+// caller must treat tids as immutable and must not recycle it; on false
+// (already present, or larger than the whole budget) the caller keeps it.
+func (c *prefixCache) put(key []byte, tids *bitset.Set, count int) bool {
+	size := entrySize(len(key), tids)
+	if size > c.budget {
+		return false
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[string(key)]; ok {
+		// Same sub-itemset over the same index: contents are identical,
+		// keep the resident copy.
+		c.lru.MoveToFront(e)
+		c.mu.Unlock()
+		return false
+	}
+	k := string(key)
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, tids: tids, count: count, size: size})
+	c.bytes += size
+	evicted := 0
+	var freed int64
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		ent := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
+		freed += ent.size
+		evicted++
+	}
+	c.evictions += int64(evicted)
+	c.mu.Unlock()
+	cacheBytes.Add(size - freed)
+	if evicted > 0 {
+		cacheEvictions.Add(int64(evicted))
+	}
+	return true
+}
+
+// stats snapshots the cache counters.
+func (c *prefixCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   len(c.entries),
+	}
+}
+
+// release drops every entry and returns the cache's bytes to the global
+// gauge. Per-request caches (the HTTP service builds one per mine request)
+// call it when the run ends so ccs_prefix_cache_bytes tracks live caches
+// only; the cache remains usable (empty) afterwards.
+func (c *prefixCache) release() {
+	c.mu.Lock()
+	freed := c.bytes
+	c.bytes = 0
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.mu.Unlock()
+	cacheBytes.Add(-freed)
+}

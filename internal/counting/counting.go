@@ -14,6 +14,8 @@ package counting
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"ccs/internal/bitset"
 	"ccs/internal/contingency"
@@ -97,31 +99,73 @@ func (s *ScanCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, err
 	return s.CountTablesContext(context.Background(), sets)
 }
 
+// setBit locates one bit of one batch set: item lookup[id] drives bit `bit`
+// of the minterm index of set `set`.
+type setBit struct {
+	set int
+	bit uint
+}
+
 // CountTablesContext implements ContextCounter, polling ctx every
 // checkEvery transactions of the pass.
+//
+// Instead of merging every set against every transaction (the old
+// mintermIndex loop, O(batch × |tx|) per transaction), the pass inverts the
+// batch once into a per-item lookup: scanning a transaction then touches
+// only the sets that share an item with it. The all-absent cell of each
+// table is recovered at the end as n minus the touched counts, which is
+// exactly what per-transaction increments would have produced.
 func (s *ScanCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	s.stats.Batches++
 	s.stats.TablesBuilt += len(sets)
 	recordSetsCounted("scan", len(sets))
 	cells := make([][]int, len(sets))
+	maxItem := s.db.NumItems()
 	for i, set := range sets {
 		if set.Size() > contingency.MaxItems {
 			return nil, fmt.Errorf("counting: itemset %v exceeds %d items", set, contingency.MaxItems)
 		}
 		cells[i] = make([]int, 1<<uint(set.Size()))
+		if k := set.Size(); k > 0 && int(set[k-1]) >= maxItem {
+			maxItem = int(set[k-1]) + 1
+		}
 	}
+	lookup := make([][]setBit, maxItem)
+	for i, set := range sets {
+		for j, id := range set {
+			lookup[id] = append(lookup[id], setBit{set: i, bit: uint(j)})
+		}
+	}
+	idx := make([]int, len(sets))        // minterm accumulator per set
+	touched := make([]int, 0, len(sets)) // sets with a nonzero accumulator
 	done := ctx.Done()
 	for ti, tx := range s.db.Tx {
 		if ti%checkEvery == 0 && cancelled(done) {
 			return nil, ctx.Err()
 		}
-		for i, set := range sets {
-			cells[i][mintermIndex(set, tx)]++
+		for _, id := range tx {
+			for _, sb := range lookup[id] {
+				if idx[sb.set] == 0 {
+					touched = append(touched, sb.set)
+				}
+				idx[sb.set] |= 1 << sb.bit
+			}
 		}
+		for _, si := range touched {
+			cells[si][idx[si]]++
+			idx[si] = 0
+		}
+		touched = touched[:0]
 	}
+	n := s.db.NumTx()
 	out := make([]*contingency.Table, len(sets))
 	for i, set := range sets {
-		t, err := contingency.New(set, s.db.NumTx(), cells[i])
+		absent := n
+		for _, c := range cells[i][1:] {
+			absent -= c
+		}
+		cells[i][0] = absent
+		t, err := contingency.New(set, n, cells[i])
 		if err != nil {
 			return nil, err
 		}
@@ -151,21 +195,70 @@ func mintermIndex(set itemset.Set, tx dataset.Transaction) int {
 // BitmapCounter counts minterms from a vertical index. Subset supports are
 // computed by intersecting item columns (sharing work across the subset
 // lattice), then minterm counts follow by Möbius inversion over subsets.
+//
+// The kernel is allocation-free on its hot path: intersections that no
+// later subset builds on are popcounted in place (bitset.AndCount) instead
+// of materialized, and the bitsets that are materialized come from a
+// sync.Pool-backed scratch arena. With a prefix cache attached (see
+// NewCachedBitmapCounter), the TID-lists of canonical prefixes persist
+// across batches and levels, so a level-(k+1) candidate fetches its level-k
+// prefix instead of re-intersecting it.
 type BitmapCounter struct {
-	idx   *dataset.VerticalIndex
-	items []int
-	stats Stats
+	idx     *dataset.VerticalIndex
+	items   []int
+	cache   *prefixCache // nil = no cross-batch prefix reuse
+	scratch sync.Pool    // *countScratch
+	stats   Stats
+	engine  string // metrics label: "bitmap" or "cached"
+}
+
+func newBitmapCounter(idx *dataset.VerticalIndex, itemSupports []int, cache *prefixCache) *BitmapCounter {
+	b := &BitmapCounter{idx: idx, items: itemSupports, cache: cache, engine: "bitmap"}
+	if cache != nil {
+		b.engine = "cached"
+	}
+	b.scratch.New = func() interface{} { return &countScratch{} }
+	return b
 }
 
 // NewBitmapCounter builds the vertical index for db and returns the counter.
 func NewBitmapCounter(db *dataset.DB) *BitmapCounter {
-	return &BitmapCounter{idx: dataset.BuildVerticalIndex(db), items: db.ItemSupports()}
+	return newBitmapCounter(dataset.BuildVerticalIndex(db), db.ItemSupports(), nil)
 }
 
 // NewBitmapCounterFromIndex wraps an existing vertical index; itemSupports
 // must match the index.
 func NewBitmapCounterFromIndex(idx *dataset.VerticalIndex, itemSupports []int) *BitmapCounter {
-	return &BitmapCounter{idx: idx, items: itemSupports}
+	return newBitmapCounter(idx, itemSupports, nil)
+}
+
+// NewCachedBitmapCounter is NewBitmapCounter with a prefix-intersection
+// cache of at most cacheBytes bytes attached (cacheBytes <= 0 means
+// DefaultCacheBytes). The cache persists across CountTables calls, which is
+// where it earns its keep: the mining core issues one batch per lattice
+// level with candidates in canonical (prefix-adjacent) order, so sibling
+// candidates hit the prefix a moment after it is stored and level-(k+1)
+// candidates find the full TID-list their level-k prefix left behind.
+func NewCachedBitmapCounter(db *dataset.DB, cacheBytes int64) *BitmapCounter {
+	return newBitmapCounter(dataset.BuildVerticalIndex(db), db.ItemSupports(), newPrefixCache(cacheBytes))
+}
+
+// CacheStats snapshots the prefix cache's counters; the zero CacheStats is
+// returned when the counter has no cache.
+func (b *BitmapCounter) CacheStats() CacheStats {
+	if b.cache == nil {
+		return CacheStats{}
+	}
+	return b.cache.stats()
+}
+
+// ReleaseCache drops every cached TID-list and returns their bytes to the
+// ccs_prefix_cache_bytes gauge. Call it when a cached counter's run ends
+// (the HTTP service defers it per request); the counter remains usable.
+func (b *BitmapCounter) ReleaseCache() {
+	if b.cache != nil {
+		b.cache.release()
+	}
 }
 
 // NumTx implements Counter.
@@ -191,7 +284,7 @@ func (b *BitmapCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, e
 func (b *BitmapCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	b.stats.Batches++
 	b.stats.TablesBuilt += len(sets)
-	recordSetsCounted("bitmap", len(sets))
+	recordSetsCounted(b.engine, len(sets))
 	done := ctx.Done()
 	out := make([]*contingency.Table, len(sets))
 	for i, set := range sets {
@@ -207,6 +300,61 @@ func (b *BitmapCounter) CountTablesContext(ctx context.Context, sets []itemset.S
 	return out, nil
 }
 
+// countScratch is the reusable working state of one countOne call: the
+// per-mask intersection registers plus a free list of bitsets recycled
+// across calls. It travels through a sync.Pool so concurrent callers
+// (ParallelCounter workers) each get their own arena without locking.
+type countScratch struct {
+	inter []*bitset.Set // per-mask intersections; always written before read
+	owned []*bitset.Set // materialized this call, recyclable unless cached
+	spare []*bitset.Set // recycled bitsets, reused across calls
+	key   []byte        // cache-key encoding buffer, reused per prefix
+}
+
+// registers returns the intersection table sized for this call. Entries are
+// not cleared: the mask walk writes inter[mask] before any larger mask
+// reads it, so stale pointers are never observed.
+func (sc *countScratch) registers(size int) []*bitset.Set {
+	if cap(sc.inter) < size {
+		sc.inter = make([]*bitset.Set, size)
+	}
+	return sc.inter[:size]
+}
+
+// take returns a bitset over [0,n) whose contents are arbitrary (the caller
+// overwrites them with And).
+func (sc *countScratch) take(n int) *bitset.Set {
+	if last := len(sc.spare) - 1; last >= 0 {
+		bs := sc.spare[last]
+		sc.spare = sc.spare[:last]
+		return bs
+	}
+	return bitset.New(n)
+}
+
+// recycle moves this call's still-owned bitsets to the free list and drops
+// the register references so evicted cache entries are not pinned.
+func (sc *countScratch) recycle(size int) {
+	sc.spare = append(sc.spare, sc.owned...)
+	sc.owned = sc.owned[:0]
+	inter := sc.inter[:size]
+	for i := range inter {
+		inter[i] = nil
+	}
+}
+
+// countOne builds the contingency table of one itemset.
+//
+// Subset intersections are decomposed by their highest item: the TID-list
+// of sub-itemset {set[b1..bt]} (b1<…<bt) is inter[{b1..b(t-1)}] ∩ col(bt).
+// Two properties follow. First, a mask whose highest bit is the last item
+// is never a building block of any other mask, so its support is popcounted
+// straight off the operands (bitset.AndCount) without materializing the
+// intersection — half the lattice allocates nothing. Second, the masks
+// (1<<j)-1 are exactly the canonical j-item prefixes of the set, which is
+// what makes the prefix cache compose with the walk: a cached prefix seeds
+// its register directly, and a computed prefix is handed to the cache for
+// the sibling and next-level candidates that share it.
 func (b *BitmapCounter) countOne(set itemset.Set) (*contingency.Table, error) {
 	k := set.Size()
 	if k > contingency.MaxItems {
@@ -214,26 +362,49 @@ func (b *BitmapCounter) countOne(set itemset.Set) (*contingency.Table, error) {
 	}
 	n := b.idx.NumTx()
 	size := 1 << uint(k)
-	// g[mask] = support of the sub-itemset selected by mask.
+	// g[mask] = support of the sub-itemset selected by mask. It becomes the
+	// table's cell slice after inversion, so it cannot be pooled.
 	g := make([]int, size)
 	g[0] = n
 	if k > 0 {
-		inter := make([]*bitset.Set, size)
+		sc := b.scratch.Get().(*countScratch)
+		inter := sc.registers(size)
 		for mask := 1; mask < size; mask++ {
-			low := mask & -mask
-			j := trailingZeros(low)
-			col := b.idx.Column(set[j])
-			rest := mask ^ low
+			high := bits.Len(uint(mask)) - 1
+			rest := mask &^ (1 << uint(high))
+			col := b.idx.Column(set[high])
 			if rest == 0 {
 				inter[mask] = col
-				g[mask] = col.Count()
+				g[mask] = b.items[set[high]]
 				continue
 			}
-			bs := bitset.New(n)
+			// prefix: mask selects set[0..high] exactly — a cacheable
+			// canonical sub-itemset (and, at mask size-1, the set itself).
+			prefix := b.cache != nil && mask == (1<<uint(high+1))-1
+			if prefix {
+				sc.key = set[:high+1].AppendKey(sc.key[:0])
+				if tids, count, ok := b.cache.get(sc.key); ok {
+					inter[mask] = tids
+					g[mask] = count
+					continue
+				}
+			}
+			if high == k-1 && !prefix {
+				// Never reused as a sub-intersection: count, don't build.
+				g[mask] = bitset.AndCount(inter[rest], col)
+				continue
+			}
+			bs := sc.take(n)
 			bs.And(inter[rest], col)
 			inter[mask] = bs
 			g[mask] = bs.Count()
+			if prefix && b.cache.put(sc.key, bs, g[mask]) {
+				continue // ownership moved to the cache; not recyclable
+			}
+			sc.owned = append(sc.owned, bs)
 		}
+		sc.recycle(size)
+		b.scratch.Put(sc)
 	}
 	// Möbius inversion over subsets: after the transform,
 	// g[mask] = #transactions whose intersection with set is exactly mask.
@@ -246,13 +417,4 @@ func (b *BitmapCounter) countOne(set itemset.Set) (*contingency.Table, error) {
 		}
 	}
 	return contingency.New(set, n, g)
-}
-
-func trailingZeros(x int) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }

@@ -15,6 +15,13 @@ import (
 // others (the vertical index is read-only), so a batch parallelizes
 // embarrassingly; on a single core it degrades gracefully to the serial
 // cost.
+//
+// Work is handed out in prefix runs — maximal stretches of the batch whose
+// sets share everything but their last item. The mining core emits batches
+// in canonical order, so a run is exactly one sibling group; keeping it on
+// one worker means the worker that materializes (and caches) the shared
+// prefix is the one that immediately reuses it, without bouncing the
+// prefix cache's lock between workers.
 type ParallelCounter struct {
 	inner   *BitmapCounter
 	workers int
@@ -30,6 +37,16 @@ func NewParallelCounter(db *dataset.DB, workers int) *ParallelCounter {
 	return &ParallelCounter{inner: NewBitmapCounter(db), workers: workers}
 }
 
+// NewParallelCounterCached is NewParallelCounter with a shared
+// prefix-intersection cache of at most cacheBytes bytes (<= 0 means
+// DefaultCacheBytes) attached to the underlying bitmap kernel.
+func NewParallelCounterCached(db *dataset.DB, workers int, cacheBytes int64) *ParallelCounter {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelCounter{inner: NewCachedBitmapCounter(db, cacheBytes), workers: workers}
+}
+
 // NumTx implements Counter.
 func (p *ParallelCounter) NumTx() int { return p.inner.NumTx() }
 
@@ -39,15 +56,55 @@ func (p *ParallelCounter) ItemSupports() []int { return p.inner.ItemSupports() }
 // Stats implements Counter.
 func (p *ParallelCounter) Stats() Stats { return p.stats }
 
-// CountTables implements Counter. Workers pull itemset indices from a
-// shared channel; the first error wins and the batch still drains.
+// CacheStats snapshots the shared prefix cache (zero when uncached).
+func (p *ParallelCounter) CacheStats() CacheStats { return p.inner.CacheStats() }
+
+// ReleaseCache drops the shared prefix cache's entries; see
+// (*BitmapCounter).ReleaseCache.
+func (p *ParallelCounter) ReleaseCache() { p.inner.ReleaseCache() }
+
+// prefixRuns splits [0, len(sets)) into half-open index spans of adjacent
+// sets that share their full prefix (all items but the last). Sets of
+// different sizes, or with any differing prefix item, break the run.
+func prefixRuns(sets []itemset.Set) [][2]int {
+	runs := make([][2]int, 0, len(sets))
+	start := 0
+	for i := 1; i < len(sets); i++ {
+		if !samePrefixSet(sets[start], sets[i]) {
+			runs = append(runs, [2]int{start, i})
+			start = i
+		}
+	}
+	if len(sets) > 0 {
+		runs = append(runs, [2]int{start, len(sets)})
+	}
+	return runs
+}
+
+// samePrefixSet reports whether a and b have equal size and agree on every
+// item but the last. Singletons share only the empty prefix, so they never
+// group — grouping them would serialize a level-1 batch for no reuse.
+func samePrefixSet(a, b itemset.Set) bool {
+	if len(a) != len(b) || len(a) < 2 {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountTables implements Counter. Workers pull prefix runs from a shared
+// channel; the first error wins and the batch still drains.
 func (p *ParallelCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
 	return p.CountTablesContext(context.Background(), sets)
 }
 
 // CountTablesContext implements ContextCounter. Each worker polls ctx
 // before every set it counts; on cancellation the workers stop pulling,
-// the remaining indices are abandoned, and the call returns ctx.Err().
+// the remaining runs are abandoned, and the call returns ctx.Err().
 func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	p.stats.Batches++
 	p.stats.TablesBuilt += len(sets)
@@ -56,15 +113,16 @@ func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset
 	if len(sets) == 0 {
 		return out, nil
 	}
+	runs := prefixRuns(sets)
 	workers := p.workers
-	if workers > len(sets) {
-		workers = len(sets)
+	if workers > len(runs) {
+		workers = len(runs)
 	}
-	idx := make(chan int, len(sets))
-	for i := range sets {
-		idx <- i
+	work := make(chan [2]int, len(runs))
+	for _, r := range runs {
+		work <- r
 	}
-	close(idx)
+	close(work)
 
 	done := ctx.Done()
 	var (
@@ -83,17 +141,19 @@ func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				if cancelled(done) {
-					setErr(ctx.Err())
-					return
+			for r := range work {
+				for i := r[0]; i < r[1]; i++ {
+					if cancelled(done) {
+						setErr(ctx.Err())
+						return
+					}
+					t, err := p.inner.countOne(sets[i])
+					if err != nil {
+						setErr(err)
+						continue
+					}
+					out[i] = t
 				}
-				t, err := p.inner.countOne(sets[i])
-				if err != nil {
-					setErr(err)
-					continue
-				}
-				out[i] = t
 			}
 		}()
 	}

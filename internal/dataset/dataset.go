@@ -163,10 +163,11 @@ func (v *VerticalIndex) Support(s itemset.Set) int {
 	}
 	acc := bitset.New(v.numTx)
 	acc.CopyFrom(v.cols[s[0]])
-	for _, id := range s[1:] {
-		acc.And(acc, v.cols[id])
+	for _, id := range s[1 : len(s)-1] {
+		acc.AndWith(v.cols[id])
 	}
-	return acc.Count()
+	// The last column never needs materializing: popcount the intersection.
+	return bitset.AndCount(acc, v.cols[s[len(s)-1]])
 }
 
 // Stats summarizes a database for reporting.

@@ -206,8 +206,14 @@ func (s Set) Key() string {
 	if len(s) == 0 {
 		return ""
 	}
-	var b strings.Builder
-	b.Grow(len(s) * 5)
+	return string(s.AppendKey(make([]byte, 0, len(s)*5)))
+}
+
+// AppendKey appends the Key encoding of s to dst and returns the extended
+// slice. With a reused dst it allocates nothing, which is what hot map
+// lookups (e.g. the counting prefix cache) need: Go elides the allocation
+// in m[string(buf)].
+func (s Set) AppendKey(dst []byte) []byte {
 	var buf [binary.MaxVarintLen32]byte
 	prev := Item(0)
 	for i, v := range s {
@@ -216,10 +222,10 @@ func (s Set) Key() string {
 			delta = uint64(v - prev) // strictly positive since canonical
 		}
 		n := binary.PutUvarint(buf[:], delta)
-		b.Write(buf[:n])
+		dst = append(dst, buf[:n]...)
 		prev = v
 	}
-	return b.String()
+	return dst
 }
 
 // String renders s as {a, b, c}.

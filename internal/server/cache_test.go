@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"ccs/internal/gen"
+)
+
+// TestMineCacheBytes exercises the prefix-cache pass-through: mining with a
+// per-request cache budget must return exactly the answers of an uncached
+// run, and the knob must accept the server default, an explicit budget, and
+// an explicit opt-out.
+func TestMineCacheBytes(t *testing.T) {
+	srv := httptest.NewServer(New(WithCacheBytes(8 << 20)))
+	t.Cleanup(srv.Close)
+
+	cfg := gen.DefaultMethod2(500, 9)
+	cfg.NumItems = 40
+	cfg.NumRules = 3
+	db, _, err := gen.Method2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := srvFromHandler(t, srv)
+	s.AddDataset("market", db)
+
+	base := MineRequest{
+		Dataset: "market",
+		Algo:    "bms++",
+		Query:   "max(price) <= 40",
+		Alpha:   0.95,
+	}
+	mine := func(cacheBytes int64) MineResponse {
+		t.Helper()
+		req := base
+		req.CacheBytes = cacheBytes
+		resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/mine", req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("mine (cache_bytes=%d): %d %s", cacheBytes, resp.StatusCode, body)
+		}
+		var mr MineResponse
+		if err := json.Unmarshal(body, &mr); err != nil {
+			t.Fatal(err)
+		}
+		return mr
+	}
+
+	uncached := mine(-1)        // explicit opt-out
+	serverDefault := mine(0)    // server's -cache-bytes budget
+	perRequest := mine(1 << 20) // explicit per-request budget
+
+	if len(uncached.Answers) == 0 {
+		t.Fatal("mining produced no answers; the comparison is vacuous")
+	}
+	if !reflect.DeepEqual(uncached.Answers, serverDefault.Answers) {
+		t.Fatalf("server-default cache changed the answers:\n  uncached: %v\n  cached:   %v",
+			uncached.Answers, serverDefault.Answers)
+	}
+	if !reflect.DeepEqual(uncached.Answers, perRequest.Answers) {
+		t.Fatalf("per-request cache changed the answers:\n  uncached: %v\n  cached:   %v",
+			uncached.Answers, perRequest.Answers)
+	}
+}
+
+// srvFromHandler recovers the *Server behind an httptest server started
+// with New(...) so tests can seed datasets directly.
+func srvFromHandler(t *testing.T, ts *httptest.Server) *Server {
+	t.Helper()
+	s, ok := ts.Config.Handler.(*Server)
+	if !ok {
+		t.Fatalf("handler is %T, want *Server", ts.Config.Handler)
+	}
+	return s
+}

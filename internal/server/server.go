@@ -32,6 +32,7 @@ import (
 
 	"ccs/internal/constraint"
 	"ccs/internal/core"
+	"ccs/internal/counting"
 	"ccs/internal/cql"
 	"ccs/internal/dataset"
 	"ccs/internal/gen"
@@ -54,6 +55,7 @@ type Server struct {
 	handler  http.Handler
 
 	mineTimeout time.Duration
+	cacheBytes  int64
 	logger      *obs.Logger
 	tracer      *obs.Tracer
 	reqSeq      atomic.Int64
@@ -69,6 +71,15 @@ type Option func(*Server)
 // server-side limit.
 func WithMineTimeout(d time.Duration) Option {
 	return func(s *Server) { s.mineTimeout = d }
+}
+
+// WithCacheBytes sets the default byte budget of the per-request
+// prefix-intersection cache used by /v1/mine (ccsserve -cache-bytes). 0
+// (the default) counts without a cache; a request can override either way
+// with its cache_bytes field. Cache effectiveness is observable as the
+// ccs_prefix_cache_* series on the ops listener's /metrics.
+func WithCacheBytes(n int64) Option {
+	return func(s *Server) { s.cacheBytes = n }
 }
 
 // WithLogWriter routes the server's structured log — one JSON object per
@@ -310,6 +321,10 @@ type MineRequest struct {
 	// exceeding either truncates the run the same way a timeout does.
 	MaxCandidates int   `json:"max_candidates,omitempty"`
 	MaxCells      int64 `json:"max_cells,omitempty"`
+	// CacheBytes overrides the server's prefix-intersection cache budget
+	// for this request: > 0 sets the byte budget, < 0 disables the cache,
+	// 0 keeps the server default (ccsserve -cache-bytes).
+	CacheBytes int64 `json:"cache_bytes,omitempty"`
 }
 
 // MineResponse is the JSON reply of POST /v1/mine.
@@ -404,6 +419,18 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	span := tr.StartSpan("setup")
 
 	opts := []core.Option{}
+	if cacheBytes := s.cacheBytes; req.CacheBytes != 0 || cacheBytes > 0 {
+		if req.CacheBytes != 0 {
+			cacheBytes = req.CacheBytes
+		}
+		if cacheBytes > 0 {
+			cc := counting.NewCachedBitmapCounter(db, cacheBytes)
+			// Returning the cache's bytes keeps the ccs_prefix_cache_bytes
+			// gauge tracking live requests only.
+			defer cc.ReleaseCache()
+			opts = append(opts, core.WithCounter(cc))
+		}
+	}
 	if req.MaxCandidates > 0 || req.MaxCells > 0 {
 		opts = append(opts, core.WithBudget(core.Budget{
 			MaxCandidates: req.MaxCandidates,
