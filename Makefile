@@ -44,15 +44,18 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzRead$$' -fuzztime=10s ./internal/dataset
 	$(GO) test -run='^$$' -fuzz=FuzzSetOps -fuzztime=10s ./internal/bitset
 
-# tracked benchmark baseline: counting kernels + mining algorithms,
-# written to BENCH_counting.json (see DESIGN.md §9 and cmd/ccsperf)
+# tracked benchmark baselines: counting kernels to BENCH_counting.json,
+# end-to-end mining algorithms (serial + parallel, with speedup metrics)
+# to BENCH_core.json (see DESIGN.md §9-10 and cmd/ccsperf)
 bench:
-	$(GO) run ./cmd/ccsperf -out BENCH_counting.json
+	$(GO) run ./cmd/ccsperf -out BENCH_counting.json -core-out BENCH_core.json
 
 # CI variant: small fixed iteration counts, compared against the committed
-# baseline (allocation regressions fail, wall-clock only warns)
+# baselines (allocation regressions fail, wall-clock only warns)
 bench-check:
-	$(GO) run ./cmd/ccsperf -short -out BENCH_counting.ci.json -check BENCH_counting.json
+	$(GO) run ./cmd/ccsperf -short \
+		-out BENCH_counting.ci.json -check BENCH_counting.json \
+		-core-out BENCH_core.ci.json -core-check BENCH_core.json
 
 # every testing.B benchmark in the repo, including the paper figures
 bench-all:

@@ -55,6 +55,7 @@ func run(args []string, out io.Writer) error {
 	verbose := fs.Bool("v", false, "print per-level progress while mining")
 	progress := fs.Bool("progress", false, "write live per-level progress with elapsed time to stderr while mining")
 	stream := fs.Bool("stream", false, "stream the dataset from disk on every scan (bounded memory; binary format only)")
+	workers := fs.Int("workers", 0, "level-engine worker goroutines: 0 = GOMAXPROCS, 1 = serial; answers are identical at every setting")
 	explain := fs.Bool("explain", false, "print the query plan (classification, selectivity, recommendation) and exit")
 	asJSON := fs.Bool("json", false, "emit the answers and statistics as JSON")
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +99,9 @@ func run(args []string, out io.Writer) error {
 		MaxLevel:        *maxLevel,
 	}
 	var opts []core.Option
+	if *workers != 0 {
+		opts = append(opts, core.WithWorkers(*workers))
+	}
 	if *stream {
 		if *textData {
 			return fmt.Errorf("-stream requires the binary dataset format")

@@ -1,19 +1,24 @@
-// Command ccsperf runs the counting-kernel and algorithm benchmark suites
-// and writes the results as a stable JSON baseline (BENCH_counting.json).
+// Command ccsperf runs the counting-kernel and mining-algorithm benchmark
+// suites and writes each as a stable JSON baseline:
 //
-//	ccsperf [-out BENCH_counting.json] [-short] [-check baseline.json] [-pkg ...]
+//	ccsperf [-out BENCH_counting.json] [-core-out BENCH_core.json] [-short] \
+//	        [-check baseline.json] [-core-check baseline.json]
 //
-// The suite covers the counting engines (BenchmarkCount, level 2-4, all
-// engines, with cache hit rates) and the end-to-end mining algorithms
-// (BenchmarkAlgo). -short shrinks -benchtime for CI; -check compares the
-// fresh run against a committed baseline and exits nonzero when an
-// allocation count regresses (allocations are deterministic; wall-clock
-// differences only warn).
+// The counting suite (BENCH_counting.json) covers the counting engines
+// (BenchmarkCount, level 2-4, all engines, with cache hit rates). The
+// core suite (BENCH_core.json) covers the end-to-end mining algorithms:
+// BenchmarkAlgo in serial and parallel mode — the parallel lines carry
+// "workers" and "speedup" metrics — plus the prefix-cache ablations.
+// -short shrinks -benchtime for CI; -check/-core-check compare the fresh
+// runs against committed baselines and exit nonzero when an allocation
+// count regresses (allocations are deterministic; wall-clock differences
+// only warn).
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,22 +37,27 @@ func main() {
 	}
 }
 
-// suiteSpec is one `go test -bench` invocation of the suite.
+// suiteSpec is one `go test -bench` invocation of a suite.
 type suiteSpec struct {
 	pkg     string
 	pattern string
 }
 
-var defaultSuite = []suiteSpec{
+var countingSuite = []suiteSpec{
 	{pkg: "./internal/counting", pattern: "^(BenchmarkCount|BenchmarkCountCrossLevel)$"},
+}
+
+var coreSuite = []suiteSpec{
 	{pkg: "./internal/core", pattern: "^(BenchmarkAlgo|BenchmarkAblationPrefixCacheOn|BenchmarkAblationPrefixCacheOff)$"},
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsperf", flag.ContinueOnError)
-	outPath := fs.String("out", "BENCH_counting.json", "where to write the JSON report (empty = stdout only)")
+	outPath := fs.String("out", "BENCH_counting.json", "where to write the counting-suite JSON report (empty = stdout only)")
+	coreOutPath := fs.String("core-out", "BENCH_core.json", "where to write the core-suite JSON report (empty = stdout only)")
 	short := fs.Bool("short", false, "CI mode: fixed small -benchtime instead of the 1s default")
-	check := fs.String("check", "", "baseline JSON to compare against; allocation regressions fail the run")
+	check := fs.String("check", "", "counting baseline JSON to compare against; allocation regressions fail the run")
+	coreCheck := fs.String("core-check", "", "core baseline JSON to compare against; allocation regressions fail the run")
 	benchtime := fs.String("benchtime", "", "override -benchtime passed to go test (default: 20x with -short, 1s otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,43 +71,62 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	report := &bench.PerfReport{Suite: "counting+core", GoVersion: runtime.Version()}
-	if *short {
-		report.Suite += " short"
+	type job struct {
+		suiteName string
+		specs     []suiteSpec
+		outPath   string
+		check     string
 	}
-	for _, s := range defaultSuite {
-		rep, err := runSuite(s, bt, out)
+	jobs := []job{
+		{"counting", countingSuite, *outPath, *check},
+		{"core", coreSuite, *coreOutPath, *coreCheck},
+	}
+	var checkErrs []error
+	for _, j := range jobs {
+		report := &bench.PerfReport{Suite: j.suiteName, GoVersion: runtime.Version()}
+		if *short {
+			report.Suite += " short"
+		}
+		for _, s := range j.specs {
+			rep, err := runSuite(s, bt, out)
+			if err != nil {
+				return err
+			}
+			if rep.CPU != "" {
+				report.CPU = rep.CPU
+			}
+			report.Benchmarks = append(report.Benchmarks, rep.Benchmarks...)
+		}
+		if len(report.Benchmarks) == 0 {
+			return fmt.Errorf("no benchmark lines parsed for %s suite — wrong working directory?", j.suiteName)
+		}
+		report.Sort()
+
+		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
 		}
-		if rep.CPU != "" {
-			report.CPU = rep.CPU
+		data = append(data, '\n')
+		if j.outPath != "" {
+			if err := os.WriteFile(j.outPath, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s (%d benchmarks)\n", j.outPath, len(report.Benchmarks))
+		} else {
+			if _, err := out.Write(data); err != nil {
+				return err
+			}
 		}
-		report.Benchmarks = append(report.Benchmarks, rep.Benchmarks...)
-	}
-	if len(report.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark lines parsed — wrong working directory?")
-	}
-	report.Sort()
-
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if *outPath != "" {
-		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "wrote %s (%d benchmarks)\n", *outPath, len(report.Benchmarks))
-	} else {
-		if _, err := out.Write(data); err != nil {
-			return err
+		if j.check != "" {
+			// run every suite before failing so one regression does not
+			// hide the other suite's report
+			if err := checkBaseline(j.check, report, out); err != nil {
+				checkErrs = append(checkErrs, err)
+			}
 		}
 	}
-
-	if *check != "" {
-		return checkBaseline(*check, report, out)
+	if len(checkErrs) > 0 {
+		return errors.Join(checkErrs...)
 	}
 	return nil
 }

@@ -63,6 +63,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	writeTimeout := fs.Duration("write-timeout", 5*time.Minute, "max time to write a response (0 = unlimited)")
 	mineTimeout := fs.Duration("mine-timeout", time.Minute, "wall-clock budget per mining request; exceeding it returns the completed levels with truncated=true (0 = unlimited)")
 	cacheBytes := fs.Int64("cache-bytes", counting.DefaultCacheBytes, "prefix-intersection cache budget per mining request, in bytes (0 = no cache); hit/miss/eviction rates surface as ccs_prefix_cache_* on the ops /metrics")
+	workers := fs.Int("workers", 0, "default level-engine worker count per mining request (0 = GOMAXPROCS, 1 = serial); a request can override with its workers field")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "drain deadline for in-flight requests on SIGINT/SIGTERM")
 	var data dataFlags
 	fs.Var(&data, "data", "preload dataset as name=path (repeatable)")
@@ -70,7 +71,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	srv := server.New(server.WithMineTimeout(*mineTimeout), server.WithCacheBytes(*cacheBytes))
+	srv := server.New(server.WithMineTimeout(*mineTimeout), server.WithCacheBytes(*cacheBytes), server.WithWorkers(*workers))
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

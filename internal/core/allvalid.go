@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ccs/internal/constraint"
+	"ccs/internal/contingency"
 	"ccs/internal/itemset"
 )
 
@@ -51,16 +52,31 @@ func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) 
 		stats.Levels++
 		levelStart := time.Now()
 		m.report("AllValid", "levelwise", level, len(cands))
-		kept := cands[:0]
-		for _, c := range cands {
-			if split.SatisfiesAMOther(m.cat, c) {
-				kept = append(kept, c)
-			} else {
-				stats.PrunedByAM++
-			}
-		}
-		cands = kept
-		tables, err := m.countBatchCtl(ctl, &stats, cands)
+		var suppLevel, answersLevel []itemset.Set
+		err := m.runLevel(ctl, &stats, levelSpec{
+			algo:  algo,
+			cands: cands,
+			pre: func(c itemset.Set) shardVerdict {
+				if split.SatisfiesAMOther(m.cat, c) {
+					return keepSet
+				}
+				return dropSetAM
+			},
+			eval: func(s itemset.Set, t *contingency.Table) {
+				if !t.CTSupported(m.res.s, m.res.CTFraction) {
+					return
+				}
+				suppLevel = append(suppLevel, s)
+				if !m.correlated(&stats, t) {
+					return
+				}
+				// exact validity: monotone and unclassified constraints are
+				// evaluated directly on every correlated set
+				if split.SatisfiesM(m.cat, s) && satisfiesOther(split, m, s) {
+					answersLevel = append(answersLevel, s)
+				}
+			},
+		})
 		if err != nil {
 			if cause = ctl.truncation(err); cause != nil {
 				stats.endLevel(levelStart)
@@ -68,22 +84,10 @@ func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) 
 			}
 			return nil, err
 		}
-		var suppLevel []itemset.Set
-		for i, t := range tables {
-			if !t.CTSupported(m.res.s, m.res.CTFraction) {
-				continue
-			}
-			supp.Add(cands[i])
-			suppLevel = append(suppLevel, cands[i])
-			if !m.correlated(&stats, t) {
-				continue
-			}
-			// exact validity: monotone and unclassified constraints are
-			// evaluated directly on every correlated set
-			if split.SatisfiesM(m.cat, cands[i]) && satisfiesOther(split, m, cands[i]) {
-				answers = append(answers, cands[i])
-			}
+		for _, s := range suppLevel {
+			supp.Add(s)
 		}
+		answers = append(answers, answersLevel...)
 		cands = extend(suppLevel, l1, nil, supp)
 		stats.Candidates += len(cands)
 		stats.endLevel(levelStart)

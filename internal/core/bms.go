@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"ccs/internal/contingency"
 	"ccs/internal/itemset"
 )
 
@@ -21,8 +22,9 @@ type bmsOutcome struct {
 // every subset is CT-supported but uncorrelated (NOTSIG) are counted; a
 // candidate that is CT-supported and correlated is a minimal correlated set
 // and is never expanded. Truncation discards the level in flight, so sig is
-// always a per-level prefix of the full run.
-func (m *Miner) runBaseline(ctl *runCtl) (*bmsOutcome, error) {
+// always a per-level prefix of the full run. algo labels the level engine's
+// shard metrics (the baseline also serves BMS+ and BMS*).
+func (m *Miner) runBaseline(ctl *runCtl, algo string) (*bmsOutcome, error) {
 	out := &bmsOutcome{}
 	l1 := m.frequentItems(nil)
 	notsig := itemset.NewRegistry()
@@ -37,7 +39,23 @@ func (m *Miner) runBaseline(ctl *runCtl) (*bmsOutcome, error) {
 		out.stats.Levels++
 		levelStart := time.Now()
 		m.report("BMS", "levelwise", level, len(cands))
-		tables, err := m.countBatchCtl(ctl, &out.stats, cands)
+		// Level effects stay in these buffers until the level completes, so
+		// a level truncated mid-shard is discarded whole.
+		var sigLevel, notsigLevel []itemset.Set
+		err := m.runLevel(ctl, &out.stats, levelSpec{
+			algo:  algo,
+			cands: cands,
+			eval: func(s itemset.Set, t *contingency.Table) {
+				if !t.CTSupported(m.res.s, m.res.CTFraction) {
+					return
+				}
+				if m.correlated(&out.stats, t) {
+					sigLevel = append(sigLevel, s)
+				} else {
+					notsigLevel = append(notsigLevel, s)
+				}
+			},
+		})
 		if err != nil {
 			if cause := ctl.truncation(err); cause != nil {
 				out.cause = cause
@@ -46,17 +64,9 @@ func (m *Miner) runBaseline(ctl *runCtl) (*bmsOutcome, error) {
 			}
 			return nil, err
 		}
-		var notsigLevel []itemset.Set
-		for i, t := range tables {
-			if !t.CTSupported(m.res.s, m.res.CTFraction) {
-				continue
-			}
-			if m.correlated(&out.stats, t) {
-				out.sig = append(out.sig, cands[i])
-			} else {
-				notsig.Add(cands[i])
-				notsigLevel = append(notsigLevel, cands[i])
-			}
+		out.sig = append(out.sig, sigLevel...)
+		for _, s := range notsigLevel {
+			notsig.Add(s)
 		}
 		cands = extend(notsigLevel, l1, nil, notsig)
 		out.stats.Candidates += len(cands)

@@ -136,14 +136,17 @@ type Result struct {
 }
 
 // Miner binds a database, a counting engine and query parameters. Create
-// one with New and run any of the algorithm methods; a Miner is not safe
-// for concurrent use (the counter accumulates statistics).
+// one with New and run any of the algorithm methods. All run state lives
+// in per-run control blocks, so a Miner is safe for concurrent runs
+// exactly when its counter is: the bitmap-family counters (the default)
+// qualify, the horizontal scanners do not.
 type Miner struct {
 	cat      *dataset.Catalog
 	cnt      counting.Counter
 	res      resolved
 	progress ProgressFunc
 	budget   Budget
+	workers  int
 }
 
 // Option configures a Miner.
@@ -153,12 +156,25 @@ type minerConfig struct {
 	counter  counting.Counter
 	progress ProgressFunc
 	budget   Budget
+	workers  int
 }
 
 // WithCounter selects the counting engine (default: a BitmapCounter built
 // from the database).
 func WithCounter(c counting.Counter) Option {
 	return func(cfg *minerConfig) { cfg.counter = c }
+}
+
+// WithWorkers sets the number of worker goroutines the level engine uses
+// to shard each lattice level's candidate evaluation (see parallel.go):
+// 0 (the default) means GOMAXPROCS, 1 forces the exact serial path, and
+// negative values are treated as 1. Parallel counting requires a counter
+// implementing counting.ShardCounter (the bitmap family); with any other
+// counter the engine silently runs serially. Workers only changes
+// wall-clock time — the mined answers, Stats counters, and truncation
+// behavior are identical at every setting.
+func WithWorkers(n int) Option {
+	return func(cfg *minerConfig) { cfg.workers = n }
 }
 
 // ProgressEvent reports one lattice level of work as it starts.
@@ -198,7 +214,7 @@ func New(db *dataset.DB, p Params, opts ...Option) (*Miner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Miner{cat: db.Catalog, cnt: cfg.counter, res: r, progress: cfg.progress, budget: cfg.budget}, nil
+	return &Miner{cat: db.Catalog, cnt: cfg.counter, res: r, progress: cfg.progress, budget: cfg.budget, workers: cfg.workers}, nil
 }
 
 // Catalog returns the item catalog the miner operates over.

@@ -2,7 +2,9 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"ccs/internal/constraint"
 	"ccs/internal/counting"
@@ -105,9 +107,30 @@ func BenchmarkBMSStarStar(b *testing.B) {
 	}
 }
 
+// benchParallelWorkers is the worker count of BenchmarkAlgo's parallel
+// mode: GOMAXPROCS on a real multi-core runner, and a fixed 4 when
+// GOMAXPROCS is 1 so the sharded engine is still exercised (and its
+// overhead visible) on single-core machines.
+func benchParallelWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		return w
+	}
+	return 4
+}
+
+// benchSerialNs records each algorithm's serial per-op time within one
+// BenchmarkAlgo invocation so the parallel sub-benchmark can report its
+// speedup. Sub-benchmarks run in declaration order (serial before
+// parallel), never concurrently.
+var benchSerialNs = map[string]float64{}
+
 // BenchmarkAlgo runs every mining algorithm end to end over a shared
-// prefix-cached counter — the configuration ccsserve uses per request and
-// the suite cmd/ccsperf tracks in BENCH_counting.json.
+// prefix-cached counter — the configuration ccsserve uses per request —
+// in two modes: serial (Workers=1, the exact old path) and parallel
+// (Workers=GOMAXPROCS, the sharded level engine). cmd/ccsperf tracks the
+// suite in BENCH_core.json; the parallel lines carry "workers" and
+// "speedup" metrics (speedup = serial ns/op of the same run ÷ parallel
+// ns/op, so it is meaningful only on multi-core runners).
 func BenchmarkAlgo(b *testing.B) {
 	db := getBenchDB(b)
 	q := benchQuery()
@@ -124,24 +147,43 @@ func BenchmarkAlgo(b *testing.B) {
 			_, err := m.BMSStarStar(qMin, StarStarOptions{PushMonotoneSuccinct: true})
 			return err
 		}},
+		{"all-valid", func(m *Miner) error { _, err := m.AllValid(q); return err }},
 	}
 	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			cc := counting.NewCachedBitmapCounter(db, counting.DefaultCacheBytes)
-			defer cc.ReleaseCache()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				m, err := New(db, benchParams(), WithCounter(cc))
-				if err != nil {
-					b.Fatal(err)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{
+			{"serial", 1},
+			{"parallel", benchParallelWorkers()},
+		} {
+			b.Run(c.name+"/"+mode.name, func(b *testing.B) {
+				cc := counting.NewCachedBitmapCounter(db, counting.DefaultCacheBytes)
+				defer cc.ReleaseCache()
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					m, err := New(db, benchParams(), WithCounter(cc), WithWorkers(mode.workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := c.run(m); err != nil {
+						b.Fatal(err)
+					}
 				}
-				if err := c.run(m); err != nil {
-					b.Fatal(err)
+				perOp := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+				b.ReportMetric(float64(mode.workers), "workers")
+				if mode.name == "serial" {
+					if prev, ok := benchSerialNs[c.name]; !ok || perOp < prev {
+						benchSerialNs[c.name] = perOp
+					}
+				} else if serial, ok := benchSerialNs[c.name]; ok && perOp > 0 {
+					b.ReportMetric(serial/perOp, "speedup")
 				}
-			}
-			b.ReportMetric(cc.CacheStats().HitRate(), "cache-hit-rate")
-		})
+				b.ReportMetric(cc.CacheStats().HitRate(), "cache-hit-rate")
+			})
+		}
 	}
 	// Brute refuses catalogs past 24 items, so it gets its own small DB.
 	b.Run("brute", func(b *testing.B) {

@@ -160,7 +160,7 @@ func (m *Miner) BMSContext(ctx context.Context) (*Result, error) {
 	startMine(algo)
 	ctl, release := m.newCtl(ctx)
 	defer release()
-	out, err := m.runBaseline(ctl)
+	out, err := m.runBaseline(ctl, algo)
 	if err != nil {
 		return nil, err
 	}

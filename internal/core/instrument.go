@@ -24,7 +24,21 @@ const (
 	// MetricCellsCountedTotal counts contingency-table cells charged to
 	// counting batches (2^k per k-set).
 	MetricCellsCountedTotal = "ccs_cells_counted_total"
+	// MetricShardsTotal counts candidate shards counted by the parallel
+	// level engine, by algorithm.
+	MetricShardsTotal = "ccs_mine_shards_total"
+	// MetricShardSeconds observes the wall-clock duration of counting one
+	// candidate shard.
+	MetricShardSeconds = "ccs_mine_shard_seconds"
+	// MetricWorkersBusy gauges level-engine workers currently counting a
+	// shard; its ratio to the configured worker count is the pool's
+	// utilization.
+	MetricWorkersBusy = "ccs_mine_workers_busy"
 )
+
+// shardSecondsBuckets spans microsecond shards (tiny levels) through the
+// multi-second shards of disk-resident datasets.
+var shardSecondsBuckets = []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5, 30}
 
 var (
 	minesStarted   = obs.Default().CounterVec(MetricMinesTotal, "Mining runs started, by algorithm.", "algo")
@@ -33,6 +47,9 @@ var (
 	minedLevels    = obs.Default().CounterVec(MetricLevelsTotal, "Lattice levels visited, by algorithm.", "algo")
 	minedCands     = obs.Default().CounterVec(MetricCandidatesTotal, "Candidate sets generated, by algorithm.", "algo")
 	countedCells   = obs.Default().CounterVec(MetricCellsCountedTotal, "Contingency-table cells counted (2^k per k-set), by algorithm.", "algo")
+	minedShards    = obs.Default().CounterVec(MetricShardsTotal, "Candidate shards counted by the parallel level engine, by algorithm.", "algo")
+	shardSeconds   = obs.Default().Histogram(MetricShardSeconds, "Wall-clock seconds spent counting one candidate shard.", shardSecondsBuckets)
+	workersBusy    = obs.Default().Gauge(MetricWorkersBusy, "Level-engine workers currently counting a shard.")
 )
 
 // startMine records the start of one algorithm run.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ccs/internal/constraint"
+	"ccs/internal/contingency"
 	"ccs/internal/itemset"
 )
 
@@ -35,7 +36,7 @@ func (m *Miner) BMSStarContext(ctx context.Context, q *constraint.Conjunction) (
 	startMine(algo)
 	ctl, release := m.newCtl(ctx)
 	defer release()
-	out, err := m.runBaseline(ctl)
+	out, err := m.runBaseline(ctl, algo)
 	if err != nil {
 		return nil, err
 	}
@@ -125,21 +126,33 @@ func (m *Miner) sweepUp(ctl *runCtl, stats *Stats, split *constraint.Split, seed
 		// (they are already known correlated and CT-supported)
 		stats.Candidates += len(cands)
 
-		// drop candidates that fail AM constraints or contain an answer
-		kept := cands[:0]
-		for _, c := range cands {
-			if answers.ContainsSubsetOf(c) {
-				continue
-			}
-			if !split.SatisfiesAMOther(m.cat, c) {
-				stats.PrunedByAM++
-				continue
-			}
-			kept = append(kept, c)
-		}
-		cands = kept
-
-		tables, err := m.countBatchCtl(ctl, stats, cands)
+		var answersLevel, frontierNew []itemset.Set
+		err := m.runLevel(ctl, stats, levelSpec{
+			algo:  "bms*",
+			cands: cands,
+			// drop candidates that fail AM constraints or contain an answer
+			// (answers is read-only until the level commits, so the check is
+			// safe to run concurrently)
+			pre: func(c itemset.Set) shardVerdict {
+				if answers.ContainsSubsetOf(c) {
+					return dropSet
+				}
+				if !split.SatisfiesAMOther(m.cat, c) {
+					return dropSetAM
+				}
+				return keepSet
+			},
+			eval: func(s itemset.Set, t *contingency.Table) {
+				if !t.CTSupported(m.res.s, m.res.CTFraction) {
+					return
+				}
+				if split.SatisfiesM(m.cat, s) {
+					answersLevel = append(answersLevel, s)
+				} else {
+					frontierNew = append(frontierNew, s)
+				}
+			},
+		})
 		if err != nil {
 			if cause := ctl.truncation(err); cause != nil {
 				stats.endLevel(levelStart)
@@ -147,15 +160,13 @@ func (m *Miner) sweepUp(ctl *runCtl, stats *Stats, split *constraint.Split, seed
 			}
 			return nil, err
 		}
+		for _, s := range answersLevel {
+			answers.Add(s)
+		}
 		frontierLevel = frontierLevel[:0]
-		for i, t := range tables {
-			if !t.CTSupported(m.res.s, m.res.CTFraction) {
-				continue
-			}
-			if split.SatisfiesM(m.cat, cands[i]) {
-				answers.Add(cands[i])
-			} else if frontier.Add(cands[i]) {
-				frontierLevel = append(frontierLevel, cands[i])
+		for _, s := range frontierNew {
+			if frontier.Add(s) {
+				frontierLevel = append(frontierLevel, s)
 			}
 		}
 		for _, s := range byLevel[level+1] {
@@ -170,19 +181,37 @@ func (m *Miner) sweepUp(ctl *runCtl, stats *Stats, split *constraint.Split, seed
 
 // extendAny returns the deduplicated one-item extensions of the bases — the
 // upward sweep has no Apriori prune because its frontier is not
-// subset-closed.
+// subset-closed. The output is pre-sized to the worst case (every pool item
+// extends every base) and base membership is tested against a bitmask over
+// item IDs instead of a per-item binary search.
 func extendAny(bases []itemset.Set, pool []itemset.Item) []itemset.Set {
-	seen := itemset.NewRegistry()
-	var out []itemset.Set
+	if len(bases) == 0 || len(pool) == 0 {
+		return nil
+	}
+	maxID := pool[len(pool)-1] // pool is ascending (frequentItems)
 	for _, b := range bases {
+		if last := b[len(b)-1]; last > maxID {
+			maxID = last
+		}
+	}
+	inBase := make([]uint64, int(maxID)/64+1)
+	seen := itemset.NewRegistry()
+	out := make([]itemset.Set, 0, len(bases)*len(pool))
+	for _, b := range bases {
+		for _, x := range b {
+			inBase[x>>6] |= 1 << (x & 63)
+		}
 		for _, x := range pool {
-			if b.Contains(x) {
+			if inBase[x>>6]&(1<<(x&63)) != 0 {
 				continue
 			}
 			c := b.With(x)
 			if seen.Add(c) {
 				out = append(out, c)
 			}
+		}
+		for _, x := range b {
+			inBase[x>>6] &^= 1 << (x & 63)
 		}
 	}
 	itemset.SortSets(out)
@@ -282,16 +311,28 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 		stats.Levels++
 		levelStart := time.Now()
 		m.report("BMS**", "supp", level, len(cands))
-		kept := cands[:0]
-		for _, c := range cands {
-			if split.SatisfiesAMOther(m.cat, c) {
-				kept = append(kept, c)
-			} else {
-				stats.PrunedByAM++
-			}
-		}
-		cands = kept
-		tables, err := m.countBatchCtl(ctl, &stats, cands)
+		// The chi-squared statistic is computed here, while the table is
+		// hot, but buffered with the level's sets and only entered into the
+		// SUPP store once the level commits.
+		var lvSets []itemset.Set
+		var lvChis []float64
+		err := m.runLevel(ctl, &stats, levelSpec{
+			algo:  algo,
+			cands: cands,
+			pre: func(c itemset.Set) shardVerdict {
+				if split.SatisfiesAMOther(m.cat, c) {
+					return keepSet
+				}
+				return dropSetAM
+			},
+			eval: func(s itemset.Set, t *contingency.Table) {
+				if !t.CTSupported(m.res.s, m.res.CTFraction) {
+					return
+				}
+				lvSets = append(lvSets, s)
+				lvChis = append(lvChis, t.ChiSquared())
+			},
+		})
 		if err != nil {
 			if cause = ctl.truncation(err); cause != nil {
 				stats.endLevel(levelStart)
@@ -299,14 +340,10 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 			}
 			return nil, err
 		}
-		var lv suppLevel
-		for i, t := range tables {
-			if !t.CTSupported(m.res.s, m.res.CTFraction) {
-				continue
-			}
-			supp.Add(cands[i])
-			lv.sets = append(lv.sets, cands[i])
-			allTables = append(allTables, &tableEntry{set: cands[i], chi: t.ChiSquared()})
+		lv := suppLevel{sets: lvSets}
+		for i, s := range lvSets {
+			supp.Add(s)
+			allTables = append(allTables, &tableEntry{set: s, chi: lvChis[i]})
 			lv.tables = append(lv.tables, len(allTables)-1)
 		}
 		levels = append(levels, lv)

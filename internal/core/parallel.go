@@ -1,0 +1,290 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"ccs/internal/contingency"
+	"ccs/internal/counting"
+	"ccs/internal/itemset"
+)
+
+// This file implements the sharded, pipelined level engine every
+// level-wise algorithm runs on (see DESIGN.md §10). One lattice level's
+// work — anti-monotone pre-checks, counting, and statistical evaluation —
+// is described by a levelSpec and executed by runLevel. With Workers <= 1
+// (or a counter that cannot count concurrently) runLevel is the exact
+// serial path the algorithms always had; with more workers the candidate
+// batch is split into prefix-aligned shards, a worker pool pre-checks and
+// counts them, and a two-stage pipeline evaluates shard k on the mining
+// goroutine while the pool is still counting shard k+1. Evaluation always
+// happens in canonical batch order, and each algorithm buffers its
+// per-level effects until runLevel returns success, so the mined answers,
+// Stats counters, and budget/truncation behavior are byte-identical to the
+// serial run at every worker count.
+
+// shardVerdict is a pre-check's decision for one candidate.
+type shardVerdict uint8
+
+const (
+	// keepSet admits the candidate to counting.
+	keepSet shardVerdict = iota
+	// dropSet discards the candidate silently (e.g. the upward sweep
+	// dropping supersets of an already-found answer).
+	dropSet
+	// dropSetAM discards the candidate as failing a non-succinct
+	// anti-monotone constraint; counted in Stats.PrunedByAM.
+	dropSetAM
+)
+
+// levelSpec describes one lattice level's batched work.
+type levelSpec struct {
+	// algo labels the shard metrics; use the same lowercase name passed to
+	// startMine.
+	algo string
+	// cands is the level's candidate batch in canonical order
+	// (itemset.SortSets) — the order the prefix-aligned shards and the
+	// evaluation sequence both rely on.
+	cands []itemset.Set
+	// pre screens a candidate before counting; nil keeps every candidate.
+	// It must be a pure function of the candidate (it runs concurrently
+	// and its verdicts must not depend on evaluation order).
+	pre func(itemset.Set) shardVerdict
+	// eval consumes one counted candidate. Calls arrive strictly in
+	// canonical batch order on the mining goroutine, but — because a level
+	// in flight can still be discarded by cancellation — eval must only
+	// write level-local state that the caller commits after runLevel
+	// returns nil.
+	eval func(s itemset.Set, t *contingency.Table)
+}
+
+// minParallelCands is the smallest batch worth sharding; below it the
+// goroutine handoff costs more than the counting it would overlap.
+const minParallelCands = 16
+
+// shardsPerWorker oversubscribes the shard count so a slow shard (one
+// huge sibling group) does not leave the rest of the pool idle.
+const shardsPerWorker = 4
+
+// effectiveWorkers resolves the Workers knob: 0 means GOMAXPROCS,
+// anything below 1 means serial.
+func (m *Miner) effectiveWorkers() int {
+	w := m.workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runLevel executes one level under ctl. Its error contract matches
+// countBatchCtl: callers classify a non-nil error with ctl.truncation and
+// discard the level in flight. On success every kept candidate has been
+// evaluated exactly once, in canonical order.
+func (m *Miner) runLevel(ctl *runCtl, stats *Stats, spec levelSpec) error {
+	workers := m.effectiveWorkers()
+	if workers > 1 && len(spec.cands) >= minParallelCands {
+		if sc, ok := m.cnt.(counting.ShardCounter); ok {
+			return m.runLevelParallel(ctl, stats, spec, sc, workers)
+		}
+	}
+	return m.runLevelSerial(ctl, stats, spec)
+}
+
+// runLevelSerial is the exact single-threaded path: pre-check, one batched
+// count, in-order evaluation.
+func (m *Miner) runLevelSerial(ctl *runCtl, stats *Stats, spec levelSpec) error {
+	kept := spec.cands
+	if spec.pre != nil {
+		kept = spec.cands[:0]
+		for _, c := range spec.cands {
+			switch spec.pre(c) {
+			case keepSet:
+				kept = append(kept, c)
+			case dropSetAM:
+				stats.PrunedByAM++
+			}
+		}
+	}
+	tables, err := m.countBatchCtl(ctl, stats, kept)
+	if err != nil {
+		return err
+	}
+	for i, t := range tables {
+		spec.eval(kept[i], t)
+	}
+	return nil
+}
+
+// runLevelParallel shards the batch along prefix runs and pipelines
+// counting against evaluation. The budget is settled exactly as in the
+// serial path — the whole level's cells are charged and the trip decision
+// taken before any table is built or evaluated — so budget truncation is
+// deterministic across worker counts. Cancellation is observed per shard
+// (each CountShard call polls ctl.ctx); any shard error discards the
+// level whole, after the end-of-level barrier, which preserves the
+// whole-level prefix soundness guarantee of Result.Answers.
+func (m *Miner) runLevelParallel(ctl *runCtl, stats *Stats, spec levelSpec, sc counting.ShardCounter, workers int) error {
+	shards := shardSpans(spec.cands, workers)
+
+	// Stage 1: per-shard pre-checks. Each shard filters its own span of
+	// the batch in place (spans are disjoint, so workers never touch the
+	// same elements).
+	kept := make([][]itemset.Set, len(shards))
+	if spec.pre == nil {
+		for i, sp := range shards {
+			kept[i] = spec.cands[sp[0]:sp[1]]
+		}
+	} else {
+		pruned := make([]int, len(shards))
+		runPool(workers, len(shards), func(i int) {
+			sp := shards[i]
+			k := spec.cands[sp[0]:sp[0]]
+			for _, c := range spec.cands[sp[0]:sp[1]] {
+				switch spec.pre(c) {
+				case keepSet:
+					k = append(k, c)
+				case dropSetAM:
+					pruned[i]++
+				}
+			}
+			kept[i] = k
+		})
+		for _, n := range pruned {
+			stats.PrunedByAM += n
+		}
+	}
+
+	// Settle the budget for the whole level before dispatching any
+	// counting — the same charge, the same trip point, and the same cause
+	// values the serial countBatchCtl produces.
+	total := 0
+	for _, k := range kept {
+		for _, s := range k {
+			ctl.cells += int64(1) << uint(s.Size())
+		}
+		total += len(k)
+	}
+	if total == 0 {
+		return nil
+	}
+	if cause := ctl.interrupted(stats); cause != nil {
+		return cause
+	}
+	stats.DBScans++
+	stats.SetsConsidered += total
+
+	// Stage 2: the pool counts shards in dispatch order while this
+	// goroutine evaluates finished shards in index order — counting of
+	// shard k+1 overlaps evaluation of shard k.
+	type shardOut struct {
+		tables []*contingency.Table
+		err    error
+		done   chan struct{}
+	}
+	outs := make([]shardOut, len(shards))
+	for i := range outs {
+		outs[i].done = make(chan struct{})
+	}
+	work := make(chan int, len(shards))
+	for i := range shards {
+		work <- i
+	}
+	close(work)
+	n := workers
+	if n > len(shards) {
+		n = len(shards)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				workersBusy.Inc()
+				start := time.Now()
+				outs[i].tables, outs[i].err = sc.CountShard(ctl.ctx, kept[i])
+				workersBusy.Dec()
+				shardSeconds.Observe(time.Since(start).Seconds())
+				minedShards.With(spec.algo).Inc()
+				close(outs[i].done)
+			}
+		}()
+	}
+
+	var firstErr error
+	for i := range outs {
+		<-outs[i].done
+		if firstErr != nil {
+			continue
+		}
+		if outs[i].err != nil {
+			firstErr = outs[i].err
+			continue
+		}
+		for j, t := range outs[i].tables {
+			spec.eval(kept[i][j], t)
+		}
+	}
+	wg.Wait() // end-of-level barrier before the caller decides Truncated
+	return firstErr
+}
+
+// shardSpans splits the batch into at most workers*shardsPerWorker
+// contiguous index spans whose boundaries fall on prefix-run boundaries,
+// so every sibling group — the unit of prefix-cache reuse — stays on one
+// worker.
+func shardSpans(cands []itemset.Set, workers int) [][2]int {
+	runs := counting.PrefixRuns(cands)
+	maxShards := workers * shardsPerWorker
+	if len(runs) <= maxShards {
+		return runs
+	}
+	target := (len(cands) + maxShards - 1) / maxShards
+	spans := make([][2]int, 0, maxShards)
+	start, size := runs[0][0], 0
+	for _, r := range runs {
+		size += r[1] - r[0]
+		if size >= target {
+			spans = append(spans, [2]int{start, r[1]})
+			start, size = r[1], 0
+		}
+	}
+	if size > 0 {
+		spans = append(spans, [2]int{start, runs[len(runs)-1][1]})
+	}
+	return spans
+}
+
+// runPool runs fn(0..n-1) across at most workers goroutines and waits for
+// all of them.
+func runPool(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int, n)
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ccs/internal/constraint"
+	"ccs/internal/counting"
+	"ccs/internal/dataset"
+	"ccs/internal/itemset"
+)
+
+// wideDB builds a database wide enough (many items) that every algorithm's
+// level-2 batch clears minParallelCands and the sharded path actually runs.
+func wideDB(r *rand.Rand, nItems, nTx int) *dataset.DB {
+	return corrDB(r, nItems, nTx)
+}
+
+// runAlgo dispatches one named algorithm on m. The six names cover every
+// level-wise loop the parallel engine serves.
+func runAlgo(t testing.TB, m *Miner, algo string, q *constraint.Conjunction) *Result {
+	t.Helper()
+	var res *Result
+	var err error
+	switch algo {
+	case "bms":
+		res, err = m.BMS()
+	case "bms+":
+		res, err = m.BMSPlus(q)
+	case "bms++":
+		res, err = m.BMSPlusPlus(q, PlusPlusOptions{})
+	case "bms*":
+		res, err = m.BMSStar(q)
+	case "bms**":
+		res, err = m.BMSStarStar(q, StarStarOptions{})
+	case "all":
+		res, err = m.AllValid(q)
+	default:
+		t.Fatalf("unknown algo %q", algo)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", algo, err)
+	}
+	return res
+}
+
+var allAlgos = []string{"bms", "bms+", "bms++", "bms*", "bms**", "all"}
+
+// statsNoDurations strips the wall-clock field so Stats compare by work
+// counters only.
+func statsNoDurations(s Stats) Stats {
+	s.LevelDurations = nil
+	return s
+}
+
+// TestWorkersDeterminism is the acceptance gate of the parallel engine:
+// for every algorithm, over randomized datasets and constraint mixes, the
+// mined answers and every Stats counter are identical at Workers=1 and
+// Workers=8. Level durations (wall clock) are the only permitted
+// difference.
+func TestWorkersDeterminism(t *testing.T) {
+	queries := queryPool()
+	qNames := []string{"empty", "maxLE", "sumLE", "mixed", "disjoint", "mono-nonsucc"}
+	for seed := int64(1); seed <= 4; seed++ {
+		db := wideDB(rand.New(rand.NewSource(seed)), 12, 300)
+		for _, algo := range allAlgos {
+			for _, qn := range qNames {
+				q := queries[qn]
+				t.Run(fmt.Sprintf("seed%d/%s/%s", seed, algo, qn), func(t *testing.T) {
+					serial, err := New(db, testParams(), WithWorkers(1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					par, err := New(db, testParams(), WithWorkers(8))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := runAlgo(t, serial, algo, q)
+					got := runAlgo(t, par, algo, q)
+					if !sameSets(want.Answers, got.Answers) {
+						t.Errorf("answers differ:\n workers=1: %s\n workers=8: %s",
+							setsString(want.Answers), setsString(got.Answers))
+					}
+					if ws, gs := statsNoDurations(want.Stats), statsNoDurations(got.Stats); !reflect.DeepEqual(ws, gs) {
+						t.Errorf("stats differ:\n workers=1: %+v\n workers=8: %+v", ws, gs)
+					}
+					if want.Truncated != got.Truncated {
+						t.Errorf("truncated differ: workers=1 %v, workers=8 %v", want.Truncated, got.Truncated)
+					}
+					if len(want.Stats.LevelDurations) != len(got.Stats.LevelDurations) {
+						t.Errorf("level count differ: workers=1 %d, workers=8 %d",
+							len(want.Stats.LevelDurations), len(got.Stats.LevelDurations))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWorkersBudgetTruncationDeterminism checks that budget truncation
+// trips at the same level with the same cause at every worker count: the
+// cell budget is settled for the whole level before any shard is
+// dispatched, exactly as the serial batch charge.
+func TestWorkersBudgetTruncationDeterminism(t *testing.T) {
+	db := wideDB(rand.New(rand.NewSource(7)), 12, 300)
+	q := queryPool()["maxLE"]
+	for _, algo := range allAlgos {
+		truncations := 0
+		for _, budget := range []Budget{
+			{MaxCells: 200},
+			{MaxCells: 1000},
+			{MaxCandidates: 10},
+		} {
+			t.Run(fmt.Sprintf("%s/cells%d-cands%d", algo, budget.MaxCells, budget.MaxCandidates), func(t *testing.T) {
+				serial, err := New(db, testParams(), WithWorkers(1), WithBudget(budget))
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := New(db, testParams(), WithWorkers(8), WithBudget(budget))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := runAlgo(t, serial, algo, q)
+				got := runAlgo(t, par, algo, q)
+				if want.Truncated {
+					truncations++
+				}
+				if want.Truncated != got.Truncated {
+					t.Fatalf("truncated differ: workers=1 %v, workers=8 %v", want.Truncated, got.Truncated)
+				}
+				if want.Truncated {
+					if wc, gc := want.Cause.Error(), got.Cause.Error(); wc != gc {
+						t.Errorf("causes differ:\n workers=1: %s\n workers=8: %s", wc, gc)
+					}
+				}
+				if !sameSets(want.Answers, got.Answers) {
+					t.Errorf("answers differ:\n workers=1: %s\n workers=8: %s",
+						setsString(want.Answers), setsString(got.Answers))
+				}
+				if ws, gs := statsNoDurations(want.Stats), statsNoDurations(got.Stats); !reflect.DeepEqual(ws, gs) {
+					t.Errorf("stats differ:\n workers=1: %+v\n workers=8: %+v", ws, gs)
+				}
+			})
+		}
+		if truncations == 0 {
+			t.Errorf("no budget truncated %s; tighten the test budgets", algo)
+		}
+	}
+}
+
+// TestParallelMinerConcurrentRuns hammers one shared Miner — cached bitmap
+// counter, 4-way level engine — from 8 goroutines. Run under -race this is
+// the concurrency gate for the whole counting + caching + level-engine
+// stack; every goroutine must also see exactly the serial answers.
+func TestParallelMinerConcurrentRuns(t *testing.T) {
+	db := wideDB(rand.New(rand.NewSource(11)), 12, 300)
+	q := queryPool()["maxLE"]
+	cc := counting.NewCachedBitmapCounter(db, 1<<20)
+	m, err := New(db, testParams(), WithCounter(cc), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := New(db, testParams(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]*Result{}
+	for _, algo := range allAlgos {
+		want[algo] = runAlgo(t, serial, algo, q)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		algo := allAlgos[g%len(allAlgos)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := func() (res *Result, err error) {
+				switch algo {
+				case "bms":
+					return m.BMS()
+				case "bms+":
+					return m.BMSPlus(q)
+				case "bms++":
+					return m.BMSPlusPlus(q, PlusPlusOptions{})
+				case "bms*":
+					return m.BMSStar(q)
+				case "bms**":
+					return m.BMSStarStar(q, StarStarOptions{})
+				default:
+					return m.AllValid(q)
+				}
+			}()
+			if err != nil {
+				errs <- fmt.Errorf("%s: %v", algo, err)
+				return
+			}
+			if !sameSets(res.Answers, want[algo].Answers) {
+				errs <- fmt.Errorf("%s: concurrent answers diverge from serial", algo)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestShardSpans checks the span invariants the pipeline relies on:
+// contiguous cover of the batch and boundaries aligned to prefix runs.
+func TestShardSpans(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		sets := make([]itemset.Set, 0, n)
+		for i := 0; i < n; i++ {
+			k := 2 + r.Intn(3)
+			items := make([]itemset.Item, k)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(20))
+			}
+			sets = append(sets, itemset.New(items...))
+		}
+		// dedup via registry, then canonical order — the engine's contract
+		reg := itemset.NewRegistry()
+		uniq := sets[:0]
+		for _, s := range sets {
+			if reg.Add(s) {
+				uniq = append(uniq, s)
+			}
+		}
+		sets = uniq
+		itemset.SortSets(sets)
+		workers := 1 + r.Intn(8)
+		spans := shardSpans(sets, workers)
+		if len(spans) == 0 {
+			t.Fatalf("no spans for %d sets", len(sets))
+		}
+		if spans[0][0] != 0 || spans[len(spans)-1][1] != len(sets) {
+			t.Fatalf("spans do not cover batch: %v over %d", spans, len(sets))
+		}
+		for i := 1; i < len(spans); i++ {
+			if spans[i][0] != spans[i-1][1] {
+				t.Fatalf("spans not contiguous: %v", spans)
+			}
+		}
+		if len(spans) > workers*shardsPerWorker {
+			t.Fatalf("%d spans exceed cap %d", len(spans), workers*shardsPerWorker)
+		}
+		// every span boundary must be a prefix-run boundary
+		runBounds := map[int]bool{0: true}
+		for _, run := range counting.PrefixRuns(sets) {
+			runBounds[run[1]] = true
+		}
+		for _, sp := range spans {
+			if !runBounds[sp[1]] {
+				t.Fatalf("span end %d splits a prefix run", sp[1])
+			}
+		}
+	}
+}
+
+// TestEffectiveWorkers pins the knob semantics: 0 = GOMAXPROCS, negatives
+// clamp to serial.
+func TestEffectiveWorkers(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(1)), 5, 60)
+	for _, tc := range []struct{ in, min int }{{1, 1}, {4, 4}, {-3, 1}, {0, 1}} {
+		m, err := New(db, testParams(), WithWorkers(tc.in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.effectiveWorkers()
+		if tc.in > 0 && got != tc.in {
+			t.Errorf("WithWorkers(%d).effectiveWorkers() = %d", tc.in, got)
+		}
+		if got < tc.min {
+			t.Errorf("WithWorkers(%d).effectiveWorkers() = %d, below %d", tc.in, got, tc.min)
+		}
+	}
+}
+
+// TestExtendAnyMatchesNaive differentially checks the bitmask rewrite of
+// extendAny against a straightforward reimplementation.
+func TestExtendAnyMatchesNaive(t *testing.T) {
+	naive := func(bases []itemset.Set, pool []itemset.Item) []itemset.Set {
+		seen := itemset.NewRegistry()
+		var out []itemset.Set
+		for _, b := range bases {
+			for _, x := range pool {
+				if b.Contains(x) {
+					continue
+				}
+				if c := b.With(x); seen.Add(c) {
+					out = append(out, c)
+				}
+			}
+		}
+		itemset.SortSets(out)
+		return out
+	}
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		var bases []itemset.Set
+		reg := itemset.NewRegistry()
+		for i := 0; i < r.Intn(12); i++ {
+			k := 2 + r.Intn(3)
+			items := make([]itemset.Item, k)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(30))
+			}
+			if s := itemset.New(items...); reg.Add(s) {
+				bases = append(bases, s)
+			}
+		}
+		var pool []itemset.Item
+		for j := 0; j < 30; j++ {
+			if r.Intn(2) == 0 {
+				pool = append(pool, itemset.Item(j))
+			}
+		}
+		want := naive(bases, pool)
+		got := extendAny(bases, pool)
+		if !sameSets(want, got) {
+			t.Fatalf("trial %d: extendAny diverges\n want %s\n got  %s",
+				trial, setsString(want), setsString(got))
+		}
+	}
+}

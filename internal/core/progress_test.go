@@ -69,6 +69,61 @@ func TestProgressEventsEmitted(t *testing.T) {
 	}
 }
 
+// TestProgressUnderParallelWorkers is the regression gate for -progress
+// output with the sharded level engine: events must arrive exactly once
+// per level, in monotone level order within each phase, regardless of how
+// many workers count the level's shards. The engine guarantees this by
+// keeping report() on the mining goroutine, before any shard is
+// dispatched.
+func TestProgressUnderParallelWorkers(t *testing.T) {
+	db := corrDB(rand.New(rand.NewSource(5)), 12, 300)
+	q := constraint.And(constraint.NewAggregate(constraint.AggMax, constraint.Price, constraint.LE, 5))
+	for _, algo := range []string{"bms", "bms++", "bms*", "bms**", "all"} {
+		t.Run(algo, func(t *testing.T) {
+			var events []ProgressEvent
+			m, err := New(db, testParams(), WithWorkers(8), WithProgress(func(e ProgressEvent) {
+				events = append(events, e)
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch algo {
+			case "bms":
+				_, err = m.BMS()
+			case "bms++":
+				_, err = m.BMSPlusPlus(q, PlusPlusOptions{})
+			case "bms*":
+				_, err = m.BMSStar(q)
+			case "bms**":
+				_, err = m.BMSStarStar(q, StarStarOptions{})
+			case "all":
+				_, err = m.AllValid(q)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(events) == 0 {
+				t.Fatal("no progress events")
+			}
+			seen := map[string]map[int]bool{} // phase -> levels reported
+			lastLevel := map[string]int{}
+			for _, e := range events {
+				if seen[e.Phase] == nil {
+					seen[e.Phase] = map[int]bool{}
+				}
+				if seen[e.Phase][e.Level] {
+					t.Fatalf("level %d of phase %q reported twice: %+v", e.Level, e.Phase, events)
+				}
+				seen[e.Phase][e.Level] = true
+				if last, ok := lastLevel[e.Phase]; ok && e.Level <= last {
+					t.Fatalf("phase %q levels not monotone: %d after %d", e.Phase, e.Level, last)
+				}
+				lastLevel[e.Phase] = e.Level
+			}
+		})
+	}
+}
+
 func TestNoProgressObserverIsSilent(t *testing.T) {
 	db := corrDB(rand.New(rand.NewSource(3)), 6, 100)
 	m, err := New(db, testParams())

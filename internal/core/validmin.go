@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ccs/internal/constraint"
+	"ccs/internal/contingency"
 	"ccs/internal/itemset"
 )
 
@@ -25,7 +26,7 @@ func (m *Miner) BMSPlusContext(ctx context.Context, q *constraint.Conjunction) (
 	startMine(algo)
 	ctl, release := m.newCtl(ctx)
 	defer release()
-	out, err := m.runBaseline(ctl)
+	out, err := m.runBaseline(ctl, algo)
 	if err != nil {
 		return nil, err
 	}
@@ -136,21 +137,37 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 		stats.Levels++
 		levelStart := time.Now()
 		m.report("BMS++", "levelwise", level, len(cands))
-		// Non-succinct anti-monotone constraints prune before counting:
-		// a failing set is invalid and so is every superset, and (AM
-		// closure again) no valid set has a pruned subset, so minimality
-		// detection is unaffected.
-		kept := cands[:0]
-		for _, c := range cands {
-			if split.SatisfiesAMOther(m.cat, c) {
-				kept = append(kept, c)
-			} else {
-				stats.PrunedByAM++
-			}
-		}
-		cands = kept
-
-		tables, err := m.countBatchCtl(ctl, &stats, cands)
+		var answersLevel, notsigLevel []itemset.Set
+		err := m.runLevel(ctl, &stats, levelSpec{
+			algo:  algo,
+			cands: cands,
+			// Non-succinct anti-monotone constraints prune before counting:
+			// a failing set is invalid and so is every superset, and (AM
+			// closure again) no valid set has a pruned subset, so minimality
+			// detection is unaffected.
+			pre: func(c itemset.Set) shardVerdict {
+				if split.SatisfiesAMOther(m.cat, c) {
+					return keepSet
+				}
+				return dropSetAM
+			},
+			eval: func(s itemset.Set, t *contingency.Table) {
+				if !t.CTSupported(m.res.s, m.res.CTFraction) {
+					return
+				}
+				if m.correlated(&stats, t) {
+					// Correlated sets never enter NOTSIG, so supersets stay
+					// blocked even when the set fails a monotone constraint —
+					// that is what keeps the output minimal in the sense of
+					// Definition 1.
+					if split.SatisfiesM(m.cat, s) {
+						answersLevel = append(answersLevel, s)
+					}
+				} else {
+					notsigLevel = append(notsigLevel, s)
+				}
+			},
+		})
 		if err != nil {
 			if cause = ctl.truncation(err); cause != nil {
 				stats.endLevel(levelStart)
@@ -158,23 +175,9 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 			}
 			return nil, err
 		}
-		var notsigLevel []itemset.Set
-		for i, t := range tables {
-			if !t.CTSupported(m.res.s, m.res.CTFraction) {
-				continue
-			}
-			if m.correlated(&stats, t) {
-				// Correlated sets never enter NOTSIG, so supersets stay
-				// blocked even when the set fails a monotone constraint —
-				// that is what keeps the output minimal in the sense of
-				// Definition 1.
-				if split.SatisfiesM(m.cat, cands[i]) {
-					answers = append(answers, cands[i])
-				}
-			} else {
-				notsig.Add(cands[i])
-				notsigLevel = append(notsigLevel, cands[i])
-			}
+		answers = append(answers, answersLevel...)
+		for _, s := range notsigLevel {
+			notsig.Add(s)
 		}
 		cands = extend(notsigLevel, l1, relevant, notsig)
 		stats.Candidates += len(cands)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"ccs/internal/bitset"
 	"ccs/internal/contingency"
@@ -52,6 +53,22 @@ type ContextCounter interface {
 	// cancelled it returns (nil, ctx.Err()) promptly, abandoning the
 	// batch mid-flight. Partially counted tables are never returned.
 	CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error)
+}
+
+// ShardCounter is a ContextCounter whose counting path is safe for
+// concurrent use: the mining core's parallel level engine splits each
+// lattice level into prefix-aligned shards and issues one CountShard call
+// per shard from several worker goroutines at once. The bitmap-family
+// counters implement it (their vertical index is read-only, the scratch
+// arenas are pooled per goroutine, the prefix cache is mutex-guarded, and
+// the work counters are atomic); the horizontal scanners do not, so the
+// core falls back to its serial path for them.
+type ShardCounter interface {
+	ContextCounter
+	// CountShard is CountTablesContext with a concurrency guarantee:
+	// multiple goroutines may call it simultaneously on disjoint shards of
+	// one batch.
+	CountShard(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error)
 }
 
 // checkEvery is how many transactions (or sets) a counting loop processes
@@ -208,8 +225,13 @@ type BitmapCounter struct {
 	items   []int
 	cache   *prefixCache // nil = no cross-batch prefix reuse
 	scratch sync.Pool    // *countScratch
-	stats   Stats
-	engine  string // metrics label: "bitmap" or "cached"
+	engine  string       // metrics label: "bitmap" or "cached"
+
+	// Work counters are atomic so concurrent CountShard callers (the
+	// mining core's level-engine workers, ParallelCounter's pool) never
+	// race on them.
+	batches     atomic.Int64
+	tablesBuilt atomic.Int64
 }
 
 func newBitmapCounter(idx *dataset.VerticalIndex, itemSupports []int, cache *prefixCache) *BitmapCounter {
@@ -272,18 +294,29 @@ func (b *BitmapCounter) ItemSupports() []int {
 }
 
 // Stats implements Counter.
-func (b *BitmapCounter) Stats() Stats { return b.stats }
+func (b *BitmapCounter) Stats() Stats {
+	return Stats{Batches: int(b.batches.Load()), TablesBuilt: int(b.tablesBuilt.Load())}
+}
 
 // CountTables implements Counter.
 func (b *BitmapCounter) CountTables(sets []itemset.Set) ([]*contingency.Table, error) {
 	return b.CountTablesContext(context.Background(), sets)
 }
 
+// CountShard implements ShardCounter. The whole counting path is safe for
+// concurrent use — countOne draws its scratch arena from a sync.Pool, the
+// vertical index is read-only, the prefix cache locks internally, and the
+// work counters are atomic — so CountShard is simply CountTablesContext
+// under its concurrency contract.
+func (b *BitmapCounter) CountShard(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
+	return b.CountTablesContext(ctx, sets)
+}
+
 // CountTablesContext implements ContextCounter, polling ctx between sets
 // (one set costs 2^k bitset intersections, so the granularity is fine).
 func (b *BitmapCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
-	b.stats.Batches++
-	b.stats.TablesBuilt += len(sets)
+	b.batches.Add(1)
+	b.tablesBuilt.Add(int64(len(sets)))
 	recordSetsCounted(b.engine, len(sets))
 	done := ctx.Done()
 	out := make([]*contingency.Table, len(sets))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ccs/internal/contingency"
 	"ccs/internal/dataset"
@@ -25,7 +26,9 @@ import (
 type ParallelCounter struct {
 	inner   *BitmapCounter
 	workers int
-	stats   Stats
+
+	batches     atomic.Int64
+	tablesBuilt atomic.Int64
 }
 
 // NewParallelCounter builds the vertical index for db and returns a counter
@@ -54,7 +57,17 @@ func (p *ParallelCounter) NumTx() int { return p.inner.NumTx() }
 func (p *ParallelCounter) ItemSupports() []int { return p.inner.ItemSupports() }
 
 // Stats implements Counter.
-func (p *ParallelCounter) Stats() Stats { return p.stats }
+func (p *ParallelCounter) Stats() Stats {
+	return Stats{Batches: int(p.batches.Load()), TablesBuilt: int(p.tablesBuilt.Load())}
+}
+
+// CountShard implements ShardCounter by delegating to the inner bitmap
+// kernel without fanning out again: a shard is already one worker's slice
+// of a level, so nesting a second worker pool underneath it would only
+// bounce the prefix cache between goroutines.
+func (p *ParallelCounter) CountShard(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
+	return p.inner.CountShard(ctx, sets)
+}
 
 // CacheStats snapshots the shared prefix cache (zero when uncached).
 func (p *ParallelCounter) CacheStats() CacheStats { return p.inner.CacheStats() }
@@ -63,10 +76,14 @@ func (p *ParallelCounter) CacheStats() CacheStats { return p.inner.CacheStats() 
 // (*BitmapCounter).ReleaseCache.
 func (p *ParallelCounter) ReleaseCache() { p.inner.ReleaseCache() }
 
-// prefixRuns splits [0, len(sets)) into half-open index spans of adjacent
+// PrefixRuns splits [0, len(sets)) into half-open index spans of adjacent
 // sets that share their full prefix (all items but the last). Sets of
-// different sizes, or with any differing prefix item, break the run.
-func prefixRuns(sets []itemset.Set) [][2]int {
+// different sizes, or with any differing prefix item, break the run. The
+// batch must be in canonical order (itemset.SortSets) for the runs to be
+// exactly the sibling groups; both this package's ParallelCounter and the
+// mining core's parallel level engine shard along these runs so the worker
+// that caches a prefix TID-list is the worker that reuses it.
+func PrefixRuns(sets []itemset.Set) [][2]int {
 	runs := make([][2]int, 0, len(sets))
 	start := 0
 	for i := 1; i < len(sets); i++ {
@@ -106,14 +123,14 @@ func (p *ParallelCounter) CountTables(sets []itemset.Set) ([]*contingency.Table,
 // before every set it counts; on cancellation the workers stop pulling,
 // the remaining runs are abandoned, and the call returns ctx.Err().
 func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
-	p.stats.Batches++
-	p.stats.TablesBuilt += len(sets)
+	p.batches.Add(1)
+	p.tablesBuilt.Add(int64(len(sets)))
 	recordSetsCounted("parallel", len(sets))
 	out := make([]*contingency.Table, len(sets))
 	if len(sets) == 0 {
 		return out, nil
 	}
-	runs := prefixRuns(sets)
+	runs := PrefixRuns(sets)
 	workers := p.workers
 	if workers > len(runs) {
 		workers = len(runs)

@@ -22,6 +22,9 @@ var (
 	good1 = reg.Counter(MetricGoodTotal, "fine")
 	good2 = reg.Gauge(metricUnexported, "fine")
 	good3 = reg.CounterVec(core.MetricMinesTotal, "cross-package const", "algo")
+	good4 = reg.Histogram(core.MetricShardSeconds, "cross-package const histogram", nil)
+	good5 = reg.Gauge(core.MetricWorkersBusy, "cross-package const gauge")
+	good6 = reg.CounterVec(core.MetricShardsTotal, "cross-package const vec", "algo")
 )
 
 func register(name string) {

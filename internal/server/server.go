@@ -56,6 +56,7 @@ type Server struct {
 
 	mineTimeout time.Duration
 	cacheBytes  int64
+	workers     int
 	logger      *obs.Logger
 	tracer      *obs.Tracer
 	reqSeq      atomic.Int64
@@ -80,6 +81,14 @@ func WithMineTimeout(d time.Duration) Option {
 // ccs_prefix_cache_* series on the ops listener's /metrics.
 func WithCacheBytes(n int64) Option {
 	return func(s *Server) { s.cacheBytes = n }
+}
+
+// WithWorkers sets the default worker count of the mining level engine for
+// /v1/mine requests (ccsserve -workers): 0 means GOMAXPROCS, 1 serial. A
+// request can override it either way with its workers field. Workers only
+// changes wall-clock time, never the mined answers.
+func WithWorkers(n int) Option {
+	return func(s *Server) { s.workers = n }
 }
 
 // WithLogWriter routes the server's structured log — one JSON object per
@@ -325,6 +334,11 @@ type MineRequest struct {
 	// for this request: > 0 sets the byte budget, < 0 disables the cache,
 	// 0 keeps the server default (ccsserve -cache-bytes).
 	CacheBytes int64 `json:"cache_bytes,omitempty"`
+	// Workers overrides the server's level-engine worker count for this
+	// request: > 1 shards candidate evaluation across that many goroutines,
+	// < 0 forces the serial path, 0 keeps the server default (ccsserve
+	// -workers). The mined answers are identical at every setting.
+	Workers int `json:"workers,omitempty"`
 }
 
 // MineResponse is the JSON reply of POST /v1/mine.
@@ -430,6 +444,12 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			defer cc.ReleaseCache()
 			opts = append(opts, core.WithCounter(cc))
 		}
+	}
+	if w := s.workers; req.Workers != 0 || w != 0 {
+		if req.Workers != 0 {
+			w = req.Workers
+		}
+		opts = append(opts, core.WithWorkers(w))
 	}
 	if req.MaxCandidates > 0 || req.MaxCells > 0 {
 		opts = append(opts, core.WithBudget(core.Budget{
