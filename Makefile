@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race obs faults fuzz-smoke bench bench-all bench-check figures report clean
+.PHONY: all build vet lint lint-fixtures test race obs faults fuzz-smoke bench bench-all bench-check figures report clean
 
 all: build vet lint test
 
@@ -12,9 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# project-specific static analysis (see internal/lint and DESIGN.md §6)
+# project-specific static analysis (see internal/lint, DESIGN.md §6 and
+# §11). Wall-clock is recorded and budgeted: the eleven-analyzer suite must
+# stay under 30 seconds or it stops being something people run pre-push.
 lint:
-	$(GO) run ./cmd/ccslint
+	@start=$$(date +%s); $(GO) run ./cmd/ccslint; status=$$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "ccslint wall-clock: $${elapsed}s (budget 30s)"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	if [ $$elapsed -ge 30 ]; then echo "ccslint exceeded its 30s budget"; exit 1; fi
+
+# the analyzers' own test suite: // want fixtures (single- and
+# multi-package), the fact store, and the driver's -json/exit-code contract
+lint-fixtures:
+	$(GO) test ./internal/lint ./cmd/ccslint
 
 test:
 	$(GO) test ./...

@@ -1,23 +1,33 @@
 // Command ccslint runs the project's static-analysis suite over every
-// package of the module and exits non-zero on findings. The six analyzers
-// machine-check invariants go vet cannot express (shared TID-list aliasing,
+// package of the module and exits non-zero on findings. The eleven
+// analyzers machine-check invariants go vet cannot express: the six
+// single-package checks from earlier revisions (shared TID-list aliasing,
 // itemset canonicity, float equality in the numerical packages, dropped
-// errors on I/O paths, context parameters out of first position in the
-// cancellation chain, metric names that are not package-level constants);
-// see internal/lint for what each enforces and DESIGN.md §6 for how to add
-// the next one.
+// errors on I/O paths, context parameters out of first position, metric
+// names that are not package-level constants) plus five fact-driven
+// concurrency checks guarding the parallel level engine (goroutinectx,
+// poolescape, atomicmix, lockdiscipline, wgadd — see internal/lint and
+// DESIGN.md §11). The concurrency analyzers run in two phases: facts
+// exported while walking one package convict lines in another.
 //
 // Usage:
 //
-//	ccslint [-dir module] [-run a,b] [-list]
+//	ccslint [-dir module] [-run a,b] [-json] [-list]
 //
-// Findings print as file:line:col: analyzer: message. A finding can be
-// suppressed at the call site with a justified
-// `//ccslint:ignore <analyzer> <reason>` comment on the same or the
-// preceding line.
+// Findings print as file:line:col: analyzer: message, or with -json as one
+// JSON array of {file,line,col,analyzer,message} objects sorted by
+// position (an empty array when clean). A finding can be suppressed at the
+// call site with a justified `//ccslint:ignore <analyzer> <reason>`
+// comment on the same or the preceding line; a directive without the
+// reason is itself a finding.
+//
+// Exit status: 0 clean, 1 findings, 2 when any package fails to load or
+// type-check (healthy packages are still analyzed and their findings
+// printed first).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,17 +45,28 @@ func main() {
 	os.Exit(code)
 }
 
+// jsonDiagnostic is the machine-readable rendering of one finding; the
+// field set is the contract CI tooling parses, so extend it, never rename.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("ccslint", flag.ContinueOnError)
 	dir := fs.String("dir", "", "module root (default: nearest go.mod above the working directory)")
 	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
 	if *list {
 		for _, a := range lint.Analyzers {
-			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0, nil
 	}
@@ -75,16 +96,42 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	pkgs, err := loader.LoadAll()
-	if err != nil {
-		return 2, err
-	}
+	pkgs, loadErrs := loader.LoadAll()
 	diags := lint.RelDiagnostics(root, lint.Run(pkgs, analyzers))
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+
+	if *asJSON {
+		jds := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			jds = append(jds, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jds); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(out, "ccslint: %d finding(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		}
+	}
+
+	if len(loadErrs) > 0 {
+		for _, e := range loadErrs {
+			fmt.Fprintln(os.Stderr, "ccslint:", e)
+		}
+		fmt.Fprintf(os.Stderr, "ccslint: %d package(s) failed to load; their findings are unknown\n", len(loadErrs))
+		return 2, nil
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(out, "ccslint: %d finding(s) in %d package(s) checked\n", len(diags), len(pkgs))
 		return 1, nil
 	}
 	return 0, nil

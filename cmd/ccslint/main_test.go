@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -44,5 +47,141 @@ func TestModuleExitsClean(t *testing.T) {
 	}
 	if code != 0 {
 		t.Fatalf("ccslint found issues in a tree that must be clean:\n%s", out.String())
+	}
+}
+
+// writeModule lays out a throwaway module for driver-level tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const dirtyFile = `package p
+
+import "sync"
+
+func bad() {
+	var mu sync.Mutex
+	mu.Unlock()
+}
+`
+
+// TestJSONOutput checks the machine-readable mode: findings round-trip
+// through encoding/json with the documented field set, sorted by position,
+// and a clean tree emits an empty array (not null).
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module example.test\n\ngo 1.21\n",
+		"p/p.go":  dirtyFile,
+		"q/q.go":  "package q\n\nimport \"sync\"\n\nfunc alsoBad() {\n\tvar mu sync.Mutex\n\tmu.Unlock()\n}\n",
+		"ok/z.go": "package ok\n\nfunc fine() {}\n",
+	})
+	var out strings.Builder
+	code, err := run([]string{"-dir", dir, "-run", "lockdiscipline", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 for findings; output:\n%s", code, out.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(findings), out.String())
+	}
+	for _, f := range findings {
+		if f.Analyzer != "lockdiscipline" || f.Line == 0 || f.Col == 0 || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+	if !(findings[0].File < findings[1].File) {
+		t.Errorf("findings not sorted by file: %q then %q", findings[0].File, findings[1].File)
+	}
+
+	out.Reset()
+	code, err = run([]string{"-dir", dir, "-run", "lockdiscipline", "-json"}, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("second run: code=%d err=%v", code, err)
+	}
+	// Stable: two runs over the same tree emit byte-identical JSON.
+	first := out.String()
+	out.Reset()
+	if code, err = run([]string{"-dir", dir, "-run", "lockdiscipline", "-json"}, &out); err != nil || code != 1 {
+		t.Fatalf("third run: code=%d err=%v", code, err)
+	}
+	if out.String() != first {
+		t.Errorf("-json output is not stable across runs:\n%s\nvs\n%s", first, out.String())
+	}
+}
+
+func TestJSONEmptyArrayWhenClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.21\n",
+		"p/p.go": "package p\n\nfunc fine() {}\n",
+	})
+	var out strings.Builder
+	code, err := run([]string{"-dir", dir, "-json"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean run: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
+	}
+}
+
+// TestLoaderErrorExitCode: a package that fails to type-check must turn the
+// run into exit 2, while findings from the healthy packages still print.
+func TestLoaderErrorExitCode(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":       "module example.test\n\ngo 1.21\n",
+		"broken/b.go":  "package broken\n\nfunc oops() { undefinedIdent() }\n",
+		"healthy/h.go": dirtyFile,
+	})
+	var out strings.Builder
+	code, err := run([]string{"-dir", dir, "-run", "lockdiscipline"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 when a package fails to load", code)
+	}
+	if !strings.Contains(out.String(), "lockdiscipline") {
+		t.Errorf("healthy-package findings were not printed:\n%s", out.String())
+	}
+}
+
+func TestFindingsExitCode(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.test\n\ngo 1.21\n",
+		"p/p.go": dirtyFile,
+	})
+	var out strings.Builder
+	code, err := run([]string{"-dir", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 for findings:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "without a matching acquisition") {
+		t.Errorf("expected the lockdiscipline finding in output:\n%s", out.String())
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"ccs/internal/testutil"
 )
 
 // run blocks on success (it serves), so the flag tests exercise only the
@@ -62,6 +64,7 @@ func (h *slowHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // TestGracefulDrain cancels serve's context while a request is in flight
 // and checks the request completes and serve returns nil (exit 0).
 func TestGracefulDrain(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -115,6 +118,7 @@ func TestGracefulDrain(t *testing.T) {
 // TestDrainDeadline checks that a request outliving the drain window is
 // cut off and serve reports the failed shutdown.
 func TestDrainDeadline(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -149,6 +153,7 @@ func TestDrainDeadline(t *testing.T) {
 // TestSignalShutdown sends SIGTERM to the test process itself and checks a
 // signal.NotifyContext-driven serve drains an idle server and returns nil.
 func TestSignalShutdown(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,7 @@ import (
 	"ccs/internal/counting"
 	"ccs/internal/dataset"
 	"ccs/internal/itemset"
+	"ccs/internal/testutil"
 )
 
 // wideDB builds a database wide enough (many items) that every algorithm's
@@ -62,6 +63,7 @@ func statsNoDurations(s Stats) Stats {
 // Workers=8. Level durations (wall clock) are the only permitted
 // difference.
 func TestWorkersDeterminism(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	queries := queryPool()
 	qNames := []string{"empty", "maxLE", "sumLE", "mixed", "disjoint", "mono-nonsucc"}
 	for seed := int64(1); seed <= 4; seed++ {
@@ -105,6 +107,7 @@ func TestWorkersDeterminism(t *testing.T) {
 // cell budget is settled for the whole level before any shard is
 // dispatched, exactly as the serial batch charge.
 func TestWorkersBudgetTruncationDeterminism(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	db := wideDB(rand.New(rand.NewSource(7)), 12, 300)
 	q := queryPool()["maxLE"]
 	for _, algo := range allAlgos {
@@ -156,6 +159,7 @@ func TestWorkersBudgetTruncationDeterminism(t *testing.T) {
 // the concurrency gate for the whole counting + caching + level-engine
 // stack; every goroutine must also see exactly the serial answers.
 func TestParallelMinerConcurrentRuns(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	db := wideDB(rand.New(rand.NewSource(11)), 12, 300)
 	q := queryPool()["maxLE"]
 	cc := counting.NewCachedBitmapCounter(db, 1<<20)

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix enforces the all-or-nothing contract of sync/atomic: once any
+// code touches a struct field through an atomic function, every access to
+// that field must be atomic. The Facts phase walks every package and
+// exports AtomicField for each field whose address is passed to a
+// sync/atomic function; the Run phase then flags plain reads and writes of
+// those fields wherever they appear — typically a different function,
+// file, or package than the atomic site, which is exactly why the per-file
+// suite could not see it. Guards the ShardCounter work counters and the
+// obs registry's counter internals: one plain `s.n++` next to
+// atomic.AddInt64(&s.n, 1) is a data race the happy path never surfaces.
+var AtomicMix = &Analyzer{
+	Name:  "atomicmix",
+	Doc:   "flags plain access to fields that are accessed via sync/atomic elsewhere",
+	Facts: factsAtomicMix,
+	Run:   runAtomicMix,
+}
+
+// atomicArgField resolves the field whose address call takes, when call is
+// a sync/atomic function applied to &expr.field.
+func atomicArgField(info *types.Info, call *ast.CallExpr) *types.Var {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+		return nil
+	}
+	u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldVar(info, sel)
+}
+
+func factsAtomicMix(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.Inspector().Preorder(KindCallExpr, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fv := atomicArgField(info, call)
+		if fv == nil {
+			return
+		}
+		var existing AtomicField
+		if pass.ImportObjectFact(fv, &existing) {
+			return // keep the first recorded site
+		}
+		pos := pass.Pkg.Fset.Position(call.Pos())
+		pass.ExportObjectFact(fv, AtomicField{At: pos.String()})
+	})
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.Inspector().WithStack(KindSelectorExpr, func(n ast.Node, stack []ast.Node) bool {
+		sel := n.(*ast.SelectorExpr)
+		fv := fieldVar(info, sel)
+		if fv == nil {
+			return true
+		}
+		var fact AtomicField
+		if !pass.ImportObjectFact(fv, &fact) {
+			return true
+		}
+		if underAtomicAddr(info, stack) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "field %s is accessed via sync/atomic (at %s); this plain access races with it — use the atomic API here too", fv.Name(), fact.At)
+		return true
+	})
+}
+
+// underAtomicAddr reports whether the innermost stack entries show the
+// selector being the &-operand of a sync/atomic call (the legitimate
+// access shape).
+func underAtomicAddr(info *types.Info, stack []ast.Node) bool {
+	// stack ends at the SelectorExpr itself; walk outward through parens.
+	i := len(stack) - 2
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	u, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return false
+	}
+	for i--; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := calleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the type-resolution helpers shared by the five
+// concurrency analyzers (goroutinectx, poolescape, atomicmix,
+// lockdiscipline, wgadd). They all reason about the sync package's types
+// and about stable names for the expressions locks and pools hang off.
+
+// syncCall resolves call to a method of a sync type (Mutex, RWMutex, Pool,
+// WaitGroup, ...), returning the receiver expression, the type's name, and
+// the method name. Embedded sync types resolve too (s.Lock() on a struct
+// embedding sync.Mutex reports recv = s).
+func syncCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, typ, method string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return nil, "", "", false
+	}
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, "", "", false
+	}
+	sig, okSig := f.Type().(*types.Signature)
+	if !okSig || sig.Recv() == nil {
+		return nil, "", "", false
+	}
+	rt := sig.Recv().Type()
+	if p, okP := rt.(*types.Pointer); okP {
+		rt = p.Elem()
+	}
+	named, okN := rt.(*types.Named)
+	if !okN {
+		return nil, "", "", false
+	}
+	return sel.X, named.Obj().Name(), f.Name(), true
+}
+
+// refKey names an expression stably within one function: the chain of
+// selector fields rooted at an identifier's object (pointer identity, so
+// shadowed names stay distinct). ok is false for expressions with no such
+// spine (map indexes, call results), which the analyzers skip.
+func refKey(info *types.Info, e ast.Expr) (root types.Object, key string, ok bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := identObj(info, e)
+		if obj == nil {
+			return nil, "", false
+		}
+		return obj, fmt.Sprintf("%p", obj), true
+	case *ast.SelectorExpr:
+		root, key, ok := refKey(info, e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return root, key + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		return refKey(info, e.X)
+	}
+	return nil, "", false
+}
+
+// refLabel renders an expression for diagnostics (c.mu, wg, ...); unlike
+// refKey it never fails, falling back to a generic placeholder.
+func refLabel(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return refLabel(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return refLabel(e.X)
+	}
+	return "<expr>"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// funcDeclObj resolves the *types.Func a declaration defines.
+func funcDeclObj(info *types.Info, fd *ast.FuncDecl) *types.Func {
+	f, _ := info.Defs[fd.Name].(*types.Func)
+	return f
+}
+
+// fieldVar resolves a selector expression to the struct field it reads or
+// writes, or nil when it is not a field access.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// paramIndex returns the index of obj among fn's parameters, or -1.
+func paramIndex(fn *types.Func, obj types.Object) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}

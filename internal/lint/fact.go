@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// A Fact is a typed claim about a types.Object, exported by one analyzer
+// pass and importable by any later pass — including passes over *other*
+// packages, which is what lifts the suite from per-file AST matching to
+// whole-program reasoning. Facts are the mechanism behind the concurrency
+// analyzers: "this function spawns goroutines" (goroutinectx), "this
+// function Puts its parameter into a sync.Pool" (poolescape), "this field
+// is accessed through sync/atomic" (atomicmix), "this method locks its
+// receiver's mutex" (lockdiscipline, wgadd).
+//
+// Concrete fact types are plain structs with an AFact marker method.
+type Fact interface {
+	AFact()
+}
+
+// SpawnsGoroutines marks a function whose body contains a go statement.
+// Exported by goroutinectx over every package; consumed when a ctx-taking
+// function delegates its concurrency to a helper.
+type SpawnsGoroutines struct{}
+
+func (SpawnsGoroutines) AFact() {}
+
+// PoolPuts marks a function that hands one of its parameters to
+// (*sync.Pool).Put. Params holds the zero-based indices of the recycled
+// parameters. Exported and consumed by poolescape: a Get'd value passed to
+// such a helper is recycled at the call, and any later use is a
+// use-after-Put.
+type PoolPuts struct {
+	Params []int
+}
+
+func (PoolPuts) AFact() {}
+
+// AtomicField marks a struct field that is accessed through a sync/atomic
+// function somewhere in the module; At records one such site for the
+// diagnostic. Exported and consumed by atomicmix — the plain access that
+// races with the atomic one is usually in a different function, file, or
+// package than the atomic site.
+type AtomicField struct {
+	At string // "file:line" of one atomic access
+}
+
+func (AtomicField) AFact() {}
+
+// LocksReceiver marks a method that acquires a mutex field of its own
+// receiver. Fields holds the mutex field names (with an ":r" suffix for
+// read locks). Exported and consumed by lockdiscipline to catch
+// self-deadlock: a method holding recv.mu must not call a sibling method
+// that takes recv.mu again.
+type LocksReceiver struct {
+	Fields []string
+}
+
+func (LocksReceiver) AFact() {}
+
+// WaitGroupDones marks a function that calls Done on a *sync.WaitGroup
+// parameter; Params holds the indices. Exported and consumed by wgadd so
+// `go helper(&wg)` counts as a Done-calling goroutine even though the
+// Done sits in another function.
+type WaitGroupDones struct {
+	Params []int
+}
+
+func (WaitGroupDones) AFact() {}
+
+// factKey addresses one fact: facts are singletons per (object, fact type).
+type factKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+// FactStore holds every fact exported during the fact phase. One store
+// spans the whole Run: facts exported while visiting package A are visible
+// while analyzing package B.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+func (s *FactStore) export(obj types.Object, f Fact) {
+	if obj == nil || f == nil {
+		return
+	}
+	s.m[factKey{obj, reflect.TypeOf(f)}] = f
+}
+
+// imp copies the fact of ptr's type for obj into *ptr, reporting whether
+// one was exported. ptr must be a non-nil pointer to a concrete fact type.
+func (s *FactStore) imp(obj types.Object, ptr Fact) bool {
+	if obj == nil {
+		return false
+	}
+	v := reflect.ValueOf(ptr)
+	f, ok := s.m[factKey{obj, v.Type().Elem()}]
+	if !ok {
+		return false
+	}
+	v.Elem().Set(reflect.ValueOf(f))
+	return true
+}
+
+// ExportObjectFact records a fact about obj for later passes (including
+// passes over other packages). Call it from an analyzer's Facts phase.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	p.facts.export(obj, f)
+}
+
+// ImportObjectFact copies the fact of ptr's concrete type previously
+// exported for obj into *ptr, reporting whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.facts.imp(obj, ptr)
+}

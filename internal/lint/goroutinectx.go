@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineCtx guards the cancellation chain of the parallel level engine:
+// inside internal/core, internal/counting, and internal/server, a function
+// that takes a context.Context and starts a goroutine must hand that
+// goroutine the caller's ctx or something derived from it (a child
+// context, its Done channel, ...). A worker launched without the ctx keeps
+// running after cancellation, which silently breaks the whole-level prefix
+// soundness guarantee of truncated results (DESIGN.md §7) — the mining
+// goroutine gives up on the level while orphan workers keep counting it.
+//
+// The Facts phase additionally exports SpawnsGoroutines for every function
+// containing a go statement, in every package; the Run phase uses it to
+// flag a ctx-taking function that delegates its concurrency to a helper
+// without giving the helper any way to observe cancellation (no ctx-ish
+// argument, and the helper takes no context parameter).
+var GoroutineCtx = &Analyzer{
+	Name:  "goroutinectx",
+	Doc:   "flags goroutines in ctx-taking core/counting/server functions that cannot observe ctx",
+	Facts: factsGoroutineCtx,
+	Run:   runGoroutineCtx,
+}
+
+func factsGoroutineCtx(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.Inspector().WithStack(KindGoStmt, func(n ast.Node, stack []ast.Node) bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if fd, ok := stack[i].(*ast.FuncDecl); ok {
+				if obj := funcDeclObj(info, fd); obj != nil {
+					pass.ExportObjectFact(obj, SpawnsGoroutines{})
+				}
+				break
+			}
+		}
+		return true
+	})
+}
+
+func runGoroutineCtx(pass *Pass) {
+	if !ctxFirstPackages.MatchString(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.Inspector().Preorder(KindFuncDecl, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		ctxish := ctxDerived(info, fd)
+		if ctxish == nil {
+			return
+		}
+		goCalls := make(map[*ast.CallExpr]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				goCalls[g.Call] = true
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !callRefsCtx(info, n.Call, ctxish) {
+					pass.Reportf(n.Pos(), "%s takes a ctx but this goroutine references neither it nor anything derived from it; a worker that cannot observe cancellation outlives the request", fd.Name.Name)
+				}
+			case *ast.CallExpr:
+				if goCalls[n] {
+					return true
+				}
+				f := calleeFunc(info, n)
+				if f == nil {
+					return true
+				}
+				var spawns SpawnsGoroutines
+				if !pass.ImportObjectFact(f, &spawns) {
+					return true
+				}
+				if funcTakesContext(f) || callRefsCtx(info, n, ctxish) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "%s takes a ctx but calls %s, which starts goroutines, without passing the ctx or anything derived from it", fd.Name.Name, f.Name())
+			}
+			return true
+		})
+	})
+}
+
+// ctxDerived collects the objects in fd that carry the caller's
+// cancellation signal: the context.Context parameters, plus — by one
+// forward pass in source order — every variable assigned from an
+// expression mentioning one (child contexts, Done channels, CancelFuncs).
+// It returns nil when fd takes no context.
+func ctxDerived(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	derived := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				derived[obj] = true
+			}
+		}
+	}
+	if len(derived) == 0 {
+		return nil
+	}
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && derived[identObj(info, id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			tainted := false
+			for _, rhs := range n.Rhs {
+				if mentions(rhs) {
+					tainted = true
+					break
+				}
+			}
+			if !tainted {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := identObj(info, id); obj != nil {
+						derived[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) && mentions(n.Values[i]) {
+					if obj := info.Defs[name]; obj != nil {
+						derived[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return derived
+}
+
+// callRefsCtx reports whether the call (its callee expression, a func
+// literal's whole body, and the arguments) references a ctx-derived object
+// or any context-typed field selector (ctl.ctx and friends).
+func callRefsCtx(info *types.Info, call *ast.CallExpr, derived map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if derived[identObj(info, n)] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if fieldVar(info, n) != nil && isContextType(info.TypeOf(n)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// funcTakesContext reports whether any parameter of f is a context.Context.
+func funcTakesContext(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -21,13 +22,20 @@ type expectation struct {
 	matched bool
 }
 
-// AnalyzerTest loads the package rooted at dir under the given import path
-// (module-local imports resolve against moduleDir), runs a single analyzer,
-// and cross-checks its diagnostics against `// want "regexp"` annotations:
-// every annotation must be matched by a diagnostic on its line, and every
-// diagnostic must be claimed by an annotation. It returns one error string
-// per mismatch. The import path is significant for analyzers that filter by
-// package path (floatcmp).
+// AnalyzerTest loads the fixture tree rooted at dir under the given import
+// path (module-local imports resolve against moduleDir), runs a single
+// analyzer, and cross-checks its diagnostics against `// want "regexp"`
+// annotations: every annotation must be matched by a diagnostic on its
+// line, and every diagnostic must be claimed by an annotation. It returns
+// one error string per mismatch. The import path is significant for
+// analyzers that filter by package path (floatcmp, ctxfirst).
+//
+// A fixture may span several files and several packages: dir itself (if it
+// holds Go files) and every nested subdirectory load as one package each,
+// named importPath plus the relative path, and the packages may import one
+// another under those names — which is how the fact-driven analyzers prove
+// their cross-package behavior. All packages run through the same two-phase
+// Run the driver uses, and want annotations are honored wherever they sit.
 func AnalyzerTest(moduleDir, dir, importPath string, a *Analyzer) ([]string, error) {
 	loader, err := NewLoader(moduleDir)
 	if err != nil {
@@ -37,27 +45,55 @@ func AnalyzerTest(moduleDir, dir, importPath string, a *Analyzer) ([]string, err
 	if !filepath.IsAbs(abs) {
 		abs = filepath.Join(moduleDir, dir)
 	}
-	pkg, err := loader.LoadDir(abs, importPath)
+	loader.AddRoot(importPath, abs)
+	var pkgs []*Package
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		if !d.IsDir() || !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(abs, path)
+		if err != nil {
+			return err
+		}
+		ip := importPath
+		if rel != "." {
+			ip = importPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(path, ip)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("lint: no fixture packages under %s", abs)
+	}
+	diags := Run(pkgs, []*Analyzer{a})
 
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
-					pat, err := unquoteWant(m[1])
-					if err != nil {
-						return nil, err
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						pat, err := unquoteWant(m[1])
+						if err != nil {
+							return nil, err
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("lint: bad want pattern %q: %w", m[1], err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
 					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						return nil, fmt.Errorf("lint: bad want pattern %q: %w", m[1], err)
-					}
-					pos := pkg.Fset.Position(c.Pos())
-					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
 				}
 			}
 		}

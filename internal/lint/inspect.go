@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Kind is a bitmask of AST node kinds an analyzer subscribes to. Only the
+// kinds the concurrency analyzers actually traverse are distinguished;
+// everything else folds into KindOther (still traversed, still on the
+// stack, just not individually addressable).
+type Kind uint32
+
+const (
+	KindFuncDecl Kind = 1 << iota
+	KindFuncLit
+	KindGoStmt
+	KindDeferStmt
+	KindCallExpr
+	KindAssignStmt
+	KindSelectorExpr
+	KindReturnStmt
+	KindIdent
+	KindUnaryExpr
+	KindRangeStmt
+	KindValueSpec
+	KindOther
+
+	// KindAny matches every node.
+	KindAny = ^Kind(0)
+)
+
+// nodeKind classifies one node into its subscription bit.
+func nodeKind(n ast.Node) Kind {
+	switch n.(type) {
+	case *ast.FuncDecl:
+		return KindFuncDecl
+	case *ast.FuncLit:
+		return KindFuncLit
+	case *ast.GoStmt:
+		return KindGoStmt
+	case *ast.DeferStmt:
+		return KindDeferStmt
+	case *ast.CallExpr:
+		return KindCallExpr
+	case *ast.AssignStmt:
+		return KindAssignStmt
+	case *ast.SelectorExpr:
+		return KindSelectorExpr
+	case *ast.ReturnStmt:
+		return KindReturnStmt
+	case *ast.Ident:
+		return KindIdent
+	case *ast.UnaryExpr:
+		return KindUnaryExpr
+	case *ast.RangeStmt:
+		return KindRangeStmt
+	case *ast.ValueSpec:
+		return KindValueSpec
+	}
+	return KindOther
+}
+
+// inspectEvent is one push (node non-nil, pop = index of the matching pop
+// event) or pop (node non-nil, pop < own index) in the preorder traversal.
+type inspectEvent struct {
+	node ast.Node
+	kind Kind
+	pop  int // for a push event: index of its pop event; for a pop: push index
+	push bool
+}
+
+// Inspector is the package's shared traversal: the files are walked exactly
+// once when the inspector is built, and every analyzer replays the recorded
+// event list instead of re-walking the AST. This is the single-pass spine
+// the fact-driven analyzers hang off (DESIGN.md §11).
+type Inspector struct {
+	events []inspectEvent
+}
+
+// NewInspector records one preorder walk over files.
+func NewInspector(files []*ast.File) *Inspector {
+	in := &Inspector{}
+	var stack []int // indices of open push events
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				in.events[top].pop = len(in.events)
+				in.events = append(in.events, inspectEvent{
+					node: in.events[top].node,
+					kind: in.events[top].kind,
+					pop:  top,
+				})
+				return true
+			}
+			stack = append(stack, len(in.events))
+			in.events = append(in.events, inspectEvent{node: n, kind: nodeKind(n), push: true})
+			return true
+		})
+	}
+	return in
+}
+
+// Preorder calls f for every node whose kind is in mask, in source order.
+func (in *Inspector) Preorder(mask Kind, f func(ast.Node)) {
+	for _, ev := range in.events {
+		if ev.push && ev.kind&mask != 0 {
+			f(ev.node)
+		}
+	}
+}
+
+// WithStack calls f for every node whose kind is in mask, passing the
+// enclosing node stack (outermost first, ending at the node itself).
+// Returning false from f skips the node's subtree.
+func (in *Inspector) WithStack(mask Kind, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for i := 0; i < len(in.events); i++ {
+		ev := in.events[i]
+		if !ev.push {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		stack = append(stack, ev.node)
+		if ev.kind&mask != 0 {
+			if !f(ev.node, stack) {
+				// Skip to the matching pop; the pop handler above would
+				// over-trim, so drop the frame here and jump past it.
+				stack = stack[:len(stack)-1]
+				i = ev.pop
+			}
+		}
+	}
+}

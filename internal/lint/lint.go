@@ -20,20 +20,28 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check. Run inspects a single package and reports
-// findings through the pass.
+// Analyzer is one named check. The optional Facts phase runs first over
+// every package and exports facts (see fact.go); Run then inspects each
+// package — with every analyzer's facts about every package available —
+// and reports findings through the pass.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name  string
+	Doc   string
+	Facts func(*Pass) // optional fact-export phase; must not report
+	Run   func(*Pass)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package, plus the run-wide fact
+// store shared by all analyzers.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	facts    *FactStore
 	report   func(Diagnostic)
 }
+
+// Inspector returns the package's shared single-pass traversal.
+func (p *Pass) Inspector() *Inspector { return p.Pkg.Inspector() }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
@@ -44,8 +52,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// Analyzers is the full suite, in the order `ccslint` runs them.
-var Analyzers = []*Analyzer{SharedMut, Canonical, FloatCmp, DroppedErr, CtxFirst, MetricConst}
+// Analyzers is the full suite, in the order `ccslint` runs them: the six
+// single-package analyzers from PRs 1–3, then the five fact-driven
+// concurrency analyzers guarding the parallel level engine.
+var Analyzers = []*Analyzer{
+	SharedMut, Canonical, FloatCmp, DroppedErr, CtxFirst, MetricConst,
+	GoroutineCtx, PoolEscape, AtomicMix, LockDiscipline, WgAdd,
+}
 
 // ByName returns the analyzers with the given comma-separated names.
 func ByName(names string) ([]*Analyzer, error) {
@@ -73,17 +86,36 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run applies the analyzers to each package, drops findings suppressed by
-// a `//ccslint:ignore <analyzer...> <reason>` comment on the same or the
-// preceding line, and returns the rest sorted by position.
+// Run applies the analyzers to each package in two phases. Phase one walks
+// every package once, letting each analyzer export facts about functions
+// and fields (fact.go); phase two runs the analyzers proper with all facts
+// in scope, so a claim established in one package can convict a line in
+// another. Findings suppressed by a justified
+// `//ccslint:ignore <analyzer...> <reason>` comment on the same or the
+// preceding line are dropped; a directive with no justification text is
+// itself a finding (analyzer "ccslint") that no directive can silence.
+// The rest return sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	facts := NewFactStore()
+	ignored := make(map[lineKey]ignoreSet)
 	for _, pkg := range pkgs {
-		ignored := ignoreDirectives(pkg)
+		ignoreDirectives(pkg, ignored, &diags)
+	}
+	discard := func(Diagnostic) {}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Facts != nil {
+				a.Facts(&Pass{Analyzer: a, Pkg: pkg, facts: facts, report: discard})
+			}
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg,
+				facts:    facts,
 				report: func(d Diagnostic) {
 					if names, ok := ignored[lineKey{d.Pos.Filename, d.Pos.Line}]; ok && names.allows(d.Analyzer) {
 						return
@@ -128,9 +160,11 @@ func (s ignoreSet) allows(analyzer string) bool {
 
 // ignoreDirectives maps every line covered by a ccslint:ignore comment (the
 // comment's own line and the one after it, so the directive can sit on its
-// own line above the flagged statement) to the analyzer names it silences.
-func ignoreDirectives(pkg *Package) map[lineKey]ignoreSet {
-	out := make(map[lineKey]ignoreSet)
+// own line above the flagged statement) to the analyzer names it silences,
+// accumulating into out. A directive whose analyzer names are followed by
+// no justification text is appended to diags as a finding: suppressions
+// must say why, and the driver holds the tree to it.
+func ignoreDirectives(pkg *Package, out map[lineKey]ignoreSet, diags *[]Diagnostic) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -153,12 +187,18 @@ func ignoreDirectives(pkg *Package) map[lineKey]ignoreSet {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == len(names) {
+					*diags = append(*diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ccslint",
+						Message:  "ccslint:ignore directive without a justification; write //ccslint:ignore <analyzer> <reason>",
+					})
+				}
 				out[lineKey{pos.Filename, pos.Line}] = append(out[lineKey{pos.Filename, pos.Line}], names...)
 				out[lineKey{pos.Filename, pos.Line + 1}] = append(out[lineKey{pos.Filename, pos.Line + 1}], names...)
 			}
 		}
 	}
-	return out
 }
 
 func isAnalyzerName(s string) bool {

@@ -42,6 +42,35 @@ func TestCtxFirst(t *testing.T) {
 }
 func TestMetricConst(t *testing.T) { runFixture(t, lint.MetricConst, "metriconst", "metriconst") }
 
+func TestGoroutineCtx(t *testing.T) {
+	runFixture(t, lint.GoroutineCtx, filepath.Join("goroutinectx", "core"), "goroutinectx/core")
+}
+func TestPoolEscape(t *testing.T) { runFixture(t, lint.PoolEscape, "poolescape", "poolescape") }
+
+// TestAtomicMix loads a two-package fixture tree: the fact that a field is
+// atomic is exported while walking atomicmix/stats and convicts a plain
+// access in atomicmix/use, proving the cross-package fact flow end to end.
+func TestAtomicMix(t *testing.T) { runFixture(t, lint.AtomicMix, "atomicmix", "atomicmix") }
+
+func TestLockDiscipline(t *testing.T) {
+	runFixture(t, lint.LockDiscipline, "lockdiscipline", "lockdiscipline")
+}
+func TestWgAdd(t *testing.T) { runFixture(t, lint.WgAdd, "wgadd", "wgadd") }
+
+// TestFixtureNeedsAnalyzer runs a fixture under the WRONG analyzer: every
+// want annotation must go unmatched, proving the fixtures cannot pass
+// vacuously with an analyzer disabled or missing.
+func TestFixtureNeedsAnalyzer(t *testing.T) {
+	root := moduleRoot(t)
+	problems, err := lint.AnalyzerTest(root, filepath.Join("internal", "lint", "testdata", "src", "wgadd"), "wgadd", lint.PoolEscape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) == 0 {
+		t.Fatal("want annotations matched with the analyzer disabled; the fixture proves nothing")
+	}
+}
+
 // TestCtxFirstPathFilter loads the ctxfirst fixture under an import path
 // outside the cancellation-chain packages: the analyzer must stay silent.
 func TestCtxFirstPathFilter(t *testing.T) {
@@ -103,9 +132,9 @@ func TestModuleIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := loader.LoadAll()
-	if err != nil {
-		t.Fatal(err)
+	pkgs, errs := loader.LoadAll()
+	for _, e := range errs {
+		t.Error(e)
 	}
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; module discovery is broken", len(pkgs))

@@ -1,9 +1,11 @@
 // Package lint is the project's self-contained static-analysis toolkit:
 // a module loader built on go/parser and go/types (no dependency outside
-// the standard library), a tiny analyzer framework in the spirit of
-// golang.org/x/tools/go/analysis, and four project-specific analyzers that
-// machine-check invariants the mining core depends on but go vet cannot
-// express (see the Analyzers variable in lint.go).
+// the standard library), a two-phase fact-driven analyzer framework in the
+// spirit of golang.org/x/tools/go/analysis (shared single-pass inspector,
+// cross-package facts — see inspect.go and fact.go), and eleven
+// project-specific analyzers that machine-check invariants the mining core
+// and its parallel engine depend on but go vet cannot express (see the
+// Analyzers variable in lint.go and DESIGN.md §6/§11).
 package lint
 
 import (
@@ -27,6 +29,17 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	inspect *Inspector // built on first use, shared by every analyzer
+}
+
+// Inspector returns the package's shared traversal, walking the files
+// exactly once no matter how many analyzers subscribe.
+func (pkg *Package) Inspector() *Inspector {
+	if pkg.inspect == nil {
+		pkg.inspect = NewInspector(pkg.Files)
+	}
+	return pkg.inspect
 }
 
 // Loader discovers, parses, and type-checks every package of the module.
@@ -41,6 +54,18 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package // by import path
 	loading map[string]bool     // cycle detection
+	roots   map[string]string   // extra import-path prefix -> directory (fixture trees)
+}
+
+// AddRoot maps an import-path prefix onto a directory, letting multi-package
+// fixture trees import each other: with AddRoot("atomicmix", dir), both
+// "atomicmix" and "atomicmix/stats" resolve under dir. Module-local paths
+// always win over extra roots.
+func (l *Loader) AddRoot(prefix, dir string) {
+	if l.roots == nil {
+		l.roots = make(map[string]string)
+	}
+	l.roots[prefix] = dir
 }
 
 // NewLoader reads go.mod in moduleDir to learn the module path and returns
@@ -103,10 +128,13 @@ func modulePath(gomod string) (string, error) {
 }
 
 // LoadAll loads every package of the module (skipping testdata and hidden
-// directories) and returns them sorted by import path.
-func (l *Loader) LoadAll() ([]*Package, error) {
+// directories), returning the ones that load sorted by import path. A
+// package that fails to parse or type-check contributes an error instead of
+// aborting the walk, so the driver can analyze the healthy packages and
+// still exit non-zero for the broken ones.
+func (l *Loader) LoadAll() ([]*Package, []error) {
 	var dirs []string
-	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+	walkErr := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -122,14 +150,16 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if walkErr != nil {
+		return nil, []error{walkErr}
 	}
 	var out []*Package
+	var errs []error
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(l.ModuleDir, dir)
 		if err != nil {
-			return nil, err
+			errs = append(errs, err)
+			continue
 		}
 		ip := l.ModulePath
 		if rel != "." {
@@ -137,12 +167,13 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		}
 		pkg, err := l.LoadDir(dir, ip)
 		if err != nil {
-			return nil, err
+			errs = append(errs, err)
+			continue
 		}
 		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
-	return out, nil
+	return out, errs
 }
 
 func hasGoFiles(dir string) bool {
@@ -207,7 +238,8 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 }
 
 // Import implements types.Importer: module-local paths resolve through the
-// loader, everything else through the GOROOT source importer.
+// loader, registered extra roots (fixture trees) next, and everything else
+// through the GOROOT source importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
@@ -217,6 +249,20 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		dir := l.ModuleDir
 		if rel != "" {
 			dir = filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	for prefix, root := range l.roots {
+		if path != prefix && !strings.HasPrefix(path, prefix+"/") {
+			continue
+		}
+		dir := root
+		if rel := strings.TrimPrefix(strings.TrimPrefix(path, prefix), "/"); rel != "" {
+			dir = filepath.Join(root, filepath.FromSlash(rel))
 		}
 		pkg, err := l.LoadDir(dir, path)
 		if err != nil {

@@ -1,0 +1,24 @@
+// Package stats exercises atomicmix's fact export: fields touched through
+// sync/atomic here are convicted of plain access anywhere — including the
+// sibling fixture package that imports this one.
+package stats
+
+import "sync/atomic"
+
+type Counter struct {
+	N   int64
+	hit int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.N, 1)
+	atomic.AddInt64(&c.hit, 1)
+}
+
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.N) // ok: atomic access shape
+}
+
+func (c *Counter) Sloppy() int64 {
+	return c.hit // want "field hit is accessed via sync/atomic"
+}

@@ -1,0 +1,13 @@
+// Package use proves atomicmix works across package boundaries: the fact
+// that Counter.N is atomic was exported while walking the stats package.
+package use
+
+import "atomicmix/stats"
+
+func Bump(c *stats.Counter) {
+	c.N++ // want "field N is accessed via sync/atomic"
+}
+
+func BumpProperly(c *stats.Counter) {
+	c.Inc() // ok: goes through the atomic API
+}

@@ -1,0 +1,53 @@
+// Package core exercises goroutinectx: loaded under the import path
+// "goroutinectx/core" it sits inside the cancellation-chain packages, so
+// every ctx-taking function that starts a goroutine must hand it the ctx.
+package core
+
+import "context"
+
+func orphanWorkers(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want "orphanWorkers takes a ctx but this goroutine references neither it nor anything derived from it"
+			_ = n
+		}()
+	}
+	go func() { // ok: observes ctx directly
+		<-ctx.Done()
+	}()
+}
+
+func derivedIsFine(ctx context.Context) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := child.Done()
+	go func() { // ok: done derives from ctx through child
+		<-done
+	}()
+}
+
+// spawnBlind starts goroutines and takes no ctx; callers holding a ctx must
+// not delegate to it bare. Its own go statement is fine — spawnBlind has no
+// ctx to lose.
+func spawnBlind() {
+	go func() {}()
+}
+
+func spawnWithCtx(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+
+func delegates(ctx context.Context) {
+	spawnBlind() // want "delegates takes a ctx but calls spawnBlind, which starts goroutines, without passing the ctx"
+	spawnWithCtx(ctx) // ok: the helper takes the ctx
+}
+
+type ctl struct {
+	ctx context.Context
+}
+
+func (c *ctl) run(ctx context.Context) {
+	c.ctx = ctx
+	go func() { // ok: a context-typed field carries the signal
+		<-c.ctx.Done()
+	}()
+}

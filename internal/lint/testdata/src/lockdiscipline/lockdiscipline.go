@@ -1,0 +1,109 @@
+// Package lockdiscipline exercises the lock-balance simulation and the
+// LocksReceiver-fact self-deadlock check.
+package lockdiscipline
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func (s *store) goodDefer(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// goodPaired releases on every path without defer — the shape the
+// prefixCache fast paths use.
+func (s *store) goodPaired(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+func (s *store) leaks(k string) int {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		return v // want "exit with s.mu still locked and no deferred unlock"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) doubleLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want "s.mu.Lock while s.mu is already locked on this path: self-deadlock"
+}
+
+func (s *store) upgrade() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.rw.Lock() // want "lock upgrades deadlock"
+	s.rw.Unlock()
+}
+
+func (s *store) recursiveRead() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.rw.RLock() // want "recursive s.rw.RLock on this path can deadlock with a pending writer"
+	s.rw.RUnlock()
+}
+
+func (s *store) stray() {
+	s.mu.Unlock() // want "s.mu.Unlock without a matching acquisition on this path"
+}
+
+func (s *store) acrossLoop(keys []string) {
+	for _, k := range keys { // want "lock state changes across a loop iteration"
+		s.mu.Lock()
+		_ = k
+	}
+}
+
+func (s *store) balancedLoop(keys []string) {
+	for _, k := range keys { // ok: each iteration is lock-neutral
+		s.mu.Lock()
+		s.m[k]++
+		s.mu.Unlock()
+	}
+}
+
+func (s *store) branchBalanced(mode int) {
+	s.mu.Lock()
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+	}
+}
+
+// locked takes the receiver's mutex; the fact phase exports
+// LocksReceiver{Fields: ["mu"]} for it.
+func (s *store) locked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m["x"] = 1
+}
+
+func (s *store) selfDeadlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locked() // want "calls locked while holding s.mu, and locked locks it again: self-deadlock"
+}
+
+func (s *store) callAfterRelease() {
+	s.mu.Lock()
+	s.m["y"] = 2
+	s.mu.Unlock()
+	s.locked() // ok: the lock is free by the time the callee takes it
+}

@@ -1,0 +1,55 @@
+// Package poolescape exercises the sync.Pool hygiene analyzer: values from
+// Get must not escape via return and must not be used after Put — directly
+// or through a recycling helper (proved by the PoolPuts fact).
+package poolescape
+
+import "sync"
+
+type buf struct {
+	n    int
+	data []byte
+}
+
+var scratch = sync.Pool{New: func() interface{} { return new(buf) }}
+
+func escapes() *buf {
+	b := scratch.Get().(*buf)
+	b.n = 1
+	return b // want "b was obtained from a sync.Pool and escapes via return"
+}
+
+func useAfterPut() int {
+	b := scratch.Get().(*buf)
+	b.n = 2
+	scratch.Put(b)
+	return b.n // want "b is used after being returned to its sync.Pool"
+}
+
+func deferredPutIsFine() int {
+	b := scratch.Get().(*buf)
+	defer scratch.Put(b)
+	b.n = 3
+	return b.n // ok: the deferred Put runs after this read
+}
+
+// recycle Puts its parameter back; callers' values count as recycled at the
+// call (via the PoolPuts fact exported for this function).
+func recycle(b *buf) {
+	b.n = 0
+	scratch.Put(b)
+}
+
+func useAfterHelperPut() {
+	b := scratch.Get().(*buf)
+	b.n = 4
+	recycle(b)
+	b.n = 5 // want "b is used after being returned to its sync.Pool"
+}
+
+func cleanLifecycle() int {
+	b := scratch.Get().(*buf)
+	b.n = 6
+	v := b.n
+	scratch.Put(b)
+	return v // ok: only the copied value outlives the Put
+}

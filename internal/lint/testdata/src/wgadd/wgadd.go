@@ -1,0 +1,63 @@
+// Package wgadd exercises the WaitGroup Add/go ordering analyzer, including
+// the WaitGroupDones fact that makes `go worker(&wg)` count as a
+// Done-calling goroutine.
+package wgadd
+
+import "sync"
+
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		go func() {
+			wg.Add(1) // want "wg.Add runs inside the goroutine it accounts for"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addAfterGo() {
+	var wg sync.WaitGroup
+	go func() { // want "every wg.Add in the function comes after the go statement"
+		defer wg.Done()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+func addBeforeGo() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { // ok: Add happens-before the start
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// worker signals completion on its parameter; the fact phase exports
+// WaitGroupDones{Params: [0]} for it.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func helperAfterGo() {
+	var wg sync.WaitGroup
+	go worker(&wg) // want "every wg.Add in the function comes after the go statement"
+	wg.Add(1)
+	wg.Wait()
+}
+
+func helperBeforeGo() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg) // ok: counted before it starts
+	wg.Wait()
+}
+
+// countedByCaller hands the wg down without any Add of its own: the count
+// is managed a level up, which is legal and not flagged.
+func countedByCaller(wg *sync.WaitGroup) {
+	go worker(wg)
+}

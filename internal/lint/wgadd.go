@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WgAdd enforces the sync.WaitGroup protocol the sharded level engine's
+// barrier depends on: the Add for a goroutine must happen-before the go
+// statement that starts it. Two violations are flagged. Rule A: an Add
+// executed inside the launched goroutine itself — by the time it runs,
+// Wait may already have seen the counter at zero and returned. Rule B: a
+// go statement whose goroutine calls Done while every Add for that
+// WaitGroup sits later in the function — the same lost-wakeup race,
+// spelled across two lines.
+//
+// The Facts phase exports WaitGroupDones for every function that calls
+// Done on a WaitGroup parameter, so `go worker(&wg)` counts as a
+// Done-calling goroutine even though the Done lives in another file or
+// package.
+var WgAdd = &Analyzer{
+	Name:  "wgadd",
+	Doc:   "flags WaitGroup.Add calls that do not happen-before the goroutine's start",
+	Facts: factsWgAdd,
+	Run:   runWgAdd,
+}
+
+func factsWgAdd(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.Inspector().Preorder(KindFuncDecl, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		fn := funcDeclObj(info, fd)
+		if fn == nil {
+			return
+		}
+		var params []int
+		seen := map[int]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, typ, method, ok := syncCall(info, call)
+			if !ok || typ != "WaitGroup" || method != "Done" {
+				return true
+			}
+			root, _, ok := refKey(info, recv)
+			if !ok {
+				return true
+			}
+			if i := paramIndex(fn, root); i >= 0 && !seen[i] {
+				seen[i] = true
+				params = append(params, i)
+			}
+			return true
+		})
+		if len(params) > 0 {
+			pass.ExportObjectFact(fn, WaitGroupDones{Params: params})
+		}
+	})
+}
+
+func runWgAdd(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.Inspector().Preorder(KindFuncDecl|KindFuncLit, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body == nil {
+			return
+		}
+		checkWgAddOrder(pass, info, body)
+	})
+}
+
+// checkWgAddOrder analyzes one function body (not descending into nested
+// function literals except through go statements, which are the subject).
+func checkWgAddOrder(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	// addPos collects, per WaitGroup key, the positions of its Add calls
+	// that run on this function's own control flow (not inside a go'd or
+	// nested literal — those don't happen-before anything here).
+	type wgInfo struct {
+		addPos []int // token.Pos as int, source order
+	}
+	adds := map[string]*wgInfo{}
+	labels := map[string]string{}
+	var goStmts []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			goStmts = append(goStmts, n)
+			return false // its body is the goroutine, not this function
+		case *ast.CallExpr:
+			if recv, typ, method, ok := syncCall(info, n); ok && typ == "WaitGroup" && method == "Add" {
+				if _, key, ok := refKey(info, recv); ok {
+					wi := adds[key]
+					if wi == nil {
+						wi = &wgInfo{}
+						adds[key] = wi
+					}
+					wi.addPos = append(wi.addPos, int(n.Pos()))
+					labels[key] = refLabel(recv)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, g := range goStmts {
+		// Which WaitGroups does this goroutine signal completion on?
+		doneKeys := goroutineDoneKeys(pass, info, g)
+		for _, key := range doneKeys {
+			label := labels[key]
+			if label == "" {
+				label = "the WaitGroup"
+			}
+			// Rule A: an Add on this WaitGroup inside the goroutine body.
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if recv, typ, method, ok := syncCall(info, call); ok && typ == "WaitGroup" && method == "Add" {
+						if _, k, ok := refKey(info, recv); ok && k == key {
+							pass.Reportf(call.Pos(), "%s.Add runs inside the goroutine it accounts for; Wait can observe the counter at zero before this executes — Add before the go statement", refLabel(recv))
+						}
+					}
+					return true
+				})
+			}
+			// Rule B: the function Adds to this WaitGroup, but every Add is
+			// after the go statement. (No Add at all means the count is
+			// managed elsewhere — e.g. by a caller — and is not flagged.)
+			wi := adds[key]
+			if wi == nil {
+				continue
+			}
+			before := false
+			for _, p := range wi.addPos {
+				if p < int(g.Pos()) {
+					before = true
+					break
+				}
+			}
+			if !before {
+				pass.Reportf(g.Pos(), "this goroutine calls %s.Done but every %s.Add in the function comes after the go statement; Wait can return before the goroutine is counted", label, label)
+			}
+		}
+	}
+}
+
+// goroutineDoneKeys returns the refKeys of the WaitGroups the go statement's
+// goroutine calls Done on: directly in a func-literal body (including via
+// defer), or through a called function's WaitGroupDones fact applied to the
+// arguments.
+func goroutineDoneKeys(pass *Pass, info *types.Info, g *ast.GoStmt) []string {
+	var keys []string
+	seen := map[string]bool{}
+	add := func(recv ast.Expr) {
+		if _, key, ok := refKey(info, recv); ok && !seen[key] {
+			seen[key] = true
+			keys = append(keys, key)
+		}
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, typ, method, ok := syncCall(info, call); ok && typ == "WaitGroup" && method == "Done" {
+				add(recv)
+				return true
+			}
+			// A call inside the literal can also delegate the Done.
+			collectFactDones(pass, info, call, add)
+			return true
+		})
+		return keys
+	}
+	// go f(..., &wg, ...): the callee's fact says which params it Dones.
+	collectFactDones(pass, info, g.Call, add)
+	return keys
+}
+
+// collectFactDones applies a callee's WaitGroupDones fact to the call's
+// argument expressions.
+func collectFactDones(pass *Pass, info *types.Info, call *ast.CallExpr, add func(ast.Expr)) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return
+	}
+	var dones WaitGroupDones
+	if !pass.ImportObjectFact(f, &dones) {
+		return
+	}
+	for _, pi := range dones.Params {
+		if pi >= len(call.Args) {
+			continue
+		}
+		arg := ast.Unparen(call.Args[pi])
+		if u, ok := arg.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			arg = u.X
+		}
+		add(arg)
+	}
+}

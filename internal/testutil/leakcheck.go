@@ -1,0 +1,127 @@
+// Package testutil holds test-only helpers shared across packages.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines fails the test if goroutines started during it are still
+// running when it ends. Call it first thing in the test; it snapshots the
+// live goroutines and registers a cleanup that compares against the
+// snapshot, retrying with backoff (goroutines legitimately take a moment to
+// unwind after a context is canceled or a listener closes) before declaring
+// a leak and printing each leaked goroutine's stack.
+//
+// Built on runtime.Stack alone — no dependencies — so any package can use
+// it. Harness and runtime service goroutines (the testing framework, signal
+// handling, pprof) are filtered out; a goroutine that existed before the
+// test is never blamed on it.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := make(map[string]bool)
+	for _, g := range liveGoroutines() {
+		base[g.id] = true
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		backoff := time.Millisecond
+		var leaked []goroutine
+		for {
+			leaked = leaked[:0]
+			for _, g := range liveGoroutines() {
+				if !base[g.id] {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine:\n%s", g.stack)
+		}
+	})
+}
+
+// goroutine is one parsed stanza of a full runtime.Stack dump.
+type goroutine struct {
+	id    string // "goroutine 12" header token, stable for the goroutine's life
+	stack string
+}
+
+// liveGoroutines parses runtime.Stack(all=true) into one entry per
+// interesting goroutine. The buffer doubles until the dump fits, so the
+// count from runtime.NumGoroutine only sizes the first guess.
+func liveGoroutines() []goroutine {
+	buf := make([]byte, 64<<10*(1+runtime.NumGoroutine()/64))
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		stanza = strings.TrimSpace(stanza)
+		if stanza == "" || !interesting(stanza) {
+			continue
+		}
+		header, _, _ := strings.Cut(stanza, "\n")
+		id := header
+		if fields := strings.Fields(header); len(fields) >= 2 {
+			id = fields[0] + " " + fields[1]
+		}
+		out = append(out, goroutine{id: id, stack: stanza})
+	}
+	return out
+}
+
+// interesting filters out the goroutines no test owns: the current one, the
+// test harness, and runtime services that start lazily and live forever.
+func interesting(stanza string) bool {
+	if strings.HasPrefix(stanza, fmt.Sprintf("goroutine %d ", currentGoroutineID())) {
+		return false
+	}
+	for _, marker := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.tRunner",
+		"testing.runFuzzing",
+		"runtime/pprof.",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime.ensureSigM",
+		"created by runtime.gc",
+		"runtime.MHeap_Scavenger",
+	} {
+		if strings.Contains(stanza, marker) {
+			return false
+		}
+	}
+	return true
+}
+
+// currentGoroutineID extracts this goroutine's number from its own stack
+// header ("goroutine 7 [running]:").
+func currentGoroutineID() int {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	header := string(buf[:n])
+	var id int
+	fmt.Sscanf(header, "goroutine %d ", &id)
+	return id
+}

@@ -1,0 +1,84 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNoLeakPasses drives CheckGoroutines through a recording TB: a test
+// whose goroutines all finish (even slightly after the body returns — the
+// backoff's job) must report nothing.
+func TestNoLeakPasses(t *testing.T) {
+	rec := &recordingTB{TB: t}
+	CheckGoroutines(rec)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+	// The goroutine above may still be unwinding; the cleanup must wait it
+	// out rather than flag it.
+	rec.runCleanups()
+	if len(rec.errors) != 0 {
+		t.Fatalf("clean test flagged as leaking:\n%s", strings.Join(rec.errors, "\n"))
+	}
+}
+
+// TestLeakIsReported starts a goroutine that outlives the test and checks
+// the cleanup names it.
+func TestLeakIsReported(t *testing.T) {
+	rec := &recordingTB{TB: t}
+	CheckGoroutines(rec)
+	block := make(chan struct{})
+	go leakyWorker(block)
+	rec.runCleanups()
+	close(block) // let it exit so this test does not leak for real
+	if len(rec.errors) == 0 {
+		t.Fatal("leaked goroutine was not reported")
+	}
+	if !strings.Contains(strings.Join(rec.errors, "\n"), "leakyWorker") {
+		t.Errorf("report does not name the leaked function:\n%s", strings.Join(rec.errors, "\n"))
+	}
+}
+
+func leakyWorker(block chan struct{}) { <-block }
+
+// TestPreexistingGoroutineNotBlamed: a goroutine already running when
+// CheckGoroutines is called belongs to someone else.
+func TestPreexistingGoroutineNotBlamed(t *testing.T) {
+	block := make(chan struct{})
+	go leakyWorker(block)
+	defer close(block)
+	time.Sleep(5 * time.Millisecond) // let it reach its park point
+	rec := &recordingTB{TB: t}
+	CheckGoroutines(rec)
+	rec.runCleanups()
+	if len(rec.errors) != 0 {
+		t.Fatalf("pre-existing goroutine blamed on the test:\n%s", strings.Join(rec.errors, "\n"))
+	}
+}
+
+// recordingTB captures Errorf calls and runs cleanups on demand, letting
+// the leak checker be tested without failing the real test.
+type recordingTB struct {
+	testing.TB
+	errors   []string
+	cleanups []func()
+}
+
+func (r *recordingTB) Helper() {}
+
+func (r *recordingTB) Errorf(format string, args ...interface{}) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+func (r *recordingTB) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+
+func (r *recordingTB) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
