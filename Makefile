@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fixtures test race obs faults fuzz-smoke bench bench-all bench-check figures report clean
+.PHONY: all build vet lint lint-fixtures test race obs faults loadsmoke fuzz-smoke bench bench-all bench-check figures report clean
 
 all: build vet lint test
 
@@ -47,6 +47,14 @@ obs:
 faults:
 	$(GO) test -race -run 'Fault|Cancel|Truncat|Budget|Transient|Retry|Drain|Signal|Recover|Timeout' \
 		./internal/dataset ./internal/counting ./internal/core ./internal/freq ./internal/server ./cmd/ccsserve
+
+# overload soak: 64 clients against 16 admission slots (4x capacity) for
+# 5 seconds via the in-process load harness. Exits non-zero on any
+# no-collapse invariant violation — a 5xx, a 429 without Retry-After,
+# leaked goroutines after drain; see DESIGN.md §12 and cmd/ccsload
+loadsmoke:
+	$(GO) run ./cmd/ccsload -clients 64 -duration 5s \
+		-max-inflight 16 -queue-depth 16 -queue-wait 50ms
 
 # ~30 seconds of fuzzing across the parser, the binary reader, and the
 # bitset algebra — the CI smoke; run with a larger -fuzztime to dig deeper

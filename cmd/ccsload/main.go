@@ -1,0 +1,638 @@
+// Command ccsload drives a mining server with concurrent mixed-tenant
+// load and verifies the no-collapse invariants of the overload-protection
+// layer (DESIGN.md §12):
+//
+//   - every response is 200 or a structured 429 — never a 5xx, no matter
+//     how far the offered load exceeds capacity;
+//   - every 429 carries a Retry-After header;
+//   - goroutines return to baseline once the load drains (no per-request
+//     leaks under overload);
+//   - when -slo-p99 is set, the measured p99 stays within it;
+//   - when -quotas is set, each rate-limited tenant's admitted requests
+//     stay within rate x duration + burst + 1.
+//
+// By default it builds an in-process server (admission bounds from the
+// -max-inflight / -queue-depth / -queue-wait flags) on a loopback
+// listener, so one command is a self-contained soak:
+//
+//	ccsload -clients 64 -duration 5s -max-inflight 16
+//
+// Point it at a running server instead with -addr. -chaos adds dataset
+// churn (generate/delete cycles racing the miners), -faults loads the
+// initial dataset through an injected-fault reader with bounded retries.
+// The run's measurements are written as a JSON report; any violated
+// invariant makes the exit status non-zero.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ccs/internal/dataset"
+	"ccs/internal/gen"
+	"ccs/internal/obs"
+	"ccs/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig collects the parsed flags.
+type loadConfig struct {
+	addr     string
+	clients  int
+	duration time.Duration
+
+	maxInflight int
+	queueDepth  int
+	queueWait   time.Duration
+	sloP99      time.Duration
+	quotasPath  string
+
+	tenants string
+	baskets int
+	items   int
+	seed    int64
+
+	chaos  bool
+	faults bool
+	report string
+}
+
+func parseFlags(args []string) (loadConfig, error) {
+	var cfg loadConfig
+	fs := flag.NewFlagSet("ccsload", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", "", "base URL of a running server (empty = run an in-process server on loopback)")
+	fs.IntVar(&cfg.clients, "clients", 16, "concurrent client goroutines")
+	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "how long to offer load")
+	fs.IntVar(&cfg.maxInflight, "max-inflight", 4, "in-process server: concurrent mining requests admitted")
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 8, "in-process server: admission queue depth")
+	fs.DurationVar(&cfg.queueWait, "queue-wait", 100*time.Millisecond, "in-process server: max time queued")
+	fs.DurationVar(&cfg.sloP99, "slo-p99", 0, "fail when the measured p99 exceeds this (0 = report only)")
+	fs.StringVar(&cfg.quotasPath, "quotas", "", "in-process server: tenant quota JSON (see DESIGN.md §12); adherence is asserted after the run")
+	fs.StringVar(&cfg.tenants, "tenants", "", "tenant mix as name:weight,... (empty = anonymous traffic)")
+	fs.IntVar(&cfg.baskets, "baskets", 2000, "generated dataset size in baskets")
+	fs.IntVar(&cfg.items, "items", 50, "generated dataset item universe")
+	fs.Int64Var(&cfg.seed, "seed", 1, "dataset and load-mix seed")
+	fs.BoolVar(&cfg.chaos, "chaos", false, "churn a second dataset (generate/delete) while mining")
+	fs.BoolVar(&cfg.faults, "faults", false, "load the initial dataset through injected transient I/O faults with bounded retries")
+	fs.StringVar(&cfg.report, "report", "", "also write the JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.clients <= 0 {
+		return cfg, fmt.Errorf("-clients must be positive, got %d", cfg.clients)
+	}
+	return cfg, nil
+}
+
+// tenantMix is the weighted set of tenant identities offered load.
+type tenantMix struct {
+	names   []string
+	weights []int
+	total   int
+}
+
+func parseTenants(spec string) (*tenantMix, error) {
+	if spec == "" {
+		return &tenantMix{names: []string{""}, weights: []int{1}, total: 1}, nil
+	}
+	m := &tenantMix{}
+	for _, part := range strings.Split(spec, ",") {
+		name, ws, ok := strings.Cut(part, ":")
+		w := 1
+		if ok {
+			var err error
+			w, err = strconv.Atoi(ws)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("tenant weight %q: want a positive integer", part)
+			}
+		}
+		if name == "" {
+			return nil, fmt.Errorf("empty tenant name in %q", spec)
+		}
+		m.names = append(m.names, name)
+		m.weights = append(m.weights, w)
+		m.total += w
+	}
+	return m, nil
+}
+
+// pick returns a tenant name by weight; "" means no tenant header.
+func (m *tenantMix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total)
+	for i, w := range m.weights {
+		if n < w {
+			return m.names[i]
+		}
+		n -= w
+	}
+	return m.names[len(m.names)-1]
+}
+
+// Report is the JSON document ccsload emits after a run.
+type Report struct {
+	DurationSeconds float64          `json:"duration_seconds"`
+	Clients         int              `json:"clients"`
+	Requests        int64            `json:"requests"`
+	StatusCounts    map[string]int64 `json:"status_counts"`
+	// Truncated counts 200 responses that reported truncated=true — the
+	// degraded-but-correct mode graceful degradation is supposed to produce.
+	Truncated     int64   `json:"truncated"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+	MaxSeconds    float64 `json:"max_seconds"`
+	Missing429RA  int64   `json:"missing_retry_after"`
+	GoroutinesAt  int     `json:"goroutines_baseline"`
+	GoroutinesEnd int     `json:"goroutines_after_drain"`
+	HeapBytes     uint64  `json:"heap_alloc_bytes"`
+	// Metrics holds the scraped overload-layer series (admission and
+	// per-tenant families), when a registry was reachable.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// FaultsInjected counts transient read faults the -faults loader
+	// recovered from.
+	FaultsInjected int      `json:"faults_injected,omitempty"`
+	ChaosCycles    int64    `json:"chaos_cycles,omitempty"`
+	Violations     []string `json:"violations"`
+}
+
+// tally is the clients' shared scoreboard.
+type tally struct {
+	mu         sync.Mutex
+	status     map[int]int64
+	truncated  int64
+	missingRA  int64
+	latencies  []float64
+	violations []string
+}
+
+func newTally() *tally { return &tally{status: make(map[int]int64)} }
+
+func (t *tally) record(status int, latency time.Duration, truncated, hasRetryAfter bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.status[status]++
+	if truncated {
+		t.truncated++
+	}
+	if status == http.StatusTooManyRequests && !hasRetryAfter {
+		t.missingRA++
+	}
+	if len(t.latencies) < 1<<20 {
+		t.latencies = append(t.latencies, latency.Seconds())
+	}
+}
+
+func (t *tally) violate(format string, args ...interface{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.violations) < 64 {
+		t.violations = append(t.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// quantile returns the q-quantile of sorted samples (0 when empty).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// retryReader retries transient faults (dataset.IsTransient) so a scripted
+// FaultReader stream still delivers its bytes — the recovery loop the
+// -faults mode exercises. A non-transient error, or transient errors past
+// the retry budget, surface unchanged.
+type retryReader struct {
+	r       io.Reader
+	retries int
+	budget  int
+}
+
+func (rr *retryReader) Read(p []byte) (int, error) {
+	for {
+		n, err := rr.r.Read(p)
+		if err != nil && dataset.IsTransient(err) && rr.retries < rr.budget {
+			rr.retries++
+			continue
+		}
+		return n, err
+	}
+}
+
+// makeDataset generates the load-target dataset, optionally routing its
+// bytes through injected transient faults plus the retry loop.
+func makeDataset(cfg loadConfig) (*dataset.DB, int, error) {
+	gcfg := gen.DefaultMethod2(cfg.baskets, cfg.seed)
+	if cfg.items > 0 {
+		gcfg.NumItems = cfg.items
+	}
+	db, _, err := gen.Method2(gcfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !cfg.faults {
+		return db, 0, nil
+	}
+	var buf bytes.Buffer
+	if err := dataset.Write(&buf, db); err != nil {
+		return nil, 0, err
+	}
+	fr := dataset.NewFaultReader(&buf, dataset.FaultPlan{TransientEvery: 5, MaxTransient: 1000})
+	rr := &retryReader{r: fr, budget: 2000}
+	db, err = dataset.Read(rr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("reload dataset through faults: %w", err)
+	}
+	return db, fr.Injected(), nil
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	mix, err := parseTenants(cfg.tenants)
+	if err != nil {
+		return err
+	}
+	var quotaCfg server.QuotaConfig
+	if cfg.quotasPath != "" {
+		if quotaCfg, err = server.LoadQuotaFile(cfg.quotasPath); err != nil {
+			return err
+		}
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	db, injected, err := makeDataset(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Resolve the target: a caller-supplied server, or an in-process one
+	// configured from the admission flags and serving on loopback.
+	baseURL := cfg.addr
+	var inproc *server.Server
+	if baseURL == "" {
+		opts := []server.Option{
+			server.WithMineTimeout(10 * time.Second),
+			server.WithAdmission(server.AdmissionConfig{
+				MaxInFlight:  cfg.maxInflight,
+				QueueDepth:   cfg.queueDepth,
+				MaxQueueWait: cfg.queueWait,
+				SLOP99:       cfg.sloP99,
+			}),
+			server.WithLogWriter(io.Discard),
+		}
+		if cfg.quotasPath != "" {
+			opts = append(opts, server.WithQuotas(quotaCfg))
+		}
+		inproc = server.New(opts...)
+		inproc.AddDataset("load", db)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: inproc, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			//ccslint:ignore droppederr Serve always returns non-nil on close; shutdown handles it
+			_ = httpSrv.Serve(ln)
+		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			//ccslint:ignore droppederr drain failure past its deadline leaves nothing to do
+			_ = httpSrv.Shutdown(sctx)
+		}()
+		baseURL = "http://" + ln.Addr().String()
+	} else if !strings.HasPrefix(baseURL, "http") {
+		baseURL = "http://" + baseURL
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.clients * 2,
+			MaxIdleConnsPerHost: cfg.clients * 2,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	// Remote targets need the load dataset created over the API.
+	if inproc == nil {
+		if err := generateRemote(client, baseURL, "load", cfg); err != nil {
+			return err
+		}
+	}
+
+	t := newTally()
+	loadCtx, stopLoad := context.WithTimeout(ctx, cfg.duration)
+	defer stopLoad()
+
+	var chaosCycles int64
+	var wg sync.WaitGroup
+	if cfg.chaos {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chaosCycles = churn(loadCtx, client, baseURL, cfg, t)
+		}()
+	}
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			mineLoop(loadCtx, client, baseURL, cfg, mix, rand.New(rand.NewSource(cfg.seed+int64(id))), t)
+		}(i)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	client.CloseIdleConnections()
+
+	rep := buildReport(cfg, t, elapsed, baseline, chaosCycles, injected, inproc != nil, quotaCfg)
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if cfg.report != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.report, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("%d invariant violation(s): %s", len(rep.Violations), strings.Join(rep.Violations, "; "))
+	}
+	return nil
+}
+
+// mineRequest is the wire shape of POST /v1/mine (mirrors
+// server.MineRequest without importing its JSON struct wholesale).
+type mineRequest struct {
+	Dataset  string `json:"dataset"`
+	Algo     string `json:"algo"`
+	MaxLevel int    `json:"max_level,omitempty"`
+}
+
+// mineLoop is one client: it fires mining requests back-to-back at the
+// server until the load window closes, recording every outcome.
+func mineLoop(ctx context.Context, client *http.Client, baseURL string, cfg loadConfig, mix *tenantMix, rng *rand.Rand, t *tally) {
+	for ctx.Err() == nil {
+		target := "load"
+		churnTarget := false
+		if cfg.chaos && rng.Intn(8) == 0 {
+			// One request in eight races the churn dataset; it may
+			// legitimately 404 between delete and regenerate.
+			target = "churn"
+			churnTarget = true
+		}
+		body, err := json.Marshal(mineRequest{Dataset: target, Algo: "bms", MaxLevel: 3})
+		if err != nil {
+			t.violate("marshal request: %v", err)
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/mine", bytes.NewReader(body))
+		if err != nil {
+			t.violate("build request: %v", err)
+			return
+		}
+		if name := mix.pick(rng); name != "" {
+			req.Header.Set(server.TenantHeader, name)
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return // the load window closed mid-request
+			}
+			t.violate("request error: %v", err)
+			continue
+		}
+		truncated := false
+		if resp.StatusCode == http.StatusOK {
+			var mr struct {
+				Truncated bool `json:"truncated"`
+			}
+			//ccslint:ignore droppederr a malformed body still counts by status below
+			_ = json.NewDecoder(resp.Body).Decode(&mr)
+			truncated = mr.Truncated
+		}
+		//ccslint:ignore droppederr body drained for connection reuse; errors change nothing
+		_, _ = io.Copy(io.Discard, resp.Body)
+		//ccslint:ignore droppederr closing a drained response body cannot fail meaningfully
+		_ = resp.Body.Close()
+		t.record(resp.StatusCode, time.Since(start), truncated, resp.Header.Get("Retry-After") != "")
+
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusTooManyRequests:
+		case http.StatusNotFound:
+			if !churnTarget {
+				t.violate("unexpected 404 for stable dataset")
+			}
+		default:
+			t.violate("unexpected status %d", resp.StatusCode)
+		}
+	}
+}
+
+// churn is the chaos loop: it generates and deletes a second dataset as
+// fast as the server lets it, so miners race loads and unloads. Its own
+// requests obey the same invariant — overloaded generates must be 429,
+// never 5xx.
+func churn(ctx context.Context, client *http.Client, baseURL string, cfg loadConfig, t *tally) int64 {
+	var cycles int64
+	spec, err := json.Marshal(map[string]interface{}{
+		"method": 1, "baskets": 200, "items": cfg.items, "seed": cfg.seed,
+	})
+	if err != nil {
+		t.violate("marshal churn spec: %v", err)
+		return 0
+	}
+	for ctx.Err() == nil {
+		if status := doRequest(ctx, client, http.MethodPost, baseURL+"/v1/datasets/churn:generate", spec); status >= 500 {
+			t.violate("churn generate got %d", status)
+		}
+		if status := doRequest(ctx, client, http.MethodDelete, baseURL+"/v1/datasets/churn", nil); status >= 500 {
+			t.violate("churn delete got %d", status)
+		}
+		cycles++
+	}
+	return cycles
+}
+
+// doRequest fires one request and returns its status code (0 on transport
+// error or cancellation).
+func doRequest(ctx context.Context, client *http.Client, method, url string, body []byte) int {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0
+	}
+	//ccslint:ignore droppederr body drained for connection reuse; errors change nothing
+	_, _ = io.Copy(io.Discard, resp.Body)
+	//ccslint:ignore droppederr closing a drained response body cannot fail meaningfully
+	_ = resp.Body.Close()
+	return resp.StatusCode
+}
+
+// generateRemote creates the load dataset on a remote target over the API.
+func generateRemote(client *http.Client, baseURL, name string, cfg loadConfig) error {
+	spec, err := json.Marshal(map[string]interface{}{
+		"method": 2, "baskets": cfg.baskets, "items": cfg.items, "seed": cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	status := doRequest(context.Background(), client, http.MethodPost, baseURL+"/v1/datasets/"+name+":generate", spec)
+	if status != http.StatusCreated {
+		return fmt.Errorf("generate %s on %s: status %d", name, baseURL, status)
+	}
+	return nil
+}
+
+// buildReport assembles the report and runs the post-drain invariant
+// checks: status-code discipline, Retry-After presence, goroutine return
+// to baseline, the optional p99 SLO, and quota adherence.
+func buildReport(cfg loadConfig, t *tally, elapsed time.Duration, baseline int, chaosCycles int64, faultsInjected int, scrapeLocal bool, quotaCfg server.QuotaConfig) *Report {
+	t.mu.Lock()
+	rep := &Report{
+		DurationSeconds: elapsed.Seconds(),
+		Clients:         cfg.clients,
+		StatusCounts:    make(map[string]int64, len(t.status)),
+		Truncated:       t.truncated,
+		Missing429RA:    t.missingRA,
+		GoroutinesAt:    baseline,
+		ChaosCycles:     chaosCycles,
+		FaultsInjected:  faultsInjected,
+		Violations:      append([]string(nil), t.violations...),
+	}
+	for code, n := range t.status {
+		rep.StatusCounts[strconv.Itoa(code)] = n
+		rep.Requests += n
+	}
+	lat := append([]float64(nil), t.latencies...)
+	t.mu.Unlock()
+	sort.Float64s(lat)
+	rep.P50Seconds = quantile(lat, 0.50)
+	rep.P99Seconds = quantile(lat, 0.99)
+	rep.MaxSeconds = quantile(lat, 1)
+
+	if rep.Missing429RA > 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("%d 429 responses without Retry-After", rep.Missing429RA))
+	}
+	if cfg.sloP99 > 0 && rep.P99Seconds > cfg.sloP99.Seconds() {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("p99 %.3fs exceeds SLO %v", rep.P99Seconds, cfg.sloP99))
+	}
+
+	// Goroutines must drain back near the pre-run baseline; the allowance
+	// covers the HTTP server's acceptor and idle-connection reapers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep.GoroutinesEnd = runtime.NumGoroutine()
+		if rep.GoroutinesEnd <= baseline+10 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if rep.GoroutinesEnd > baseline+10 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("goroutines did not drain: baseline %d, now %d", baseline, rep.GoroutinesEnd))
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.HeapBytes = ms.HeapAlloc
+
+	if scrapeLocal {
+		rep.Metrics = scrapeOverloadMetrics()
+		checkQuotaAdherence(rep, quotaCfg, elapsed)
+	}
+	return rep
+}
+
+// scrapeOverloadMetrics reads the admission and tenant series out of the
+// in-process registry (same exposition the ops listener serves).
+func scrapeOverloadMetrics() map[string]float64 {
+	var buf bytes.Buffer
+	if _, err := obs.Default().WriteTo(&buf); err != nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if !strings.HasPrefix(fields[0], "ccs_admission_") && !strings.HasPrefix(fields[0], "ccs_tenant_") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
+
+// checkQuotaAdherence asserts the quota contract from the scraped
+// counters: a rate-limited tenant's admitted requests (offered minus
+// rejected) must not exceed rate x duration + burst + 1 — the +1 being
+// the documented post-paid overshoot.
+func checkQuotaAdherence(rep *Report, quotaCfg server.QuotaConfig, elapsed time.Duration) {
+	for name, q := range quotaCfg.Tenants {
+		if q.RatePerSec <= 0 {
+			continue
+		}
+		offered := rep.Metrics[fmt.Sprintf("ccs_tenant_requests_total{tenant=%q}", name)]
+		var rejected float64
+		for series, v := range rep.Metrics {
+			if strings.HasPrefix(series, "ccs_tenant_rejected_total{") && strings.Contains(series, fmt.Sprintf("tenant=%q", name)) {
+				rejected += v
+			}
+		}
+		admitted := offered - rejected
+		burst := float64(q.Burst)
+		if burst <= 0 {
+			burst = q.RatePerSec
+		}
+		allowed := q.RatePerSec*elapsed.Seconds() + burst + 1
+		if admitted > allowed {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("tenant %q admitted %.0f requests, quota allows %.0f", name, admitted, allowed))
+		}
+	}
+}

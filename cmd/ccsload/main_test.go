@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccs/internal/testutil"
+)
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bogus"},
+		{"-clients", "0"},
+		{"-tenants", "alpha:x"},
+		{"-tenants", ":2"},
+		{"-quotas", filepath.Join(t.TempDir(), "missing.json")},
+	} {
+		if err := run(context.Background(), args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestTenantMixWeights(t *testing.T) {
+	mix, err := parseTenants("alpha:3,beta:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[mix.pick(rng)]++
+	}
+	if counts["alpha"] < 2*counts["beta"] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+// TestSoak is the harness exercising its own in-process server at 4x
+// overload with chaos churn, fault-injected dataset loading, and tenant
+// quotas — the loadsmoke acceptance run in miniature. A violated
+// invariant (any 5xx, a 429 without Retry-After, leaked goroutines,
+// quota overrun) is a non-nil error.
+func TestSoak(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	if testing.Short() {
+		t.Skip("soak needs wall clock")
+	}
+	quotas := filepath.Join(t.TempDir(), "quotas.json")
+	if err := os.WriteFile(quotas, []byte(`{
+		"tenants": {
+			"alpha": {"rate_per_sec": 50, "burst": 10, "priority": true},
+			"beta":  {"rate_per_sec": 5, "burst": 2, "max_concurrent": 2, "max_candidates": 100000, "candidates_per_sec": 10000}
+		}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-clients", "16",
+		"-duration", "2s",
+		"-max-inflight", "4",
+		"-queue-depth", "4",
+		"-queue-wait", "50ms",
+		"-baskets", "500",
+		"-items", "40",
+		"-tenants", "alpha:3,beta:1",
+		"-quotas", quotas,
+		"-chaos",
+		"-faults",
+	}, &out)
+	if err != nil {
+		t.Fatalf("soak violated invariants: %v\nreport: %s", err, out.String())
+	}
+
+	var rep Report
+	if jerr := json.Unmarshal(out.Bytes(), &rep); jerr != nil {
+		t.Fatalf("report not JSON: %v\n%s", jerr, out.String())
+	}
+	if rep.Requests == 0 {
+		t.Fatal("soak made no requests")
+	}
+	for code := range rep.StatusCounts {
+		if code != "200" && code != "429" && code != "404" {
+			t.Errorf("disallowed status %s in %v", code, rep.StatusCounts)
+		}
+	}
+	if rep.FaultsInjected == 0 {
+		t.Error("-faults injected nothing")
+	}
+	if rep.ChaosCycles == 0 {
+		t.Error("-chaos churned nothing")
+	}
+	if len(rep.Metrics) == 0 {
+		t.Error("no overload metrics scraped")
+	}
+}
+
+func TestReportFile(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	if testing.Short() {
+		t.Skip("needs wall clock")
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	err := run(context.Background(), []string{
+		"-clients", "2", "-duration", "200ms", "-baskets", "200", "-items", "40",
+		"-report", path,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "status_counts") {
+		t.Fatalf("report file lacks status_counts: %s", data)
+	}
+}

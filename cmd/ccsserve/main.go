@@ -65,13 +65,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cacheBytes := fs.Int64("cache-bytes", counting.DefaultCacheBytes, "prefix-intersection cache budget per mining request, in bytes (0 = no cache); hit/miss/eviction rates surface as ccs_prefix_cache_* on the ops /metrics")
 	workers := fs.Int("workers", 0, "default level-engine worker count per mining request (0 = GOMAXPROCS, 1 = serial); a request can override with its workers field")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "drain deadline for in-flight requests on SIGINT/SIGTERM")
+	maxInflight := fs.Int("max-inflight", 0, "mining requests served concurrently; beyond it requests queue and overflow is answered 429 with Retry-After (0 = admission control off)")
+	queueDepth := fs.Int("queue-depth", 0, "requests allowed to wait for an admission slot before arrivals are rejected outright (needs -max-inflight)")
+	queueWait := fs.Duration("queue-wait", 0, "longest one request may wait in the admission queue; a nearer request deadline wins (needs -max-inflight)")
+	sloP99 := fs.Duration("slo-p99", 0, "target p99 latency of /v1/mine; a recent p99 above it escalates load shedding (0 = occupancy-driven shedding only)")
+	tenantQuotas := fs.String("tenant-quotas", "", "JSON file of per-tenant rate limits and work budgets (see DESIGN.md §12); empty = no quotas")
 	var data dataFlags
 	fs.Var(&data, "data", "preload dataset as name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.WithMineTimeout(*mineTimeout), server.WithCacheBytes(*cacheBytes), server.WithWorkers(*workers))
+	opts := []server.Option{server.WithMineTimeout(*mineTimeout), server.WithCacheBytes(*cacheBytes), server.WithWorkers(*workers)}
+	if *maxInflight > 0 {
+		opts = append(opts, server.WithAdmission(server.AdmissionConfig{
+			MaxInFlight:  *maxInflight,
+			QueueDepth:   *queueDepth,
+			MaxQueueWait: *queueWait,
+			SLOP99:       *sloP99,
+		}))
+	}
+	if *tenantQuotas != "" {
+		cfg, err := server.LoadQuotaFile(*tenantQuotas)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, server.WithQuotas(cfg))
+	}
+	srv := server.New(opts...)
 	for _, spec := range data {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

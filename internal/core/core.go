@@ -111,6 +111,12 @@ type Stats struct {
 	Candidates      int // candidates generated (before AM pre-checks)
 	DBScans         int // batch counting passes issued to the Counter
 
+	// CellsCounted is the number of contingency-table cells charged to
+	// counting batches (2^k per k-set) — the same unit Budget.MaxCells
+	// caps and the unit per-tenant work quotas are charged in, so an
+	// expensive mine counts more than a cheap one.
+	CellsCounted int64
+
 	// LevelDurations holds the wall-clock time of each lattice level
 	// visited, in visit order; len(LevelDurations) == Levels. Excluded
 	// from JSON — the server surfaces it as level_seconds.

@@ -66,6 +66,9 @@ func recordMine(algo string, res *Result, ctl *runCtl) {
 	if res == nil {
 		return
 	}
+	if ctl != nil {
+		res.Stats.CellsCounted = ctl.cells
+	}
 	minedLevels.With(algo).Add(int64(res.Stats.Levels))
 	minedCands.With(algo).Add(int64(res.Stats.Candidates))
 	if res.Truncated {

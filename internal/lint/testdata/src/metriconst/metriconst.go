@@ -8,6 +8,7 @@ import (
 
 	"ccs/internal/core"
 	"ccs/internal/obs"
+	"ccs/internal/server"
 )
 
 const MetricGoodTotal = "good_total"
@@ -25,6 +26,11 @@ var (
 	good4 = reg.Histogram(core.MetricShardSeconds, "cross-package const histogram", nil)
 	good5 = reg.Gauge(core.MetricWorkersBusy, "cross-package const gauge")
 	good6 = reg.CounterVec(core.MetricShardsTotal, "cross-package const vec", "algo")
+	good7 = reg.Counter(server.MetricAdmissionAdmittedTotal, "admission-layer const")
+	good8 = reg.CounterVec(server.MetricAdmissionRejectedTotal, "admission-layer vec", "reason")
+	good9 = reg.Histogram(server.MetricAdmissionQueueWaitSeconds, "admission-layer histogram", nil)
+	goodA = reg.Gauge(server.MetricAdmissionShedStage, "admission-layer gauge")
+	goodB = reg.CounterVec(server.MetricTenantRejectedTotal, "tenant-layer vec", "tenant", "reason")
 )
 
 func register(name string) {

@@ -207,6 +207,20 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Snapshot returns the histogram's upper bounds alongside the current
+// per-bucket observation counts (len(counts) == len(bounds)+1; the last
+// entry is the implicit +Inf bucket). Counts are read atomically per
+// bucket — the snapshot is not globally consistent, which quantile
+// estimation over deltas never requires. The bounds slice aliases the
+// histogram's immutable configuration and must not be mutated.
+func (h *Histogram) Snapshot() (bounds []float64, counts []int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 

@@ -25,6 +25,11 @@ func Int64(key string, value int64) Attr {
 	return Attr{Key: key, Value: strconv.FormatInt(value, 10)}
 }
 
+// Float builds a float attribute.
+func Float(key string, value float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(value, 'g', -1, 64)}
+}
+
 // Tracer records traces — one per traced operation, each a sequence of
 // timed spans — into a bounded in-memory ring so the level-by-level
 // timeline of a recent slow query can be inspected after the fact. A nil

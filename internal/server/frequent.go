@@ -75,6 +75,11 @@ func (s *Server) handleFrequent(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if info := admissionFrom(r.Context()); info != nil && info.tenant != nil {
+		// Frequent-set mining has no contingency tables, so it charges the
+		// tenant in candidates only.
+		info.tenant.charge(res.Stats.Candidates, 0)
+	}
 	if res.Truncated {
 		noteTruncation(r.Context(), truncationCause(res.Cause))
 	}

@@ -42,6 +42,9 @@ type reqInfo struct {
 
 	mu         sync.Mutex
 	truncation string
+	tenant     string
+	queueWait  time.Duration
+	shedStage  int
 }
 
 type reqInfoKey struct{}
@@ -56,6 +59,22 @@ func noteTruncation(ctx context.Context, cause string) {
 	}
 	ri.mu.Lock()
 	ri.truncation = cause
+	ri.mu.Unlock()
+}
+
+// noteAdmission records the admission outcome — resolved tenant, queue
+// wait, shed stage — on the in-flight request so the request log line
+// shows who ran and what the gate cost them. No-ops outside the
+// instrument middleware.
+func noteAdmission(ctx context.Context, info *admissionInfo) {
+	ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo)
+	if !ok || info == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.tenant = info.tenantName
+	ri.queueWait = info.waited
+	ri.shedStage = info.stage
 	ri.mu.Unlock()
 }
 
@@ -117,6 +136,14 @@ func (s *Server) instrument(route string, next http.Handler) http.Handler {
 			ri.mu.Lock()
 			if ri.truncation != "" {
 				fields = append(fields, obs.F("truncated", ri.truncation))
+			}
+			if ri.tenant != "" {
+				fields = append(fields,
+					obs.F("tenant", ri.tenant),
+					obs.F("queue_seconds", ri.queueWait.Seconds()))
+				if ri.shedStage > 0 {
+					fields = append(fields, obs.F("shed_stage", ri.shedStage))
+				}
 			}
 			ri.mu.Unlock()
 			s.logger.Log("request", fields...)

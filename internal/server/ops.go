@@ -25,6 +25,19 @@ func (s *Server) OpsHandler(extra func() map[string]interface{}) http.Handler {
 				"requests":     s.reqSeq.Load(),
 				"mine_timeout": s.mineTimeout.String(),
 			}
+			if s.adm != nil {
+				vars["admission"] = map[string]interface{}{
+					"max_inflight":   s.admCfg.MaxInFlight,
+					"queue_depth":    s.admCfg.QueueDepth,
+					"max_queue_wait": s.admCfg.MaxQueueWait.String(),
+					"in_flight":      s.adm.inFlight(),
+					"queued":         s.adm.queuedNow(),
+					"shed_stage":     s.shed.currentStage(),
+				}
+			}
+			if s.quotas != nil {
+				vars["tenants"] = s.quotas.tenantNames()
+			}
 			if extra != nil {
 				for k, v := range extra() {
 					vars[k] = v

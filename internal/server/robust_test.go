@@ -10,12 +10,16 @@ import (
 	"time"
 
 	"ccs/internal/gen"
+	"ccs/internal/testutil"
 )
 
 // wideServer returns a test server preloaded with a dataset wide enough
 // that an unconstrained mine takes well over a few milliseconds.
 func wideServer(t *testing.T, opts ...Option) *httptest.Server {
 	t.Helper()
+	// Registered first, so the leak check runs last — after the server
+	// has closed and the client's idle connections are gone.
+	testutil.CheckGoroutines(t)
 	s := New(opts...)
 	cfg := gen.DefaultMethod1(2000, 42)
 	cfg.NumItems = 80
@@ -25,7 +29,10 @@ func wideServer(t *testing.T, opts ...Option) *httptest.Server {
 	}
 	s.AddDataset("wide", db)
 	srv := httptest.NewServer(s)
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() {
+		srv.Close()
+		http.DefaultClient.CloseIdleConnections()
+	})
 	return srv
 }
 

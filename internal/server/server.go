@@ -60,6 +60,14 @@ type Server struct {
 	logger      *obs.Logger
 	tracer      *obs.Tracer
 	reqSeq      atomic.Int64
+
+	// Overload protection (DESIGN.md §12): the bounded admission gate,
+	// the per-tenant quota table, and the load monitor driving staged
+	// degradation. All nil when the corresponding option is absent.
+	admCfg AdmissionConfig
+	adm    *admission
+	quotas *quotaTable
+	shed   *loadMonitor
 }
 
 // Option configures a Server.
@@ -98,6 +106,30 @@ func WithLogWriter(w io.Writer) Option {
 	return func(s *Server) { s.logger = obs.NewLogger(w) }
 }
 
+// WithAdmission bounds concurrent mining work (ccsserve -max-inflight,
+// -queue-depth, -queue-wait): cfg.MaxInFlight requests run at once, up to
+// cfg.QueueDepth wait in a bounded queue for at most cfg.MaxQueueWait (or
+// their own deadline, whichever is nearer), and everything else receives
+// a structured 429 with Retry-After. Enabling admission also arms the
+// load monitor, which degrades admitted requests in stages (smaller
+// prefix caches, serial mining, tighter deadlines, priority-only
+// admission) instead of letting the process collapse. A zero MaxInFlight
+// leaves the layer off.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) { s.admCfg = cfg }
+}
+
+// WithQuotas installs per-tenant rate limits and work budgets (ccsserve
+// -tenant-quotas). Tenants are resolved from the X-CCS-Tenant header or a
+// mapped X-API-Key; unidentified traffic shares the "default" envelope.
+// Work budgets are charged in candidates and contingency cells after each
+// mine — an expensive mine counts for more — and compose with core.Budget
+// so a mine is truncated at the tenant's remaining balance rather than
+// overdrawing it.
+func WithQuotas(cfg QuotaConfig) Option {
+	return func(s *Server) { s.quotas = newQuotaTable(cfg) }
+}
+
 // New returns a ready handler. Every route is instrumented (request
 // counters, latency histogram, in-flight gauge, one structured log line
 // per request) and wrapped in panic recovery — a panicking handler logs a
@@ -112,11 +144,20 @@ func New(opts ...Option) *Server {
 	if s.logger == nil {
 		s.logger = obs.NewLogger(log.Writer())
 	}
+	if s.admCfg.enabled() {
+		s.adm = newAdmission(s.admCfg)
+		// The load monitor reads pressure straight off the existing
+		// mine-route latency histogram — no second bookkeeping path.
+		s.shed = newLoadMonitor(s.adm, httpDuration.With("/v1/mine"), s.admCfg.SLOP99)
+	}
+	// The mining-grade routes run behind the admission gate, which itself
+	// runs inside the mine deadline so queue time spends the same budget.
+	mineGrade := func(h http.Handler) http.Handler { return withTimeout(s.mineTimeout, s.admit(h)) }
 	s.route("/healthz", http.HandlerFunc(s.handleHealth))
 	s.route("/v1/datasets", http.HandlerFunc(s.handleList))
 	s.route("/v1/datasets/", http.HandlerFunc(s.handleDataset))
-	s.route("/v1/mine", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleMine)))
-	s.route("/v1/frequent", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleFrequent)))
+	s.route("/v1/mine", mineGrade(http.HandlerFunc(s.handleMine)))
+	s.route("/v1/frequent", mineGrade(http.HandlerFunc(s.handleFrequent)))
 	s.route("/v1/explain", withTimeout(s.mineTimeout, http.HandlerFunc(s.handleExplain)))
 	s.handler = s.withRecover(s.mux)
 	return s
@@ -222,10 +263,10 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	if name, ok := strings.CutSuffix(rest, ":generate"); ok {
 		// generation is mining-grade work, so it runs under the same
-		// per-request deadline as /v1/mine
-		withTimeout(s.mineTimeout, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// per-request deadline and admission gate as /v1/mine
+		withTimeout(s.mineTimeout, s.admit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			s.handleGenerate(w, r, name)
-		})).ServeHTTP(w, r)
+		}))).ServeHTTP(w, r)
 		return
 	}
 	name := rest
@@ -423,13 +464,30 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		algo = "bms"
 	}
 
+	// The admission record (nil when the overload layer is off) carries the
+	// resolved tenant and the shed stage sampled at admission; everything
+	// below degrades or clamps from that one consistent sample.
+	info := admissionFrom(r.Context())
+	stage := shedStageNone
+	if info != nil {
+		stage = info.stage
+	}
+
 	// Trace the request: one span per mining phase/level, driven by the
 	// core's progress events. Spans chain contiguously — each event ends
 	// the previous span — so their durations sum to the trace duration.
-	tr := s.tracer.Start("mine",
+	traceAttrs := []obs.Attr{
 		obs.String("dataset", req.Dataset),
 		obs.String("algo", algo),
-		obs.String("query", queryText))
+		obs.String("query", queryText),
+	}
+	if info != nil {
+		traceAttrs = append(traceAttrs,
+			obs.String("tenant", info.tenantName),
+			obs.Float("queue_seconds", info.waited.Seconds()),
+			obs.Int("shed_stage", info.stage))
+	}
+	tr := s.tracer.Start("mine", traceAttrs...)
 	span := tr.StartSpan("setup")
 
 	opts := []core.Option{}
@@ -437,6 +495,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		if req.CacheBytes != 0 {
 			cacheBytes = req.CacheBytes
 		}
+		cacheBytes = shedCacheBytes(stage, cacheBytes)
 		if cacheBytes > 0 {
 			cc := counting.NewCachedBitmapCounter(db, cacheBytes)
 			// Returning the cache's bytes keeps the ccs_prefix_cache_bytes
@@ -445,17 +504,23 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			opts = append(opts, core.WithCounter(cc))
 		}
 	}
-	if w := s.workers; req.Workers != 0 || w != 0 {
-		if req.Workers != 0 {
-			w = req.Workers
-		}
-		opts = append(opts, core.WithWorkers(w))
+	workers := s.workers
+	if req.Workers != 0 {
+		workers = req.Workers
 	}
-	if req.MaxCandidates > 0 || req.MaxCells > 0 {
-		opts = append(opts, core.WithBudget(core.Budget{
-			MaxCandidates: req.MaxCandidates,
-			MaxCells:      req.MaxCells,
-		}))
+	workers = shedWorkers(stage, workers)
+	if workers != 0 {
+		opts = append(opts, core.WithWorkers(workers))
+	}
+	budget := core.Budget{MaxCandidates: req.MaxCandidates, MaxCells: req.MaxCells}
+	if info != nil && info.tenant != nil {
+		// The tenant's remaining work balance tightens the request budget,
+		// so an over-budget mine truncates mid-lattice instead of
+		// overdrawing its tenant.
+		budget = info.tenant.clampBudget(budget)
+	}
+	if budget.MaxCandidates > 0 || budget.MaxCells > 0 {
+		opts = append(opts, core.WithBudget(budget))
 	}
 	opts = append(opts, core.WithProgress(func(ev core.ProgressEvent) {
 		span.End()
@@ -473,6 +538,14 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	if d := shedTimeout(stage, s.mineTimeout); d > 0 {
+		// Stage-3 degradation: under sustained overload every mine gets a
+		// tighter deadline so slots recycle faster. The reply is still 200,
+		// truncated=true — the graceful half of graceful degradation.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
 	start := time.Now()
@@ -498,6 +571,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		tr.Finish(obs.String("outcome", "error"))
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if info != nil && info.tenant != nil {
+		// Post-paid settlement: charge the work the mine actually did, in
+		// candidates and contingency cells, against the tenant's buckets.
+		info.tenant.charge(res.Stats.Candidates, res.Stats.CellsCounted)
 	}
 	outcome := "ok"
 	if res.Truncated {

@@ -11,12 +11,19 @@ import (
 
 	"ccs/internal/dataset"
 	"ccs/internal/gen"
+	"ccs/internal/testutil"
 )
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
+	// Registered first, so the leak check runs last — after the server
+	// has closed and the client's idle connections are gone.
+	testutil.CheckGoroutines(t)
 	srv := httptest.NewServer(New())
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() {
+		srv.Close()
+		http.DefaultClient.CloseIdleConnections()
+	})
 	return srv
 }
 
