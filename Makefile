@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fixtures test race obs faults loadsmoke fuzz-smoke bench bench-all bench-check figures report clean
+.PHONY: all build vet lint lint-fixtures test race obs faults loadsmoke profsmoke fuzz-smoke bench bench-all bench-check figures report clean
 
 all: build vet lint test
 
@@ -55,6 +55,22 @@ faults:
 loadsmoke:
 	$(GO) run ./cmd/ccsload -clients 64 -duration 5s \
 		-max-inflight 16 -queue-depth 16 -queue-wait 50ms
+
+# profiler smoke: generate a small dataset, mine it at workers=1 and
+# workers=8 with -explain-analyze (profile JSON on the side), then ccsprof
+# diffs the two records and names the dominant source of the gap. Exits
+# non-zero when a mine fails or either profile JSON is malformed — ccsprof
+# rejects records without wall_seconds/phases; see DESIGN.md §13
+profsmoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; set -e; \
+	$(GO) run ./cmd/ccsgen -method 1 -items 60 -baskets 4000 -seed 7 -o $$tmp/smoke.ccs; \
+	$(GO) run ./cmd/ccsmine -data $$tmp/smoke.ccs -algo bms++ -q 'max(price) <= 30' \
+		-workers 1 -explain-analyze -profile-json $$tmp/serial.json > $$tmp/serial.txt; \
+	$(GO) run ./cmd/ccsmine -data $$tmp/smoke.ccs -algo bms++ -q 'max(price) <= 30' \
+		-workers 8 -explain-analyze -profile-json $$tmp/parallel.json > $$tmp/parallel.txt; \
+	grep -q '^profile: ' $$tmp/serial.txt && grep -q '^profile: ' $$tmp/parallel.txt || \
+		{ echo "profsmoke: -explain-analyze printed no profile"; exit 1; }; \
+	$(GO) run ./cmd/ccsprof $$tmp/serial.json $$tmp/parallel.json
 
 # ~30 seconds of fuzzing across the parser, the binary reader, and the
 # bitset algebra — the CI smoke; run with a larger -fuzztime to dig deeper

@@ -26,6 +26,7 @@ import (
 	"ccs/internal/counting"
 	"ccs/internal/cql"
 	"ccs/internal/dataset"
+	"ccs/internal/obs"
 )
 
 func main() {
@@ -57,6 +58,8 @@ func run(args []string, out io.Writer) error {
 	stream := fs.Bool("stream", false, "stream the dataset from disk on every scan (bounded memory; binary format only)")
 	workers := fs.Int("workers", 0, "level-engine worker goroutines: 0 = GOMAXPROCS, 1 = serial; answers are identical at every setting")
 	explain := fs.Bool("explain", false, "print the query plan (classification, selectivity, recommendation) and exit")
+	explainAnalyze := fs.Bool("explain-analyze", false, "profile the mine and print a per-level, per-shard phase table after the answers")
+	profileJSON := fs.String("profile-json", "", "profile the mine and write the profile record as JSON to this file (ccsprof input)")
 	asJSON := fs.Bool("json", false, "emit the answers and statistics as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +114,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		opts = append(opts, core.WithCounter(dc))
+	}
+	var prof *obs.Profile
+	if *explainAnalyze || *profileJSON != "" {
+		prof = obs.NewProfile(strings.ToLower(*algo))
+		opts = append(opts, core.WithProfile(prof))
 	}
 	// -v and -progress share the single progress callback: WithProgress is
 	// last-wins, so both sinks live in one function.
@@ -174,14 +182,25 @@ func run(args []string, out io.Writer) error {
 	}
 	elapsed := time.Since(start)
 
+	var rec *obs.ProfileRecord
+	if prof != nil {
+		rec = prof.Record()
+		if *profileJSON != "" {
+			if err := writeProfileJSON(*profileJSON, rec); err != nil {
+				return err
+			}
+		}
+	}
+
 	if *asJSON {
 		type jsonOut struct {
-			Query   string     `json:"query"`
-			Answers [][]uint32 `json:"answers"`
-			Stats   core.Stats `json:"stats"`
-			Seconds float64    `json:"seconds"`
+			Query   string             `json:"query"`
+			Answers [][]uint32         `json:"answers"`
+			Stats   core.Stats         `json:"stats"`
+			Seconds float64            `json:"seconds"`
+			Profile *obs.ProfileRecord `json:"profile,omitempty"`
 		}
-		jo := jsonOut{Query: q.String(), Stats: res.Stats, Seconds: elapsed.Seconds()}
+		jo := jsonOut{Query: q.String(), Stats: res.Stats, Seconds: elapsed.Seconds(), Profile: rec}
 		for _, s := range res.Answers {
 			ids := make([]uint32, s.Size())
 			for i, id := range s {
@@ -212,5 +231,8 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "stats: %d sets considered, %d chi-squared tests, %d candidates, %d pruned by a.m. constraints, %d levels, %d scans, %.3fs\n",
 		res.Stats.SetsConsidered, res.Stats.ChiSquaredTests, res.Stats.Candidates,
 		res.Stats.PrunedByAM, res.Stats.Levels, res.Stats.DBScans, elapsed.Seconds())
+	if *explainAnalyze {
+		return renderProfile(out, rec)
+	}
 	return nil
 }

@@ -1,0 +1,236 @@
+// Command ccsprof diffs two mine profiles (ccsmine -profile-json, or the
+// profile block of /v1/mine) and names the dominant source of the
+// wall-clock gap. Its home use case is the parallel-speedup question the
+// benchmarks keep raising: profile the same query at workers=1 and
+// workers=8, diff the two, and the report says whether the gap is shard
+// skew, pipeline stall, prefix-cache contention, or shards too small to
+// amortize the hand-off.
+//
+// Usage:
+//
+//	ccsprof baseline.json candidate.json
+//
+// The exit status is non-zero when either input is missing or malformed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"ccs/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: ccsprof <baseline.json> <candidate.json>")
+	}
+	a, err := loadProfile(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := loadProfile(args[1])
+	if err != nil {
+		return err
+	}
+	return report(out, a, b)
+}
+
+// loadProfile reads and validates one profile record. A file that parses
+// but lacks the profile shape (no phases, no wall clock) is rejected too —
+// a truncated or hand-edited file should fail loudly, not diff as zeros.
+func loadProfile(path string) (*obs.ProfileRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec obs.ProfileRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: malformed profile: %v", path, err)
+	}
+	if rec.WallSeconds <= 0 || len(rec.Phases) == 0 {
+		return nil, fmt.Errorf("%s: malformed profile: missing wall_seconds or phases", path)
+	}
+	return &rec, nil
+}
+
+// report prints the phase-by-phase diff and the dominant-source verdict.
+func report(out io.Writer, a, b *obs.ProfileRecord) error {
+	gap := b.WallSeconds - a.WallSeconds
+	fmt.Fprintf(out, "baseline:  %s  workers=%d  wall=%.6fs\n", a.Name, a.Workers, a.WallSeconds)
+	fmt.Fprintf(out, "candidate: %s  workers=%d  wall=%.6fs\n", b.Name, b.Workers, b.WallSeconds)
+	fmt.Fprintf(out, "gap: %+.6fs (%+.1f%%)\n\n", gap, 100*gap/a.WallSeconds)
+
+	phases := map[string]bool{}
+	for ph := range a.Phases {
+		phases[ph] = true
+	}
+	for ph := range b.Phases {
+		phases[ph] = true
+	}
+	names := make([]string, 0, len(phases))
+	for ph := range phases {
+		names = append(names, ph)
+	}
+	// largest absolute delta first: the report leads with what moved
+	sort.Slice(names, func(i, j int) bool {
+		di := b.Phases[names[i]].Seconds - a.Phases[names[i]].Seconds
+		dj := b.Phases[names[j]].Seconds - a.Phases[names[j]].Seconds
+		if ai, aj := abs(di), abs(dj); ai != aj {
+			return ai > aj
+		}
+		return names[i] < names[j]
+	})
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tbaseline_s\tcandidate_s\tdelta_s\tshare_of_gap")
+	var otherDelta float64
+	for _, ph := range names {
+		d := b.Phases[ph].Seconds - a.Phases[ph].Seconds
+		if ph == obs.PhaseOther {
+			otherDelta = d
+		}
+		share := "-"
+		if gap != 0 {
+			share = fmt.Sprintf("%.1f%%", 100*d/gap)
+		}
+		fmt.Fprintf(tw, "%s\t%.6f\t%.6f\t%+.6f\t%s\n",
+			ph, a.Phases[ph].Seconds, b.Phases[ph].Seconds, d, share)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Attribution: how much of the gap the named phases explain. The
+	// profiler's named phases plus "other" sum to the wall on both sides,
+	// so the unexplained part of the gap is exactly the "other" delta.
+	if gap != 0 {
+		attributed := 1 - abs(otherDelta)/abs(gap)
+		if attributed < 0 {
+			attributed = 0
+		}
+		fmt.Fprintf(out, "\nattributed to named phases: %.1f%% of the gap\n", 100*attributed)
+	}
+
+	fmt.Fprintf(out, "\ncount work: %.6fs -> %.6fs goroutine-seconds (%d -> %d shards)\n",
+		a.CountWorkSeconds, b.CountWorkSeconds, a.Shards, b.Shards)
+	if a.CacheHits+a.CacheMisses+b.CacheHits+b.CacheMisses > 0 {
+		fmt.Fprintf(out, "prefix cache hit rate: %.1f%% -> %.1f%%\n",
+			100*a.CacheHitRate(), 100*b.CacheHitRate())
+	}
+	if skew := workerSkew(b.WorkerBusySeconds); len(b.WorkerBusySeconds) > 1 {
+		fmt.Fprintf(out, "candidate worker skew: %.2f (max busy / mean busy)\n", skew)
+	}
+
+	fmt.Fprintf(out, "\ndominant source: %s\n", diagnose(a, b, gap))
+	return nil
+}
+
+// Diagnosis thresholds. A skew above maxFairSkew means one worker carried
+// well over its share; a mean shard under minShardSeconds cannot amortize
+// the per-shard hand-off; a hit-rate drop beyond cacheDropFrac (or count
+// work inflated beyond workGrowthFactor at equal cells) points at the
+// shared prefix cache.
+const (
+	maxFairSkew      = 1.5
+	minShardSeconds  = 100e-6
+	cacheDropFrac    = 0.10
+	workGrowthFactor = 1.3
+)
+
+// diagnose names the dominant regression source when the candidate run is
+// slower. The checks run from most to least specific: a parallel run that
+// stalls usually stalls *because* of skew, tiny shards, or cache
+// contention, so those refine a plain stall verdict.
+func diagnose(a, b *obs.ProfileRecord, gap float64) string {
+	if gap <= 0 {
+		return "none: candidate is not slower than baseline"
+	}
+	stallDelta := b.Phases[obs.PhaseStall].Seconds - a.Phases[obs.PhaseStall].Seconds
+	countDelta := b.Phases[obs.PhaseCount].Seconds - a.Phases[obs.PhaseCount].Seconds
+
+	// Find the largest positive phase delta among the named phases.
+	worstPhase, worstDelta := "", 0.0
+	for _, ph := range []string{obs.PhaseCandgen, obs.PhasePrecheck, obs.PhaseCount, obs.PhaseEval, obs.PhaseStall} {
+		if d := b.Phases[ph].Seconds - a.Phases[ph].Seconds; d > worstDelta {
+			worstPhase, worstDelta = ph, d
+		}
+	}
+	if worstPhase == "" {
+		return "unattributed: no named phase grew (gap is in the residual)"
+	}
+
+	if worstPhase == obs.PhaseStall || (stallDelta > 0 && worstPhase == obs.PhaseCount && countDelta <= stallDelta) {
+		if skew := workerSkew(b.WorkerBusySeconds); len(b.WorkerBusySeconds) > 1 && skew > maxFairSkew {
+			return fmt.Sprintf("shard skew: worker busy times are unbalanced (skew %.2f > %.2f); "+
+				"the evaluator stalls %.6fs waiting on the overloaded worker", skew, maxFairSkew, stallDelta)
+		}
+		if mean := meanShardSeconds(b); b.Shards > 0 && mean < minShardSeconds {
+			return fmt.Sprintf("per-shard work too small: mean shard runs %.0fµs (< %.0fµs); "+
+				"the hand-off costs more than the counting it overlaps", mean*1e6, minShardSeconds*1e6)
+		}
+		if hitDrop := a.CacheHitRate() - b.CacheHitRate(); hitDrop > cacheDropFrac && a.CacheHits+a.CacheMisses > 0 {
+			return fmt.Sprintf("cache contention: prefix-cache hit rate dropped %.1f points across shards "+
+				"(%.1f%% -> %.1f%%)", 100*hitDrop, 100*a.CacheHitRate(), 100*b.CacheHitRate())
+		}
+		if a.CountWorkSeconds > 0 && b.CountWorkSeconds > a.CountWorkSeconds*workGrowthFactor && b.Cells <= a.Cells {
+			return fmt.Sprintf("cache contention: counting the same cells takes %.2fx the goroutine-seconds "+
+				"(%.6fs -> %.6fs)", b.CountWorkSeconds/a.CountWorkSeconds, a.CountWorkSeconds, b.CountWorkSeconds)
+		}
+		return fmt.Sprintf("pipeline stall: the evaluator blocks %.6fs on shard hand-off "+
+			"with balanced workers — counting is simply not finishing ahead of evaluation", stallDelta)
+	}
+	return fmt.Sprintf("%s: grew %+.6fs (%.1f%% of the gap)", worstPhase, worstDelta, 100*worstDelta/gap)
+}
+
+// meanShardSeconds is the average shard wall time of a record.
+func meanShardSeconds(r *obs.ProfileRecord) float64 {
+	var sum float64
+	n := 0
+	for _, lv := range r.Levels {
+		for _, sh := range lv.Shards {
+			sum += sh.Seconds
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// workerSkew is max over mean of the non-zero worker busy times.
+func workerSkew(busy []float64) float64 {
+	var sum, max float64
+	n := 0
+	for _, s := range busy {
+		if s <= 0 {
+			continue
+		}
+		sum += s
+		n++
+		if s > max {
+			max = s
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(n))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

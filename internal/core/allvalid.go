@@ -39,7 +39,7 @@ func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) 
 	defer release()
 	stats := Stats{}
 	l1 := m.frequentItems(split.AMMGF().Allowed)
-	cands := pairs(l1, nil)
+	cands := ctl.candgen(func() []itemset.Set { return pairs(l1, nil) })
 	stats.Candidates += len(cands)
 
 	supp := itemset.NewRegistry()
@@ -55,6 +55,8 @@ func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) 
 		var suppLevel, answersLevel []itemset.Set
 		err := m.runLevel(ctl, &stats, levelSpec{
 			algo:  algo,
+			phase: "levelwise",
+			level: level,
 			cands: cands,
 			pre: func(c itemset.Set) shardVerdict {
 				if split.SatisfiesAMOther(m.cat, c) {
@@ -88,7 +90,7 @@ func (m *Miner) AllValidContext(ctx context.Context, q *constraint.Conjunction) 
 			supp.Add(s)
 		}
 		answers = append(answers, answersLevel...)
-		cands = extend(suppLevel, l1, nil, supp)
+		cands = ctl.candgen(func() []itemset.Set { return extend(suppLevel, l1, nil, supp) })
 		stats.Candidates += len(cands)
 		stats.endLevel(levelStart)
 	}

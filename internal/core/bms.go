@@ -28,7 +28,7 @@ func (m *Miner) runBaseline(ctl *runCtl, algo string) (*bmsOutcome, error) {
 	out := &bmsOutcome{}
 	l1 := m.frequentItems(nil)
 	notsig := itemset.NewRegistry()
-	cands := pairs(l1, nil)
+	cands := ctl.candgen(func() []itemset.Set { return pairs(l1, nil) })
 	out.stats.Candidates += len(cands)
 
 	for level := 2; len(cands) > 0 && level <= m.res.maxLevel; level++ {
@@ -44,6 +44,8 @@ func (m *Miner) runBaseline(ctl *runCtl, algo string) (*bmsOutcome, error) {
 		var sigLevel, notsigLevel []itemset.Set
 		err := m.runLevel(ctl, &out.stats, levelSpec{
 			algo:  algo,
+			phase: "levelwise",
+			level: level,
 			cands: cands,
 			eval: func(s itemset.Set, t *contingency.Table) {
 				if !t.CTSupported(m.res.s, m.res.CTFraction) {
@@ -68,7 +70,7 @@ func (m *Miner) runBaseline(ctl *runCtl, algo string) (*bmsOutcome, error) {
 		for _, s := range notsigLevel {
 			notsig.Add(s)
 		}
-		cands = extend(notsigLevel, l1, nil, notsig)
+		cands = ctl.candgen(func() []itemset.Set { return extend(notsigLevel, l1, nil, notsig) })
 		out.stats.Candidates += len(cands)
 		out.stats.endLevel(levelStart)
 	}

@@ -24,6 +24,7 @@ import (
 	"ccs/internal/counting"
 	"ccs/internal/dataset"
 	"ccs/internal/itemset"
+	"ccs/internal/obs"
 )
 
 // Params carries the statistical thresholds of a correlation query.
@@ -153,6 +154,7 @@ type Miner struct {
 	progress ProgressFunc
 	budget   Budget
 	workers  int
+	prof     *obs.Profile // nil = profiling off (see WithProfile)
 }
 
 // Option configures a Miner.
@@ -163,6 +165,7 @@ type minerConfig struct {
 	progress ProgressFunc
 	budget   Budget
 	workers  int
+	prof     *obs.Profile
 }
 
 // WithCounter selects the counting engine (default: a BitmapCounter built
@@ -220,7 +223,7 @@ func New(db *dataset.DB, p Params, opts ...Option) (*Miner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Miner{cat: db.Catalog, cnt: cfg.counter, res: r, progress: cfg.progress, budget: cfg.budget, workers: cfg.workers}, nil
+	return &Miner{cat: db.Catalog, cnt: cfg.counter, res: r, progress: cfg.progress, budget: cfg.budget, workers: cfg.workers, prof: cfg.prof}, nil
 }
 
 // Catalog returns the item catalog the miner operates over.

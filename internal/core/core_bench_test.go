@@ -9,7 +9,28 @@ import (
 	"ccs/internal/constraint"
 	"ccs/internal/counting"
 	"ccs/internal/dataset"
+	"ccs/internal/obs"
 )
+
+// busySkew is max over mean of the non-zero per-worker busy times.
+func busySkew(busy []float64) float64 {
+	var sum, max float64
+	n := 0
+	for _, s := range busy {
+		if s <= 0 {
+			continue
+		}
+		sum += s
+		n++
+		if s > max {
+			max = s
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(n))
+}
 
 // benchDB caches a moderately sized planted database across benchmarks.
 var benchDB *dataset.DB
@@ -173,6 +194,7 @@ func BenchmarkAlgo(b *testing.B) {
 					}
 				}
 				perOp := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+				b.StopTimer()
 				b.ReportMetric(float64(mode.workers), "workers")
 				if mode.name == "serial" {
 					if prev, ok := benchSerialNs[c.name]; !ok || perOp < prev {
@@ -180,6 +202,25 @@ func BenchmarkAlgo(b *testing.B) {
 					}
 				} else if serial, ok := benchSerialNs[c.name]; ok && perOp > 0 {
 					b.ReportMetric(serial/perOp, "speedup")
+					// One extra profiled run outside the timer attributes the
+					// parallel engine's time: stall-frac is the share of wall
+					// the evaluator spent blocked on shard hand-off, shard-skew
+					// is max/mean worker busy (1.0 = perfectly balanced). These
+					// land in BENCH_core.json so a speedup regression names its
+					// phase, not just its magnitude.
+					prof := obs.NewProfile(c.name)
+					m, err := New(db, benchParams(), WithCounter(cc), WithWorkers(mode.workers), WithProfile(prof))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := c.run(m); err != nil {
+						b.Fatal(err)
+					}
+					rec := prof.Record()
+					if rec.WallSeconds > 0 {
+						b.ReportMetric(rec.Phases[obs.PhaseStall].Seconds/rec.WallSeconds, "stall-frac")
+					}
+					b.ReportMetric(busySkew(rec.WorkerBusySeconds), "shard-skew")
 				}
 				b.ReportMetric(cc.CacheStats().HitRate(), "cache-hit-rate")
 			})

@@ -9,6 +9,7 @@ import (
 	"ccs/internal/contingency"
 	"ccs/internal/counting"
 	"ccs/internal/itemset"
+	"ccs/internal/obs"
 )
 
 // ErrBudgetExceeded is the truncation cause when a run exhausts its Budget.
@@ -50,12 +51,21 @@ type runCtl struct {
 	wallDeadline time.Time // non-zero only when budget.MaxWall is set
 	cells        int64     // contingency cells charged so far
 	cause        error
+
+	// prof is the run's profiler; nil means profiling is off and every
+	// collection point reduces to one pointer-nil branch.
+	prof *obs.Profile
+	// sp, when non-nil, is the serial counting arena the next
+	// countBatchCtl call threads through the counter's context. Only the
+	// mining goroutine touches it (set before the call, cleared after).
+	sp *counting.ShardProf
 }
 
 // newCtl binds ctx and the miner's budget into a fresh control block.
 // release must be called when the run ends (it drops the MaxWall timer).
 func (m *Miner) newCtl(ctx context.Context) (ctl *runCtl, release context.CancelFunc) {
-	ctl = &runCtl{ctx: ctx, budget: m.budget}
+	ctl = &runCtl{ctx: ctx, budget: m.budget, prof: m.prof}
+	m.prof.SetWorkers(m.effectiveWorkers())
 	release = func() {}
 	if m.budget.MaxWall > 0 {
 		ctl.wallDeadline = time.Now().Add(m.budget.MaxWall)
@@ -140,8 +150,12 @@ func (m *Miner) countBatchCtl(ctl *runCtl, stats *Stats, sets []itemset.Set) ([]
 	}
 	stats.DBScans++
 	stats.SetsConsidered += len(sets)
-	if cc, ok := m.cnt.(counting.ContextCounter); ok && ctl.ctx.Done() != nil {
-		return cc.CountTablesContext(ctl.ctx, sets)
+	cctx := ctl.ctx
+	if ctl.sp != nil {
+		cctx = counting.WithShardProf(cctx, ctl.sp)
+	}
+	if cc, ok := m.cnt.(counting.ContextCounter); ok && (cctx.Done() != nil || ctl.sp != nil) {
+		return cc.CountTablesContext(cctx, sets)
 	}
 	return m.cnt.CountTables(sets)
 }

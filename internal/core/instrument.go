@@ -36,10 +36,6 @@ const (
 	MetricWorkersBusy = "ccs_mine_workers_busy"
 )
 
-// shardSecondsBuckets spans microsecond shards (tiny levels) through the
-// multi-second shards of disk-resident datasets.
-var shardSecondsBuckets = []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5, 30}
-
 var (
 	minesStarted   = obs.Default().CounterVec(MetricMinesTotal, "Mining runs started, by algorithm.", "algo")
 	minesCompleted = obs.Default().CounterVec(MetricMinesCompletedTotal, "Mining runs that ran to completion, by algorithm.", "algo")
@@ -48,7 +44,7 @@ var (
 	minedCands     = obs.Default().CounterVec(MetricCandidatesTotal, "Candidate sets generated, by algorithm.", "algo")
 	countedCells   = obs.Default().CounterVec(MetricCellsCountedTotal, "Contingency-table cells counted (2^k per k-set), by algorithm.", "algo")
 	minedShards    = obs.Default().CounterVec(MetricShardsTotal, "Candidate shards counted by the parallel level engine, by algorithm.", "algo")
-	shardSeconds   = obs.Default().Histogram(MetricShardSeconds, "Wall-clock seconds spent counting one candidate shard.", shardSecondsBuckets)
+	shardSeconds   = obs.Default().Histogram(MetricShardSeconds, "Wall-clock seconds spent counting one candidate shard.", obs.SubMillisecondBuckets)
 	workersBusy    = obs.Default().Gauge(MetricWorkersBusy, "Level-engine workers currently counting a shard.")
 )
 
@@ -62,6 +58,7 @@ func startMine(algo string) { minesStarted.With(algo).Inc() }
 func recordMine(algo string, res *Result, ctl *runCtl) {
 	if ctl != nil {
 		countedCells.With(algo).Add(ctl.cells)
+		ctl.prof.Finish()
 	}
 	if res == nil {
 		return

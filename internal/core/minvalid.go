@@ -8,6 +8,7 @@ import (
 	"ccs/internal/constraint"
 	"ccs/internal/contingency"
 	"ccs/internal/itemset"
+	"ccs/internal/obs"
 )
 
 // BMSStar computes MINVALID(Q) naively (the paper's Figure F): run the
@@ -120,7 +121,7 @@ func (m *Miner) sweepUp(ctl *runCtl, stats *Stats, split *constraint.Split, seed
 		}
 		stats.Levels++
 		levelStart := time.Now()
-		cands := extendAny(frontierLevel, pool)
+		cands := ctl.candgen(func() []itemset.Set { return extendAny(frontierLevel, pool) })
 		m.report("BMS*", "sweep", level+1, len(cands))
 		// new seeds arriving at the next level join the frontier directly
 		// (they are already known correlated and CT-supported)
@@ -129,6 +130,8 @@ func (m *Miner) sweepUp(ctl *runCtl, stats *Stats, split *constraint.Split, seed
 		var answersLevel, frontierNew []itemset.Set
 		err := m.runLevel(ctl, stats, levelSpec{
 			algo:  "bms*",
+			phase: "sweep",
+			level: level + 1,
 			cands: cands,
 			// drop candidates that fail AM constraints or contain an answer
 			// (answers is read-only until the level commits, so the check is
@@ -277,7 +280,7 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 				minus = append(minus, i)
 			}
 		}
-		cands = pairs(plus, minus)
+		cands = ctl.candgen(func() []itemset.Set { return pairs(plus, minus) })
 		inPlus := make(map[itemset.Item]bool, len(plus))
 		for _, i := range plus {
 			inPlus[i] = true
@@ -291,7 +294,7 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 			return false
 		}
 	} else {
-		cands = pairs(l1, nil)
+		cands = ctl.candgen(func() []itemset.Set { return pairs(l1, nil) })
 	}
 	stats.Candidates += len(cands)
 
@@ -318,6 +321,8 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 		var lvChis []float64
 		err := m.runLevel(ctl, &stats, levelSpec{
 			algo:  algo,
+			phase: "supp",
+			level: level,
 			cands: cands,
 			pre: func(c itemset.Set) shardVerdict {
 				if split.SatisfiesAMOther(m.cat, c) {
@@ -347,7 +352,7 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 			lv.tables = append(lv.tables, len(allTables)-1)
 		}
 		levels = append(levels, lv)
-		cands = extend(lv.sets, l1, relevant, supp)
+		cands = ctl.candgen(func() []itemset.Set { return extend(lv.sets, l1, relevant, supp) })
 		stats.Candidates += len(cands)
 		stats.endLevel(levelStart)
 	}
@@ -364,6 +369,12 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 			}
 		}
 		m.report("BMS**", "chi", li+2, len(lv.sets))
+		// Phase 2 never recounts, so its levels profile as pure evaluation.
+		lp := ctl.prof.StartLevel("chi", li+2, len(lv.sets))
+		var chiStart time.Time
+		if lp != nil {
+			chiStart = time.Now()
+		}
 		for i, s := range lv.sets {
 			if li > 0 { // level-2 sets (li == 0) are always examined
 				ok := true
@@ -388,6 +399,11 @@ func (m *Miner) BMSStarStarContext(ctx context.Context, q *constraint.Conjunctio
 			} else {
 				notsig.Add(s)
 			}
+		}
+		if lp != nil {
+			observePart(lp, obs.PhaseEval, time.Since(chiStart), 0)
+			lp.SetKept(len(lv.sets))
+			lp.End()
 		}
 	}
 	itemset.SortSets(answers)

@@ -8,6 +8,7 @@ import (
 	"ccs/internal/contingency"
 	"ccs/internal/counting"
 	"ccs/internal/itemset"
+	"ccs/internal/obs"
 )
 
 // This file implements the sharded, pipelined level engine every
@@ -43,6 +44,11 @@ type levelSpec struct {
 	// algo labels the shard metrics; use the same lowercase name passed to
 	// startMine.
 	algo string
+	// phase and level label the profiler's per-level records (same values
+	// as the ProgressEvent the level reports); unused when profiling is
+	// off.
+	phase string
+	level int
 	// cands is the level's candidate batch in canonical order
 	// (itemset.SortSets) — the order the prefix-aligned shards and the
 	// evaluation sequence both rely on.
@@ -95,8 +101,17 @@ func (m *Miner) runLevel(ctl *runCtl, stats *Stats, spec levelSpec) error {
 }
 
 // runLevelSerial is the exact single-threaded path: pre-check, one batched
-// count, in-order evaluation.
+// count, in-order evaluation. When profiling is on, the three stages are
+// timed on this goroutine and the whole batch reports as one shard
+// (worker 0), so serial and parallel profiles share a schema.
 func (m *Miner) runLevelSerial(ctl *runCtl, stats *Stats, spec levelSpec) error {
+	lp, cells0 := ctl.startLevel(spec)
+	prof := lp != nil
+	var t0 time.Time
+	var a0 int64
+	if prof {
+		t0, a0 = time.Now(), obs.AllocBytes()
+	}
 	kept := spec.cands
 	if spec.pre != nil {
 		kept = spec.cands[:0]
@@ -109,13 +124,36 @@ func (m *Miner) runLevelSerial(ctl *runCtl, stats *Stats, spec levelSpec) error 
 			}
 		}
 	}
+	var sp *counting.ShardProf
+	if prof {
+		observePart(lp, obs.PhasePrecheck, time.Since(t0), obs.AllocBytes()-a0)
+		sp = &counting.ShardProf{}
+		ctl.sp = sp
+		t0, a0 = time.Now(), obs.AllocBytes()
+	}
 	tables, err := m.countBatchCtl(ctl, stats, kept)
+	if prof {
+		ctl.sp = nil
+		d := time.Since(t0)
+		observePart(lp, obs.PhaseCount, d, obs.AllocBytes()-a0)
+		if sp.Sets.Load() > 0 {
+			lp.AddShard(shardStat(0, d, sp))
+		}
+	}
 	if err != nil {
+		ctl.endLevel(lp, len(kept), cells0)
 		return err
+	}
+	if prof {
+		t0, a0 = time.Now(), obs.AllocBytes()
 	}
 	for i, t := range tables {
 		spec.eval(kept[i], t)
 	}
+	if prof {
+		observePart(lp, obs.PhaseEval, time.Since(t0), obs.AllocBytes()-a0)
+	}
+	ctl.endLevel(lp, len(kept), cells0)
 	return nil
 }
 
@@ -128,6 +166,13 @@ func (m *Miner) runLevelSerial(ctl *runCtl, stats *Stats, spec levelSpec) error 
 // level whole, after the end-of-level barrier, which preserves the
 // whole-level prefix soundness guarantee of Result.Answers.
 func (m *Miner) runLevelParallel(ctl *runCtl, stats *Stats, spec levelSpec, sc counting.ShardCounter, workers int) error {
+	lp, cells0 := ctl.startLevel(spec)
+	prof := lp != nil
+	var t0 time.Time
+	var a0 int64
+	if prof {
+		t0, a0 = time.Now(), obs.AllocBytes()
+	}
 	shards := shardSpans(spec.cands, workers)
 
 	// Stage 1: per-shard pre-checks. Each shard filters its own span of
@@ -168,10 +213,15 @@ func (m *Miner) runLevelParallel(ctl *runCtl, stats *Stats, spec levelSpec, sc c
 		}
 		total += len(k)
 	}
+	if prof {
+		observePart(lp, obs.PhasePrecheck, time.Since(t0), obs.AllocBytes()-a0)
+	}
 	if total == 0 {
+		ctl.endLevel(lp, 0, cells0)
 		return nil
 	}
 	if cause := ctl.interrupted(stats); cause != nil {
+		ctl.endLevel(lp, total, cells0)
 		return cause
 	}
 	stats.DBScans++
@@ -184,11 +234,20 @@ func (m *Miner) runLevelParallel(ctl *runCtl, stats *Stats, spec levelSpec, sc c
 		tables []*contingency.Table
 		err    error
 		done   chan struct{}
+		worker int           // which worker counted it (profiled runs only)
+		dur    time.Duration // shard wall time (profiled runs only)
 	}
 	outs := make([]shardOut, len(shards))
 	for i := range outs {
 		outs[i].done = make(chan struct{})
 	}
+	// Profiled runs get one arena per shard (written by one worker at a
+	// time, merged below in shard index order — deterministic at every
+	// worker count) and per-worker busy tallies (each slot written only by
+	// its own worker, read after the barrier).
+	var sprofs []*counting.ShardProf
+	var busyNs []int64
+	var shardCnt []int
 	work := make(chan int, len(shards))
 	for i := range shards {
 		work <- i
@@ -198,26 +257,57 @@ func (m *Miner) runLevelParallel(ctl *runCtl, stats *Stats, spec levelSpec, sc c
 	if n > len(shards) {
 		n = len(shards)
 	}
+	if prof {
+		sprofs = make([]*counting.ShardProf, len(shards))
+		for i := range sprofs {
+			sprofs[i] = &counting.ShardProf{}
+		}
+		busyNs = make([]int64, n)
+		shardCnt = make([]int, n)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range work {
+				cctx := ctl.ctx
+				if prof {
+					cctx = counting.WithShardProf(cctx, sprofs[i])
+					outs[i].worker = w
+				}
 				workersBusy.Inc()
 				start := time.Now()
-				outs[i].tables, outs[i].err = sc.CountShard(ctl.ctx, kept[i])
+				outs[i].tables, outs[i].err = sc.CountShard(cctx, kept[i])
 				workersBusy.Dec()
-				shardSeconds.Observe(time.Since(start).Seconds())
+				d := time.Since(start)
+				shardSeconds.Observe(d.Seconds())
 				minedShards.With(spec.algo).Inc()
+				if prof {
+					outs[i].dur = d
+					busyNs[w] += int64(d)
+					shardCnt[w]++
+				}
 				close(outs[i].done)
 			}
-		}()
+		}(w)
 	}
 
+	// The evaluator's time splits into stall (blocked on an unfinished
+	// shard — the pipeline hand-off cost) and evaluate (spec.eval proper).
+	var stall, evalDur time.Duration
+	if prof {
+		a0 = obs.AllocBytes()
+	}
 	var firstErr error
 	for i := range outs {
-		<-outs[i].done
+		if prof {
+			ts := time.Now()
+			<-outs[i].done
+			stall += time.Since(ts)
+		} else {
+			<-outs[i].done
+		}
 		if firstErr != nil {
 			continue
 		}
@@ -225,11 +315,32 @@ func (m *Miner) runLevelParallel(ctl *runCtl, stats *Stats, spec levelSpec, sc c
 			firstErr = outs[i].err
 			continue
 		}
-		for j, t := range outs[i].tables {
-			spec.eval(kept[i][j], t)
+		if prof {
+			te := time.Now()
+			for j, t := range outs[i].tables {
+				spec.eval(kept[i][j], t)
+			}
+			evalDur += time.Since(te)
+		} else {
+			for j, t := range outs[i].tables {
+				spec.eval(kept[i][j], t)
+			}
 		}
 	}
 	wg.Wait() // end-of-level barrier before the caller decides Truncated
+	if prof {
+		observePart(lp, obs.PhaseStall, stall, 0)
+		observePart(lp, obs.PhaseEval, evalDur, obs.AllocBytes()-a0)
+		for i := range outs {
+			lp.AddShard(shardStat(outs[i].worker, outs[i].dur, sprofs[i]))
+		}
+		for w := 0; w < n; w++ {
+			if shardCnt[w] > 0 {
+				ctl.prof.AddWorker(w, time.Duration(busyNs[w]), shardCnt[w])
+			}
+		}
+	}
+	ctl.endLevel(lp, total, cells0)
 	return firstErr
 }
 

@@ -109,7 +109,7 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 				minus = append(minus, i)
 			}
 		}
-		cands = pairs(plus, minus)
+		cands = ctl.candgen(func() []itemset.Set { return pairs(plus, minus) })
 		inPlus := make(map[itemset.Item]bool, len(plus))
 		for _, i := range plus {
 			inPlus[i] = true
@@ -123,7 +123,7 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 			return false
 		}
 	} else {
-		cands = pairs(l1, nil)
+		cands = ctl.candgen(func() []itemset.Set { return pairs(l1, nil) })
 	}
 	stats.Candidates += len(cands)
 
@@ -140,6 +140,8 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 		var answersLevel, notsigLevel []itemset.Set
 		err := m.runLevel(ctl, &stats, levelSpec{
 			algo:  algo,
+			phase: "levelwise",
+			level: level,
 			cands: cands,
 			// Non-succinct anti-monotone constraints prune before counting:
 			// a failing set is invalid and so is every superset, and (AM
@@ -179,7 +181,7 @@ func (m *Miner) BMSPlusPlusContext(ctx context.Context, q *constraint.Conjunctio
 		for _, s := range notsigLevel {
 			notsig.Add(s)
 		}
-		cands = extend(notsigLevel, l1, relevant, notsig)
+		cands = ctl.candgen(func() []itemset.Set { return extend(notsigLevel, l1, relevant, notsig) })
 		stats.Candidates += len(cands)
 		stats.endLevel(levelStart)
 	}

@@ -17,6 +17,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ccs/internal/bitset"
 	"ccs/internal/contingency"
@@ -314,17 +315,20 @@ func (b *BitmapCounter) CountShard(ctx context.Context, sets []itemset.Set) ([]*
 
 // CountTablesContext implements ContextCounter, polling ctx between sets
 // (one set costs 2^k bitset intersections, so the granularity is fine).
+// When the context carries a profiling arena (WithShardProf), per-set work
+// is tallied into it; the arena lookup happens once per batch.
 func (b *BitmapCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	b.batches.Add(1)
 	b.tablesBuilt.Add(int64(len(sets)))
 	recordSetsCounted(b.engine, len(sets))
 	done := ctx.Done()
+	prof := shardProfFrom(ctx)
 	out := make([]*contingency.Table, len(sets))
 	for i, set := range sets {
 		if cancelled(done) {
 			return nil, ctx.Err()
 		}
-		t, err := b.countOne(set)
+		t, err := b.countOne(set, prof)
 		if err != nil {
 			return nil, err
 		}
@@ -388,13 +392,21 @@ func (sc *countScratch) recycle(size int) {
 // what makes the prefix cache compose with the walk: a cached prefix seeds
 // its register directly, and a computed prefix is handed to the cache for
 // the sibling and next-level candidates that share it.
-func (b *BitmapCounter) countOne(set itemset.Set) (*contingency.Table, error) {
+// prof, when non-nil, receives per-shard profiling tallies (sets, cells,
+// cache hit/miss counts, and wall time spent inside cache get/put). The
+// nil case adds only predictable pointer-nil branches to the hot path —
+// no clock reads, no allocations.
+func (b *BitmapCounter) countOne(set itemset.Set, prof *ShardProf) (*contingency.Table, error) {
 	k := set.Size()
 	if k > contingency.MaxItems {
 		return nil, fmt.Errorf("counting: itemset %v exceeds %d items", set, contingency.MaxItems)
 	}
 	n := b.idx.NumTx()
 	size := 1 << uint(k)
+	if prof != nil {
+		prof.Sets.Add(1)
+		prof.Cells.Add(int64(size))
+	}
 	// g[mask] = support of the sub-itemset selected by mask. It becomes the
 	// table's cell slice after inversion, so it cannot be pooled.
 	g := make([]int, size)
@@ -416,7 +428,20 @@ func (b *BitmapCounter) countOne(set itemset.Set) (*contingency.Table, error) {
 			prefix := b.cache != nil && mask == (1<<uint(high+1))-1
 			if prefix {
 				sc.key = set[:high+1].AppendKey(sc.key[:0])
-				if tids, count, ok := b.cache.get(sc.key); ok {
+				var t0 time.Time
+				if prof != nil {
+					t0 = time.Now()
+				}
+				tids, count, ok := b.cache.get(sc.key)
+				if prof != nil {
+					prof.CacheNanos.Add(time.Since(t0).Nanoseconds())
+					if ok {
+						prof.CacheHits.Add(1)
+					} else {
+						prof.CacheMisses.Add(1)
+					}
+				}
+				if ok {
 					inter[mask] = tids
 					g[mask] = count
 					continue
@@ -431,8 +456,18 @@ func (b *BitmapCounter) countOne(set itemset.Set) (*contingency.Table, error) {
 			bs.And(inter[rest], col)
 			inter[mask] = bs
 			g[mask] = bs.Count()
-			if prefix && b.cache.put(sc.key, bs, g[mask]) {
-				continue // ownership moved to the cache; not recyclable
+			if prefix {
+				var t0 time.Time
+				if prof != nil {
+					t0 = time.Now()
+				}
+				stored := b.cache.put(sc.key, bs, g[mask])
+				if prof != nil {
+					prof.CacheNanos.Add(time.Since(t0).Nanoseconds())
+				}
+				if stored {
+					continue // ownership moved to the cache; not recyclable
+				}
 			}
 			sc.owned = append(sc.owned, bs)
 		}

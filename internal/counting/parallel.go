@@ -131,6 +131,7 @@ func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset
 		return out, nil
 	}
 	runs := PrefixRuns(sets)
+	prof := shardProfFrom(ctx)
 	workers := p.workers
 	if workers > len(runs) {
 		workers = len(runs)
@@ -164,7 +165,7 @@ func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset
 						setErr(ctx.Err())
 						return
 					}
-					t, err := p.inner.countOne(sets[i])
+					t, err := p.inner.countOne(sets[i], prof)
 					if err != nil {
 						setErr(err)
 						continue

@@ -31,6 +31,8 @@ var (
 	good9 = reg.Histogram(server.MetricAdmissionQueueWaitSeconds, "admission-layer histogram", nil)
 	goodA = reg.Gauge(server.MetricAdmissionShedStage, "admission-layer gauge")
 	goodB = reg.CounterVec(server.MetricTenantRejectedTotal, "tenant-layer vec", "tenant", "reason")
+	goodC = reg.HistogramVec(core.MetricPhaseSeconds, "profiler phase histogram", nil, "phase")
+	goodD = reg.GaugeVec(obs.MetricBuildInfo, "build-info gauge", "goversion", "version")
 )
 
 func register(name string) {

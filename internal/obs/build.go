@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// MetricBuildInfo is the build-identity gauge: constant 1, with the
+// running binary's Go version and main-module version as labels, so a
+// scrape can join any other series against what is actually deployed.
+const MetricBuildInfo = "ccs_build_info"
+
+var buildInfoGauge = Default().GaugeVec(MetricBuildInfo,
+	"Build identity of the running binary; constant 1, labelled by Go version and module version.",
+	"goversion", "version")
+
+func init() {
+	buildInfoGauge.With(runtime.Version(), moduleVersion()).Set(1)
+}
+
+// moduleVersion returns the main module's version as recorded in the build
+// info — "(devel)" for source builds, a semver for module-built binaries,
+// "unknown" when build info is unavailable (e.g. non-module test binaries).
+func moduleVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok || bi.Main.Version == "" {
+		return "unknown"
+	}
+	return bi.Main.Version
+}
+
+// BuildInfo returns the `build` block served on /debug/vars: Go version,
+// main module path and version, and any VCS facts stamped into the binary.
+func BuildInfo() map[string]interface{} {
+	b := map[string]interface{}{
+		"go_version": runtime.Version(),
+		"version":    moduleVersion(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		b["main_path"] = bi.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				b[s.Key] = s.Value
+			}
+		}
+	}
+	return b
+}

@@ -5,7 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
-	"runtime/debug"
+	"strconv"
 )
 
 // OpsOptions configures NewOpsHandler.
@@ -14,6 +14,8 @@ type OpsOptions struct {
 	Registry *Registry
 	// Tracer backs /debug/traces (nil serves an empty list).
 	Tracer *Tracer
+	// Profiles backs /debug/mines (nil serves an empty list).
+	Profiles *ProfileRing
 	// Vars supplies extra /debug/vars content (config, dataset names, ...)
 	// merged over the built-in build/runtime facts. May be nil.
 	Vars func() map[string]interface{}
@@ -23,12 +25,16 @@ type OpsOptions struct {
 //
 //	GET /metrics        Prometheus text exposition of the registry
 //	GET /debug/traces   recent traces as JSON, newest first
+//	                    (?limit=N caps the count, ?route=R filters on the
+//	                    trace's route attribute or name)
+//	GET /debug/mines    recent mine profiles as JSON, newest first
+//	                    (?limit=N caps the count)
 //	GET /debug/vars     build/runtime/config facts as JSON
 //	GET /debug/pprof/*  net/http/pprof profiles
 //
 // It is intended for a second, non-public listener (ccsserve -ops-addr):
-// pprof and the trace ring expose internals (queries, timings, heap
-// contents) that must not reach the request-serving port.
+// pprof, the trace ring, and the profile ring expose internals (queries,
+// timings, heap contents) that must not reach the request-serving port.
 func NewOpsHandler(opts OpsOptions) http.Handler {
 	reg := opts.Registry
 	if reg == nil {
@@ -43,9 +49,27 @@ func NewOpsHandler(opts OpsOptions) http.Handler {
 		_, _ = reg.WriteTo(w)
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		//ccslint:ignore droppederr response started; nothing to report to
-		_ = opts.Tracer.WriteJSON(w)
+		snap := opts.Tracer.Snapshot()
+		if route := r.URL.Query().Get("route"); route != "" {
+			kept := snap[:0]
+			for _, rec := range snap {
+				if rec.Attrs["route"] == route || rec.Name == route {
+					kept = append(kept, rec)
+				}
+			}
+			snap = kept
+		}
+		if limit, ok := parseLimit(r.URL.Query().Get("limit")); ok && len(snap) > limit {
+			snap = snap[:limit]
+		}
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("/debug/mines", func(w http.ResponseWriter, r *http.Request) {
+		snap := opts.Profiles.Snapshot()
+		if limit, ok := parseLimit(r.URL.Query().Get("limit")); ok && len(snap) > limit {
+			snap = snap[:limit]
+		}
+		writeJSON(w, snap)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		vars := map[string]interface{}{
@@ -53,26 +77,14 @@ func NewOpsHandler(opts OpsOptions) http.Handler {
 			"goroutines": runtime.NumGoroutine(),
 			"gomaxprocs": runtime.GOMAXPROCS(0),
 			"num_cpu":    runtime.NumCPU(),
-		}
-		if bi, ok := debug.ReadBuildInfo(); ok {
-			vars["main_path"] = bi.Path
-			for _, s := range bi.Settings {
-				switch s.Key {
-				case "vcs.revision", "vcs.time", "vcs.modified":
-					vars[s.Key] = s.Value
-				}
-			}
+			"build":      BuildInfo(),
 		}
 		if opts.Vars != nil {
 			for k, v := range opts.Vars() {
 				vars[k] = v
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		//ccslint:ignore droppederr response started; nothing to report to
-		_ = enc.Encode(vars)
+		writeJSON(w, vars)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -80,4 +92,26 @@ func NewOpsHandler(opts OpsOptions) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// parseLimit parses a ?limit= value; ok is false for absent, malformed, or
+// negative values (no limit applied).
+func parseLimit(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// writeJSON writes v as indented JSON with the right content type.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	//ccslint:ignore droppederr response started; nothing to report to
+	_ = enc.Encode(v)
 }

@@ -69,10 +69,124 @@ func TestOpsHandlerEndpoints(t *testing.T) {
 	if vars["go_version"] == nil || vars["datasets"] != float64(3) {
 		t.Errorf("unexpected vars: %v", vars)
 	}
+	build, ok := vars["build"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("/debug/vars missing build block: %v", vars)
+	}
+	if build["go_version"] == nil || build["version"] == nil {
+		t.Errorf("build block incomplete: %v", build)
+	}
 
 	body, _ = get("/debug/pprof/")
 	if !strings.Contains(body, "profile") {
 		t.Errorf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+// TestOpsHandlerTraceFilters checks /debug/traces honors ?route= (trace
+// route attribute or name) and ?limit=, and ignores malformed limits.
+func TestOpsHandlerTraceFilters(t *testing.T) {
+	tracer := NewTracer(8)
+	for i := 0; i < 3; i++ {
+		tracer.Start("mine", String("route", "/v1/mine"), Int("i", i)).Finish()
+	}
+	tracer.Start("frequent", String("route", "/v1/frequent")).Finish()
+	srv := httptest.NewServer(NewOpsHandler(OpsOptions{Registry: NewRegistry(), Tracer: tracer}))
+	defer srv.Close()
+
+	fetch := func(query string) []TraceRecord {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/traces" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var recs []TraceRecord
+		if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+			t.Fatalf("GET /debug/traces%s does not parse: %v", query, err)
+		}
+		return recs
+	}
+
+	if got := fetch(""); len(got) != 4 {
+		t.Errorf("unfiltered = %d traces, want 4", len(got))
+	}
+	if got := fetch("?route=/v1/mine"); len(got) != 3 {
+		t.Errorf("route=/v1/mine = %d traces, want 3", len(got))
+	}
+	// route also matches the trace name for traces without a route attr
+	if got := fetch("?route=frequent"); len(got) != 1 {
+		t.Errorf("route=frequent = %d traces, want 1", len(got))
+	}
+	got := fetch("?route=/v1/mine&limit=2")
+	if len(got) != 2 {
+		t.Fatalf("route+limit = %d traces, want 2", len(got))
+	}
+	// newest first survives the filter
+	if got[0].Attrs["i"] != "2" || got[1].Attrs["i"] != "1" {
+		t.Errorf("filtered order wrong: %v, %v", got[0].Attrs, got[1].Attrs)
+	}
+	if got := fetch("?limit=0"); len(got) != 0 {
+		t.Errorf("limit=0 = %d traces, want 0", len(got))
+	}
+	for _, q := range []string{"?limit=bogus", "?limit=-1"} {
+		if got := fetch(q); len(got) != 4 {
+			t.Errorf("%s = %d traces, want 4 (malformed limit ignored)", q, len(got))
+		}
+	}
+}
+
+// TestOpsHandlerMines checks /debug/mines serves the profile ring newest
+// first, honors ?limit=, and serves [] when no ring is configured.
+func TestOpsHandlerMines(t *testing.T) {
+	ring := NewProfileRing(4)
+	for _, name := range []string{"a", "b", "c"} {
+		p := NewProfile(name)
+		p.Finish()
+		ring.Add(p.Record())
+	}
+	srv := httptest.NewServer(NewOpsHandler(OpsOptions{Registry: NewRegistry(), Profiles: ring}))
+	defer srv.Close()
+
+	fetch := func(query string) []ProfileRecord {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/mines" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("/debug/mines content type = %q", ct)
+		}
+		var recs []ProfileRecord
+		if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+			t.Fatalf("GET /debug/mines%s does not parse: %v", query, err)
+		}
+		return recs
+	}
+
+	got := fetch("")
+	if len(got) != 3 || got[0].Name != "c" || got[2].Name != "a" {
+		t.Errorf("unexpected mines: %+v", got)
+	}
+	if got := fetch("?limit=1"); len(got) != 1 || got[0].Name != "c" {
+		t.Errorf("limit=1 = %+v, want just c", got)
+	}
+
+	// no ring configured: [] rather than null
+	bare := httptest.NewServer(NewOpsHandler(OpsOptions{Registry: NewRegistry()}))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/debug/mines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("/debug/mines with nil ring = %q, want []", body)
 	}
 }
 

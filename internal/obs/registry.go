@@ -45,6 +45,15 @@ func (k kind) String() string {
 // nil: latency-shaped, from 1ms to 10s.
 var DefaultBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
+// SubMillisecondBuckets are histogram bounds for µs-scale spans — shard
+// counting and profiler phase timings, which DefaultBuckets would collapse
+// into their first bucket. They reach from 5µs to 30s so the same series
+// still resolves the multi-second shards of disk-resident datasets.
+var SubMillisecondBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 5, 30,
+}
+
 // Registry holds metric families and renders them in the Prometheus text
 // exposition format. All methods are safe for concurrent use; registration
 // is idempotent (same name, kind, and label names return the existing

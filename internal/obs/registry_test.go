@@ -29,6 +29,12 @@ func goldenRegistry() *Registry {
 	h.Observe(0.5)
 	h.Observe(2)
 	h.Observe(99)
+	// sub-millisecond resolution, as used by the shard/phase timing
+	// histograms: pins the exponent-free rendering of the tiny bounds
+	sh := r.Histogram("test_shard_seconds", "shard timing at sub-millisecond resolution", SubMillisecondBuckets)
+	sh.Observe(3e-6)
+	sh.Observe(7.5e-5)
+	sh.Observe(0.002)
 	return r
 }
 

@@ -184,10 +184,12 @@ type SpanRecord struct {
 	Attrs           map[string]string `json:"attrs,omitempty"`
 }
 
-// Snapshot returns the finished traces, newest first.
+// Snapshot returns the finished traces, newest first. The result is never
+// nil — a nil tracer or an empty ring yields an empty slice, so JSON
+// consumers see [] rather than null.
 func (t *Tracer) Snapshot() []TraceRecord {
 	if t == nil {
-		return nil
+		return []TraceRecord{}
 	}
 	t.mu.Lock()
 	traces := append([]*Trace(nil), t.recent...)
@@ -236,9 +238,6 @@ func attrMap(attrs []Attr) map[string]string {
 // WriteJSON writes the snapshot as a JSON array.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	snap := t.Snapshot()
-	if snap == nil {
-		snap = []TraceRecord{}
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(snap)

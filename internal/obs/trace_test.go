@@ -88,8 +88,8 @@ func TestTracerNilSafe(t *testing.T) {
 	if tr.ID() != "" {
 		t.Error("nil trace has an id")
 	}
-	if got := tracer.Snapshot(); got != nil {
-		t.Errorf("nil tracer snapshot = %v, want nil", got)
+	if got := tracer.Snapshot(); got == nil || len(got) != 0 {
+		t.Errorf("nil tracer snapshot = %v, want non-nil empty slice", got)
 	}
 	var buf bytes.Buffer
 	if err := tracer.WriteJSON(&buf); err != nil {

@@ -221,6 +221,83 @@ func TestOpsHandlerMetrics(t *testing.T) {
 	}
 }
 
+// TestMineProfile checks profile: true returns the phase attribution on
+// the reply, lands the record in /debug/mines, and that an unprofiled
+// request carries no profile block.
+func TestMineProfile(t *testing.T) {
+	s, srv, _ := obsServer(t)
+
+	// unprofiled: no profile block, nothing in the ring
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{
+		Dataset: "d", Algo: "bms", CellSupportFrac: 0.05, MaxLevel: 4,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mine: %d %s", resp.StatusCode, body)
+	}
+	var mr MineResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Profile != nil {
+		t.Fatalf("unprofiled mine returned a profile: %+v", mr.Profile)
+	}
+	if got := len(s.profiles.Snapshot()); got != 0 {
+		t.Fatalf("unprofiled mine entered the ring: %d records", got)
+	}
+
+	// profiled, parallel: phases and worker attribution on the reply
+	resp, body = doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{
+		Dataset: "d", Algo: "bms", CellSupportFrac: 0.05, MaxLevel: 4,
+		Workers: 4, Profile: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profiled mine: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	p := mr.Profile
+	if p == nil {
+		t.Fatalf("profiled mine returned no profile: %s", body)
+	}
+	if p.Name != "d/bms" || p.Workers != 4 {
+		t.Fatalf("profile header = name %q workers %d", p.Name, p.Workers)
+	}
+	if p.WallSeconds <= 0 || len(p.Phases) == 0 {
+		t.Fatalf("profile empty: %+v", p)
+	}
+	if _, ok := p.Phases[obs.PhaseCandgen]; !ok {
+		t.Fatalf("profile has no candgen phase: %v", p.Phases)
+	}
+	if p.Candidates == 0 || len(p.Levels) == 0 {
+		t.Fatalf("profile recorded no levels: %+v", p)
+	}
+	// phase totals stay within the run's wall clock plus the residual
+	var sum float64
+	for _, ph := range p.Phases {
+		sum += ph.Seconds
+	}
+	if sum > p.WallSeconds*1.05 {
+		t.Fatalf("phases sum to %g, wall is %g", sum, p.WallSeconds)
+	}
+
+	// the record is on the ops surface
+	ops := httptest.NewServer(s.OpsHandler(nil))
+	defer ops.Close()
+	resp2, err := http.Get(ops.URL + "/debug/mines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var recs []obs.ProfileRecord
+	if err := json.NewDecoder(resp2.Body).Decode(&recs); err != nil {
+		t.Fatalf("/debug/mines not JSON: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Name != "d/bms" {
+		t.Fatalf("/debug/mines = %+v", recs)
+	}
+}
+
 // TestWriteJSONEncodeErrorCounted feeds writeJSON an unencodable value and
 // checks the failure is counted and logged instead of vanishing.
 func TestWriteJSONEncodeErrorCounted(t *testing.T) {

@@ -9,16 +9,18 @@ import (
 
 // OpsHandler returns the operator surface for this server — /metrics
 // (Prometheus text), /debug/traces (recent mine traces as JSON),
-// /debug/vars (build/runtime/server facts), and /debug/pprof/*. extra, if
-// non-nil, contributes additional /debug/vars entries (flag values,
-// listener addresses, ...).
+// /debug/mines (recent mine profiles as JSON), /debug/vars
+// (build/runtime/server facts), and /debug/pprof/*. extra, if non-nil,
+// contributes additional /debug/vars entries (flag values, listener
+// addresses, ...).
 //
 // Serve it on a second, non-public listener (ccsserve -ops-addr): pprof
 // and the trace ring expose internals — queries, timings, heap contents —
 // that must not reach the request-serving port.
 func (s *Server) OpsHandler(extra func() map[string]interface{}) http.Handler {
 	return obs.NewOpsHandler(obs.OpsOptions{
-		Tracer: s.tracer,
+		Tracer:   s.tracer,
+		Profiles: s.profiles,
 		Vars: func() map[string]interface{} {
 			vars := map[string]interface{}{
 				"datasets":     s.datasetNames(),

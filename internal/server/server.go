@@ -46,6 +46,10 @@ const maxUploadBytes = 64 << 20
 // traceCap bounds the server's in-memory ring of finished mine traces.
 const traceCap = 128
 
+// profileCap bounds the server's in-memory ring of finished mine profiles
+// (/debug/mines). Only mines that asked for profiling enter the ring.
+const profileCap = 64
+
 // Server is the HTTP handler with its dataset registry. Create with New;
 // it is safe for concurrent use.
 type Server struct {
@@ -59,6 +63,7 @@ type Server struct {
 	workers     int
 	logger      *obs.Logger
 	tracer      *obs.Tracer
+	profiles    *obs.ProfileRing
 	reqSeq      atomic.Int64
 
 	// Overload protection (DESIGN.md §12): the bounded admission gate,
@@ -137,7 +142,12 @@ func WithQuotas(cfg QuotaConfig) Option {
 // routes (/v1/mine, /v1/frequent, /v1/explain, and the :generate action)
 // additionally carry the configured per-request deadline on their context.
 func New(opts ...Option) *Server {
-	s := &Server{datasets: make(map[string]*dataset.DB), mux: http.NewServeMux(), tracer: obs.NewTracer(traceCap)}
+	s := &Server{
+		datasets: make(map[string]*dataset.DB),
+		mux:      http.NewServeMux(),
+		tracer:   obs.NewTracer(traceCap),
+		profiles: obs.NewProfileRing(profileCap),
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -380,6 +390,12 @@ type MineRequest struct {
 	// < 0 forces the serial path, 0 keeps the server default (ccsserve
 	// -workers). The mined answers are identical at every setting.
 	Workers int `json:"workers,omitempty"`
+	// Profile attributes this mine's wall time across phases (candidate
+	// generation, counting per shard, evaluation, pipeline stalls). The
+	// reply gains a profile block and the profile also lands in the ops
+	// listener's /debug/mines ring. Profiling adds clock reads on the
+	// mining path, so leave it off for latency-critical traffic.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // MineResponse is the JSON reply of POST /v1/mine.
@@ -398,6 +414,9 @@ type MineResponse struct {
 	// LevelSeconds is the wall-clock duration of each lattice level the
 	// run visited, in visit order (len == stats.Levels).
 	LevelSeconds []float64 `json:"level_seconds,omitempty"`
+	// Profile is the per-phase wall-time attribution of this mine,
+	// present when the request asked for profile: true.
+	Profile *obs.ProfileRecord `json:"profile,omitempty"`
 }
 
 // truncationCause maps a core truncation cause to its wire label.
@@ -522,6 +541,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if budget.MaxCandidates > 0 || budget.MaxCells > 0 {
 		opts = append(opts, core.WithBudget(budget))
 	}
+	var prof *obs.Profile
+	if req.Profile {
+		prof = obs.NewProfile(req.Dataset + "/" + algo)
+		opts = append(opts, core.WithProfile(prof))
+	}
 	opts = append(opts, core.WithProgress(func(ev core.ProgressEvent) {
 		span.End()
 		span = tr.StartSpan(fmt.Sprintf("%s %d", ev.Phase, ev.Level),
@@ -594,6 +618,10 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, d := range res.Stats.LevelDurations {
 		resp.LevelSeconds = append(resp.LevelSeconds, d.Seconds())
+	}
+	if prof != nil {
+		resp.Profile = prof.Record()
+		s.profiles.Add(resp.Profile)
 	}
 	for i, set := range res.Answers {
 		ids := make([]uint32, set.Size())
