@@ -5,6 +5,7 @@
 //
 //	ccsgen -method 1 -baskets 10000 -items 1000 -o data1.ccs
 //	ccsgen -method 2 -baskets 10000 -rules 10 -o data2.ccs -rulesout rules.txt
+//	ccsgen -method 3 -baskets 1000000 -o lattice.ccs
 package main
 
 import (
@@ -26,13 +27,17 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsgen", flag.ContinueOnError)
-	method := fs.Int("method", 1, "generator: 1 = Agrawal-Srikant, 2 = rule-planted")
+	method := fs.Int("method", 1, "generator: 1 = Agrawal-Srikant, 2 = rule-planted, 3 = large-lattice (Zipf + correlated blocks)")
 	baskets := fs.Int("baskets", 10000, "number of baskets |D|")
 	items := fs.Int("items", 1000, "catalog size N")
 	txSize := fs.Int("txsize", 20, "average basket size |T|")
 	patLen := fs.Int("patlen", 4, "average potentially-large itemset size |I| (method 1)")
 	patterns := fs.Int("patterns", 2000, "pattern pool size |L| (method 1)")
 	rules := fs.Int("rules", 10, "number of planted correlation rules (method 2)")
+	blocks := fs.Int("blocks", 4, "number of dense correlated blocks (method 3)")
+	blockLen := fs.Int("blocklen", 6, "items per correlated block (method 3)")
+	blockProb := fs.Float64("blockprob", 0.30, "per-basket block firing probability (method 3)")
+	zipfS := fs.Float64("zipfs", 2.0, "Zipf exponent for background item frequencies (method 3)")
 	seed := fs.Int64("seed", 1, "random seed")
 	output := fs.String("o", "", "output path (required)")
 	rulesOut := fs.String("rulesout", "", "optional path for the planted rules (method 2)")
@@ -43,6 +48,11 @@ func run(args []string, out io.Writer) error {
 	if *output == "" {
 		return fmt.Errorf("-o output path is required")
 	}
+	// Methods default some shared flags differently (method 3's catalog and
+	// basket size are smaller than methods 1/2's); only explicit flags
+	// override a method's own defaults.
+	flagSet := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
 
 	var db *dataset.DB
 	switch *method {
@@ -82,8 +92,25 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
+	case 3:
+		cfg := gen.DefaultLattice(*baskets, *seed)
+		if flagSet["items"] {
+			cfg.NumItems = *items
+		}
+		if flagSet["txsize"] {
+			cfg.AvgTxSize = *txSize
+		}
+		cfg.NumBlocks = *blocks
+		cfg.BlockLen = *blockLen
+		cfg.BlockProb = *blockProb
+		cfg.ZipfS = *zipfS
+		var err error
+		db, err = gen.Lattice(cfg)
+		if err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown method %d (want 1 or 2)", *method)
+		return fmt.Errorf("unknown method %d (want 1, 2, or 3)", *method)
 	}
 
 	if *text {

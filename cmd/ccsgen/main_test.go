@@ -77,12 +77,40 @@ func TestGenTextFormat(t *testing.T) {
 	}
 }
 
+func TestGenMethod3Lattice(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d3.ccs")
+	var out bytes.Buffer
+	err := run([]string{"-method", "3", "-baskets", "500", "-seed", "3", "-o", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dataset.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Method 3's own catalog default (200 items), not the shared flag
+	// default of 1000, applies when -items is not given.
+	if db.NumTx() != 500 || db.NumItems() != 200 {
+		t.Fatalf("db shape: %d tx, %d items", db.NumTx(), db.NumItems())
+	}
+	// The correlated blocks make their items far more frequent than the
+	// Zipf tail; block item 0 must appear in roughly BlockProb×BlockKeep
+	// of baskets.
+	supports := db.ItemSupports()
+	if n := supports[0]; n < 50 || n > 250 {
+		t.Fatalf("block item support = %d of 500, want ~135", n)
+	}
+}
+
 func TestGenErrors(t *testing.T) {
 	var out bytes.Buffer
 	cases := [][]string{
 		{},                          // missing -o
-		{"-method", "3", "-o", "x"}, // unknown method
+		{"-method", "4", "-o", "x"}, // unknown method
 		{"-method", "1", "-baskets", "-5", "-o", filepath.Join(t.TempDir(), "x")},
+		{"-method", "3", "-blocks", "40", "-blocklen", "6", "-items", "100",
+			"-o", filepath.Join(t.TempDir(), "x")}, // blocks exceed catalog
 		{"-bogusflag"},
 	}
 	for i, args := range cases {

@@ -7,12 +7,18 @@
 // The counting suite (BENCH_counting.json) covers the counting engines
 // (BenchmarkCount, level 2-4, all engines, with cache hit rates). The
 // core suite (BENCH_core.json) covers the end-to-end mining algorithms:
-// BenchmarkAlgo in serial and parallel mode — the parallel lines carry
-// "workers" and "speedup" metrics — plus the prefix-cache ablations.
-// -short shrinks -benchtime for CI; -check/-core-check compare the fresh
-// runs against committed baselines and exit nonzero when an allocation
-// count regresses (allocations are deterministic; wall-clock differences
-// only warn).
+// BenchmarkAlgo in serial and parallel mode, BenchmarkAlgoLarge on the
+// large-lattice corpus with pinned 4- and 8-worker modes — the parallel
+// lines carry "workers", "speedup", "stall-frac" and "shard-skew" metrics
+// — plus the prefix-cache ablations. -short shrinks -benchtime AND runs
+// the test binaries with -short, which drops the large-lattice corpus
+// from 10^6 to 10^5 baskets (the basket count is part of the benchmark
+// name, so short and full runs never cross-compare). -check/-core-check
+// compare the fresh runs against committed baselines and exit nonzero
+// when an allocation count regresses (allocations are deterministic;
+// wall-clock differences only warn) or, for the core suite, when an
+// 8-worker large-lattice speedup falls below the 2.0x floor a committed
+// baseline had achieved.
 package main
 
 import (
@@ -48,8 +54,15 @@ var countingSuite = []suiteSpec{
 }
 
 var coreSuite = []suiteSpec{
-	{pkg: "./internal/core", pattern: "^(BenchmarkAlgo|BenchmarkAblationPrefixCacheOn|BenchmarkAblationPrefixCacheOff)$"},
+	{pkg: "./internal/core", pattern: "^(BenchmarkAlgo|BenchmarkAlgoLarge|BenchmarkAblationPrefixCacheOn|BenchmarkAblationPrefixCacheOff)$"},
 }
+
+// coreSpeedupFloor is the once-achieved parallel-win floor: when a
+// committed core baseline shows an 8-worker speedup at or above this on
+// the large-lattice corpus, -core-check fails any run that falls below it.
+// See bench.CheckSpeedupFloor for the dormancy rule on single-core
+// baselines.
+const coreSpeedupFloor = 2.0
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsperf", flag.ContinueOnError)
@@ -72,14 +85,15 @@ func run(args []string, out io.Writer) error {
 	}
 
 	type job struct {
-		suiteName string
-		specs     []suiteSpec
-		outPath   string
-		check     string
+		suiteName    string
+		specs        []suiteSpec
+		outPath      string
+		check        string
+		speedupFloor float64 // 0 = no floor for this suite
 	}
 	jobs := []job{
-		{"counting", countingSuite, *outPath, *check},
-		{"core", coreSuite, *coreOutPath, *coreCheck},
+		{"counting", countingSuite, *outPath, *check, 0},
+		{"core", coreSuite, *coreOutPath, *coreCheck, coreSpeedupFloor},
 	}
 	var checkErrs []error
 	for _, j := range jobs {
@@ -88,7 +102,7 @@ func run(args []string, out io.Writer) error {
 			report.Suite += " short"
 		}
 		for _, s := range j.specs {
-			rep, err := runSuite(s, bt, out)
+			rep, err := runSuite(s, bt, *short, out)
 			if err != nil {
 				return err
 			}
@@ -120,7 +134,7 @@ func run(args []string, out io.Writer) error {
 		if j.check != "" {
 			// run every suite before failing so one regression does not
 			// hide the other suite's report
-			if err := checkBaseline(j.check, report, out); err != nil {
+			if err := checkBaseline(j.check, report, j.speedupFloor, out); err != nil {
 				checkErrs = append(checkErrs, err)
 			}
 		}
@@ -133,11 +147,17 @@ func run(args []string, out io.Writer) error {
 
 // runSuite executes one go test -bench invocation and parses its output.
 // The test binary's stderr passes through so failures are diagnosable.
-func runSuite(s suiteSpec, benchtime string, out io.Writer) (*bench.PerfReport, error) {
+// -short reaches the test binary itself, not just the benchtime: the
+// large-lattice benchmarks pick their corpus size with testing.Short().
+func runSuite(s suiteSpec, benchtime string, short bool, out io.Writer) (*bench.PerfReport, error) {
 	args := []string{
 		"test", "-run", "^$", "-bench", s.pattern,
-		"-benchmem", "-benchtime", benchtime, s.pkg,
+		"-benchmem", "-benchtime", benchtime,
 	}
+	if short {
+		args = append(args, "-short")
+	}
+	args = append(args, s.pkg)
 	fmt.Fprintf(out, "go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer
@@ -149,8 +169,10 @@ func runSuite(s suiteSpec, benchtime string, out io.Writer) (*bench.PerfReport, 
 	return bench.ParseBenchLines(&buf)
 }
 
-// checkBaseline loads the committed baseline and fails on fatal regressions.
-func checkBaseline(path string, current *bench.PerfReport, out io.Writer) error {
+// checkBaseline loads the committed baseline and fails on fatal
+// regressions: allocation growth always, and — when speedupFloor is set —
+// a parallel speedup falling below a floor the baseline had achieved.
+func checkBaseline(path string, current *bench.PerfReport, speedupFloor float64, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -160,6 +182,9 @@ func checkBaseline(path string, current *bench.PerfReport, out io.Writer) error 
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
 	regs := bench.CheckRegressions(baseline, current)
+	if speedupFloor > 0 {
+		regs = append(regs, bench.CheckSpeedupFloor(baseline, current, speedupFloor)...)
+	}
 	fatal := 0
 	for _, r := range regs {
 		fmt.Fprintln(out, r)
@@ -168,7 +193,7 @@ func checkBaseline(path string, current *bench.PerfReport, out io.Writer) error 
 		}
 	}
 	if fatal > 0 {
-		return fmt.Errorf("%d allocation regression(s) against %s", fatal, path)
+		return fmt.Errorf("%d fatal regression(s) against %s", fatal, path)
 	}
 	fmt.Fprintf(out, "baseline check ok against %s (%d advisory warnings)\n", path, len(regs))
 	return nil

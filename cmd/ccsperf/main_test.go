@@ -22,7 +22,7 @@ func TestCheckBaselinePasses(t *testing.T) {
 		{Name: "BenchmarkCount/bitmap/level=3", NsPerOp: 120, AllocsPerOp: 110},
 	}}
 	var out bytes.Buffer
-	if err := checkBaseline(path, cur, &out); err != nil {
+	if err := checkBaseline(path, cur, 0, &out); err != nil {
 		t.Fatalf("within-slack run failed: %v\n%s", err, out.String())
 	}
 }
@@ -39,7 +39,7 @@ func TestCheckBaselineFailsOnAllocRegression(t *testing.T) {
 		{Name: "BenchmarkCount/bitmap/level=3", NsPerOp: 100, AllocsPerOp: 500},
 	}}
 	var out bytes.Buffer
-	if err := checkBaseline(path, cur, &out); err == nil {
+	if err := checkBaseline(path, cur, 0, &out); err == nil {
 		t.Fatalf("allocation regression passed:\n%s", out.String())
 	}
 }
@@ -56,11 +56,45 @@ func TestCheckBaselineNsOnlyWarns(t *testing.T) {
 		{Name: "B", NsPerOp: 10000, AllocsPerOp: 10},
 	}}
 	var out bytes.Buffer
-	if err := checkBaseline(path, cur, &out); err != nil {
+	if err := checkBaseline(path, cur, 0, &out); err != nil {
 		t.Fatalf("ns-only slowdown must warn, not fail: %v", err)
 	}
 	if !bytes.Contains(out.Bytes(), []byte("warn")) {
 		t.Fatalf("expected a warning, got:\n%s", out.String())
+	}
+}
+
+// TestCheckBaselineSpeedupFloor drives the once-achieved floor end to end:
+// dormant while the committed baseline never reached 2.0x, fatal once it
+// had and the current run falls below.
+func TestCheckBaselineSpeedupFloor(t *testing.T) {
+	dir := t.TempDir()
+	name := "BenchmarkAlgoLarge/bms/tx=1000000/parallel-w8"
+	slow := &bench.PerfReport{Benchmarks: []bench.PerfBenchmark{
+		{Name: name, NsPerOp: 100, AllocsPerOp: 10, Metrics: map[string]float64{"speedup": 1.4}},
+	}}
+	fast := &bench.PerfReport{Benchmarks: []bench.PerfBenchmark{
+		{Name: name, NsPerOp: 100, AllocsPerOp: 10, Metrics: map[string]float64{"speedup": 3.1}},
+	}}
+
+	// Single-core baseline below the floor: a slow current run passes.
+	dormant := filepath.Join(dir, "dormant.json")
+	writeJSON(t, dormant, slow)
+	var out bytes.Buffer
+	if err := checkBaseline(dormant, slow, coreSpeedupFloor, &out); err != nil {
+		t.Fatalf("floor fired against a sub-floor baseline: %v\n%s", err, out.String())
+	}
+
+	// Multi-core baseline above the floor: falling below it is fatal.
+	achieved := filepath.Join(dir, "achieved.json")
+	writeJSON(t, achieved, fast)
+	out.Reset()
+	if err := checkBaseline(achieved, slow, coreSpeedupFloor, &out); err == nil {
+		t.Fatalf("speedup collapse passed the floor check:\n%s", out.String())
+	}
+	out.Reset()
+	if err := checkBaseline(achieved, fast, coreSpeedupFloor, &out); err != nil {
+		t.Fatalf("at-floor run failed: %v\n%s", err, out.String())
 	}
 }
 

@@ -61,6 +61,14 @@ func loadProfile(path string) (*obs.ProfileRecord, error) {
 	if rec.WallSeconds <= 0 || len(rec.Phases) == 0 {
 		return nil, fmt.Errorf("%s: malformed profile: missing wall_seconds or phases", path)
 	}
+	// Every shard the cost-based scheduler dispatches carries a positive
+	// planned cost, so a record with shards but a zero total was captured
+	// by a build that predates the cost model — its skew verdicts would
+	// compare against garbage.
+	if rec.Shards > 0 && rec.ShardCost == 0 {
+		return nil, fmt.Errorf("%s: pre-cost-model profile: %d shards recorded without shard_cost; "+
+			"re-capture it with a build that has the cost-based scheduler", path, rec.Shards)
+	}
 	return &rec, nil
 }
 
@@ -123,6 +131,10 @@ func report(out io.Writer, a, b *obs.ProfileRecord) error {
 
 	fmt.Fprintf(out, "\ncount work: %.6fs -> %.6fs goroutine-seconds (%d -> %d shards)\n",
 		a.CountWorkSeconds, b.CountWorkSeconds, a.Shards, b.Shards)
+	if a.ShardCost+b.ShardCost > 0 {
+		fmt.Fprintf(out, "planned shard cost: %d -> %d units (per-worker cost skew %.2f -> %.2f)\n",
+			a.ShardCost, b.ShardCost, plannedCostSkew(a), plannedCostSkew(b))
+	}
 	if a.CacheHits+a.CacheMisses+b.CacheHits+b.CacheMisses > 0 {
 		fmt.Fprintf(out, "prefix cache hit rate: %.1f%% -> %.1f%%\n",
 			100*a.CacheHitRate(), 100*b.CacheHitRate())
@@ -171,6 +183,20 @@ func diagnose(a, b *obs.ProfileRecord, gap float64) string {
 
 	if worstPhase == obs.PhaseStall || (stallDelta > 0 && worstPhase == obs.PhaseCount && countDelta <= stallDelta) {
 		if skew := workerSkew(b.WorkerBusySeconds); len(b.WorkerBusySeconds) > 1 && skew > maxFairSkew {
+			// The planned-cost skew splits the verdict: when the scheduler
+			// handed every worker a fair cost share yet busy times diverged,
+			// the cost model mispriced the shards; when the planned costs
+			// themselves are lopsided, packing had no fair split to find
+			// (one prefix run dwarfs the rest).
+			if cs := plannedCostSkew(b); cs <= maxFairSkew && b.ShardCost > 0 {
+				return fmt.Sprintf("cost model mispricing: planned per-worker shard cost is balanced "+
+					"(cost skew %.2f) but busy time is not (skew %.2f); candidateCost misprices these shards",
+					cs, skew)
+			} else if b.ShardCost > 0 {
+				return fmt.Sprintf("shard skew: cost-based packing left per-worker planned cost unbalanced "+
+					"(cost skew %.2f, busy skew %.2f); one prefix run dwarfs the rest, and the evaluator "+
+					"stalls %.6fs behind it", cs, skew, stallDelta)
+			}
 			return fmt.Sprintf("shard skew: worker busy times are unbalanced (skew %.2f > %.2f); "+
 				"the evaluator stalls %.6fs waiting on the overloaded worker", skew, maxFairSkew, stallDelta)
 		}
@@ -190,6 +216,23 @@ func diagnose(a, b *obs.ProfileRecord, gap float64) string {
 			"with balanced workers — counting is simply not finishing ahead of evaluation", stallDelta)
 	}
 	return fmt.Sprintf("%s: grew %+.6fs (%.1f%% of the gap)", worstPhase, worstDelta, 100*worstDelta/gap)
+}
+
+// plannedCostSkew is max over mean of the per-worker planned shard cost —
+// the balance the scheduler *intended*, as opposed to the busy-time skew
+// that actually materialized.
+func plannedCostSkew(r *obs.ProfileRecord) float64 {
+	per := map[int]float64{}
+	for _, lv := range r.Levels {
+		for _, sh := range lv.Shards {
+			per[sh.Worker] += float64(sh.Cost)
+		}
+	}
+	costs := make([]float64, 0, len(per))
+	for _, c := range per {
+		costs = append(costs, c)
+	}
+	return workerSkew(costs)
 }
 
 // meanShardSeconds is the average shard wall time of a record.

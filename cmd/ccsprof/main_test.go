@@ -54,9 +54,10 @@ func TestDiffReportAttribution(t *testing.T) {
 	})
 	b.WorkerBusySeconds = []float64{0.3, 0.3, 0.3, 0.31}
 	b.Shards = 4
+	b.ShardCost = 4000
 	b.Levels = []obs.LevelRecord{{Level: 2, Shards: []obs.ShardStat{
-		{Worker: 0, Seconds: 0.3}, {Worker: 1, Seconds: 0.3},
-		{Worker: 2, Seconds: 0.3}, {Worker: 3, Seconds: 0.31},
+		{Worker: 0, Seconds: 0.3, Cost: 1000}, {Worker: 1, Seconds: 0.3, Cost: 1000},
+		{Worker: 2, Seconds: 0.3, Cost: 1000}, {Worker: 3, Seconds: 0.31, Cost: 1000},
 	}}}
 
 	var out bytes.Buffer
@@ -86,23 +87,44 @@ func TestDiffDominantSources(t *testing.T) {
 		want string
 	}{
 		{"skew", func(b *obs.ProfileRecord) {
+			// One prefix run dwarfed the rest: the planned costs are as
+			// lopsided as the busy times, so packing is to blame.
 			b.WorkerBusySeconds = []float64{1.3, 0.1, 0.1, 0.1}
 			b.Shards = 4
-			b.Levels = []obs.LevelRecord{{Shards: []obs.ShardStat{{Seconds: 1.3}, {Seconds: 0.1}, {Seconds: 0.1}, {Seconds: 0.1}}}}
+			b.ShardCost = 1600
+			b.Levels = []obs.LevelRecord{{Shards: []obs.ShardStat{
+				{Worker: 0, Seconds: 1.3, Cost: 1300}, {Worker: 1, Seconds: 0.1, Cost: 100},
+				{Worker: 2, Seconds: 0.1, Cost: 100}, {Worker: 3, Seconds: 0.1, Cost: 100},
+			}}}
 		}, "shard skew"},
+		{"cost mispricing", func(b *obs.ProfileRecord) {
+			// The scheduler handed each worker an equal planned cost yet
+			// one worker ran 13x longer: the cost model mispriced.
+			b.WorkerBusySeconds = []float64{1.3, 0.1, 0.1, 0.1}
+			b.Shards = 4
+			b.ShardCost = 1600
+			b.Levels = []obs.LevelRecord{{Shards: []obs.ShardStat{
+				{Worker: 0, Seconds: 1.3, Cost: 400}, {Worker: 1, Seconds: 0.1, Cost: 400},
+				{Worker: 2, Seconds: 0.1, Cost: 400}, {Worker: 3, Seconds: 0.1, Cost: 400},
+			}}}
+		}, "cost model mispricing"},
 		{"tiny shards", func(b *obs.ProfileRecord) {
 			b.WorkerBusySeconds = []float64{0.4, 0.4, 0.4, 0.4}
 			b.Shards = 4
+			b.ShardCost = 4
 			b.Levels = []obs.LevelRecord{{Shards: []obs.ShardStat{
-				{Seconds: 50e-6}, {Seconds: 50e-6}, {Seconds: 50e-6}, {Seconds: 50e-6},
+				{Seconds: 50e-6, Cost: 1}, {Seconds: 50e-6, Cost: 1},
+				{Seconds: 50e-6, Cost: 1}, {Seconds: 50e-6, Cost: 1},
 			}}}
 		}, "per-shard work too small"},
 		{"cache contention", func(b *obs.ProfileRecord) {
 			b.WorkerBusySeconds = []float64{0.4, 0.4, 0.4, 0.4}
 			b.Shards = 4
+			b.ShardCost = 4000
 			b.CacheHits, b.CacheMisses = 10, 90
 			b.Levels = []obs.LevelRecord{{Shards: []obs.ShardStat{
-				{Seconds: 0.4}, {Seconds: 0.4}, {Seconds: 0.4}, {Seconds: 0.4},
+				{Seconds: 0.4, Cost: 1000}, {Seconds: 0.4, Cost: 1000},
+				{Seconds: 0.4, Cost: 1000}, {Seconds: 0.4, Cost: 1000},
 			}}}
 		}, "cache contention"},
 		{"candgen growth", func(b *obs.ProfileRecord) {
@@ -170,6 +192,11 @@ func TestMalformedInputsRejected(t *testing.T) {
 	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// A record with shards but no shard_cost was captured before the
+	// cost-based scheduler existed; its skew verdicts would be garbage.
+	stale := record(8, 1.0, map[string]float64{obs.PhaseCount: 1.0})
+	stale.Shards = 4
+	stalePath := writeRecord(t, dir, "stale.json", stale)
 
 	for _, args := range [][]string{
 		{},
@@ -180,10 +207,17 @@ func TestMalformedInputsRejected(t *testing.T) {
 		{good, bad},
 		{empty, good},
 		{good, empty},
+		{stalePath, good},
+		{good, stalePath},
 	} {
 		var out bytes.Buffer
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{good, stalePath}, &out); err == nil ||
+		!strings.Contains(err.Error(), "pre-cost-model") {
+		t.Errorf("stale profile error = %v, want pre-cost-model mention", err)
 	}
 }

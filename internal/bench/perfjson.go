@@ -167,6 +167,42 @@ const (
 	nsGrowthFactor    = 2.0
 )
 
+// SpeedupFloorWorkers restricts the speedup floor to the pinned 8-worker
+// parallel mode of the large-lattice suite: that is the configuration the
+// roadmap holds to a minimum parallel win, and the only one whose worker
+// count is comparable across machines.
+const SpeedupFloorWorkers = "/parallel-w8"
+
+// CheckSpeedupFloor enforces a once-achieved parallel-speedup floor: every
+// baseline benchmark in the pinned 8-worker mode that itself reached the
+// floor gates the matching current benchmark. Until a multi-core runner
+// commits a baseline at or above the floor the check is dormant — a
+// single-core machine cannot achieve the floor, and its honest sub-1x
+// baselines must not block anyone — but once such a baseline lands, a
+// current run falling below the floor (or dropping the speedup metric)
+// fails fatally. Name matching is exact, so short-mode runs (tx=100000 in
+// the name) are never judged against full-corpus baselines.
+func CheckSpeedupFloor(baseline, current *PerfReport, floor float64) []Regression {
+	var out []Regression
+	for _, old := range baseline.Benchmarks {
+		if !strings.Contains(old.Name, SpeedupFloorWorkers) || old.Metrics["speedup"] < floor {
+			continue
+		}
+		cur := current.Benchmark(old.Name)
+		if cur == nil {
+			continue
+		}
+		if got := cur.Metrics["speedup"]; got < floor {
+			out = append(out, Regression{
+				Name: old.Name, Unit: "speedup",
+				Old: old.Metrics["speedup"], New: got,
+				Fatal: true,
+			})
+		}
+	}
+	return out
+}
+
 // CheckRegressions compares a fresh run against a committed baseline.
 // Benchmarks present in only one report are skipped: the suite is allowed
 // to grow and shrink without invalidating the baseline.

@@ -98,6 +98,47 @@ func TestCheckRegressions(t *testing.T) {
 	}
 }
 
+func TestCheckSpeedupFloor(t *testing.T) {
+	w8 := func(name string, speedup float64) PerfBenchmark {
+		return PerfBenchmark{Name: name, NsPerOp: 100, AllocsPerOp: 10,
+			Metrics: map[string]float64{"speedup": speedup}}
+	}
+	const achieved = "BenchmarkAlgoLarge/bms/tx=1000000/parallel-w8"
+	const dormant = "BenchmarkAlgoLarge/bms-plus/tx=1000000/parallel-w8"
+	const w4name = "BenchmarkAlgoLarge/bms/tx=1000000/parallel-w4"
+	base := &PerfReport{Benchmarks: []PerfBenchmark{
+		w8(achieved, 3.0),           // floor achieved -> gates
+		w8(dormant, 1.2),            // never achieved -> dormant
+		w4(w4name, 3.0),             // wrong mode -> ignored
+		w8("Gone/parallel-w8", 3.0), // absent from current -> skipped
+	}}
+	cur := &PerfReport{Benchmarks: []PerfBenchmark{
+		w8(achieved, 1.1), // collapse -> fatal
+		w8(dormant, 0.9),
+		w4(w4name, 0.5),
+	}}
+	regs := CheckSpeedupFloor(base, cur, 2.0)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Name != achieved || r.Unit != "speedup" || !r.Fatal || r.New != 1.1 {
+		t.Errorf("regression %+v", r)
+	}
+	// A current benchmark that dropped the metric entirely also fails.
+	cur.Benchmarks[0].Metrics = nil
+	regs = CheckSpeedupFloor(base, cur, 2.0)
+	if len(regs) != 1 || regs[0].New != 0 {
+		t.Errorf("missing metric: %v", regs)
+	}
+}
+
+// w4 is w8 with no helper sugar — a plain benchmark in 4-worker mode.
+func w4(name string, speedup float64) PerfBenchmark {
+	return PerfBenchmark{Name: name, NsPerOp: 100, AllocsPerOp: 10,
+		Metrics: map[string]float64{"speedup": speedup}}
+}
+
 func TestReportSortStable(t *testing.T) {
 	rep := &PerfReport{Benchmarks: []PerfBenchmark{{Name: "b"}, {Name: "a"}, {Name: "c"}}}
 	rep.Sort()

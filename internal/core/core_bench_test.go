@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"ccs/internal/constraint"
 	"ccs/internal/counting"
 	"ccs/internal/dataset"
+	"ccs/internal/gen"
 	"ccs/internal/obs"
 )
 
@@ -244,6 +246,130 @@ func BenchmarkAlgo(b *testing.B) {
 		}
 		b.ReportMetric(cc.CacheStats().HitRate(), "cache-hit-rate")
 	})
+}
+
+// largeDBs caches the large-lattice corpora (one per transaction count) so
+// every sub-benchmark shares one generation pass.
+var largeDBs = map[int]*dataset.DB{}
+
+func getLargeDB(b *testing.B, numTx int) *dataset.DB {
+	b.Helper()
+	if largeDBs[numTx] == nil {
+		db, err := gen.Lattice(gen.DefaultLattice(numTx, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		largeDBs[numTx] = db
+	}
+	return largeDBs[numTx]
+}
+
+// largeTxCount picks the corpus size: one million transactions in a full
+// run, a tenth of that under -short so `make bench` stays CI-sized. The
+// count is baked into every benchmark name, so short and full runs never
+// name-match in a baseline comparison.
+func largeTxCount() int {
+	if testing.Short() {
+		return 100_000
+	}
+	return 1_000_000
+}
+
+// largeParams deepens MaxLevel to 6 and raises the cell-support threshold:
+// at 10^5-10^6 transactions the chi-square test flags nearly any pair, so
+// the support threshold is what keeps the candidate frontier to the
+// corpus's correlated blocks plus the Zipf head instead of an
+// every-frequent-subset explosion.
+func largeParams() Params {
+	return Params{Alpha: 0.95, CellSupportFrac: 0.15, CTFraction: 0.25, MaxLevel: 6}
+}
+
+// largeSerialNs mirrors benchSerialNs for the large corpus, keyed by
+// algorithm and transaction count.
+var largeSerialNs = map[string]float64{}
+
+// BenchmarkAlgoLarge is BenchmarkAlgo on the large-lattice corpus (ccsgen
+// method 3): Zipfian singles plus dense correlated blocks whose subsets
+// stay correlated deep into the lattice, at a scale where shard counting
+// cost dominates hand-off overhead. Parallel modes pin worker counts 4 and
+// 8 — rather than GOMAXPROCS — so BENCH_core.json records speedups
+// comparable across machines; ccsperf -core-check holds the w8 speedup to
+// a floor once a multi-core baseline commits one at or above it.
+func BenchmarkAlgoLarge(b *testing.B) {
+	numTx := largeTxCount()
+	db := getLargeDB(b, numTx)
+	q := benchQuery()
+	qMin := constraint.And(constraint.NewAggregate(constraint.AggMin, constraint.Price, constraint.LE, 5))
+	cases := []struct {
+		name string
+		run  func(m *Miner) error
+	}{
+		{"bms", func(m *Miner) error { _, err := m.BMS(); return err }},
+		{"bms-plus", func(m *Miner) error { _, err := m.BMSPlus(q); return err }},
+		{"bms-plus-plus", func(m *Miner) error { _, err := m.BMSPlusPlus(q, PlusPlusOptions{}); return err }},
+		{"bms-star", func(m *Miner) error { _, err := m.BMSStar(qMin); return err }},
+		{"bms-star-star", func(m *Miner) error {
+			_, err := m.BMSStarStar(qMin, StarStarOptions{PushMonotoneSuccinct: true})
+			return err
+		}},
+		{"all-valid", func(m *Miner) error { _, err := m.AllValid(q); return err }},
+	}
+	for _, c := range cases {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{
+			{"serial", 1},
+			{"parallel-w4", 4},
+			{"parallel-w8", 8},
+		} {
+			key := fmt.Sprintf("%s/tx=%d", c.name, numTx)
+			b.Run(key+"/"+mode.name, func(b *testing.B) {
+				cc := counting.NewCachedBitmapCounter(db, counting.DefaultCacheBytes)
+				defer cc.ReleaseCache()
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					m, err := New(db, largeParams(), WithCounter(cc), WithWorkers(mode.workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := c.run(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				perOp := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+				b.StopTimer()
+				b.ReportMetric(float64(mode.workers), "workers")
+				if mode.workers == 1 {
+					if prev, ok := largeSerialNs[key]; !ok || perOp < prev {
+						largeSerialNs[key] = perOp
+					}
+				} else if serial, ok := largeSerialNs[key]; ok && perOp > 0 {
+					b.ReportMetric(serial/perOp, "speedup")
+					// One profiled run outside the timer attributes the engine's
+					// time, as in BenchmarkAlgo: stall-frac is the evaluator's
+					// blocked share of wall, shard-skew max/mean worker busy.
+					prof := obs.NewProfile(c.name)
+					m, err := New(db, largeParams(), WithCounter(cc),
+						WithWorkers(mode.workers), WithProfile(prof))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := c.run(m); err != nil {
+						b.Fatal(err)
+					}
+					rec := prof.Record()
+					if rec.WallSeconds > 0 {
+						b.ReportMetric(rec.Phases[obs.PhaseStall].Seconds/rec.WallSeconds, "stall-frac")
+					}
+					b.ReportMetric(busySkew(rec.WorkerBusySeconds), "shard-skew")
+				}
+				b.ReportMetric(cc.CacheStats().HitRate(), "cache-hit-rate")
+			})
+		}
+	}
 }
 
 // BenchmarkAblationPrefixCache contrasts the plain bitmap kernel with the

@@ -59,6 +59,10 @@ type runCtl struct {
 	// countBatchCtl call threads through the counter's context. Only the
 	// mining goroutine touches it (set before the call, cleared after).
 	sp *counting.ShardProf
+	// scratch holds the parallel level engine's reusable per-level
+	// buffers. A runCtl belongs to exactly one run, so reuse across its
+	// levels needs no synchronization beyond the engine's own barriers.
+	scratch levelScratch
 }
 
 // newCtl binds ctx and the miner's budget into a fresh control block.

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccs/internal/contingency"
@@ -12,18 +13,19 @@ import (
 )
 
 // This file implements the sharded, pipelined level engine every
-// level-wise algorithm runs on (see DESIGN.md §10). One lattice level's
-// work — anti-monotone pre-checks, counting, and statistical evaluation —
-// is described by a levelSpec and executed by runLevel. With Workers <= 1
-// (or a counter that cannot count concurrently) runLevel is the exact
-// serial path the algorithms always had; with more workers the candidate
-// batch is split into prefix-aligned shards, a worker pool pre-checks and
-// counts them, and a two-stage pipeline evaluates shard k on the mining
-// goroutine while the pool is still counting shard k+1. Evaluation always
-// happens in canonical batch order, and each algorithm buffers its
-// per-level effects until runLevel returns success, so the mined answers,
-// Stats counters, and budget/truncation behavior are byte-identical to the
-// serial run at every worker count.
+// level-wise algorithm runs on (see DESIGN.md §10 and §14). One lattice
+// level's work — anti-monotone pre-checks, counting, and statistical
+// evaluation — is described by a levelSpec and executed by runLevel. With
+// Workers <= 1 (or a counter that cannot count concurrently) runLevel is
+// the exact serial path the algorithms always had; with more workers the
+// candidate batch is sharded by the cost model (counting.PlanShards): a
+// worker pool counts shards in longest-first dispatch order while the
+// mining goroutine evaluates finished shards in index order, claiming and
+// counting any shard the pool has not started rather than stalling on it.
+// Evaluation always happens in canonical batch order, and each algorithm
+// buffers its per-level effects until runLevel returns success, so the
+// mined answers, Stats counters, and budget/truncation behavior are
+// byte-identical to the serial run at every worker count.
 
 // shardVerdict is a pre-check's decision for one candidate.
 type shardVerdict uint8
@@ -65,13 +67,14 @@ type levelSpec struct {
 	eval func(s itemset.Set, t *contingency.Table)
 }
 
-// minParallelCands is the smallest batch worth sharding; below it the
-// goroutine handoff costs more than the counting it would overlap.
+// minParallelCands is the smallest batch worth even pricing for shards;
+// below it the plan is always a single shard and the serial path is
+// cheaper than building one.
 const minParallelCands = 16
 
-// shardsPerWorker oversubscribes the shard count so a slow shard (one
-// huge sibling group) does not leave the rest of the pool idle.
-const shardsPerWorker = 4
+// preSpansPerWorker over-decomposes the pre-check stage (pre-checks are
+// cheap and uniform, so light oversubscription suffices).
+const preSpansPerWorker = 4
 
 // effectiveWorkers resolves the Workers knob: 0 means GOMAXPROCS,
 // anything below 1 means serial.
@@ -84,6 +87,82 @@ func (m *Miner) effectiveWorkers() int {
 		w = 1
 	}
 	return w
+}
+
+// levelScratch holds the parallel engine's per-level buffers, owned by one
+// run (it lives on runCtl) and reused across its levels so steady-state
+// levels allocate only their work channel. Slices are grown, never shrunk.
+type levelScratch struct {
+	verdicts []shardVerdict
+	tables   []*contingency.Table
+	claims   []atomic.Int32 // 0 = unstarted, 1 = claimed by a counter
+	errs     []error
+	done     []chan struct{} // cap-1 done tokens, one per shard, drained every level
+	workerOf []int
+	durs     []time.Duration
+	sprofs   []*counting.ShardProf
+	busyNs   []int64
+	shardCnt []int
+}
+
+// verdictBuf returns a verdict buffer of length n (contents arbitrary —
+// the pre-check stage writes every slot before any is read).
+func (s *levelScratch) verdictBuf(n int) []shardVerdict {
+	if cap(s.verdicts) < n {
+		s.verdicts = make([]shardVerdict, n)
+	}
+	return s.verdicts[:n]
+}
+
+// ensure sizes the per-shard and per-set buffers for a level of nShards
+// shards over nSets kept candidates and resets the per-level state.
+func (s *levelScratch) ensure(nShards, nSets, nWorkers int) {
+	if cap(s.tables) < nSets {
+		s.tables = make([]*contingency.Table, nSets)
+	}
+	s.tables = s.tables[:nSets]
+	if cap(s.claims) < nShards {
+		s.claims = make([]atomic.Int32, nShards)
+		s.errs = make([]error, nShards)
+		s.workerOf = make([]int, nShards)
+		s.durs = make([]time.Duration, nShards)
+	}
+	s.claims = s.claims[:nShards]
+	s.errs = s.errs[:nShards]
+	s.workerOf = s.workerOf[:nShards]
+	s.durs = s.durs[:nShards]
+	for i := 0; i < nShards; i++ {
+		s.claims[i].Store(0)
+		s.errs[i] = nil
+		s.workerOf[i] = 0
+		s.durs[i] = 0
+	}
+	for len(s.done) < nShards {
+		s.done = append(s.done, make(chan struct{}, 1))
+	}
+	if cap(s.busyNs) < nWorkers {
+		s.busyNs = make([]int64, nWorkers)
+		s.shardCnt = make([]int, nWorkers)
+	}
+	s.busyNs = s.busyNs[:nWorkers]
+	s.shardCnt = s.shardCnt[:nWorkers]
+	for w := 0; w < nWorkers; w++ {
+		s.busyNs[w] = 0
+		s.shardCnt[w] = 0
+	}
+}
+
+// profBuf returns nShards zeroed shard-profiling arenas (profiled runs
+// only).
+func (s *levelScratch) profBuf(nShards int) []*counting.ShardProf {
+	for len(s.sprofs) < nShards {
+		s.sprofs = append(s.sprofs, &counting.ShardProf{})
+	}
+	out := s.sprofs[:nShards]
+	for _, sp := range out {
+		*sp = counting.ShardProf{}
+	}
+	return out
 }
 
 // runLevel executes one level under ctl. Its error contract matches
@@ -137,7 +216,7 @@ func (m *Miner) runLevelSerial(ctl *runCtl, stats *Stats, spec levelSpec) error 
 		d := time.Since(t0)
 		observePart(lp, obs.PhaseCount, d, obs.AllocBytes()-a0)
 		if sp.Sets.Load() > 0 {
-			lp.AddShard(shardStat(0, d, sp))
+			lp.AddShard(shardStat(0, d, counting.BatchCost(kept, m.cnt.NumTx()), sp))
 		}
 	}
 	if err != nil {
@@ -157,14 +236,29 @@ func (m *Miner) runLevelSerial(ctl *runCtl, stats *Stats, spec levelSpec) error 
 	return nil
 }
 
-// runLevelParallel shards the batch along prefix runs and pipelines
-// counting against evaluation. The budget is settled exactly as in the
-// serial path — the whole level's cells are charged and the trip decision
-// taken before any table is built or evaluated — so budget truncation is
-// deterministic across worker counts. Cancellation is observed per shard
-// (each CountShard call polls ctl.ctx); any shard error discards the
-// level whole, after the end-of-level barrier, which preserves the
-// whole-level prefix soundness guarantee of Result.Answers.
+// runLevelParallel shards the batch by estimated counting cost and
+// pipelines counting against evaluation. The budget is settled exactly as
+// in the serial path — the whole level's cells are charged and the trip
+// decision taken before any table is built or evaluated — so budget
+// truncation is deterministic across worker counts. Cancellation is
+// observed per shard (each counting call polls ctl.ctx); any shard error
+// discards the level whole, after the end-of-level barrier, which
+// preserves the whole-level prefix soundness guarantee of Result.Answers.
+//
+// Three design points kill the hand-off overhead the old sibling-group
+// engine measured (26-29% stall, ≪100µs shards, two cache-lock trips per
+// candidate):
+//
+//   - Shards come from counting.PlanShards: prefix-run aligned, each at
+//     least MinShardCost of estimated work, dispatched costliest-first so
+//     one big shard cannot strand the pool at the end of the level.
+//   - Counting runs through per-worker cache arenas (counting.ArenaCounter)
+//     when the counter supports them: zero locks on the hot path, one
+//     merge into the shared cache at level commit.
+//   - The evaluator helps instead of stalling: needing shard i, it first
+//     tries to claim i and count it inline; it blocks only when a worker
+//     already owns i. On one core this degenerates to the serial schedule
+//     (near-zero stall); on many cores it adds a worker.
 func (m *Miner) runLevelParallel(ctl *runCtl, stats *Stats, spec levelSpec, sc counting.ShardCounter, workers int) error {
 	lp, cells0 := ctl.startLevel(spec)
 	prof := lp != nil
@@ -173,199 +267,266 @@ func (m *Miner) runLevelParallel(ctl *runCtl, stats *Stats, spec levelSpec, sc c
 	if prof {
 		t0, a0 = time.Now(), obs.AllocBytes()
 	}
-	shards := shardSpans(spec.cands, workers)
+	scr := &ctl.scratch
 
-	// Stage 1: per-shard pre-checks. Each shard filters its own span of
-	// the batch in place (spans are disjoint, so workers never touch the
-	// same elements).
-	kept := make([][]itemset.Set, len(shards))
-	if spec.pre == nil {
-		for i, sp := range shards {
-			kept[i] = spec.cands[sp[0]:sp[1]]
-		}
-	} else {
-		pruned := make([]int, len(shards))
-		runPool(workers, len(shards), func(i int) {
-			sp := shards[i]
-			k := spec.cands[sp[0]:sp[0]]
-			for _, c := range spec.cands[sp[0]:sp[1]] {
-				switch spec.pre(c) {
-				case keepSet:
-					k = append(k, c)
-				case dropSetAM:
-					pruned[i]++
-				}
+	// Stage 1: pre-check over coarse spans, then an in-place compaction on
+	// this goroutine — the same left-to-right order as the serial path, so
+	// kept and Stats.PrunedByAM come out identical.
+	kept := spec.cands
+	if spec.pre != nil {
+		verdicts := scr.verdictBuf(len(spec.cands))
+		spans := evenSpans(len(spec.cands), workers*preSpansPerWorker)
+		runPool(workers, len(spans), func(i int) {
+			for j := spans[i][0]; j < spans[i][1]; j++ {
+				verdicts[j] = spec.pre(spec.cands[j])
 			}
-			kept[i] = k
 		})
-		for _, n := range pruned {
-			stats.PrunedByAM += n
+		kept = spec.cands[:0]
+		for j, c := range spec.cands {
+			switch verdicts[j] {
+			case keepSet:
+				kept = append(kept, c)
+			case dropSetAM:
+				stats.PrunedByAM++
+			}
 		}
 	}
 
 	// Settle the budget for the whole level before dispatching any
 	// counting — the same charge, the same trip point, and the same cause
 	// values the serial countBatchCtl produces.
-	total := 0
-	for _, k := range kept {
-		for _, s := range k {
-			ctl.cells += int64(1) << uint(s.Size())
-		}
-		total += len(k)
+	for _, s := range kept {
+		ctl.cells += int64(1) << uint(s.Size())
 	}
 	if prof {
 		observePart(lp, obs.PhasePrecheck, time.Since(t0), obs.AllocBytes()-a0)
 	}
-	if total == 0 {
+	if len(kept) == 0 {
 		ctl.endLevel(lp, 0, cells0)
 		return nil
 	}
 	if cause := ctl.interrupted(stats); cause != nil {
-		ctl.endLevel(lp, total, cells0)
+		ctl.endLevel(lp, len(kept), cells0)
 		return cause
 	}
 	stats.DBScans++
-	stats.SetsConsidered += total
+	stats.SetsConsidered += len(kept)
 
-	// Stage 2: the pool counts shards in dispatch order while this
-	// goroutine evaluates finished shards in index order — counting of
-	// shard k+1 overlaps evaluation of shard k.
-	type shardOut struct {
-		tables []*contingency.Table
-		err    error
-		done   chan struct{}
-		worker int           // which worker counted it (profiled runs only)
-		dur    time.Duration // shard wall time (profiled runs only)
+	plan := counting.PlanShards(kept, m.cnt.NumTx(), workers)
+	if len(plan.Shards) <= 1 {
+		// The whole level is worth less than one shard budget: count it on
+		// this goroutine. The plan told us parallelism cannot pay here.
+		return m.finishLevelOneShard(ctl, stats, spec, sc, lp, cells0, kept, plan.Total)
 	}
-	outs := make([]shardOut, len(shards))
-	for i := range outs {
-		outs[i].done = make(chan struct{})
+
+	// Stage 2: the pool counts shards costliest-first while this goroutine
+	// evaluates them in index order, claiming unstarted shards itself.
+	nShards := len(plan.Shards)
+	n := workers
+	if n > nShards {
+		n = nShards
 	}
-	// Profiled runs get one arena per shard (written by one worker at a
-	// time, merged below in shard index order — deterministic at every
-	// worker count) and per-worker busy tallies (each slot written only by
-	// its own worker, read after the barrier).
+	scr.ensure(nShards, len(kept), n+1) // slot n = the helping evaluator
+	var la *counting.LevelArenas
+	ac, hasArenas := sc.(counting.ArenaCounter)
+	if hasArenas {
+		la = ac.NewLevelArenas(n + 1)
+	}
 	var sprofs []*counting.ShardProf
-	var busyNs []int64
-	var shardCnt []int
-	work := make(chan int, len(shards))
-	for i := range shards {
-		work <- i
+	if prof {
+		sprofs = scr.profBuf(nShards)
+	}
+
+	// countShard counts shard si as counter slot w, into the shared table
+	// buffer. Shard spans are disjoint, so slots never write the same
+	// element; claims guarantee one counter per shard.
+	countShard := func(w, si int) error {
+		span := plan.Shards[si].Span
+		sets := kept[span[0]:span[1]]
+		out := scr.tables[span[0]:span[1]]
+		cctx := ctl.ctx
+		if prof {
+			cctx = counting.WithShardProf(cctx, sprofs[si])
+		}
+		if hasArenas {
+			return ac.CountShardArena(cctx, sets, out, la.Arena(w))
+		}
+		ts, err := sc.CountShard(cctx, sets)
+		if err != nil {
+			return err
+		}
+		copy(out, ts)
+		return nil
+	}
+
+	work := make(chan int, nShards)
+	for _, si := range plan.Order {
+		work <- si
 	}
 	close(work)
-	n := workers
-	if n > len(shards) {
-		n = len(shards)
-	}
-	if prof {
-		sprofs = make([]*counting.ShardProf, len(shards))
-		for i := range sprofs {
-			sprofs[i] = &counting.ShardProf{}
-		}
-		busyNs = make([]int64, n)
-		shardCnt = make([]int, n)
-	}
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := range work {
-				cctx := ctl.ctx
-				if prof {
-					cctx = counting.WithShardProf(cctx, sprofs[i])
-					outs[i].worker = w
+			workersBusy.Inc()
+			defer workersBusy.Dec()
+			var busy time.Duration
+			counted := 0
+			for si := range work {
+				if !scr.claims[si].CompareAndSwap(0, 1) {
+					continue // the evaluator got there first
 				}
-				workersBusy.Inc()
 				start := time.Now()
-				outs[i].tables, outs[i].err = sc.CountShard(cctx, kept[i])
-				workersBusy.Dec()
+				scr.errs[si] = countShard(w, si)
 				d := time.Since(start)
-				shardSeconds.Observe(d.Seconds())
-				minedShards.With(spec.algo).Inc()
-				if prof {
-					outs[i].dur = d
-					busyNs[w] += int64(d)
-					shardCnt[w]++
-				}
-				close(outs[i].done)
+				scr.durs[si] = d
+				scr.workerOf[si] = w
+				busy += d
+				counted++
+				scr.done[si] <- struct{}{}
 			}
+			// Written once per worker per level, read after the barrier.
+			scr.busyNs[w] = int64(busy)
+			scr.shardCnt[w] = counted
 		}(w)
 	}
 
-	// The evaluator's time splits into stall (blocked on an unfinished
-	// shard — the pipeline hand-off cost) and evaluate (spec.eval proper).
-	var stall, evalDur time.Duration
+	// The evaluator's time splits into stall (blocked on a worker-owned
+	// shard — the residual hand-off cost), count (shards it claimed and
+	// counted itself), and evaluate (spec.eval proper). Exactly one done
+	// token is sent per worker-claimed shard and received per evaluator
+	// CAS failure, so the cap-1 channels drain every level.
+	var stall, helpBusy, evalDur time.Duration
+	helped := 0
 	if prof {
 		a0 = obs.AllocBytes()
 	}
 	var firstErr error
-	for i := range outs {
-		if prof {
+	for si := 0; si < nShards; si++ {
+		if scr.claims[si].CompareAndSwap(0, 1) {
+			if firstErr == nil {
+				start := time.Now()
+				scr.errs[si] = countShard(n, si)
+				d := time.Since(start)
+				scr.durs[si] = d
+				scr.workerOf[si] = n
+				helpBusy += d
+				helped++
+			} else {
+				scr.errs[si] = firstErr // level is doomed; skip the work
+			}
+		} else if prof {
 			ts := time.Now()
-			<-outs[i].done
+			<-scr.done[si]
 			stall += time.Since(ts)
 		} else {
-			<-outs[i].done
+			<-scr.done[si]
 		}
 		if firstErr != nil {
 			continue
 		}
-		if outs[i].err != nil {
-			firstErr = outs[i].err
+		if scr.errs[si] != nil {
+			firstErr = scr.errs[si]
 			continue
 		}
+		span := plan.Shards[si].Span
 		if prof {
 			te := time.Now()
-			for j, t := range outs[i].tables {
-				spec.eval(kept[i][j], t)
+			for j := span[0]; j < span[1]; j++ {
+				spec.eval(kept[j], scr.tables[j])
 			}
 			evalDur += time.Since(te)
 		} else {
-			for j, t := range outs[i].tables {
-				spec.eval(kept[i][j], t)
+			for j := span[0]; j < span[1]; j++ {
+				spec.eval(kept[j], scr.tables[j])
 			}
 		}
 	}
 	wg.Wait() // end-of-level barrier before the caller decides Truncated
-	if prof {
-		observePart(lp, obs.PhaseStall, stall, 0)
-		observePart(lp, obs.PhaseEval, evalDur, obs.AllocBytes()-a0)
-		for i := range outs {
-			lp.AddShard(shardStat(outs[i].worker, outs[i].dur, sprofs[i]))
+	la.Commit()
+
+	// Per-shard metric sends batched to one pass after the barrier.
+	minedShards.With(spec.algo).Add(int64(nShards))
+	for si := 0; si < nShards; si++ {
+		if scr.durs[si] > 0 {
+			shardSeconds.Observe(scr.durs[si].Seconds())
 		}
-		for w := 0; w < n; w++ {
-			if shardCnt[w] > 0 {
-				ctl.prof.AddWorker(w, time.Duration(busyNs[w]), shardCnt[w])
+	}
+	if prof {
+		scr.busyNs[n] = int64(helpBusy)
+		scr.shardCnt[n] = helped
+		observePart(lp, obs.PhaseStall, stall, 0)
+		observePart(lp, obs.PhaseCount, helpBusy, 0)
+		observePart(lp, obs.PhaseEval, evalDur, obs.AllocBytes()-a0)
+		for si := 0; si < nShards; si++ {
+			lp.AddShard(shardStat(scr.workerOf[si], scr.durs[si], plan.Shards[si].Cost, sprofs[si]))
+		}
+		for w := 0; w <= n; w++ {
+			if scr.shardCnt[w] > 0 {
+				ctl.prof.AddWorker(w, time.Duration(scr.busyNs[w]), scr.shardCnt[w])
 			}
 		}
 	}
-	ctl.endLevel(lp, total, cells0)
+	ctl.endLevel(lp, len(kept), cells0)
 	return firstErr
 }
 
-// shardSpans splits the batch into at most workers*shardsPerWorker
-// contiguous index spans whose boundaries fall on prefix-run boundaries,
-// so every sibling group — the unit of prefix-cache reuse — stays on one
-// worker.
-func shardSpans(cands []itemset.Set, workers int) [][2]int {
-	runs := counting.PrefixRuns(cands)
-	maxShards := workers * shardsPerWorker
-	if len(runs) <= maxShards {
-		return runs
+// finishLevelOneShard completes a level whose shard plan collapsed to a
+// single shard: pre-checks are done and the budget settled, so this is
+// the serial count-then-evaluate tail, profiled as one worker-0 shard.
+func (m *Miner) finishLevelOneShard(ctl *runCtl, stats *Stats, spec levelSpec, sc counting.ShardCounter, lp *obs.LevelProf, cells0 int64, kept []itemset.Set, cost int64) error {
+	prof := lp != nil
+	var sp *counting.ShardProf
+	var t0 time.Time
+	var a0 int64
+	cctx := ctl.ctx
+	if prof {
+		sp = &counting.ShardProf{}
+		cctx = counting.WithShardProf(cctx, sp)
+		t0, a0 = time.Now(), obs.AllocBytes()
 	}
-	target := (len(cands) + maxShards - 1) / maxShards
-	spans := make([][2]int, 0, maxShards)
-	start, size := runs[0][0], 0
-	for _, r := range runs {
-		size += r[1] - r[0]
-		if size >= target {
-			spans = append(spans, [2]int{start, r[1]})
-			start, size = r[1], 0
+	tables, err := sc.CountShard(cctx, kept)
+	minedShards.With(spec.algo).Inc()
+	if prof {
+		d := time.Since(t0)
+		observePart(lp, obs.PhaseCount, d, obs.AllocBytes()-a0)
+		lp.AddShard(shardStat(0, d, cost, sp))
+		if d > 0 {
+			shardSeconds.Observe(d.Seconds())
 		}
 	}
-	if size > 0 {
-		spans = append(spans, [2]int{start, runs[len(runs)-1][1]})
+	if err != nil {
+		ctl.endLevel(lp, len(kept), cells0)
+		return err
+	}
+	if prof {
+		t0, a0 = time.Now(), obs.AllocBytes()
+	}
+	for i, t := range tables {
+		spec.eval(kept[i], t)
+	}
+	if prof {
+		observePart(lp, obs.PhaseEval, time.Since(t0), obs.AllocBytes()-a0)
+	}
+	ctl.endLevel(lp, len(kept), cells0)
+	return nil
+}
+
+// evenSpans splits [0, n) into at most parts contiguous, near-equal spans.
+func evenSpans(n, parts int) [][2]int {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	spans := make([][2]int, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo, hi := i*n/parts, (i+1)*n/parts
+		if lo < hi {
+			spans = append(spans, [2]int{lo, hi})
+		}
 	}
 	return spans
 }

@@ -57,11 +57,18 @@ func statsNoDurations(s Stats) Stats {
 	return s
 }
 
+// detWorkerCounts are the parallel worker counts the determinism suite
+// pins against the serial run: the original power-of-two gate plus
+// non-power-of-two counts (3, 7) that exercise uneven shard-to-worker
+// assignment, and a count (32) far above any level's shard count so the
+// workers>shards clamp path runs too.
+var detWorkerCounts = []int{3, 7, 8, 32}
+
 // TestWorkersDeterminism is the acceptance gate of the parallel engine:
 // for every algorithm, over randomized datasets and constraint mixes, the
 // mined answers and every Stats counter are identical at Workers=1 and
-// Workers=8. Level durations (wall clock) are the only permitted
-// difference.
+// every parallel worker count. Level durations (wall clock) are the only
+// permitted difference.
 func TestWorkersDeterminism(t *testing.T) {
 	testutil.CheckGoroutines(t)
 	queries := queryPool()
@@ -76,25 +83,27 @@ func TestWorkersDeterminism(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					par, err := New(db, testParams(), WithWorkers(8))
-					if err != nil {
-						t.Fatal(err)
-					}
 					want := runAlgo(t, serial, algo, q)
-					got := runAlgo(t, par, algo, q)
-					if !sameSets(want.Answers, got.Answers) {
-						t.Errorf("answers differ:\n workers=1: %s\n workers=8: %s",
-							setsString(want.Answers), setsString(got.Answers))
-					}
-					if ws, gs := statsNoDurations(want.Stats), statsNoDurations(got.Stats); !reflect.DeepEqual(ws, gs) {
-						t.Errorf("stats differ:\n workers=1: %+v\n workers=8: %+v", ws, gs)
-					}
-					if want.Truncated != got.Truncated {
-						t.Errorf("truncated differ: workers=1 %v, workers=8 %v", want.Truncated, got.Truncated)
-					}
-					if len(want.Stats.LevelDurations) != len(got.Stats.LevelDurations) {
-						t.Errorf("level count differ: workers=1 %d, workers=8 %d",
-							len(want.Stats.LevelDurations), len(got.Stats.LevelDurations))
+					for _, workers := range detWorkerCounts {
+						par, err := New(db, testParams(), WithWorkers(workers))
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := runAlgo(t, par, algo, q)
+						if !sameSets(want.Answers, got.Answers) {
+							t.Errorf("answers differ:\n workers=1: %s\n workers=%d: %s",
+								setsString(want.Answers), workers, setsString(got.Answers))
+						}
+						if ws, gs := statsNoDurations(want.Stats), statsNoDurations(got.Stats); !reflect.DeepEqual(ws, gs) {
+							t.Errorf("stats differ:\n workers=1: %+v\n workers=%d: %+v", ws, workers, gs)
+						}
+						if want.Truncated != got.Truncated {
+							t.Errorf("truncated differ: workers=1 %v, workers=%d %v", want.Truncated, workers, got.Truncated)
+						}
+						if len(want.Stats.LevelDurations) != len(got.Stats.LevelDurations) {
+							t.Errorf("level count differ: workers=1 %d, workers=%d %d",
+								len(want.Stats.LevelDurations), workers, len(got.Stats.LevelDurations))
+						}
 					}
 				})
 			}
@@ -217,9 +226,11 @@ func TestParallelMinerConcurrentRuns(t *testing.T) {
 	}
 }
 
-// TestShardSpans checks the span invariants the pipeline relies on:
-// contiguous cover of the batch and boundaries aligned to prefix runs.
-func TestShardSpans(t *testing.T) {
+// TestPlanShards checks the schedule invariants the pipeline relies on:
+// contiguous cover of the batch, boundaries aligned to prefix runs, costs
+// that sum to the plan total, and a dispatch order that is a
+// costliest-first permutation of the shards.
+func TestPlanShards(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 50; trial++ {
 		n := 1 + r.Intn(200)
@@ -243,29 +254,56 @@ func TestShardSpans(t *testing.T) {
 		sets = uniq
 		itemset.SortSets(sets)
 		workers := 1 + r.Intn(8)
-		spans := shardSpans(sets, workers)
-		if len(spans) == 0 {
-			t.Fatalf("no spans for %d sets", len(sets))
+		numTx := 1 + r.Intn(1<<20)
+		plan := counting.PlanShards(sets, numTx, workers)
+		shards := plan.Shards
+		if len(shards) == 0 {
+			t.Fatalf("no shards for %d sets", len(sets))
 		}
-		if spans[0][0] != 0 || spans[len(spans)-1][1] != len(sets) {
-			t.Fatalf("spans do not cover batch: %v over %d", spans, len(sets))
+		if shards[0].Span[0] != 0 || shards[len(shards)-1].Span[1] != len(sets) {
+			t.Fatalf("shards do not cover batch: %v over %d", shards, len(sets))
 		}
-		for i := 1; i < len(spans); i++ {
-			if spans[i][0] != spans[i-1][1] {
-				t.Fatalf("spans not contiguous: %v", spans)
+		var costSum int64
+		for i, sh := range shards {
+			if i > 0 && sh.Span[0] != shards[i-1].Span[1] {
+				t.Fatalf("shards not contiguous: %v", shards)
 			}
+			if sh.Span[0] >= sh.Span[1] {
+				t.Fatalf("empty shard %d: %v", i, sh)
+			}
+			if sh.Cost < 1 {
+				t.Fatalf("shard %d has cost %d; every nonempty shard costs at least 1", i, sh.Cost)
+			}
+			costSum += sh.Cost
 		}
-		if len(spans) > workers*shardsPerWorker {
-			t.Fatalf("%d spans exceed cap %d", len(spans), workers*shardsPerWorker)
+		if costSum != plan.Total {
+			t.Fatalf("shard costs sum to %d, plan total %d", costSum, plan.Total)
 		}
-		// every span boundary must be a prefix-run boundary
+		if plan.Total < counting.MinShardCost && len(shards) != 1 {
+			t.Fatalf("batch below MinShardCost split into %d shards", len(shards))
+		}
+		// every shard boundary must be a prefix-run boundary
 		runBounds := map[int]bool{0: true}
 		for _, run := range counting.PrefixRuns(sets) {
 			runBounds[run[1]] = true
 		}
-		for _, sp := range spans {
-			if !runBounds[sp[1]] {
-				t.Fatalf("span end %d splits a prefix run", sp[1])
+		for _, sh := range shards {
+			if !runBounds[sh.Span[1]] {
+				t.Fatalf("shard end %d splits a prefix run", sh.Span[1])
+			}
+		}
+		// Order is a costliest-first permutation.
+		if len(plan.Order) != len(shards) {
+			t.Fatalf("order has %d entries for %d shards", len(plan.Order), len(shards))
+		}
+		seen := make(map[int]bool, len(plan.Order))
+		for i, si := range plan.Order {
+			if si < 0 || si >= len(shards) || seen[si] {
+				t.Fatalf("order %v is not a permutation of shards", plan.Order)
+			}
+			seen[si] = true
+			if i > 0 && shards[plan.Order[i-1]].Cost < shards[si].Cost {
+				t.Fatalf("order %v not costliest-first at %d", plan.Order, i)
 			}
 		}
 	}

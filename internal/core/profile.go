@@ -88,12 +88,14 @@ func (c *runCtl) candgen(fn func() []itemset.Set) []itemset.Set {
 	return out
 }
 
-// shardStat renders one shard's arena into the profile's JSON shape.
-func shardStat(worker int, dur time.Duration, sp *counting.ShardProf) obs.ShardStat {
+// shardStat renders one shard's arena into the profile's JSON shape; cost
+// is the scheduler's estimate for the shard in word-operations.
+func shardStat(worker int, dur time.Duration, cost int64, sp *counting.ShardProf) obs.ShardStat {
 	return obs.ShardStat{
 		Worker:       worker,
 		Sets:         int(sp.Sets.Load()),
 		Cells:        sp.Cells.Load(),
+		Cost:         cost,
 		Seconds:      dur.Seconds(),
 		CacheHits:    sp.CacheHits.Load(),
 		CacheMisses:  sp.CacheMisses.Load(),

@@ -28,40 +28,16 @@ func (s CacheStats) HitRate() float64 {
 	return 0
 }
 
-// prefixCache is a byte-budgeted LRU of materialized TID-lists, keyed by
-// the canonical encoding of the sub-itemset each list is the intersection
-// of. It persists across counting batches, which is the whole point: the
-// level-k prefix of a level-(k+1) candidate was counted one batch ago, and
-// sibling candidates in a sorted batch share their (k-1)-item prefix.
-//
-// Entries are immutable once inserted — a stored *bitset.Set may be read
-// concurrently (as an AND operand) but never written; eviction only drops
-// the cache's reference, so readers holding one stay safe. All methods are
-// safe for concurrent use.
-type prefixCache struct {
-	mu      sync.Mutex
-	budget  int64
-	bytes   int64
-	entries map[string]*list.Element
-	lru     *list.List // front = most recently used
-
-	hits, misses, evictions int64
-}
-
 // cacheEntry is one cached TID-list with its popcount, so hits skip the
-// Count as well as the intersection.
+// Count as well as the intersection. Entries are immutable once built: a
+// stored *bitset.Set may be read concurrently (as an AND operand) but
+// never written, and eviction only drops references, so readers holding
+// one stay safe.
 type cacheEntry struct {
 	key   string
 	tids  *bitset.Set
 	count int
 	size  int64
-}
-
-func newPrefixCache(budget int64) *prefixCache {
-	if budget <= 0 {
-		budget = DefaultCacheBytes
-	}
-	return &prefixCache{budget: budget, entries: make(map[string]*list.Element), lru: list.New()}
 }
 
 // entrySize approximates an entry's resident footprint: the bitset words,
@@ -71,74 +47,106 @@ func entrySize(keyLen int, tids *bitset.Set) int64 {
 	return int64((tids.Len()+63)/64)*8 + int64(keyLen) + overhead
 }
 
-// get returns the cached TID-list and popcount for the sub-itemset whose
-// encoded key (itemset.Set.AppendKey) is key, marking it most recently
-// used. Taking the key as a byte slice keeps the lookup allocation-free:
-// the map access through string(key) is elided by the compiler. The
-// returned set is shared and must not be mutated.
-func (c *prefixCache) get(key []byte) (*bitset.Set, int, bool) {
-	c.mu.Lock()
+// cacheStore is the synchronization-free core of the prefix cache: a
+// byte-budgeted LRU of immutable TID-list entries keyed by the canonical
+// encoding of the sub-itemset each list is the intersection of. It has two
+// users with different locking disciplines — prefixCache wraps it in a
+// mutex for the shared, cross-level cache, and CacheArena embeds one as a
+// single worker's private, unsynchronized store — so the store itself
+// must stay free of locks, global metrics, and any other shared state.
+type cacheStore struct {
+	budget  int64
+	bytes   int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses, evictions int64
+}
+
+func newCacheStore(budget int64) cacheStore {
+	if budget <= 0 {
+		budget = DefaultCacheBytes
+	}
+	return cacheStore{budget: budget, entries: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the entry stored under key, marking it most recently used.
+// Taking the key as a byte slice keeps the lookup allocation-free: the map
+// access through string(key) is elided by the compiler. Hit/miss tallies
+// are the caller's job — the shared cache and the arenas count lookups
+// differently (an arena lookup that misses locally may still hit its
+// snapshot).
+func (c *cacheStore) get(key []byte) (*cacheEntry, bool) {
 	e, ok := c.entries[string(key)]
 	if !ok {
-		c.misses++
-		c.mu.Unlock()
-		cacheMisses.Inc()
-		return nil, 0, false
+		return nil, false
 	}
 	c.lru.MoveToFront(e)
-	ent := e.Value.(*cacheEntry)
-	c.hits++
-	c.mu.Unlock()
-	cacheHits.Inc()
-	return ent.tids, ent.count, true
+	return e.Value.(*cacheEntry), true
 }
 
 // put stores a TID-list under its encoded sub-itemset key, evicting
 // least-recently-used entries until the byte budget holds. The key bytes
-// are copied only on an actual insert (misses are rare once the cache is
-// warm). It reports whether the cache took ownership of tids: on true the
-// caller must treat tids as immutable and must not recycle it; on false
-// (already present, or larger than the whole budget) the caller keeps it.
-func (c *prefixCache) put(key []byte, tids *bitset.Set, count int) bool {
+// are copied only on an actual insert. It reports whether the store took
+// ownership of tids (on true the caller must treat tids as immutable and
+// must not recycle it) plus the net byte delta and eviction count, which
+// the locked wrapper forwards to the global metrics.
+func (c *cacheStore) put(key []byte, tids *bitset.Set, count int) (stored bool, delta int64, evicted int) {
 	size := entrySize(len(key), tids)
 	if size > c.budget {
-		return false
+		return false, 0, 0
 	}
-	c.mu.Lock()
 	if e, ok := c.entries[string(key)]; ok {
 		// Same sub-itemset over the same index: contents are identical,
 		// keep the resident copy.
 		c.lru.MoveToFront(e)
-		c.mu.Unlock()
-		return false
+		return false, 0, 0
 	}
 	k := string(key)
 	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, tids: tids, count: count, size: size})
 	c.bytes += size
-	evicted := 0
-	var freed int64
+	delta = size
 	for c.bytes > c.budget {
 		back := c.lru.Back()
 		ent := back.Value.(*cacheEntry)
 		c.lru.Remove(back)
 		delete(c.entries, ent.key)
 		c.bytes -= ent.size
-		freed += ent.size
+		delta -= ent.size
 		evicted++
 	}
 	c.evictions += int64(evicted)
-	c.mu.Unlock()
-	cacheBytes.Add(size - freed)
-	if evicted > 0 {
-		cacheEvictions.Add(int64(evicted))
-	}
-	return true
+	return true, delta, evicted
 }
 
-// stats snapshots the cache counters.
-func (c *prefixCache) stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// insert re-homes an already-built entry (an arena's, at commit) into the
+// store under the same ownership and eviction rules as put.
+func (c *cacheStore) insert(ent *cacheEntry) (stored bool, delta int64, evicted int) {
+	if ent.size > c.budget {
+		return false, 0, 0
+	}
+	if e, ok := c.entries[ent.key]; ok {
+		c.lru.MoveToFront(e)
+		return false, 0, 0
+	}
+	c.entries[ent.key] = c.lru.PushFront(ent)
+	c.bytes += ent.size
+	delta = ent.size
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		old := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, old.key)
+		c.bytes -= old.size
+		delta -= old.size
+		evicted++
+	}
+	c.evictions += int64(evicted)
+	return true, delta, evicted
+}
+
+// stats snapshots the store's counters.
+func (c *cacheStore) stats() CacheStats {
 	return CacheStats{
 		Hits:      c.hits,
 		Misses:    c.misses,
@@ -148,16 +156,142 @@ func (c *prefixCache) stats() CacheStats {
 	}
 }
 
+// reset drops every entry and returns the bytes freed; counters persist.
+func (c *cacheStore) reset() int64 {
+	freed := c.bytes
+	c.bytes = 0
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	return freed
+}
+
+// prefixCache is the shared, cross-batch prefix cache: a mutex around one
+// cacheStore plus the global ccs_prefix_cache_* metrics. It persists
+// across counting batches and lattice levels, which is the whole point:
+// the level-k prefix of a level-(k+1) candidate was counted one batch ago,
+// and sibling candidates in a sorted batch share their (k-1)-item prefix.
+// All methods are safe for concurrent use. The hot parallel path does not
+// probe it mid-level at all — workers run private CacheArenas seeded from
+// a snapshot and merge back through commitArenas at level commit.
+type prefixCache struct {
+	mu    sync.Mutex
+	store cacheStore
+}
+
+func newPrefixCache(budget int64) *prefixCache {
+	return &prefixCache{store: newCacheStore(budget)}
+}
+
+// get returns the cached TID-list and popcount for the sub-itemset whose
+// encoded key (itemset.Set.AppendKey) is key. The returned set is shared
+// and must not be mutated.
+func (c *prefixCache) get(key []byte) (*bitset.Set, int, bool) {
+	c.mu.Lock()
+	ent, ok := c.store.get(key)
+	if ok {
+		c.store.hits++
+	} else {
+		c.store.misses++
+	}
+	c.mu.Unlock()
+	if !ok {
+		cacheMisses.Inc()
+		return nil, 0, false
+	}
+	cacheHits.Inc()
+	return ent.tids, ent.count, true
+}
+
+// put stores a TID-list, reporting whether the cache took ownership.
+func (c *prefixCache) put(key []byte, tids *bitset.Set, count int) bool {
+	c.mu.Lock()
+	stored, delta, evicted := c.store.put(key, tids, count)
+	c.mu.Unlock()
+	if stored {
+		cacheBytes.Add(delta)
+	}
+	if evicted > 0 {
+		cacheEvictions.Add(int64(evicted))
+	}
+	return stored
+}
+
+// snapshot copies the current entry map for read-only arena seeding. The
+// entries themselves are immutable and eviction from the live cache only
+// drops its references, so arenas may read the snapshot without any
+// locking for as long as they hold it.
+func (c *prefixCache) snapshot() map[string]*cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := make(map[string]*cacheEntry, len(c.store.entries))
+	for k, e := range c.store.entries {
+		snap[k] = e.Value.(*cacheEntry)
+	}
+	return snap
+}
+
+// commitArenas merges the arenas' private stores back into the shared
+// cache, in arena index order, oldest entry first — so the shared LRU ends
+// the level with the arenas' hottest prefixes at the front and the byte
+// budget enforced by the ordinary eviction walk. Arena hit/miss/eviction
+// tallies fold into the shared counters, and every global metric update of
+// the level lands here as one batched send per series instead of two
+// counter operations per candidate on the hot path.
+func (c *prefixCache) commitArenas(arenas []*CacheArena) {
+	var hits, misses, arenaEv, insertEv, delta int64
+	c.mu.Lock()
+	for _, a := range arenas {
+		if a == nil {
+			continue
+		}
+		hits += a.hits
+		misses += a.misses
+		arenaEv += a.store.evictions
+		// Arena bytes were never reported to the global gauge (the arena
+		// is private), so only the entries the shared store accepts count.
+		for e := a.store.lru.Back(); e != nil; e = e.Prev() {
+			stored, d, ev := c.store.insert(e.Value.(*cacheEntry))
+			if stored {
+				delta += d
+			}
+			insertEv += int64(ev) // already tallied in c.store.evictions
+		}
+		a.store.reset()
+		a.hits, a.misses = 0, 0
+		a.snap = nil
+	}
+	c.store.hits += hits
+	c.store.misses += misses
+	c.store.evictions += arenaEv
+	c.mu.Unlock()
+	if hits > 0 {
+		cacheHits.Add(hits)
+	}
+	if misses > 0 {
+		cacheMisses.Add(misses)
+	}
+	if ev := arenaEv + insertEv; ev > 0 {
+		cacheEvictions.Add(ev)
+	}
+	if delta != 0 {
+		cacheBytes.Add(delta)
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *prefixCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store.stats()
+}
+
 // release drops every entry and returns the cache's bytes to the global
 // gauge. Per-request caches (the HTTP service builds one per mine request)
 // call it when the run ends so ccs_prefix_cache_bytes tracks live caches
 // only; the cache remains usable (empty) afterwards.
 func (c *prefixCache) release() {
 	c.mu.Lock()
-	freed := c.bytes
-	c.bytes = 0
-	c.entries = make(map[string]*list.Element)
-	c.lru.Init()
+	freed := c.store.reset()
 	c.mu.Unlock()
 	cacheBytes.Add(-freed)
 }

@@ -72,6 +72,26 @@ type ShardCounter interface {
 	CountShard(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error)
 }
 
+// ArenaCounter is a ShardCounter that additionally supports per-worker
+// prefix-cache arenas and caller-owned result buffers — the zero-lock,
+// zero-allocation-per-shard contract the mining core's parallel level
+// engine runs on. Per level the core calls NewLevelArenas once, hands each
+// worker its own arena (nil is fine — counting runs uncached), issues
+// CountShardArena from the workers, and calls Commit on the LevelArenas
+// after the level's last shard so the shared cache absorbs the level's
+// prefixes in one locked pass.
+type ArenaCounter interface {
+	ShardCounter
+	// NewLevelArenas returns n worker-private arenas seeded from a
+	// read-only snapshot of the shared prefix cache, or nil when the
+	// counter is uncached.
+	NewLevelArenas(n int) *LevelArenas
+	// CountShardArena is CountShard writing tables into out (len(out)
+	// must equal len(sets); the caller owns and may reuse the buffer)
+	// with cache traffic routed through arena (nil = uncached).
+	CountShardArena(ctx context.Context, sets []itemset.Set, out []*contingency.Table, arena *CacheArena) error
+}
+
 // checkEvery is how many transactions (or sets) a counting loop processes
 // between cancellation polls — coarse enough to stay off the hot path,
 // fine enough to stop within microseconds of a cancel.
@@ -397,6 +417,15 @@ func (sc *countScratch) recycle(size int) {
 // nil case adds only predictable pointer-nil branches to the hot path —
 // no clock reads, no allocations.
 func (b *BitmapCounter) countOne(set itemset.Set, prof *ShardProf) (*contingency.Table, error) {
+	return b.countOneArena(set, prof, nil)
+}
+
+// countOneArena is countOne with the prefix-cache traffic routed through a
+// worker-private CacheArena when one is supplied: gets probe the arena's
+// local store then the shared snapshot, puts land in the arena — zero
+// locks, zero atomics on the whole path. A nil arena uses the shared
+// locked cache (the serial path).
+func (b *BitmapCounter) countOneArena(set itemset.Set, prof *ShardProf, arena *CacheArena) (*contingency.Table, error) {
 	k := set.Size()
 	if k > contingency.MaxItems {
 		return nil, fmt.Errorf("counting: itemset %v exceeds %d items", set, contingency.MaxItems)
@@ -425,14 +454,23 @@ func (b *BitmapCounter) countOne(set itemset.Set, prof *ShardProf) (*contingency
 			}
 			// prefix: mask selects set[0..high] exactly — a cacheable
 			// canonical sub-itemset (and, at mask size-1, the set itself).
-			prefix := b.cache != nil && mask == (1<<uint(high+1))-1
+			prefix := (arena != nil || b.cache != nil) && mask == (1<<uint(high+1))-1
 			if prefix {
 				sc.key = set[:high+1].AppendKey(sc.key[:0])
 				var t0 time.Time
 				if prof != nil {
 					t0 = time.Now()
 				}
-				tids, count, ok := b.cache.get(sc.key)
+				var (
+					tids  *bitset.Set
+					count int
+					ok    bool
+				)
+				if arena != nil {
+					tids, count, ok = arena.get(sc.key)
+				} else {
+					tids, count, ok = b.cache.get(sc.key)
+				}
 				if prof != nil {
 					prof.CacheNanos.Add(time.Since(t0).Nanoseconds())
 					if ok {
@@ -461,7 +499,12 @@ func (b *BitmapCounter) countOne(set itemset.Set, prof *ShardProf) (*contingency
 				if prof != nil {
 					t0 = time.Now()
 				}
-				stored := b.cache.put(sc.key, bs, g[mask])
+				var stored bool
+				if arena != nil {
+					stored = arena.put(sc.key, bs, g[mask])
+				} else {
+					stored = b.cache.put(sc.key, bs, g[mask])
+				}
 				if prof != nil {
 					prof.CacheNanos.Add(time.Since(t0).Nanoseconds())
 				}

@@ -119,9 +119,14 @@ func (p *ParallelCounter) CountTables(sets []itemset.Set) ([]*contingency.Table,
 	return p.CountTablesContext(context.Background(), sets)
 }
 
-// CountTablesContext implements ContextCounter. Each worker polls ctx
-// before every set it counts; on cancellation the workers stop pulling,
-// the remaining runs are abandoned, and the call returns ctx.Err().
+// CountTablesContext implements ContextCounter. Work is sharded by the
+// cost model (PlanShards), not raw prefix runs: a batch whose estimated
+// cost is below one shard budget — every level-1 batch, most tail levels —
+// is folded into a single serial pass on the calling goroutine, so small
+// levels no longer spawn one goroutine per singleton run just to lose the
+// hand-off cost. Each worker polls ctx before every set it counts; on
+// cancellation the workers stop pulling, the remaining shards are
+// abandoned, and the call returns ctx.Err().
 func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset.Set) ([]*contingency.Table, error) {
 	p.batches.Add(1)
 	p.tablesBuilt.Add(int64(len(sets)))
@@ -130,15 +135,29 @@ func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset
 	if len(sets) == 0 {
 		return out, nil
 	}
-	runs := PrefixRuns(sets)
 	prof := shardProfFrom(ctx)
-	workers := p.workers
-	if workers > len(runs) {
-		workers = len(runs)
+	plan := PlanShards(sets, p.inner.NumTx(), p.workers)
+	if p.workers == 1 || len(plan.Shards) == 1 {
+		done := ctx.Done()
+		for i, set := range sets {
+			if cancelled(done) {
+				return nil, ctx.Err()
+			}
+			t, err := p.inner.countOne(set, prof)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = t
+		}
+		return out, nil
 	}
-	work := make(chan [2]int, len(runs))
-	for _, r := range runs {
-		work <- r
+	workers := p.workers
+	if workers > len(plan.Shards) {
+		workers = len(plan.Shards)
+	}
+	work := make(chan [2]int, len(plan.Shards))
+	for _, si := range plan.Order {
+		work <- plan.Shards[si].Span
 	}
 	close(work)
 

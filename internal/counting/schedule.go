@@ -1,0 +1,156 @@
+package counting
+
+import (
+	"sort"
+
+	"ccs/internal/itemset"
+)
+
+// This file is the cost model and shard scheduler of the parallel counting
+// path (DESIGN.md §14). The old scheduler sharded a lattice level by
+// sibling groups alone, which on real batches produced shards far below
+// the hand-off cost (mean shard ≪ 100µs) and a 1.3-1.6× worker skew. The
+// replacement prices every candidate in word-operations — the unit of
+// bitset intersection work — packs adjacent prefix runs into shards that
+// meet a per-shard cost budget, and dispatches the costliest shards first
+// so one oversized shard cannot strand the pool at the end of a level.
+
+// wordsPerList is the length of one dense TID-list in 64-bit words — the
+// unit cost of a single bitset AND over the database.
+func wordsPerList(numTx int) int64 {
+	w := int64(numTx+63) / 64
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// candidateCost prices one k-candidate in word-operations. A cold
+// candidate walks its full subset lattice: ~2^k intersections, each one
+// AND over the TID-list (the vertical cost model — 2^k contingency cells,
+// each priced at the list length). A warm candidate (a later member of a
+// prefix run, whose (k-1)-prefix the run's first member just materialized
+// and cached) skips the prefix half of the lattice: ~2^(k-1) intersections.
+// Singletons do no intersection at all — their supports are precomputed —
+// so they are priced at table assembly only.
+func candidateCost(k int, words int64, warm bool) int64 {
+	if k < 2 {
+		return 1
+	}
+	lattice := int64(1) << uint(k)
+	if warm {
+		lattice = lattice/2 + 1
+	}
+	return lattice * words
+}
+
+// runCost prices one prefix run of runLen candidates of size k: the first
+// member pays the cold cost, its siblings the warm cost.
+func runCost(k, runLen int, words int64) int64 {
+	if runLen <= 0 {
+		return 0
+	}
+	return candidateCost(k, words, false) + int64(runLen-1)*candidateCost(k, words, true)
+}
+
+// BatchCost estimates the total counting cost of a canonical batch in
+// word-operations, pricing each prefix run with runCost. The same estimate
+// drives the serial fold-in of ParallelCounter (a batch below
+// MinShardCost is counted inline — no goroutines) and the level engine's
+// decision to shard at all.
+func BatchCost(sets []itemset.Set, numTx int) int64 {
+	words := wordsPerList(numTx)
+	var total int64
+	for _, r := range PrefixRuns(sets) {
+		total += runCost(sets[r[0]].Size(), r[1]-r[0], words)
+	}
+	return total
+}
+
+// MinShardCost is the smallest estimated shard cost worth dispatching to a
+// worker goroutine, in word-operations. Calibration: one word-operation is
+// roughly a nanosecond of AND/popcount work on current hardware, so 1<<17
+// ≈ 130µs per shard — above the ~100µs floor under which the per-shard
+// hand-off (channel send, wake-up, cache-line traffic) costs more than the
+// counting it overlaps.
+const MinShardCost = 1 << 17
+
+// shardsPerWorker over-decomposes the level into more shards than workers
+// so the longest-first dispatch can keep the pool busy while the largest
+// shards run; 4 is enough slack without shrinking shards below budget.
+const shardsPerWorker = 4
+
+// Shard is one contiguous span of a candidate batch with its estimated
+// counting cost.
+type Shard struct {
+	// Span is the half-open candidate index range [Span[0], Span[1]).
+	Span [2]int
+	// Cost is the span's estimated counting cost in word-operations.
+	Cost int64
+}
+
+// ShardPlan is a level's counting schedule: contiguous, prefix-aligned
+// shards covering the batch, their total estimated cost, and the dispatch
+// order (costliest first).
+type ShardPlan struct {
+	Shards []Shard
+	// Total is the whole batch's estimated cost in word-operations.
+	Total int64
+	// Order permutes Shards into dispatch order: descending estimated
+	// cost, ties broken by shard index so the order is deterministic.
+	// Longest-first dispatch bounds the tail: the pool finishes the big
+	// shards while small ones remain to level the finish line.
+	Order []int
+}
+
+// PlanShards builds the counting schedule for one canonical batch.
+// Shard boundaries fall only on prefix-run boundaries (a sibling group —
+// the unit of prefix-cache reuse — never splits across workers). Each
+// shard's estimated cost reaches the per-shard budget
+// max(total/(workers×shardsPerWorker), MinShardCost) before it closes, so
+// shards are big enough to amortize hand-off and few enough to schedule
+// well; a batch worth less than one budget yields a single shard, which
+// callers treat as "run serial".
+func PlanShards(sets []itemset.Set, numTx, workers int) ShardPlan {
+	plan := ShardPlan{}
+	if len(sets) == 0 {
+		return plan
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	words := wordsPerList(numTx)
+	runs := PrefixRuns(sets)
+	costs := make([]int64, len(runs))
+	for i, r := range runs {
+		costs[i] = runCost(sets[r[0]].Size(), r[1]-r[0], words)
+		plan.Total += costs[i]
+	}
+	budget := plan.Total / int64(workers*shardsPerWorker)
+	if budget < MinShardCost {
+		budget = MinShardCost
+	}
+	start, acc := runs[0][0], int64(0)
+	for i, r := range runs {
+		acc += costs[i]
+		if acc >= budget {
+			plan.Shards = append(plan.Shards, Shard{Span: [2]int{start, r[1]}, Cost: acc})
+			start, acc = r[1], 0
+		}
+	}
+	if acc > 0 || len(plan.Shards) == 0 {
+		plan.Shards = append(plan.Shards, Shard{Span: [2]int{start, runs[len(runs)-1][1]}, Cost: acc})
+	}
+	plan.Order = make([]int, len(plan.Shards))
+	for i := range plan.Order {
+		plan.Order[i] = i
+	}
+	sort.SliceStable(plan.Order, func(a, b int) bool {
+		ca, cb := plan.Shards[plan.Order[a]].Cost, plan.Shards[plan.Order[b]].Cost
+		if ca != cb {
+			return ca > cb
+		}
+		return plan.Order[a] < plan.Order[b]
+	})
+	return plan
+}

@@ -243,11 +243,15 @@ func (l *LevelProf) End() {
 // ShardStat is one counted shard's contribution: which worker counted it,
 // how much intersection work it did, and how its prefix-cache lookups
 // fared. CacheSeconds isolates time spent inside cache get/put (lock +
-// lookup) from the intersection work proper.
+// lookup) from the intersection work proper. Cost is the scheduler's
+// estimated counting cost in word-operations (counting.PlanShards); it is
+// ≥ 1 for any shard with at least one set, so a profile whose shards all
+// carry zero cost predates the cost-based scheduler.
 type ShardStat struct {
 	Worker       int     `json:"worker"`
 	Sets         int     `json:"sets"`
 	Cells        int64   `json:"cells"`
+	Cost         int64   `json:"cost"`
 	Seconds      float64 `json:"seconds"`
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
@@ -297,6 +301,9 @@ type ProfileRecord struct {
 	WorkerBusySeconds []float64 `json:"worker_busy_seconds,omitempty"`
 	WorkerShards      []int     `json:"worker_shards,omitempty"`
 	Shards            int       `json:"shards"`
+	// ShardCost totals the scheduler's estimated shard costs in
+	// word-operations; zero with Shards > 0 marks a pre-cost-model profile.
+	ShardCost int64 `json:"shard_cost"`
 	Candidates        int64     `json:"candidates"`
 	Kept              int64     `json:"kept"`
 	Cells             int64     `json:"cells"`
@@ -374,6 +381,7 @@ func (p *Profile) Record() *ProfileRecord {
 		addTotal(PhaseStall, lp.stall, 0, 0)
 		for _, ss := range lp.shardStats {
 			rec.CountWorkSeconds += ss.Seconds
+			rec.ShardCost += ss.Cost
 			rec.CacheHits += ss.CacheHits
 			rec.CacheMisses += ss.CacheMisses
 		}

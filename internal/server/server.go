@@ -257,11 +257,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 // GenerateSpec is the JSON body of the :generate action.
 type GenerateSpec struct {
-	Method   int   `json:"method"` // 1 or 2
+	Method   int   `json:"method"` // 1, 2, or 3 (large-lattice corpus)
 	Baskets  int   `json:"baskets"`
 	Items    int   `json:"items"`
 	Rules    int   `json:"rules,omitempty"`
 	Patterns int   `json:"patterns,omitempty"`
+	Blocks   int   `json:"blocks,omitempty"` // method 3: planted correlated blocks
 	Seed     int64 `json:"seed"`
 }
 
@@ -346,8 +347,17 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request, name str
 			cfg.NumRules = spec.Rules
 		}
 		db, _, err = gen.Method2(cfg)
+	case 3:
+		cfg := gen.DefaultLattice(spec.Baskets, spec.Seed)
+		if spec.Items > 0 {
+			cfg.NumItems = spec.Items
+		}
+		if spec.Blocks > 0 {
+			cfg.NumBlocks = spec.Blocks
+		}
+		db, err = gen.Lattice(cfg)
 	default:
-		s.writeError(w, http.StatusBadRequest, "unknown method %d (want 1 or 2)", spec.Method)
+		s.writeError(w, http.StatusBadRequest, "unknown method %d (want 1, 2, or 3)", spec.Method)
 		return
 	}
 	if err != nil {

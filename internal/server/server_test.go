@@ -174,6 +174,31 @@ func TestGenerateMethod1(t *testing.T) {
 	}
 }
 
+func TestGenerateMethod3Lattice(t *testing.T) {
+	srv := testServer(t)
+	resp, body := doJSON(t, http.MethodPost, srv.URL+"/v1/datasets/lat:generate", GenerateSpec{
+		Method: 3, Baskets: 400, Seed: 5,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+	var info DatasetInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	// method 3 uses the lattice defaults (200-item catalog), not Items.
+	if info.Baskets != 400 || info.Items != 200 {
+		t.Fatalf("info = %+v", info)
+	}
+	// a correlated-block corpus must mine without error at several workers
+	resp, body = doJSON(t, http.MethodPost, srv.URL+"/v1/mine", MineRequest{
+		Dataset: "lat", Algo: "bms++", CellSupportFrac: 0.1, MaxLevel: 3, Workers: 3,
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("mine: %d %s", resp.StatusCode, body)
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	srv := testServer(t)
 	cases := []struct {
