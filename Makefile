@@ -72,19 +72,25 @@ profsmoke:
 		{ echo "profsmoke: -explain-analyze printed no profile"; exit 1; }; \
 	$(GO) run ./cmd/ccsprof $$tmp/serial.json $$tmp/parallel.json
 
-# ~30 seconds of fuzzing across the parser, the binary reader, and the
-# bitset algebra — the CI smoke; run with a larger -fuzztime to dig deeper
+# ~40 seconds of fuzzing across the parser, the binary reader, the bitset
+# algebra, and the roaring-style TID-list containers — the CI smoke; run
+# with a larger -fuzztime to dig deeper
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/cql
 	$(GO) test -run='^$$' -fuzz='^FuzzRead$$' -fuzztime=10s ./internal/dataset
 	$(GO) test -run='^$$' -fuzz=FuzzSetOps -fuzztime=10s ./internal/bitset
+	$(GO) test -run='^$$' -fuzz=FuzzTidlistOps -fuzztime=10s ./internal/tidlist
 
-# tracked benchmark baselines: counting kernels to BENCH_counting.json,
-# end-to-end mining algorithms (serial + parallel, with speedup metrics)
-# to BENCH_core.json (see DESIGN.md §9-10, §14 and cmd/ccsperf). Runs in
-# short mode, so the large-lattice corpus (BenchmarkAlgoLarge) uses 10^5
-# baskets; the basket count is part of every benchmark name, so these
-# baselines never cross-compare with full-corpus runs.
+# tracked benchmark baselines: counting kernels and the sparse-corpus
+# backend comparison (BenchmarkCountSparse, BenchmarkCountBackendDense) to
+# BENCH_counting.json, end-to-end mining algorithms (serial + parallel,
+# with speedup metrics, plus BenchmarkAlgoSparse) to BENCH_core.json (see
+# DESIGN.md §9-10, §14-15 and cmd/ccsperf). Runs in short mode, so the
+# large-lattice corpus (BenchmarkAlgoLarge) uses 10^5 baskets; the basket
+# count is part of every benchmark name, so these baselines never
+# cross-compare with full-corpus runs. bench-check enforces the 0.5x
+# compressed/dense bytes floor on the sparse corpus once a committed
+# baseline achieves it.
 bench:
 	$(GO) run ./cmd/ccsperf -short -out BENCH_counting.json -core-out BENCH_core.json
 

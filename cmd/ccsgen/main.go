@@ -6,6 +6,7 @@
 //	ccsgen -method 1 -baskets 10000 -items 1000 -o data1.ccs
 //	ccsgen -method 2 -baskets 10000 -rules 10 -o data2.ccs -rulesout rules.txt
 //	ccsgen -method 3 -baskets 1000000 -o lattice.ccs
+//	ccsgen -method 4 -baskets 200000 -o sparse.ccs
 package main
 
 import (
@@ -27,17 +28,17 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsgen", flag.ContinueOnError)
-	method := fs.Int("method", 1, "generator: 1 = Agrawal-Srikant, 2 = rule-planted, 3 = large-lattice (Zipf + correlated blocks)")
+	method := fs.Int("method", 1, "generator: 1 = Agrawal-Srikant, 2 = rule-planted, 3 = large-lattice (Zipf + correlated blocks), 4 = sparse long-tail (compressed-backend workload)")
 	baskets := fs.Int("baskets", 10000, "number of baskets |D|")
 	items := fs.Int("items", 1000, "catalog size N")
 	txSize := fs.Int("txsize", 20, "average basket size |T|")
 	patLen := fs.Int("patlen", 4, "average potentially-large itemset size |I| (method 1)")
 	patterns := fs.Int("patterns", 2000, "pattern pool size |L| (method 1)")
 	rules := fs.Int("rules", 10, "number of planted correlation rules (method 2)")
-	blocks := fs.Int("blocks", 4, "number of dense correlated blocks (method 3)")
-	blockLen := fs.Int("blocklen", 6, "items per correlated block (method 3)")
-	blockProb := fs.Float64("blockprob", 0.30, "per-basket block firing probability (method 3)")
-	zipfS := fs.Float64("zipfs", 2.0, "Zipf exponent for background item frequencies (method 3)")
+	blocks := fs.Int("blocks", 4, "number of dense correlated blocks (methods 3, 4)")
+	blockLen := fs.Int("blocklen", 6, "items per correlated block (methods 3, 4)")
+	blockProb := fs.Float64("blockprob", 0.30, "per-basket block firing probability (methods 3, 4)")
+	zipfS := fs.Float64("zipfs", 2.0, "Zipf exponent for background item frequencies (methods 3, 4)")
 	seed := fs.Int64("seed", 1, "random seed")
 	output := fs.String("o", "", "output path (required)")
 	rulesOut := fs.String("rulesout", "", "optional path for the planted rules (method 2)")
@@ -109,8 +110,30 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+	case 4:
+		cfg := gen.DefaultSparse(*baskets, *seed)
+		if flagSet["items"] {
+			cfg.NumItems = *items
+		}
+		if flagSet["blocks"] {
+			cfg.NumBlocks = *blocks
+		}
+		if flagSet["blocklen"] {
+			cfg.BlockLen = *blockLen
+		}
+		if flagSet["blockprob"] {
+			cfg.BlockProb = *blockProb
+		}
+		if flagSet["zipfs"] {
+			cfg.ZipfS = *zipfS
+		}
+		var err error
+		db, err = gen.Sparse(cfg)
+		if err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown method %d (want 1, 2, or 3)", *method)
+		return fmt.Errorf("unknown method %d (want 1, 2, 3, or 4)", *method)
 	}
 
 	if *text {

@@ -103,11 +103,37 @@ func TestGenMethod3Lattice(t *testing.T) {
 	}
 }
 
+func TestGenMethod4Sparse(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d4.ccs")
+	var out bytes.Buffer
+	err := run([]string{"-method", "4", "-baskets", "2000", "-seed", "4", "-o", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dataset.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Method 4's own catalog default (4000 items) applies when -items is
+	// not given; the corpus must actually be long-tail sparse.
+	if db.NumTx() != 2000 || db.NumItems() != 4000 {
+		t.Fatalf("db shape: %d tx, %d items", db.NumTx(), db.NumItems())
+	}
+	var entries int
+	for _, n := range db.ItemSupports() {
+		entries += n
+	}
+	if density := float64(entries) / float64(db.NumTx()*db.NumItems()); density > 1.0/64 {
+		t.Fatalf("density = %g, want long-tail sparse (< 1/64)", density)
+	}
+}
+
 func TestGenErrors(t *testing.T) {
 	var out bytes.Buffer
 	cases := [][]string{
 		{},                          // missing -o
-		{"-method", "4", "-o", "x"}, // unknown method
+		{"-method", "5", "-o", "x"}, // unknown method
 		{"-method", "1", "-baskets", "-5", "-o", filepath.Join(t.TempDir(), "x")},
 		{"-method", "3", "-blocks", "40", "-blocklen", "6", "-items", "100",
 			"-o", filepath.Join(t.TempDir(), "x")}, // blocks exceed catalog

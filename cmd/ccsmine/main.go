@@ -27,6 +27,7 @@ import (
 	"ccs/internal/cql"
 	"ccs/internal/dataset"
 	"ccs/internal/obs"
+	"ccs/internal/tidlist"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	verbose := fs.Bool("v", false, "print per-level progress while mining")
 	progress := fs.Bool("progress", false, "write live per-level progress with elapsed time to stderr while mining")
 	stream := fs.Bool("stream", false, "stream the dataset from disk on every scan (bounded memory; binary format only)")
+	backendFlag := fs.String("backend", "auto", "TID-list representation of the vertical index: auto (choose by dataset density), dense, or compressed; answers are identical at every setting")
 	workers := fs.Int("workers", 0, "level-engine worker goroutines: 0 = GOMAXPROCS, 1 = serial; answers are identical at every setting")
 	explain := fs.Bool("explain", false, "print the query plan (classification, selectivity, recommendation) and exit")
 	explainAnalyze := fs.Bool("explain-analyze", false, "profile the mine and print a per-level, per-shard phase table after the answers")
@@ -105,15 +107,24 @@ func run(args []string, out io.Writer) error {
 	if *workers != 0 {
 		opts = append(opts, core.WithWorkers(*workers))
 	}
+	backend, err := tidlist.ParseBackend(*backendFlag)
+	if err != nil {
+		return err
+	}
 	if *stream {
 		if *textData {
 			return fmt.Errorf("-stream requires the binary dataset format")
+		}
+		if backend != tidlist.BackendAuto {
+			return fmt.Errorf("-backend selects a vertical TID-list representation; -stream scans horizontally and has none")
 		}
 		dc, err := counting.NewDiskScanCounter(*data)
 		if err != nil {
 			return err
 		}
 		opts = append(opts, core.WithCounter(dc))
+	} else if backend != tidlist.BackendAuto {
+		opts = append(opts, core.WithCounter(counting.NewBitmapCounterBackend(db, backend)))
 	}
 	var prof *obs.Profile
 	if *explainAnalyze || *profileJSON != "" {

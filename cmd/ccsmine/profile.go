@@ -36,6 +36,9 @@ func writeProfileJSON(path string, rec *obs.ProfileRecord) error {
 // level, then the per-worker busy/shard attribution.
 func renderProfile(out io.Writer, rec *obs.ProfileRecord) error {
 	fmt.Fprintf(out, "\nprofile: %s  workers=%d  wall=%.6fs\n", rec.Name, rec.Workers, rec.WallSeconds)
+	if rec.Backend != "" {
+		fmt.Fprintf(out, "index: backend=%s  %d bytes resident\n", rec.Backend, rec.IndexBytes)
+	}
 
 	// phase split, largest share first
 	phases := make([]string, 0, len(rec.Phases))

@@ -5,8 +5,12 @@
 //	        [-check baseline.json] [-core-check baseline.json]
 //
 // The counting suite (BENCH_counting.json) covers the counting engines
-// (BenchmarkCount, level 2-4, all engines, with cache hit rates). The
-// core suite (BENCH_core.json) covers the end-to-end mining algorithms:
+// (BenchmarkCount, level 2-4, all engines, with cache hit rates) and the
+// TID-list backend comparison: BenchmarkCountSparse (index build + count
+// per op on the long-tail corpus, the line the 0.5x compressed/dense
+// bytes floor gates) and BenchmarkCountBackendDense (kernel ns/op on a
+// full-chunk dense corpus). The core suite (BENCH_core.json) covers the
+// end-to-end mining algorithms:
 // BenchmarkAlgo in serial and parallel mode, BenchmarkAlgoLarge on the
 // large-lattice corpus with pinned 4- and 8-worker modes — the parallel
 // lines carry "workers", "speedup", "stall-frac" and "shard-skew" metrics
@@ -50,11 +54,11 @@ type suiteSpec struct {
 }
 
 var countingSuite = []suiteSpec{
-	{pkg: "./internal/counting", pattern: "^(BenchmarkCount|BenchmarkCountCrossLevel)$"},
+	{pkg: "./internal/counting", pattern: "^(BenchmarkCount|BenchmarkCountCrossLevel|BenchmarkCountSparse|BenchmarkCountBackendDense)$"},
 }
 
 var coreSuite = []suiteSpec{
-	{pkg: "./internal/core", pattern: "^(BenchmarkAlgo|BenchmarkAlgoLarge|BenchmarkAblationPrefixCacheOn|BenchmarkAblationPrefixCacheOff)$"},
+	{pkg: "./internal/core", pattern: "^(BenchmarkAlgo|BenchmarkAlgoLarge|BenchmarkAlgoSparse|BenchmarkAblationPrefixCacheOn|BenchmarkAblationPrefixCacheOff)$"},
 }
 
 // coreSpeedupFloor is the once-achieved parallel-win floor: when a
@@ -63,6 +67,13 @@ var coreSuite = []suiteSpec{
 // See bench.CheckSpeedupFloor for the dormancy rule on single-core
 // baselines.
 const coreSpeedupFloor = 2.0
+
+// sparseBytesRatioFloor is the once-achieved compression floor: when a
+// committed baseline shows a *Sparse*/backend=compressed benchmark at or
+// below half its dense sibling's B/op, -check fails any run that gives the
+// size win back. See bench.CheckBytesRatioFloor for the pairing and
+// dormancy rules.
+const sparseBytesRatioFloor = 0.5
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsperf", flag.ContinueOnError)
@@ -95,6 +106,8 @@ func run(args []string, out io.Writer) error {
 		{"counting", countingSuite, *outPath, *check, 0},
 		{"core", coreSuite, *coreOutPath, *coreCheck, coreSpeedupFloor},
 	}
+	// Both suites carry sparse-corpus backend benchmarks, so the bytes
+	// floor applies to both; it is dormant until a baseline achieves it.
 	var checkErrs []error
 	for _, j := range jobs {
 		report := &bench.PerfReport{Suite: j.suiteName, GoVersion: runtime.Version()}
@@ -134,7 +147,7 @@ func run(args []string, out io.Writer) error {
 		if j.check != "" {
 			// run every suite before failing so one regression does not
 			// hide the other suite's report
-			if err := checkBaseline(j.check, report, j.speedupFloor, out); err != nil {
+			if err := checkBaseline(j.check, report, j.speedupFloor, sparseBytesRatioFloor, out); err != nil {
 				checkErrs = append(checkErrs, err)
 			}
 		}
@@ -170,9 +183,11 @@ func runSuite(s suiteSpec, benchtime string, short bool, out io.Writer) (*bench.
 }
 
 // checkBaseline loads the committed baseline and fails on fatal
-// regressions: allocation growth always, and — when speedupFloor is set —
-// a parallel speedup falling below a floor the baseline had achieved.
-func checkBaseline(path string, current *bench.PerfReport, speedupFloor float64, out io.Writer) error {
+// regressions: allocation growth always; a parallel speedup falling below
+// a floor the baseline had achieved (when speedupFloor is set); and a
+// sparse-corpus compressed/dense B/op ratio rising above a floor the
+// baseline had achieved (when bytesFloor is set).
+func checkBaseline(path string, current *bench.PerfReport, speedupFloor, bytesFloor float64, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -184,6 +199,9 @@ func checkBaseline(path string, current *bench.PerfReport, speedupFloor float64,
 	regs := bench.CheckRegressions(baseline, current)
 	if speedupFloor > 0 {
 		regs = append(regs, bench.CheckSpeedupFloor(baseline, current, speedupFloor)...)
+	}
+	if bytesFloor > 0 {
+		regs = append(regs, bench.CheckBytesRatioFloor(baseline, current, bytesFloor)...)
 	}
 	fatal := 0
 	for _, r := range regs {

@@ -22,7 +22,7 @@ func TestCheckBaselinePasses(t *testing.T) {
 		{Name: "BenchmarkCount/bitmap/level=3", NsPerOp: 120, AllocsPerOp: 110},
 	}}
 	var out bytes.Buffer
-	if err := checkBaseline(path, cur, 0, &out); err != nil {
+	if err := checkBaseline(path, cur, 0, 0, &out); err != nil {
 		t.Fatalf("within-slack run failed: %v\n%s", err, out.String())
 	}
 }
@@ -39,7 +39,7 @@ func TestCheckBaselineFailsOnAllocRegression(t *testing.T) {
 		{Name: "BenchmarkCount/bitmap/level=3", NsPerOp: 100, AllocsPerOp: 500},
 	}}
 	var out bytes.Buffer
-	if err := checkBaseline(path, cur, 0, &out); err == nil {
+	if err := checkBaseline(path, cur, 0, 0, &out); err == nil {
 		t.Fatalf("allocation regression passed:\n%s", out.String())
 	}
 }
@@ -56,7 +56,7 @@ func TestCheckBaselineNsOnlyWarns(t *testing.T) {
 		{Name: "B", NsPerOp: 10000, AllocsPerOp: 10},
 	}}
 	var out bytes.Buffer
-	if err := checkBaseline(path, cur, 0, &out); err != nil {
+	if err := checkBaseline(path, cur, 0, 0, &out); err != nil {
 		t.Fatalf("ns-only slowdown must warn, not fail: %v", err)
 	}
 	if !bytes.Contains(out.Bytes(), []byte("warn")) {
@@ -81,7 +81,7 @@ func TestCheckBaselineSpeedupFloor(t *testing.T) {
 	dormant := filepath.Join(dir, "dormant.json")
 	writeJSON(t, dormant, slow)
 	var out bytes.Buffer
-	if err := checkBaseline(dormant, slow, coreSpeedupFloor, &out); err != nil {
+	if err := checkBaseline(dormant, slow, coreSpeedupFloor, 0, &out); err != nil {
 		t.Fatalf("floor fired against a sub-floor baseline: %v\n%s", err, out.String())
 	}
 
@@ -89,12 +89,47 @@ func TestCheckBaselineSpeedupFloor(t *testing.T) {
 	achieved := filepath.Join(dir, "achieved.json")
 	writeJSON(t, achieved, fast)
 	out.Reset()
-	if err := checkBaseline(achieved, slow, coreSpeedupFloor, &out); err == nil {
+	if err := checkBaseline(achieved, slow, coreSpeedupFloor, 0, &out); err == nil {
 		t.Fatalf("speedup collapse passed the floor check:\n%s", out.String())
 	}
 	out.Reset()
-	if err := checkBaseline(achieved, fast, coreSpeedupFloor, &out); err != nil {
+	if err := checkBaseline(achieved, fast, coreSpeedupFloor, 0, &out); err != nil {
 		t.Fatalf("at-floor run failed: %v\n%s", err, out.String())
+	}
+}
+
+// TestCheckBaselineBytesRatioFloor drives the once-achieved compression
+// floor end to end: dormant while the committed baseline never reached the
+// 0.5x ratio on the sparse corpus, fatal once it had and the current run
+// gives the size win back.
+func TestCheckBaselineBytesRatioFloor(t *testing.T) {
+	dir := t.TempDir()
+	const zName = "BenchmarkCountSparse/backend=compressed"
+	const dName = "BenchmarkCountSparse/backend=dense"
+	pair := func(zBytes int64) *bench.PerfReport {
+		return &bench.PerfReport{Benchmarks: []bench.PerfBenchmark{
+			{Name: zName, NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: zBytes},
+			{Name: dName, NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1000},
+		}}
+	}
+	fat, lean := pair(900), pair(100)
+
+	dormant := filepath.Join(dir, "dormant.json")
+	writeJSON(t, dormant, fat)
+	var out bytes.Buffer
+	if err := checkBaseline(dormant, fat, 0, sparseBytesRatioFloor, &out); err != nil {
+		t.Fatalf("floor fired against a never-achieved baseline: %v\n%s", err, out.String())
+	}
+
+	achieved := filepath.Join(dir, "achieved.json")
+	writeJSON(t, achieved, lean)
+	out.Reset()
+	if err := checkBaseline(achieved, fat, 0, sparseBytesRatioFloor, &out); err == nil {
+		t.Fatalf("compression collapse passed the floor check:\n%s", out.String())
+	}
+	out.Reset()
+	if err := checkBaseline(achieved, lean, 0, sparseBytesRatioFloor, &out); err != nil {
+		t.Fatalf("at-ratio run failed: %v\n%s", err, out.String())
 	}
 }
 

@@ -75,8 +75,8 @@ func loadProfile(path string) (*obs.ProfileRecord, error) {
 // report prints the phase-by-phase diff and the dominant-source verdict.
 func report(out io.Writer, a, b *obs.ProfileRecord) error {
 	gap := b.WallSeconds - a.WallSeconds
-	fmt.Fprintf(out, "baseline:  %s  workers=%d  wall=%.6fs\n", a.Name, a.Workers, a.WallSeconds)
-	fmt.Fprintf(out, "candidate: %s  workers=%d  wall=%.6fs\n", b.Name, b.Workers, b.WallSeconds)
+	fmt.Fprintf(out, "baseline:  %s  workers=%d  wall=%.6fs%s\n", a.Name, a.Workers, a.WallSeconds, indexInfo(a))
+	fmt.Fprintf(out, "candidate: %s  workers=%d  wall=%.6fs%s\n", b.Name, b.Workers, b.WallSeconds, indexInfo(b))
 	fmt.Fprintf(out, "gap: %+.6fs (%+.1f%%)\n\n", gap, 100*gap/a.WallSeconds)
 
 	phases := map[string]bool{}
@@ -145,6 +145,18 @@ func report(out io.Writer, a, b *obs.ProfileRecord) error {
 
 	fmt.Fprintf(out, "\ndominant source: %s\n", diagnose(a, b, gap))
 	return nil
+}
+
+// indexInfo renders a record's vertical-index description ("  index=dense
+// (1.2 MiB)"), or "" for records predating the pluggable backend. A
+// baseline and candidate mined over different backends explain a gap the
+// phase table alone cannot: the same query does less (or more) intersection
+// work per list.
+func indexInfo(r *obs.ProfileRecord) string {
+	if r.Backend == "" {
+		return ""
+	}
+	return fmt.Sprintf("  index=%s (%.1f MiB)", r.Backend, float64(r.IndexBytes)/(1<<20))
 }
 
 // Diagnosis thresholds. A skew above maxFairSkew means one worker carried

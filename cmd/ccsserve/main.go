@@ -38,6 +38,7 @@ import (
 	"ccs/internal/counting"
 	"ccs/internal/dataset"
 	"ccs/internal/server"
+	"ccs/internal/tidlist"
 )
 
 func main() {
@@ -64,6 +65,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	mineTimeout := fs.Duration("mine-timeout", time.Minute, "wall-clock budget per mining request; exceeding it returns the completed levels with truncated=true (0 = unlimited)")
 	cacheBytes := fs.Int64("cache-bytes", counting.DefaultCacheBytes, "prefix-intersection cache budget per mining request, in bytes (0 = no cache); hit/miss/eviction rates surface as ccs_prefix_cache_* on the ops /metrics")
 	workers := fs.Int("workers", 0, "default level-engine worker count per mining request (0 = GOMAXPROCS, 1 = serial); a request can override with its workers field")
+	backendFlag := fs.String("backend", "auto", "default TID-list representation of the vertical index per mining request: auto (choose by dataset density), dense, or compressed; a request can override with its backend field")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "drain deadline for in-flight requests on SIGINT/SIGTERM")
 	maxInflight := fs.Int("max-inflight", 0, "mining requests served concurrently; beyond it requests queue and overflow is answered 429 with Retry-After (0 = admission control off)")
 	queueDepth := fs.Int("queue-depth", 0, "requests allowed to wait for an admission slot before arrivals are rejected outright (needs -max-inflight)")
@@ -76,7 +78,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	opts := []server.Option{server.WithMineTimeout(*mineTimeout), server.WithCacheBytes(*cacheBytes), server.WithWorkers(*workers)}
+	backend, err := tidlist.ParseBackend(*backendFlag)
+	if err != nil {
+		return err
+	}
+	opts := []server.Option{server.WithMineTimeout(*mineTimeout), server.WithCacheBytes(*cacheBytes), server.WithWorkers(*workers), server.WithBackend(backend)}
 	if *maxInflight > 0 {
 		opts = append(opts, server.WithAdmission(server.AdmissionConfig{
 			MaxInFlight:  *maxInflight,

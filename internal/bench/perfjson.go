@@ -203,6 +203,52 @@ func CheckSpeedupFloor(baseline, current *PerfReport, floor float64) []Regressio
 	return out
 }
 
+// Backend tags in benchmark names: the bytes-ratio floor pairs each
+// compressed sparse-corpus benchmark with its dense sibling by swapping
+// the tag. Only names containing SparseBytesMarker are judged — the dense
+// corpus's forced-compressed runs are a ns/op comparison, not a size win.
+const (
+	SparseBytesMarker    = "Sparse"
+	CompressedBackendTag = "/backend=compressed"
+	DenseBackendTag      = "/backend=dense"
+)
+
+// CheckBytesRatioFloor enforces a once-achieved compression floor on the
+// sparse corpus: every baseline benchmark named *Sparse*/backend=compressed
+// whose B/op was at or below floor times its dense sibling's gates the
+// matching pair in the current run. Until a committed baseline achieves the
+// ratio the check is dormant (mirroring CheckSpeedupFloor); once achieved,
+// a current run whose compressed/dense B/op ratio exceeds the floor fails
+// fatally. The ratio is taken within each report, so machines with
+// different allocators or corpus sizes still judge themselves honestly.
+func CheckBytesRatioFloor(baseline, current *PerfReport, floor float64) []Regression {
+	var out []Regression
+	for _, old := range baseline.Benchmarks {
+		if !strings.Contains(old.Name, SparseBytesMarker) ||
+			!strings.Contains(old.Name, CompressedBackendTag) {
+			continue
+		}
+		denseName := strings.Replace(old.Name, CompressedBackendTag, DenseBackendTag, 1)
+		oldDense := baseline.Benchmark(denseName)
+		if oldDense == nil || oldDense.BytesPerOp <= 0 ||
+			float64(old.BytesPerOp) > floor*float64(oldDense.BytesPerOp) {
+			continue // baseline never achieved the floor: dormant
+		}
+		cur, curDense := current.Benchmark(old.Name), current.Benchmark(denseName)
+		if cur == nil || curDense == nil || curDense.BytesPerOp <= 0 {
+			continue // suite shrank; absence is not a regression
+		}
+		if ratio := float64(cur.BytesPerOp) / float64(curDense.BytesPerOp); ratio > floor {
+			out = append(out, Regression{
+				Name: old.Name, Unit: "bytes-ratio",
+				Old: float64(old.BytesPerOp) / float64(oldDense.BytesPerOp), New: ratio,
+				Fatal: true,
+			})
+		}
+	}
+	return out
+}
+
 // CheckRegressions compares a fresh run against a committed baseline.
 // Benchmarks present in only one report are skipped: the suite is allowed
 // to grow and shrink without invalidating the baseline.

@@ -133,6 +133,42 @@ func TestCheckSpeedupFloor(t *testing.T) {
 	}
 }
 
+func TestCheckBytesRatioFloor(t *testing.T) {
+	bb := func(name string, bytesPerOp int64) PerfBenchmark {
+		return PerfBenchmark{Name: name, NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: bytesPerOp}
+	}
+	const zName = "BenchmarkCountSparse/backend=compressed"
+	const dName = "BenchmarkCountSparse/backend=dense"
+	const zDormant = "BenchmarkCountSparse/big/backend=compressed"
+	const dDormant = "BenchmarkCountSparse/big/backend=dense"
+	base := &PerfReport{Benchmarks: []PerfBenchmark{
+		bb(zName, 100), bb(dName, 1000), // ratio 0.1 -> floor achieved, gates
+		bb(zDormant, 900), bb(dDormant, 1000), // ratio 0.9 -> dormant
+		bb("BenchmarkCountBackendDense/backend=compressed", 100), // not Sparse -> ignored
+		bb("BenchmarkCountBackendDense/backend=dense", 1000),
+		bb("Gone/Sparse/backend=compressed", 1), bb("Gone/Sparse/backend=dense", 1000),
+	}}
+	cur := &PerfReport{Benchmarks: []PerfBenchmark{
+		bb(zName, 800), bb(dName, 1000), // collapse to 0.8 -> fatal
+		bb(zDormant, 950), bb(dDormant, 1000),
+		bb("BenchmarkCountBackendDense/backend=compressed", 999),
+		bb("BenchmarkCountBackendDense/backend=dense", 1000),
+	}}
+	regs := CheckBytesRatioFloor(base, cur, 0.5)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Name != zName || r.Unit != "bytes-ratio" || !r.Fatal || r.New != 0.8 || r.Old != 0.1 {
+		t.Errorf("regression %+v", r)
+	}
+	// Staying at or under the floor passes.
+	cur.Benchmarks[0].BytesPerOp = 500
+	if regs := CheckBytesRatioFloor(base, cur, 0.5); len(regs) != 0 {
+		t.Errorf("ratio at the floor must pass: %v", regs)
+	}
+}
+
 // w4 is w8 with no helper sugar — a plain benchmark in 4-worker mode.
 func w4(name string, speedup float64) PerfBenchmark {
 	return PerfBenchmark{Name: name, NsPerOp: 100, AllocsPerOp: 10,

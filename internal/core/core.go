@@ -223,6 +223,9 @@ func New(db *dataset.DB, p Params, opts ...Option) (*Miner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ir, ok := cfg.counter.(counting.IndexReporter); ok {
+		cfg.prof.SetIndex(string(ir.IndexBackend()), ir.IndexBytes())
+	}
 	return &Miner{cat: db.Catalog, cnt: cfg.counter, res: r, progress: cfg.progress, budget: cfg.budget, workers: cfg.workers, prof: cfg.prof}, nil
 }
 

@@ -216,7 +216,7 @@ func (m *Miner) runLevelSerial(ctl *runCtl, stats *Stats, spec levelSpec) error 
 		d := time.Since(t0)
 		observePart(lp, obs.PhaseCount, d, obs.AllocBytes()-a0)
 		if sp.Sets.Load() > 0 {
-			lp.AddShard(shardStat(0, d, counting.BatchCost(kept, m.cnt.NumTx()), sp))
+			lp.AddShard(shardStat(0, d, counting.CostModelOf(m.cnt).BatchCost(kept), sp))
 		}
 	}
 	if err != nil {
@@ -312,7 +312,7 @@ func (m *Miner) runLevelParallel(ctl *runCtl, stats *Stats, spec levelSpec, sc c
 	stats.DBScans++
 	stats.SetsConsidered += len(kept)
 
-	plan := counting.PlanShards(kept, m.cnt.NumTx(), workers)
+	plan := counting.CostModelOf(m.cnt).PlanShards(kept, workers)
 	if len(plan.Shards) <= 1 {
 		// The whole level is worth less than one shard budget: count it on
 		// this goroutine. The plan told us parallelism cannot pay here.

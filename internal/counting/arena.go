@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 
-	"ccs/internal/bitset"
 	"ccs/internal/contingency"
 	"ccs/internal/itemset"
+	"ccs/internal/tidlist"
 )
 
 // This file implements per-worker prefix-cache arenas (DESIGN.md §14).
@@ -47,7 +47,7 @@ type CacheArena struct {
 // get looks the key up locally first (prefixes this worker materialized
 // this level), then in the snapshot (prefixes committed by earlier
 // levels). No locks, no atomics, no global metrics.
-func (a *CacheArena) get(key []byte) (*bitset.Set, int, bool) {
+func (a *CacheArena) get(key []byte) (tidlist.List, int, bool) {
 	if ent, ok := a.store.get(key); ok {
 		a.hits++
 		return ent.tids, ent.count, true
@@ -63,7 +63,7 @@ func (a *CacheArena) get(key []byte) (*bitset.Set, int, bool) {
 // put stores a TID-list in the local arena, reporting whether the arena
 // took ownership (same contract as the shared cache's put). Entries
 // already visible in the snapshot are not duplicated.
-func (a *CacheArena) put(key []byte, tids *bitset.Set, count int) bool {
+func (a *CacheArena) put(key []byte, tids tidlist.List, count int) bool {
 	if _, ok := a.snap[string(key)]; ok {
 		return false
 	}

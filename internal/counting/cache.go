@@ -4,7 +4,7 @@ import (
 	"container/list"
 	"sync"
 
-	"ccs/internal/bitset"
+	"ccs/internal/tidlist"
 )
 
 // DefaultCacheBytes is the prefix-cache byte budget used when a caller
@@ -29,22 +29,26 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // cacheEntry is one cached TID-list with its popcount, so hits skip the
-// Count as well as the intersection. Entries are immutable once built: a
-// stored *bitset.Set may be read concurrently (as an AND operand) but
-// never written, and eviction only drops references, so readers holding
-// one stay safe.
+// Cardinality as well as the intersection. Entries are immutable once
+// built: a stored tidlist.List may be read concurrently (as an AND operand)
+// but never written, and eviction only drops references, so readers holding
+// one stay safe. The list keeps whichever representation its intersection
+// produced — under the compressed backend a sparse prefix is cached as a
+// handful of array containers, so the same byte budget holds far more
+// prefixes.
 type cacheEntry struct {
 	key   string
-	tids  *bitset.Set
+	tids  tidlist.List
 	count int
 	size  int64
 }
 
-// entrySize approximates an entry's resident footprint: the bitset words,
-// the key string, and a fixed overhead for the map/list bookkeeping.
-func entrySize(keyLen int, tids *bitset.Set) int64 {
+// entrySize approximates an entry's resident footprint: the list's own
+// representation bytes, the key string, and a fixed overhead for the
+// map/list bookkeeping.
+func entrySize(keyLen int, tids tidlist.List) int64 {
 	const overhead = 128
-	return int64((tids.Len()+63)/64)*8 + int64(keyLen) + overhead
+	return tids.SizeBytes() + int64(keyLen) + overhead
 }
 
 // cacheStore is the synchronization-free core of the prefix cache: a
@@ -91,7 +95,7 @@ func (c *cacheStore) get(key []byte) (*cacheEntry, bool) {
 // ownership of tids (on true the caller must treat tids as immutable and
 // must not recycle it) plus the net byte delta and eviction count, which
 // the locked wrapper forwards to the global metrics.
-func (c *cacheStore) put(key []byte, tids *bitset.Set, count int) (stored bool, delta int64, evicted int) {
+func (c *cacheStore) put(key []byte, tids tidlist.List, count int) (stored bool, delta int64, evicted int) {
 	size := entrySize(len(key), tids)
 	if size > c.budget {
 		return false, 0, 0
@@ -185,7 +189,7 @@ func newPrefixCache(budget int64) *prefixCache {
 // get returns the cached TID-list and popcount for the sub-itemset whose
 // encoded key (itemset.Set.AppendKey) is key. The returned set is shared
 // and must not be mutated.
-func (c *prefixCache) get(key []byte) (*bitset.Set, int, bool) {
+func (c *prefixCache) get(key []byte) (tidlist.List, int, bool) {
 	c.mu.Lock()
 	ent, ok := c.store.get(key)
 	if ok {
@@ -203,7 +207,7 @@ func (c *prefixCache) get(key []byte) (*bitset.Set, int, bool) {
 }
 
 // put stores a TID-list, reporting whether the cache took ownership.
-func (c *prefixCache) put(key []byte, tids *bitset.Set, count int) bool {
+func (c *prefixCache) put(key []byte, tids tidlist.List, count int) bool {
 	c.mu.Lock()
 	stored, delta, evicted := c.store.put(key, tids, count)
 	c.mu.Unlock()

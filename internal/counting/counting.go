@@ -19,10 +19,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"ccs/internal/bitset"
 	"ccs/internal/contingency"
 	"ccs/internal/dataset"
 	"ccs/internal/itemset"
+	"ccs/internal/tidlist"
 )
 
 // Stats records the work a counter has performed, mirroring the cost
@@ -234,19 +234,24 @@ func mintermIndex(set itemset.Set, tx dataset.Transaction) int {
 // computed by intersecting item columns (sharing work across the subset
 // lattice), then minterm counts follow by Möbius inversion over subsets.
 //
-// The kernel is allocation-free on its hot path: intersections that no
-// later subset builds on are popcounted in place (bitset.AndCount) instead
-// of materialized, and the bitsets that are materialized come from a
-// sync.Pool-backed scratch arena. With a prefix cache attached (see
-// NewCachedBitmapCounter), the TID-lists of canonical prefixes persist
-// across batches and levels, so a level-(k+1) candidate fetches its level-k
-// prefix instead of re-intersecting it.
+// The kernel is representation-agnostic: it speaks tidlist.List, so the
+// same walk runs over dense bitset words or roaring-style compressed
+// containers, and a cached prefix keeps whichever representation its
+// intersection produced. It is allocation-free on its hot path:
+// intersections that no later subset builds on are counted in place
+// (tidlist.AndCount) instead of materialized, and the lists that are
+// materialized come from a sync.Pool-backed scratch arena. With a prefix
+// cache attached (see NewCachedBitmapCounter), the TID-lists of canonical
+// prefixes persist across batches and levels, so a level-(k+1) candidate
+// fetches its level-k prefix instead of re-intersecting it.
 type BitmapCounter struct {
-	idx     *dataset.VerticalIndex
-	items   []int
-	cache   *prefixCache // nil = no cross-batch prefix reuse
-	scratch sync.Pool    // *countScratch
-	engine  string       // metrics label: "bitmap" or "cached"
+	idx      *dataset.VerticalIndex
+	items    []int
+	cache    *prefixCache // nil = no cross-batch prefix reuse
+	scratch  sync.Pool    // *countScratch
+	engine   string       // metrics label: "bitmap" or "cached"
+	idxBytes int64        // resident index size, fixed at construction
+	costm    CostModel    // per-item shard pricing, fixed at construction
 
 	// Work counters are atomic so concurrent CountShard callers (the
 	// mining core's level-engine workers, ParallelCounter's pool) never
@@ -256,17 +261,27 @@ type BitmapCounter struct {
 }
 
 func newBitmapCounter(idx *dataset.VerticalIndex, itemSupports []int, cache *prefixCache) *BitmapCounter {
-	b := &BitmapCounter{idx: idx, items: itemSupports, cache: cache, engine: "bitmap"}
+	b := &BitmapCounter{idx: idx, items: itemSupports, cache: cache, engine: "bitmap", idxBytes: idx.SizeBytes()}
+	b.costm = buildCostModel(idx, len(itemSupports))
 	if cache != nil {
 		b.engine = "cached"
 	}
 	b.scratch.New = func() interface{} { return &countScratch{} }
+	indexBytes.With(string(idx.Backend())).Set(b.idxBytes)
 	return b
 }
 
 // NewBitmapCounter builds the vertical index for db and returns the counter.
+// The TID-list representation is chosen by density (tidlist.Choose); use
+// NewBitmapCounterBackend to pin it.
 func NewBitmapCounter(db *dataset.DB) *BitmapCounter {
-	return newBitmapCounter(dataset.BuildVerticalIndex(db), db.ItemSupports(), nil)
+	return NewBitmapCounterBackend(db, tidlist.BackendAuto)
+}
+
+// NewBitmapCounterBackend is NewBitmapCounter with the TID-list
+// representation pinned (tidlist.BackendAuto keeps the density heuristic).
+func NewBitmapCounterBackend(db *dataset.DB, backend tidlist.Backend) *BitmapCounter {
+	return newBitmapCounter(dataset.BuildVerticalIndexBackend(db, backend), db.ItemSupports(), nil)
 }
 
 // NewBitmapCounterFromIndex wraps an existing vertical index; itemSupports
@@ -283,8 +298,30 @@ func NewBitmapCounterFromIndex(idx *dataset.VerticalIndex, itemSupports []int) *
 // candidates hit the prefix a moment after it is stored and level-(k+1)
 // candidates find the full TID-list their level-k prefix left behind.
 func NewCachedBitmapCounter(db *dataset.DB, cacheBytes int64) *BitmapCounter {
-	return newBitmapCounter(dataset.BuildVerticalIndex(db), db.ItemSupports(), newPrefixCache(cacheBytes))
+	return NewCachedBitmapCounterBackend(db, cacheBytes, tidlist.BackendAuto)
 }
+
+// NewCachedBitmapCounterBackend is NewCachedBitmapCounter with the TID-list
+// representation pinned.
+func NewCachedBitmapCounterBackend(db *dataset.DB, cacheBytes int64, backend tidlist.Backend) *BitmapCounter {
+	return newBitmapCounter(dataset.BuildVerticalIndexBackend(db, backend), db.ItemSupports(), newPrefixCache(cacheBytes))
+}
+
+// IndexReporter is implemented by counters backed by a vertical index; it
+// exposes which TID-list representation the index resolved to and what it
+// costs resident. The mining core and the HTTP service use it for the
+// per-mine profile's backend/index_bytes fields.
+type IndexReporter interface {
+	IndexBackend() tidlist.Backend
+	IndexBytes() int64
+}
+
+// IndexBackend reports the resolved TID-list representation of the
+// counter's vertical index.
+func (b *BitmapCounter) IndexBackend() tidlist.Backend { return b.idx.Backend() }
+
+// IndexBytes reports the resident size of the counter's vertical index.
+func (b *BitmapCounter) IndexBytes() int64 { return b.idxBytes }
 
 // CacheStats snapshots the prefix cache's counters; the zero CacheStats is
 // returned when the counter has no cache.
@@ -358,35 +395,37 @@ func (b *BitmapCounter) CountTablesContext(ctx context.Context, sets []itemset.S
 }
 
 // countScratch is the reusable working state of one countOne call: the
-// per-mask intersection registers plus a free list of bitsets recycled
+// per-mask intersection registers plus a free list of TID-lists recycled
 // across calls. It travels through a sync.Pool so concurrent callers
 // (ParallelCounter workers) each get their own arena without locking.
 type countScratch struct {
-	inter []*bitset.Set // per-mask intersections; always written before read
-	owned []*bitset.Set // materialized this call, recyclable unless cached
-	spare []*bitset.Set // recycled bitsets, reused across calls
-	key   []byte        // cache-key encoding buffer, reused per prefix
+	inter []tidlist.List // per-mask intersections; always written before read
+	owned []tidlist.List // materialized this call, recyclable unless cached
+	spare []tidlist.List // recycled lists, reused across calls
+	key   []byte         // cache-key encoding buffer, reused per prefix
 }
 
 // registers returns the intersection table sized for this call. Entries are
 // not cleared: the mask walk writes inter[mask] before any larger mask
 // reads it, so stale pointers are never observed.
-func (sc *countScratch) registers(size int) []*bitset.Set {
+func (sc *countScratch) registers(size int) []tidlist.List {
 	if cap(sc.inter) < size {
-		sc.inter = make([]*bitset.Set, size)
+		sc.inter = make([]tidlist.List, size)
 	}
 	return sc.inter[:size]
 }
 
-// take returns a bitset over [0,n) whose contents are arbitrary (the caller
-// overwrites them with And).
-func (sc *countScratch) take(n int) *bitset.Set {
+// take returns a TID-list matching idx's backend and universe, with
+// arbitrary contents (the caller overwrites them with And). A scratch arena
+// only ever serves one counter, so every recycled list already has the
+// right shape.
+func (sc *countScratch) take(idx *dataset.VerticalIndex) tidlist.List {
 	if last := len(sc.spare) - 1; last >= 0 {
 		bs := sc.spare[last]
 		sc.spare = sc.spare[:last]
 		return bs
 	}
-	return bitset.New(n)
+	return idx.NewList()
 }
 
 // recycle moves this call's still-owned bitsets to the free list and drops
@@ -406,7 +445,7 @@ func (sc *countScratch) recycle(size int) {
 // of sub-itemset {set[b1..bt]} (b1<…<bt) is inter[{b1..b(t-1)}] ∩ col(bt).
 // Two properties follow. First, a mask whose highest bit is the last item
 // is never a building block of any other mask, so its support is popcounted
-// straight off the operands (bitset.AndCount) without materializing the
+// straight off the operands (tidlist.AndCount) without materializing the
 // intersection — half the lattice allocates nothing. Second, the masks
 // (1<<j)-1 are exactly the canonical j-item prefixes of the set, which is
 // what makes the prefix cache compose with the walk: a cached prefix seeds
@@ -462,7 +501,7 @@ func (b *BitmapCounter) countOneArena(set itemset.Set, prof *ShardProf, arena *C
 					t0 = time.Now()
 				}
 				var (
-					tids  *bitset.Set
+					tids  tidlist.List
 					count int
 					ok    bool
 				)
@@ -487,13 +526,13 @@ func (b *BitmapCounter) countOneArena(set itemset.Set, prof *ShardProf, arena *C
 			}
 			if high == k-1 && !prefix {
 				// Never reused as a sub-intersection: count, don't build.
-				g[mask] = bitset.AndCount(inter[rest], col)
+				g[mask] = tidlist.AndCount(inter[rest], col)
 				continue
 			}
-			bs := sc.take(n)
+			bs := sc.take(b.idx)
 			bs.And(inter[rest], col)
 			inter[mask] = bs
-			g[mask] = bs.Count()
+			g[mask] = bs.Cardinality()
 			if prefix {
 				var t0 time.Time
 				if prof != nil {

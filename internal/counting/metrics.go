@@ -34,6 +34,10 @@ const (
 	// MetricPrefixCacheBytes gauges the bytes currently held by live prefix
 	// caches (summed across caches).
 	MetricPrefixCacheBytes = "ccs_prefix_cache_bytes"
+	// MetricIndexBytes gauges the resident size of the most recently built
+	// vertical index, by TID-list backend — the live view of what the
+	// dense/compressed choice costs in memory.
+	MetricIndexBytes = "ccs_index_bytes"
 )
 
 var (
@@ -45,6 +49,7 @@ var (
 	cacheMisses     = obs.Default().Counter(MetricPrefixCacheMissesTotal, "Prefix-intersection cache misses.")
 	cacheEvictions  = obs.Default().Counter(MetricPrefixCacheEvictionsTotal, "Prefix-intersection cache evictions under the byte budget.")
 	cacheBytes      = obs.Default().Gauge(MetricPrefixCacheBytes, "Bytes held by live prefix-intersection caches.")
+	indexBytes      = obs.Default().GaugeVec(MetricIndexBytes, "Resident bytes of the most recently built vertical index, by TID-list backend.", "backend")
 )
 
 // recordSetsCounted charges one batch's tables to an engine's series.

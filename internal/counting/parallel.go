@@ -9,6 +9,7 @@ import (
 	"ccs/internal/contingency"
 	"ccs/internal/dataset"
 	"ccs/internal/itemset"
+	"ccs/internal/tidlist"
 )
 
 // ParallelCounter is a BitmapCounter that distributes the itemsets of a
@@ -34,21 +35,39 @@ type ParallelCounter struct {
 // NewParallelCounter builds the vertical index for db and returns a counter
 // using the given number of workers (0 = GOMAXPROCS).
 func NewParallelCounter(db *dataset.DB, workers int) *ParallelCounter {
+	return NewParallelCounterBackend(db, workers, tidlist.BackendAuto)
+}
+
+// NewParallelCounterBackend is NewParallelCounter with the TID-list
+// representation pinned.
+func NewParallelCounterBackend(db *dataset.DB, workers int, backend tidlist.Backend) *ParallelCounter {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &ParallelCounter{inner: NewBitmapCounter(db), workers: workers}
+	return &ParallelCounter{inner: NewBitmapCounterBackend(db, backend), workers: workers}
 }
 
 // NewParallelCounterCached is NewParallelCounter with a shared
 // prefix-intersection cache of at most cacheBytes bytes (<= 0 means
 // DefaultCacheBytes) attached to the underlying bitmap kernel.
 func NewParallelCounterCached(db *dataset.DB, workers int, cacheBytes int64) *ParallelCounter {
+	return NewParallelCounterCachedBackend(db, workers, cacheBytes, tidlist.BackendAuto)
+}
+
+// NewParallelCounterCachedBackend is NewParallelCounterCached with the
+// TID-list representation pinned.
+func NewParallelCounterCachedBackend(db *dataset.DB, workers int, cacheBytes int64, backend tidlist.Backend) *ParallelCounter {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &ParallelCounter{inner: NewCachedBitmapCounter(db, cacheBytes), workers: workers}
+	return &ParallelCounter{inner: NewCachedBitmapCounterBackend(db, cacheBytes, backend), workers: workers}
 }
+
+// IndexBackend reports the inner index's resolved TID-list representation.
+func (p *ParallelCounter) IndexBackend() tidlist.Backend { return p.inner.IndexBackend() }
+
+// IndexBytes reports the inner index's resident size.
+func (p *ParallelCounter) IndexBytes() int64 { return p.inner.IndexBytes() }
 
 // NumTx implements Counter.
 func (p *ParallelCounter) NumTx() int { return p.inner.NumTx() }
@@ -136,7 +155,7 @@ func (p *ParallelCounter) CountTablesContext(ctx context.Context, sets []itemset
 		return out, nil
 	}
 	prof := shardProfFrom(ctx)
-	plan := PlanShards(sets, p.inner.NumTx(), p.workers)
+	plan := p.inner.CostModel().PlanShards(sets, p.workers)
 	if p.workers == 1 || len(plan.Shards) == 1 {
 		done := ctx.Done()
 		for i, set := range sets {

@@ -3,6 +3,7 @@ package counting
 import (
 	"sort"
 
+	"ccs/internal/dataset"
 	"ccs/internal/itemset"
 )
 
@@ -16,13 +17,95 @@ import (
 // so one oversized shard cannot strand the pool at the end of a level.
 
 // wordsPerList is the length of one dense TID-list in 64-bit words — the
-// unit cost of a single bitset AND over the database.
+// unit cost of a single bitset AND over the database, and the upper bound
+// any compressed column is clamped to.
 func wordsPerList(numTx int) int64 {
 	w := int64(numTx+63) / 64
 	if w < 1 {
 		w = 1
 	}
 	return w
+}
+
+// CostModel prices counting work in word-operations. The uniform model
+// (NewDenseCostModel) assumes every TID-list costs the full dense word
+// count — correct for the dense backend, where every column really is
+// numTx/64 words. A counter-derived model (BitmapCounter.CostModel) carries
+// the actual per-item column sizes, so under the compressed backend a
+// candidate over rare items is priced at its few array containers instead
+// of the dense worst case — without this, sparse levels split into shards
+// sized for work that isn't there.
+type CostModel struct {
+	words int64   // dense word count: the uniform unit and per-item ceiling
+	col   []int64 // per-item column size in word units; nil = uniform
+}
+
+// NewDenseCostModel returns the uniform model for a numTx-transaction
+// database.
+func NewDenseCostModel(numTx int) CostModel {
+	return CostModel{words: wordsPerList(numTx)}
+}
+
+// CostModeler is implemented by counters that can price counting work from
+// their actual index representation.
+type CostModeler interface {
+	CostModel() CostModel
+}
+
+// CostModelOf returns c's own model when it offers one, else the uniform
+// dense model over c's transaction count.
+func CostModelOf(c Counter) CostModel {
+	if m, ok := c.(CostModeler); ok {
+		return m.CostModel()
+	}
+	return NewDenseCostModel(c.NumTx())
+}
+
+// CostModel implements CostModeler from the vertical index's real column
+// sizes. Under the dense backend every column prices at the uniform word
+// count, so the model is exactly the historical one. The model is built
+// once at counter construction (the index is immutable) and shared.
+func (b *BitmapCounter) CostModel() CostModel { return b.costm }
+
+// buildCostModel derives the per-item cost model from idx's column sizes.
+func buildCostModel(idx *dataset.VerticalIndex, numItems int) CostModel {
+	m := CostModel{words: wordsPerList(idx.NumTx()), col: make([]int64, numItems)}
+	for i := range m.col {
+		w := idx.ColumnBytes(itemset.Item(i)) / 8
+		if w < 1 {
+			w = 1
+		}
+		if w > m.words {
+			w = m.words
+		}
+		m.col[i] = w
+	}
+	return m
+}
+
+// CostModel implements CostModeler by delegating to the inner bitmap
+// kernel, whose index does the actual intersecting.
+func (p *ParallelCounter) CostModel() CostModel {
+	return p.inner.CostModel()
+}
+
+// setWords is the unit intersection cost of one candidate: the smallest of
+// its items' column sizes. An intersection's work is bounded by its
+// smallest operand — the mask walk ANDs into an accumulator that starts as
+// one column and only shrinks — so the cheapest column governs.
+func (m CostModel) setWords(s itemset.Set) int64 {
+	best := m.words
+	if m.col != nil {
+		for _, id := range s {
+			if int(id) < len(m.col) && m.col[id] < best {
+				best = m.col[id]
+			}
+		}
+	}
+	if best < 1 {
+		return 1
+	}
+	return best
 }
 
 // candidateCost prices one k-candidate in word-operations. A cold
@@ -44,13 +127,18 @@ func candidateCost(k int, words int64, warm bool) int64 {
 	return lattice * words
 }
 
-// runCost prices one prefix run of runLen candidates of size k: the first
-// member pays the cold cost, its siblings the warm cost.
-func runCost(k, runLen int, words int64) int64 {
-	if runLen <= 0 {
+// runCost prices one prefix run, candidates [lo,hi) of sets: the first
+// member pays the cold cost, its siblings the warm cost, each at its own
+// per-item unit cost.
+func (m CostModel) runCost(sets []itemset.Set, lo, hi int) int64 {
+	if hi <= lo {
 		return 0
 	}
-	return candidateCost(k, words, false) + int64(runLen-1)*candidateCost(k, words, true)
+	total := candidateCost(sets[lo].Size(), m.setWords(sets[lo]), false)
+	for i := lo + 1; i < hi; i++ {
+		total += candidateCost(sets[i].Size(), m.setWords(sets[i]), true)
+	}
+	return total
 }
 
 // BatchCost estimates the total counting cost of a canonical batch in
@@ -58,13 +146,18 @@ func runCost(k, runLen int, words int64) int64 {
 // drives the serial fold-in of ParallelCounter (a batch below
 // MinShardCost is counted inline — no goroutines) and the level engine's
 // decision to shard at all.
-func BatchCost(sets []itemset.Set, numTx int) int64 {
-	words := wordsPerList(numTx)
+func (m CostModel) BatchCost(sets []itemset.Set) int64 {
 	var total int64
 	for _, r := range PrefixRuns(sets) {
-		total += runCost(sets[r[0]].Size(), r[1]-r[0], words)
+		total += m.runCost(sets, r[0], r[1])
 	}
 	return total
+}
+
+// BatchCost prices a batch with the uniform dense model — the historical
+// entry point, exact for the dense backend.
+func BatchCost(sets []itemset.Set, numTx int) int64 {
+	return NewDenseCostModel(numTx).BatchCost(sets)
 }
 
 // MinShardCost is the smallest estimated shard cost worth dispatching to a
@@ -111,7 +204,7 @@ type ShardPlan struct {
 // shards are big enough to amortize hand-off and few enough to schedule
 // well; a batch worth less than one budget yields a single shard, which
 // callers treat as "run serial".
-func PlanShards(sets []itemset.Set, numTx, workers int) ShardPlan {
+func (m CostModel) PlanShards(sets []itemset.Set, workers int) ShardPlan {
 	plan := ShardPlan{}
 	if len(sets) == 0 {
 		return plan
@@ -119,11 +212,10 @@ func PlanShards(sets []itemset.Set, numTx, workers int) ShardPlan {
 	if workers < 1 {
 		workers = 1
 	}
-	words := wordsPerList(numTx)
 	runs := PrefixRuns(sets)
 	costs := make([]int64, len(runs))
 	for i, r := range runs {
-		costs[i] = runCost(sets[r[0]].Size(), r[1]-r[0], words)
+		costs[i] = m.runCost(sets, r[0], r[1])
 		plan.Total += costs[i]
 	}
 	budget := plan.Total / int64(workers*shardsPerWorker)
@@ -153,4 +245,10 @@ func PlanShards(sets []itemset.Set, numTx, workers int) ShardPlan {
 		return plan.Order[a] < plan.Order[b]
 	})
 	return plan
+}
+
+// PlanShards plans with the uniform dense model — the historical entry
+// point, exact for the dense backend.
+func PlanShards(sets []itemset.Set, numTx, workers int) ShardPlan {
+	return NewDenseCostModel(numTx).PlanShards(sets, workers)
 }

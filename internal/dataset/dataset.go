@@ -1,15 +1,15 @@
 // Package dataset implements the market-basket substrate: an item catalog
 // carrying the attributes the constraint language speaks about (price,
 // type), an in-memory transaction database, and a vertical index mapping
-// each item to the bitset of transactions containing it.
+// each item to the TID-list of transactions containing it.
 package dataset
 
 import (
 	"fmt"
 	"sort"
 
-	"ccs/internal/bitset"
 	"ccs/internal/itemset"
+	"ccs/internal/tidlist"
 )
 
 // ItemInfo carries the per-item attributes referenced by constraints.
@@ -124,23 +124,43 @@ func (db *DB) ItemSupports() []int {
 	return counts
 }
 
-// VerticalIndex maps each item to the bitset of transaction indices that
+// VerticalIndex maps each item to the TID-list of transaction indices that
 // contain it. Building it costs one scan; afterwards minterm counting is
-// pure bit algebra.
+// pure list algebra. The representation is pluggable (internal/tidlist):
+// dense bitset words or roaring-style compressed containers, chosen by
+// dataset density unless the caller pins a backend.
 type VerticalIndex struct {
-	numTx int
-	cols  []*bitset.Set
+	numTx   int
+	backend tidlist.Backend
+	cols    []tidlist.List
 }
 
-// BuildVerticalIndex scans db once and constructs the index.
+// BuildVerticalIndex scans db once and constructs the index, choosing the
+// TID-list backend by density (tidlist.Choose).
 func BuildVerticalIndex(db *DB) *VerticalIndex {
-	v := &VerticalIndex{numTx: db.NumTx(), cols: make([]*bitset.Set, db.NumItems())}
+	return BuildVerticalIndexBackend(db, tidlist.BackendAuto)
+}
+
+// BuildVerticalIndexBackend is BuildVerticalIndex with the TID-list
+// representation pinned (tidlist.BackendAuto still selects by density).
+func BuildVerticalIndexBackend(db *DB, backend tidlist.Backend) *VerticalIndex {
+	entries := 0
+	for _, t := range db.Tx {
+		entries += len(t)
+	}
+	b := tidlist.Choose(backend, db.NumTx(), db.NumItems(), entries)
+	v := &VerticalIndex{numTx: db.NumTx(), backend: b, cols: make([]tidlist.List, db.NumItems())}
 	for i := range v.cols {
-		v.cols[i] = bitset.New(db.NumTx())
+		v.cols[i] = tidlist.New(b, db.NumTx())
 	}
 	for ti, t := range db.Tx {
 		for _, id := range t {
 			v.cols[id].Add(ti)
+		}
+	}
+	for _, col := range v.cols {
+		if c, ok := col.(*tidlist.Compressed); ok {
+			c.Optimize() // settle solid stretches into run containers
 		}
 	}
 	return v
@@ -149,9 +169,29 @@ func BuildVerticalIndex(db *DB) *VerticalIndex {
 // NumTx returns the number of transactions the index covers.
 func (v *VerticalIndex) NumTx() int { return v.numTx }
 
-// Column returns the TID bitset of item id. The returned set must not be
+// Backend reports the resolved TID-list representation.
+func (v *VerticalIndex) Backend() tidlist.Backend { return v.backend }
+
+// NewList returns an empty scratch TID-list matching the index's backend
+// and universe — the only valid operand shape for its columns.
+func (v *VerticalIndex) NewList() tidlist.List { return tidlist.New(v.backend, v.numTx) }
+
+// Column returns the TID-list of item id. The returned list must not be
 // mutated.
-func (v *VerticalIndex) Column(id itemset.Item) *bitset.Set { return v.cols[id] }
+func (v *VerticalIndex) Column(id itemset.Item) tidlist.List { return v.cols[id] }
+
+// ColumnBytes returns the resident size of item id's column — the real
+// per-representation cost the shard scheduler prices intersections in.
+func (v *VerticalIndex) ColumnBytes(id itemset.Item) int64 { return v.cols[id].SizeBytes() }
+
+// SizeBytes returns the resident size of the whole index.
+func (v *VerticalIndex) SizeBytes() int64 {
+	var n int64
+	for _, col := range v.cols {
+		n += col.SizeBytes()
+	}
+	return n
+}
 
 // Support returns the number of transactions containing every item of s.
 func (v *VerticalIndex) Support(s itemset.Set) int {
@@ -159,15 +199,15 @@ func (v *VerticalIndex) Support(s itemset.Set) int {
 	case 0:
 		return v.numTx
 	case 1:
-		return v.cols[s[0]].Count()
+		return v.cols[s[0]].Cardinality()
 	}
-	acc := bitset.New(v.numTx)
+	acc := v.NewList()
 	acc.CopyFrom(v.cols[s[0]])
 	for _, id := range s[1 : len(s)-1] {
 		acc.AndWith(v.cols[id])
 	}
-	// The last column never needs materializing: popcount the intersection.
-	return bitset.AndCount(acc, v.cols[s[len(s)-1]])
+	// The last column never needs materializing: count the intersection.
+	return tidlist.AndCount(acc, v.cols[s[len(s)-1]])
 }
 
 // Stats summarizes a database for reporting.

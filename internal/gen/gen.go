@@ -16,6 +16,11 @@
 //     significantly correlated at every depth, so level-wise mining over
 //     large transaction counts reaches deep lattice levels with real
 //     counting work per level.
+//   - Sparse — the sparse long-tail benchmark corpus: a large catalog
+//     touched lightly, with a Zipfian head, a uniform long tail of
+//     thousands of rare items, and a few planted correlated blocks. Its
+//     density sits far below the dense/compressed cutoff, so it is the
+//     reference workload of the compressed TID-list backend.
 //
 // All randomness is driven by a caller-supplied seed, making datasets
 // reproducible.
@@ -459,6 +464,125 @@ func Lattice(cfg LatticeConfig) (*dataset.DB, error) {
 		size := poisson(r, float64(cfg.AvgTxSize-1)) + 1
 		for j := 0; j < size; j++ {
 			items = append(items, itemset.Item(reserved+int(zipf.Uint64())))
+		}
+		tx[t] = itemset.New(items...)
+	}
+	return dataset.NewDB(cat, tx)
+}
+
+// SparseConfig parametrizes the sparse long-tail corpus (data set 4). The
+// item space splits in three: NumBlocks×BlockLen block items forming the
+// planted correlations, HeadItems Zipf-frequency head items (the corpus's
+// frequent singletons), and everything else a uniform long tail — each
+// tail item lands in roughly NumTx×TailPerTx/tail baskets, a few dozen at
+// benchmark scale. Overall density stays an order of magnitude below the
+// dense/compressed cutoff, so the auto backend picks compressed and tail
+// columns settle into small array containers while the head produces
+// bitmap containers — the container mix the compressed kernels are
+// benchmarked on.
+type SparseConfig struct {
+	NumTx     int     // number of baskets
+	NumItems  int     // catalog size; everything after blocks+head is tail
+	NumBlocks int     // planted correlated blocks
+	BlockLen  int     // items per block
+	BlockProb float64 // probability a block fires in a basket
+	BlockKeep float64 // per-item keep probability when its block fires
+	HeadItems int     // Zipf-frequency head items after the blocks
+	ZipfS     float64 // Zipf exponent of the head (> 1)
+	ZipfV     float64 // Zipf v parameter (>= 1)
+	HeadPerTx int     // mean head items per basket (Poisson)
+	TailPerTx int     // mean uniform tail items per basket (Poisson)
+	Types     []string
+	Seed      int64
+}
+
+// DefaultSparse returns the sparse-corpus parameters for the given basket
+// count: a 4000-item catalog of which ~3900 form the uniform tail, baskets
+// of about seven items, and three 4-item blocks firing in 4% of baskets.
+// Density is ~7/4000 ≈ 0.2% — thirty-fold below the 1/16 dense cutoff.
+func DefaultSparse(numTx int, seed int64) SparseConfig {
+	return SparseConfig{
+		NumTx:     numTx,
+		NumItems:  4000,
+		NumBlocks: 3,
+		BlockLen:  4,
+		BlockProb: 0.04,
+		BlockKeep: 0.90,
+		HeadItems: 50,
+		ZipfS:     1.5,
+		ZipfV:     2,
+		HeadPerTx: 3,
+		TailPerTx: 4,
+		Seed:      seed,
+	}
+}
+
+func (c SparseConfig) validate() error {
+	switch {
+	case c.NumTx < 0:
+		return fmt.Errorf("gen: NumTx %d negative", c.NumTx)
+	case c.NumItems <= 0:
+		return fmt.Errorf("gen: NumItems %d not positive", c.NumItems)
+	case c.NumBlocks < 0:
+		return fmt.Errorf("gen: NumBlocks %d negative", c.NumBlocks)
+	case c.NumBlocks > 0 && c.BlockLen < 2:
+		return fmt.Errorf("gen: BlockLen %d below 2", c.BlockLen)
+	case c.NumBlocks > 0 && (c.BlockProb <= 0 || c.BlockProb > 1):
+		return fmt.Errorf("gen: BlockProb %g outside (0,1]", c.BlockProb)
+	case c.NumBlocks > 0 && (c.BlockKeep <= 0 || c.BlockKeep > 1):
+		return fmt.Errorf("gen: BlockKeep %g outside (0,1]", c.BlockKeep)
+	case c.HeadItems <= 0:
+		return fmt.Errorf("gen: HeadItems %d not positive", c.HeadItems)
+	case c.NumBlocks*c.BlockLen+c.HeadItems >= c.NumItems:
+		return fmt.Errorf("gen: %d block and %d head items leave no tail in catalog of %d",
+			c.NumBlocks*c.BlockLen, c.HeadItems, c.NumItems)
+	case c.ZipfS <= 1:
+		return fmt.Errorf("gen: ZipfS %g must exceed 1", c.ZipfS)
+	case c.ZipfV < 1:
+		return fmt.Errorf("gen: ZipfV %g below 1", c.ZipfV)
+	case c.HeadPerTx <= 0:
+		return fmt.Errorf("gen: HeadPerTx %d not positive", c.HeadPerTx)
+	case c.TailPerTx <= 0:
+		return fmt.Errorf("gen: TailPerTx %d not positive", c.TailPerTx)
+	}
+	return nil
+}
+
+// Sparse generates the sparse long-tail corpus. Block items occupy ids
+// [0, NumBlocks×BlockLen), head ids follow (rank 0 most frequent), and the
+// uniform tail fills the rest of the catalog.
+func Sparse(cfg SparseConfig) (*dataset.DB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cat := dataset.SyntheticCatalog(cfg.NumItems, cfg.Types)
+	reserved := cfg.NumBlocks * cfg.BlockLen
+	tailBase := reserved + cfg.HeadItems
+	tail := cfg.NumItems - tailBase
+	zipf := rand.NewZipf(r, cfg.ZipfS, cfg.ZipfV, uint64(cfg.HeadItems-1))
+	tx := make([]dataset.Transaction, cfg.NumTx)
+	items := make([]itemset.Item, 0, reserved+2*(cfg.HeadPerTx+cfg.TailPerTx))
+	for t := range tx {
+		items = items[:0]
+		for blk := 0; blk < cfg.NumBlocks; blk++ {
+			if r.Float64() >= cfg.BlockProb {
+				continue
+			}
+			base := blk * cfg.BlockLen
+			for j := 0; j < cfg.BlockLen; j++ {
+				if r.Float64() < cfg.BlockKeep {
+					items = append(items, itemset.Item(base+j))
+				}
+			}
+		}
+		head := poisson(r, float64(cfg.HeadPerTx-1)) + 1
+		for j := 0; j < head; j++ {
+			items = append(items, itemset.Item(reserved+int(zipf.Uint64())))
+		}
+		size := poisson(r, float64(cfg.TailPerTx-1)) + 1
+		for j := 0; j < size; j++ {
+			items = append(items, itemset.Item(tailBase+r.Intn(tail)))
 		}
 		tx[t] = itemset.New(items...)
 	}

@@ -9,6 +9,7 @@ import (
 	"ccs/internal/core"
 	"ccs/internal/dataset"
 	"ccs/internal/itemset"
+	"ccs/internal/tidlist"
 )
 
 func TestMethod1Validation(t *testing.T) {
@@ -364,5 +365,111 @@ func TestMinerDetectsNegativeDependence(t *testing.T) {
 	}
 	if found != len(rules) {
 		t.Fatalf("found %d of %d planted exclusions; answers = %d", found, len(rules), len(res.Answers))
+	}
+}
+
+func TestSparseValidation(t *testing.T) {
+	ok := DefaultSparse(100, 1)
+	bad := []func(*SparseConfig){
+		func(c *SparseConfig) { c.NumTx = -1 },
+		func(c *SparseConfig) { c.NumItems = 0 },
+		func(c *SparseConfig) { c.BlockLen = 1 },
+		func(c *SparseConfig) { c.BlockProb = 1.5 },
+		func(c *SparseConfig) { c.HeadItems = 0 },
+		func(c *SparseConfig) { c.HeadItems = c.NumItems }, // no tail left
+		func(c *SparseConfig) { c.ZipfS = 1.0 },
+		func(c *SparseConfig) { c.TailPerTx = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := ok
+		mutate(&cfg)
+		if _, err := Sparse(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestSparseIsSparse pins the property the corpus exists for: its density
+// sits far enough below the 1/16 cutoff that the auto backend picks the
+// compressed representation, and the tail really is long — most of the
+// catalog appears in at least one basket, yet typical tail items show up
+// in well under 1% of them.
+func TestSparseIsSparse(t *testing.T) {
+	cfg := DefaultSparse(20000, 7)
+	db, err := Sparse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dataset.Summarize(db)
+	if density := st.AvgBasketSize / float64(st.NumItems); density > 1.0/64 {
+		t.Fatalf("density %.4f not sparse (avg basket %.1f over %d items)",
+			density, st.AvgBasketSize, st.NumItems)
+	}
+	if idx := dataset.BuildVerticalIndex(db); idx.Backend() != tidlist.BackendCompressed {
+		t.Fatalf("auto backend chose %q, want compressed", idx.Backend())
+	}
+	if st.DistinctItems < st.NumItems/2 {
+		t.Fatalf("only %d of %d items ever appear; tail too short", st.DistinctItems, st.NumItems)
+	}
+	supports := db.ItemSupports()
+	tailBase := cfg.NumBlocks*cfg.BlockLen + cfg.HeadItems
+	rare := 0
+	for _, s := range supports[tailBase:] {
+		if s < st.NumTx/100 {
+			rare++
+		}
+	}
+	if tail := len(supports) - tailBase; rare < tail*9/10 {
+		t.Fatalf("only %d of %d tail items are rare (<1%% support)", rare, tail)
+	}
+}
+
+func TestSparseDeterministic(t *testing.T) {
+	a, err := Sparse(DefaultSparse(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sparse(DefaultSparse(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tx) != len(b.Tx) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Tx), len(b.Tx))
+	}
+	for i := range a.Tx {
+		if !a.Tx[i].Equal(b.Tx[i]) {
+			t.Fatalf("tx %d differs: %v vs %v", i, a.Tx[i], b.Tx[i])
+		}
+	}
+}
+
+// TestSparseMinerFindsBlocks checks the planted blocks survive mining: the
+// pairs inside block 0 must be among the answers at thresholds tuned to the
+// corpus's tiny supports. The catalog is shrunk from the 4000-item default
+// so the level-2 candidate join stays test-sized; the density (~5%) still
+// selects the compressed backend.
+func TestSparseMinerFindsBlocks(t *testing.T) {
+	cfg := DefaultSparse(4000, 11)
+	cfg.NumItems = 150
+	cfg.HeadItems = 20
+	db, err := Sparse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(db, core.Params{Alpha: 0.95, CellSupport: 5, CTFraction: 0.25, MaxLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.BMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, s := range res.Answers {
+		found[s.String()] = true
+	}
+	want := itemset.New(0, 1)
+	if !found[want.String()] {
+		t.Fatalf("planted block pair %v not among %d answers", want, len(res.Answers))
 	}
 }

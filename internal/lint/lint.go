@@ -215,6 +215,7 @@ func isAnalyzerName(s string) bool {
 const (
 	bitsetPkgPath  = "ccs/internal/bitset"
 	itemsetPkgPath = "ccs/internal/itemset"
+	tidlistPkgPath = "ccs/internal/tidlist"
 )
 
 // isPtrToNamed reports whether t is *N where N is the named type pkgPath.name.

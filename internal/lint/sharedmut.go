@@ -21,15 +21,57 @@ var bitsetMutators = map[string]bool{
 	"Not":      true,
 }
 
+// tidlistMutators are the tidlist.List methods that write into their
+// receiver in place — the interface VerticalIndex.Column hands out since
+// the pluggable-backend rework. Optimize is deliberately absent: it
+// repacks containers without changing membership, and the index builder
+// calls it on its own columns.
+var tidlistMutators = map[string]bool{
+	"Add":      true,
+	"And":      true,
+	"AndWith":  true,
+	"CopyFrom": true,
+}
+
+// mutatesSharedList reports whether f is an in-place mutator of a shared
+// TID-list representation: a tidlist.List interface method (or the same
+// method on a concrete backend like Dense or Compressed), or one of the
+// legacy bitset.Set mutators.
+func mutatesSharedList(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if tidlistMutators[f.Name()] {
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			if obj := named.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == tidlistPkgPath {
+				return true
+			}
+		}
+		// Interface method sets reached through an embedded or anonymous
+		// interface value carry the bare interface type as receiver.
+		if _, ok := recv.(*types.Interface); ok {
+			return true
+		}
+	}
+	return bitsetMutators[f.Name()] && isPtrToNamed(sig.Recv().Type(), bitsetPkgPath, "Set")
+}
+
 // SharedMut flags in-place mutation of shared vertical-index columns: any
-// mutating bitset.Set method whose receiver flows, intra-procedurally, from
-// a Column(...) call without an intervening Clone() (or CopyFrom into a
-// locally-owned set, where the column is only the argument). Aliases stored
-// into local slices or maps taint the container, so receivers read back out
-// of such containers are flagged too.
+// mutating tidlist.List (or legacy bitset.Set) method whose receiver
+// flows, intra-procedurally, from a Column(...) call without copying into
+// a locally-owned list first (NewList + CopyFrom, or bitset Clone; a
+// CopyFrom whose receiver is locally owned is fine — the column is only
+// the source operand). Aliases stored into local slices or maps taint the
+// container, so receivers read back out of such containers are flagged
+// too.
 var SharedMut = &Analyzer{
 	Name: "sharedmut",
-	Doc:  "flags in-place mutation of bitset columns returned by Column()",
+	Doc:  "flags in-place mutation of TID-list columns returned by Column()",
 	Run:  runSharedMut,
 }
 
@@ -99,15 +141,11 @@ func (w *sharedMutWalker) visit(n ast.Node) bool {
 			return true
 		}
 		f := calleeFunc(info, n)
-		if f == nil || !bitsetMutators[f.Name()] {
-			return true
-		}
-		sig, ok := f.Type().(*types.Signature)
-		if !ok || sig.Recv() == nil || !isPtrToNamed(sig.Recv().Type(), bitsetPkgPath, "Set") {
+		if f == nil || !mutatesSharedList(f) {
 			return true
 		}
 		if w.isTainted(sel.X) {
-			w.pass.Reportf(n.Pos(), "%s mutates a shared TID-list obtained from Column(); Clone() it into a locally-owned set first", f.Name())
+			w.pass.Reportf(n.Pos(), "%s mutates a shared TID-list obtained from Column(); copy it into a locally-owned list first (NewList + CopyFrom)", f.Name())
 		}
 	}
 	return true
@@ -153,8 +191,9 @@ func (w *sharedMutWalker) isTainted(e ast.Expr) bool {
 }
 
 // isColumnCall reports whether call invokes a method named Column returning
-// *bitset.Set — VerticalIndex.Column today, and any sharded successor that
-// keeps the accessor shape.
+// a shared TID-list — tidlist.List since the pluggable-backend rework, or
+// *bitset.Set from older accessors — covering VerticalIndex.Column and any
+// sharded successor that keeps the accessor shape.
 func isColumnCall(info *types.Info, call *ast.CallExpr) bool {
 	f := calleeFunc(info, call)
 	if f == nil || f.Name() != "Column" {
@@ -164,7 +203,8 @@ func isColumnCall(info *types.Info, call *ast.CallExpr) bool {
 	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
 		return false
 	}
-	return isPtrToNamed(sig.Results().At(0).Type(), bitsetPkgPath, "Set")
+	res := sig.Results().At(0).Type()
+	return isNamed(res, tidlistPkgPath, "List") || isPtrToNamed(res, bitsetPkgPath, "Set")
 }
 
 func identObj(info *types.Info, id *ast.Ident) types.Object {

@@ -1,10 +1,11 @@
 // Package sharedmut seeds violations and negative cases for the sharedmut
-// analyzer against the real bitset and dataset packages.
+// analyzer against the real tidlist and dataset packages.
 package sharedmut
 
 import (
 	"ccs/internal/bitset"
 	"ccs/internal/dataset"
+	"ccs/internal/tidlist"
 )
 
 func direct(v *dataset.VerticalIndex) {
@@ -19,20 +20,20 @@ func viaLocal(v *dataset.VerticalIndex) {
 func viaAlias(v *dataset.VerticalIndex) {
 	col := v.Column(0)
 	alias := col
-	alias.Clear() // want "Clear mutates a shared TID-list"
+	alias.AndWith(v.Column(1)) // want "AndWith mutates a shared TID-list"
 }
 
 func viaContainer(v *dataset.VerticalIndex) {
-	cols := make([]*bitset.Set, 2)
+	cols := make([]tidlist.List, 2)
 	cols[0] = v.Column(0)
-	cols[0].Remove(3) // want "Remove mutates a shared TID-list"
+	cols[0].Add(3) // want "Add mutates a shared TID-list"
 }
 
 func viaRange(v *dataset.VerticalIndex) {
-	cols := make([]*bitset.Set, 1)
+	cols := make([]tidlist.List, 1)
 	cols[0] = v.Column(0)
 	for _, c := range cols {
-		c.Fill() // want "Fill mutates a shared TID-list"
+		c.AndWith(cols[0]) // want "AndWith mutates a shared TID-list"
 	}
 }
 
@@ -41,28 +42,41 @@ func overwrittenByCopy(v *dataset.VerticalIndex) {
 	col.CopyFrom(v.Column(1)) // want "CopyFrom mutates a shared TID-list"
 }
 
-func cloned(v *dataset.VerticalIndex) {
-	col := v.Column(0).Clone()
-	col.Add(1) // ok: locally owned copy
+func copied(v *dataset.VerticalIndex) {
+	own := v.NewList()
+	own.CopyFrom(v.Column(0)) // ok: the column is only the source operand
+	own.Add(1)                // ok: locally owned copy
 }
 
 func reassigned(v *dataset.VerticalIndex) {
 	col := v.Column(0)
-	col = col.Clone()
-	col.Fill() // ok: rebound to a clone before mutation
+	own := v.NewList()
+	own.CopyFrom(col)
+	col = own
+	col.Add(7) // ok: rebound to a locally-owned copy before mutation
 }
 
-func copyInto(v *dataset.VerticalIndex) {
-	dst := bitset.New(v.NumTx())
-	dst.CopyFrom(v.Column(0)) // ok: the column is only the source operand
-	dst.And(dst, v.Column(1)) // ok: receiver is locally owned
+func intersectInto(v *dataset.VerticalIndex) {
+	dst := v.NewList()
+	dst.And(v.Column(0), v.Column(1)) // ok: receiver is locally owned
+	dst.AndWith(v.Column(2))          // ok
 }
 
 func readOnly(v *dataset.VerticalIndex) int {
-	return bitset.AndCount(v.Column(0), v.Column(1)) // ok: no mutation
+	return tidlist.AndCount(v.Column(0), v.Column(1)) // ok: no mutation
 }
 
-func freshSets() {
+func freshLists() {
+	s := tidlist.New(tidlist.BackendCompressed, 64)
+	s.Add(7) // ok: not a column
+	t := tidlist.FromIndices(tidlist.BackendDense, 64, 1, 2)
+	t.AndWith(s) // ok
+}
+
+// The legacy bitset.Set mutators stay covered: sets that never flow from a
+// Column() call are clean, and the dense backend's wrapped bitsets are
+// reached through the tidlist interface above.
+func freshBitset() {
 	s := bitset.New(64)
 	s.Add(7) // ok: not a column
 	t := bitset.FromIndices(64, 1, 2)

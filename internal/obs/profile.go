@@ -77,6 +77,9 @@ type Profile struct {
 	levels  []*LevelProf
 	busy    []time.Duration // per-worker busy (goroutine-seconds)
 	shards  []int           // per-worker shards counted
+
+	backend    string // TID-list backend of the run's vertical index
+	indexBytes int64  // resident bytes of the run's vertical index
 }
 
 type phaseAcc struct {
@@ -157,6 +160,20 @@ func (p *Profile) AddWorker(worker int, busy time.Duration, shards int) {
 	}
 	p.busy[worker] += busy
 	p.shards[worker] += shards
+	p.mu.Unlock()
+}
+
+// SetIndex records the run's vertical-index representation: the resolved
+// TID-list backend and the index's resident bytes. The mining core calls it
+// when the counter is attached; runs over non-vertical counters (the
+// horizontal scanners) leave both fields zero.
+func (p *Profile) SetIndex(backend string, bytes int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.backend = backend
+	p.indexBytes = bytes
 	p.mu.Unlock()
 }
 
@@ -289,6 +306,12 @@ type ProfileRecord struct {
 	Workers     int       `json:"workers"`
 	Start       time.Time `json:"start"`
 	WallSeconds float64   `json:"wall_seconds"`
+	// Backend and IndexBytes describe the run's vertical index: which
+	// TID-list representation it resolved to ("dense" or "compressed") and
+	// its resident size. Both are empty/zero for horizontal-scan runs and
+	// for profiles predating the pluggable backend.
+	Backend    string `json:"backend,omitempty"`
+	IndexBytes int64  `json:"index_bytes,omitempty"`
 	// Phases attributes mining-goroutine wall time: the values sum to
 	// WallSeconds up to the computed "other" residual, so two records of
 	// the same query decompose their wall-clock gap phase by phase.
@@ -303,12 +326,12 @@ type ProfileRecord struct {
 	Shards            int       `json:"shards"`
 	// ShardCost totals the scheduler's estimated shard costs in
 	// word-operations; zero with Shards > 0 marks a pre-cost-model profile.
-	ShardCost int64 `json:"shard_cost"`
-	Candidates        int64     `json:"candidates"`
-	Kept              int64     `json:"kept"`
-	Cells             int64     `json:"cells"`
-	CacheHits         int64     `json:"cache_hits"`
-	CacheMisses       int64     `json:"cache_misses"`
+	ShardCost   int64 `json:"shard_cost"`
+	Candidates  int64 `json:"candidates"`
+	Kept        int64 `json:"kept"`
+	Cells       int64 `json:"cells"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
 }
 
 // CacheHitRate returns cache hits over lookups, or 0 before any lookup.
@@ -340,6 +363,8 @@ func (p *Profile) Record() *ProfileRecord {
 		Workers:     p.workers,
 		Start:       p.start,
 		WallSeconds: wall.Seconds(),
+		Backend:     p.backend,
+		IndexBytes:  p.indexBytes,
 		Phases:      map[string]PhaseRecord{},
 	}
 	totals := map[string]*phaseAcc{}

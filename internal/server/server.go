@@ -38,6 +38,7 @@ import (
 	"ccs/internal/gen"
 	"ccs/internal/itemset"
 	"ccs/internal/obs"
+	"ccs/internal/tidlist"
 )
 
 // maxUploadBytes bounds dataset uploads (64 MiB).
@@ -61,6 +62,7 @@ type Server struct {
 	mineTimeout time.Duration
 	cacheBytes  int64
 	workers     int
+	backend     tidlist.Backend
 	logger      *obs.Logger
 	tracer      *obs.Tracer
 	profiles    *obs.ProfileRing
@@ -102,6 +104,15 @@ func WithCacheBytes(n int64) Option {
 // changes wall-clock time, never the mined answers.
 func WithWorkers(n int) Option {
 	return func(s *Server) { s.workers = n }
+}
+
+// WithBackend sets the default TID-list representation of /v1/mine's
+// vertical index (ccsserve -backend): auto (the default) chooses by
+// dataset density, dense and compressed pin it. A request can override
+// with its backend field. The backend changes memory and speed only,
+// never the mined answers.
+func WithBackend(b tidlist.Backend) Option {
+	return func(s *Server) { s.backend = b }
 }
 
 // WithLogWriter routes the server's structured log — one JSON object per
@@ -257,12 +268,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 // GenerateSpec is the JSON body of the :generate action.
 type GenerateSpec struct {
-	Method   int   `json:"method"` // 1, 2, or 3 (large-lattice corpus)
+	Method   int   `json:"method"` // 1, 2, 3 (large-lattice), or 4 (sparse long-tail)
 	Baskets  int   `json:"baskets"`
 	Items    int   `json:"items"`
 	Rules    int   `json:"rules,omitempty"`
 	Patterns int   `json:"patterns,omitempty"`
-	Blocks   int   `json:"blocks,omitempty"` // method 3: planted correlated blocks
+	Blocks   int   `json:"blocks,omitempty"` // methods 3, 4: planted correlated blocks
 	Seed     int64 `json:"seed"`
 }
 
@@ -356,8 +367,17 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request, name str
 			cfg.NumBlocks = spec.Blocks
 		}
 		db, err = gen.Lattice(cfg)
+	case 4:
+		cfg := gen.DefaultSparse(spec.Baskets, spec.Seed)
+		if spec.Items > 0 {
+			cfg.NumItems = spec.Items
+		}
+		if spec.Blocks > 0 {
+			cfg.NumBlocks = spec.Blocks
+		}
+		db, err = gen.Sparse(cfg)
 	default:
-		s.writeError(w, http.StatusBadRequest, "unknown method %d (want 1, 2, or 3)", spec.Method)
+		s.writeError(w, http.StatusBadRequest, "unknown method %d (want 1, 2, 3, or 4)", spec.Method)
 		return
 	}
 	if err != nil {
@@ -400,6 +420,11 @@ type MineRequest struct {
 	// < 0 forces the serial path, 0 keeps the server default (ccsserve
 	// -workers). The mined answers are identical at every setting.
 	Workers int `json:"workers,omitempty"`
+	// Backend overrides the server's TID-list representation for this
+	// request's vertical index: "dense", "compressed", or "auto" (choose by
+	// dataset density); empty keeps the server default (ccsserve -backend).
+	// The backend changes memory and speed only, never the mined answers.
+	Backend string `json:"backend,omitempty"`
 	// Profile attributes this mine's wall time across phases (candidate
 	// generation, counting per shard, evaluation, pipeline stalls). The
 	// reply gains a profile block and the profile also lands in the ops
@@ -427,6 +452,12 @@ type MineResponse struct {
 	// Profile is the per-phase wall-time attribution of this mine,
 	// present when the request asked for profile: true.
 	Profile *obs.ProfileRecord `json:"profile,omitempty"`
+	// Backend is the TID-list representation the mine's vertical index
+	// resolved to ("dense" or "compressed"), and IndexBytes its resident
+	// size — what the auto heuristic (or an explicit override) actually
+	// chose and what it cost.
+	Backend    string `json:"backend,omitempty"`
+	IndexBytes int64  `json:"index_bytes,omitempty"`
 }
 
 // truncationCause maps a core truncation cause to its wire label.
@@ -519,20 +550,34 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	tr := s.tracer.Start("mine", traceAttrs...)
 	span := tr.StartSpan("setup")
 
-	opts := []core.Option{}
-	if cacheBytes := s.cacheBytes; req.CacheBytes != 0 || cacheBytes > 0 {
-		if req.CacheBytes != 0 {
-			cacheBytes = req.CacheBytes
+	backend := s.backend
+	if req.Backend != "" {
+		b, err := tidlist.ParseBackend(req.Backend)
+		if err != nil {
+			tr.Finish(obs.String("outcome", "error"))
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
 		}
-		cacheBytes = shedCacheBytes(stage, cacheBytes)
-		if cacheBytes > 0 {
-			cc := counting.NewCachedBitmapCounter(db, cacheBytes)
-			// Returning the cache's bytes keeps the ccs_prefix_cache_bytes
-			// gauge tracking live requests only.
-			defer cc.ReleaseCache()
-			opts = append(opts, core.WithCounter(cc))
-		}
+		backend = b
 	}
+	cacheBytes := s.cacheBytes
+	if req.CacheBytes != 0 {
+		cacheBytes = req.CacheBytes
+	}
+	cacheBytes = shedCacheBytes(stage, cacheBytes)
+	// The counter is always built here (rather than letting core.New pick
+	// its default) so the response can report which backend the index
+	// resolved to and what it cost resident.
+	var cc *counting.BitmapCounter
+	if cacheBytes > 0 {
+		cc = counting.NewCachedBitmapCounterBackend(db, cacheBytes, backend)
+		// Returning the cache's bytes keeps the ccs_prefix_cache_bytes
+		// gauge tracking live requests only.
+		defer cc.ReleaseCache()
+	} else {
+		cc = counting.NewBitmapCounterBackend(db, backend)
+	}
+	opts := []core.Option{core.WithCounter(cc)}
 	workers := s.workers
 	if req.Workers != 0 {
 		workers = req.Workers
@@ -625,6 +670,8 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		Elapsed:        time.Since(start).Seconds(),
 		Truncated:      res.Truncated,
 		TruncatedCause: truncationCause(res.Cause),
+		Backend:        string(cc.IndexBackend()),
+		IndexBytes:     cc.IndexBytes(),
 	}
 	for _, d := range res.Stats.LevelDurations {
 		resp.LevelSeconds = append(resp.LevelSeconds, d.Seconds())

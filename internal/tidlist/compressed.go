@@ -1,0 +1,825 @@
+package tidlist
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// The compressed backend is a roaring-style container store: the TID
+// universe is cut into 64Ki chunks keyed by tid>>16, and each chunk holds
+// its low 16 bits in whichever of three container forms is smallest:
+//
+//   - array: the TIDs themselves as sorted uint16s, for up to 4096 values
+//     (2 bytes per TID — past 4096 the bitmap is smaller);
+//   - bitmap: 1024 words of flat bits, for dense chunks;
+//   - run: (start, last) uint16 pairs, for chunks dominated by contiguous
+//     stretches (Optimize converts a container to runs only when that is
+//     strictly smaller than both other forms).
+//
+// Intersections dispatch on the container-type pair:
+//
+//	array×array    linear merge, galloping (binary-search skip) when one
+//	               side is much longer
+//	array×bitmap   per-value bit probe
+//	array×run      merge walk along the run list
+//	bitmap×bitmap  word AND
+//	bitmap×run     range-masked word AND
+//	run×run        interval merge producing runs
+//
+// And produces an array when the result fits (≤4096 TIDs), a bitmap
+// otherwise, and runs only from run×run — so intermediates shrink as the
+// subset lattice deepens. Output is written into the destination's
+// recycled payloads, which keeps the counting hot path allocation-free
+// once its scratch lists have warmed up, exactly like the dense kernels.
+
+const (
+	chunkBits    = 16
+	chunkSize    = 1 << chunkBits
+	chunkMask    = chunkSize - 1
+	arrayMaxCard = 4096
+	bitmapWords  = chunkSize / 64
+)
+
+type ctype uint8
+
+const (
+	tArray ctype = iota
+	tBitmap
+	tRun
+)
+
+// container is one 64Ki chunk. Exactly one payload is live (typ selects
+// it); the other keeps its capacity as scratch for later conversions, so a
+// container that oscillates between forms across intersections settles into
+// zero allocations.
+type container struct {
+	typ  ctype
+	card int
+	arr  []uint16 // tArray: sorted values; tRun: (start, last) pairs
+	bmp  []uint64 // tBitmap: bitmapWords words
+}
+
+// Compressed is the roaring-style List implementation.
+type Compressed struct {
+	n  int
+	cs []container
+}
+
+// NewCompressed returns an empty compressed list over [0, n).
+func NewCompressed(n int) *Compressed {
+	if n < 0 {
+		panic("tidlist: negative universe size")
+	}
+	return &Compressed{n: n, cs: make([]container, (n+chunkMask)/chunkSize)}
+}
+
+func (c *Compressed) asComp(op string, o List) *Compressed {
+	x, ok := o.(*Compressed)
+	if !ok {
+		mismatch(op, o)
+	}
+	if x.n != c.n {
+		panic(fmt.Sprintf("tidlist: universe mismatch %d != %d", c.n, x.n))
+	}
+	return x
+}
+
+// Universe implements List.
+func (c *Compressed) Universe() int { return c.n }
+
+// Cardinality implements List.
+func (c *Compressed) Cardinality() int {
+	total := 0
+	for i := range c.cs {
+		total += c.cs[i].card
+	}
+	return total
+}
+
+// SizeBytes implements List: live payload bytes plus per-container
+// bookkeeping. Spare (non-live) payload capacity is not charged — the cache
+// budget and cost model price the representation, not the scratch history.
+func (c *Compressed) SizeBytes() int64 {
+	const overhead = 48
+	n := int64(overhead)
+	for i := range c.cs {
+		ct := &c.cs[i]
+		n += overhead
+		switch ct.typ {
+		case tArray, tRun:
+			n += 2 * int64(len(ct.arr))
+		case tBitmap:
+			n += 8 * int64(bitmapWords)
+		}
+	}
+	return n
+}
+
+// Backend implements List.
+func (c *Compressed) Backend() Backend { return BackendCompressed }
+
+// Add implements List.
+func (c *Compressed) Add(i int) {
+	if i < 0 || i >= c.n {
+		panic(fmt.Sprintf("tidlist: index %d out of range [0,%d)", i, c.n))
+	}
+	c.cs[i>>chunkBits].add(uint16(i & chunkMask))
+}
+
+// And implements List; the receiver may alias either operand.
+func (c *Compressed) And(a, b List) {
+	x, y := c.asComp("And", a), c.asComp("And", b)
+	for k := range c.cs {
+		andContainer(&c.cs[k], &x.cs[k], &y.cs[k])
+	}
+}
+
+// AndWith implements List.
+func (c *Compressed) AndWith(o List) { c.And(c, o) }
+
+// CopyFrom implements List.
+func (c *Compressed) CopyFrom(o List) {
+	x := c.asComp("CopyFrom", o)
+	if c == x {
+		return
+	}
+	for k := range c.cs {
+		dst, src := &c.cs[k], &x.cs[k]
+		dst.typ, dst.card = src.typ, src.card
+		dst.arr = append(dst.arr[:0], src.arr...)
+		if src.typ == tBitmap {
+			dst.bmp = grow64(dst.bmp, bitmapWords)
+			copy(dst.bmp, src.bmp)
+		}
+	}
+}
+
+// ForEach implements List.
+func (c *Compressed) ForEach(fn func(i int) bool) {
+	for k := range c.cs {
+		ct := &c.cs[k]
+		base := k << chunkBits
+		switch ct.typ {
+		case tArray:
+			for _, v := range ct.arr {
+				if !fn(base + int(v)) {
+					return
+				}
+			}
+		case tBitmap:
+			for wi, w := range ct.bmp {
+				for w != 0 {
+					b := bits.TrailingZeros64(w)
+					if !fn(base + wi*64 + b) {
+						return
+					}
+					w &= w - 1
+				}
+			}
+		case tRun:
+			for i := 0; i < len(ct.arr); i += 2 {
+				for v := int(ct.arr[i]); v <= int(ct.arr[i+1]); v++ {
+					if !fn(base + v) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Indices implements List.
+func (c *Compressed) Indices() []int {
+	out := make([]int, 0, c.Cardinality())
+	c.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Optimize re-encodes every container into its smallest form — in practice,
+// converting solid stretches to run containers. The index builder calls it
+// once after the build scan; And never produces a representation larger
+// than its inputs, so the choice stays near-optimal through mining.
+func (c *Compressed) Optimize() {
+	for k := range c.cs {
+		c.cs[k].optimize()
+	}
+}
+
+func (c *Compressed) andCount(o List) int {
+	x := c.asComp("AndCount", o)
+	total := 0
+	for k := range c.cs {
+		total += andCountContainer(&c.cs[k], &x.cs[k])
+	}
+	return total
+}
+
+// --- container mutation ---
+
+func (ct *container) add(v uint16) {
+	switch ct.typ {
+	case tArray:
+		n := len(ct.arr)
+		if n == 0 || ct.arr[n-1] < v {
+			// The index build scan adds TIDs in ascending order, so this
+			// append is the build fast path.
+			if n >= arrayMaxCard {
+				ct.arrayToBitmap()
+				ct.add(v)
+				return
+			}
+			ct.arr = append(ct.arr, v)
+			ct.card++
+			return
+		}
+		i := sort.Search(n, func(i int) bool { return ct.arr[i] >= v })
+		if i < n && ct.arr[i] == v {
+			return
+		}
+		if n >= arrayMaxCard {
+			ct.arrayToBitmap()
+			ct.add(v)
+			return
+		}
+		ct.arr = append(ct.arr, 0)
+		copy(ct.arr[i+1:], ct.arr[i:])
+		ct.arr[i] = v
+		ct.card++
+	case tBitmap:
+		w, m := v>>6, uint64(1)<<(v&63)
+		if ct.bmp[w]&m == 0 {
+			ct.bmp[w] |= m
+			ct.card++
+		}
+	case tRun:
+		ct.runToDense()
+		ct.add(v)
+	}
+}
+
+func (ct *container) setEmpty() {
+	ct.typ = tArray
+	ct.card = 0
+	ct.arr = ct.arr[:0]
+}
+
+func (ct *container) arrayToBitmap() {
+	w := grow64(ct.bmp, bitmapWords)
+	for i := range w {
+		w[i] = 0
+	}
+	for _, v := range ct.arr {
+		w[v>>6] |= uint64(1) << (v & 63)
+	}
+	ct.bmp = w
+	ct.arr = ct.arr[:0]
+	ct.typ = tBitmap
+}
+
+// runToDense expands a run container to an array (when it fits) or a
+// bitmap. The run pairs live in arr, so the array expansion builds fresh
+// storage rather than overwrite its own input.
+func (ct *container) runToDense() {
+	runs := ct.arr
+	if ct.card <= arrayMaxCard {
+		out := make([]uint16, 0, ct.card)
+		for i := 0; i < len(runs); i += 2 {
+			for v := int(runs[i]); v <= int(runs[i+1]); v++ {
+				out = append(out, uint16(v))
+			}
+		}
+		ct.arr = out
+		ct.typ = tArray
+		return
+	}
+	w := grow64(ct.bmp, bitmapWords)
+	for i := range w {
+		w[i] = 0
+	}
+	for i := 0; i < len(runs); i += 2 {
+		setRange(w, runs[i], runs[i+1])
+	}
+	ct.bmp = w
+	ct.arr = ct.arr[:0]
+	ct.typ = tBitmap
+}
+
+// setRange sets bits [s, e] (inclusive) in w.
+func setRange(w []uint64, s, e uint16) {
+	ws, we := int(s>>6), int(e>>6)
+	if ws == we {
+		w[ws] |= rangeMask(s&63, e&63)
+		return
+	}
+	w[ws] |= rangeMask(s&63, 63)
+	for i := ws + 1; i < we; i++ {
+		w[i] = ^uint64(0)
+	}
+	w[we] |= rangeMask(0, e&63)
+}
+
+// rangeMask returns a word with bits [a, b] set (0 <= a <= b <= 63).
+func rangeMask(a, b uint16) uint64 {
+	return (^uint64(0) >> (63 - (b - a))) << a
+}
+
+// countRuns returns the number of maximal runs in the live representation.
+func (ct *container) countRuns() int {
+	switch ct.typ {
+	case tRun:
+		return len(ct.arr) / 2
+	case tArray:
+		runs := 0
+		for i, v := range ct.arr {
+			if i == 0 || ct.arr[i-1]+1 != v {
+				runs++
+			}
+		}
+		return runs
+	case tBitmap:
+		runs, prev := 0, uint64(0)
+		for _, w := range ct.bmp {
+			starts := w &^ ((w << 1) | prev)
+			runs += bits.OnesCount64(starts)
+			prev = w >> 63
+		}
+		return runs
+	}
+	return 0
+}
+
+// optimize converts the container to its smallest of the three forms.
+func (ct *container) optimize() {
+	if ct.card == 0 {
+		ct.setEmpty()
+		return
+	}
+	numRuns := ct.countRuns()
+	runBytes := 4 * numRuns
+	arrBytes := 2 * ct.card
+	const bmpBytes = 8 * bitmapWords
+	switch {
+	case runBytes < arrBytes && runBytes < bmpBytes:
+		ct.toRuns(numRuns)
+	case ct.card <= arrayMaxCard:
+		if ct.typ != tArray {
+			ct.toArray()
+		}
+	default:
+		if ct.typ == tRun {
+			ct.runToDense()
+		}
+	}
+}
+
+// toRuns re-encodes the container as (start, last) pairs.
+func (ct *container) toRuns(numRuns int) {
+	if ct.typ == tRun {
+		return
+	}
+	out := make([]uint16, 0, 2*numRuns)
+	switch ct.typ {
+	case tArray:
+		for i, v := range ct.arr {
+			if i == 0 || ct.arr[i-1]+1 != v {
+				out = append(out, v, v)
+			} else {
+				out[len(out)-1] = v
+			}
+		}
+	case tBitmap:
+		open := false
+		for wi := 0; wi < bitmapWords; wi++ {
+			w := ct.bmp[wi]
+			for b := 0; b < 64; b++ {
+				if w&(uint64(1)<<b) != 0 {
+					v := uint16(wi*64 + b)
+					if !open {
+						out = append(out, v, v)
+						open = true
+					} else {
+						out[len(out)-1] = v
+					}
+				} else {
+					open = false
+				}
+			}
+		}
+	}
+	ct.arr = out
+	ct.typ = tRun
+}
+
+// toArray re-encodes a bitmap or run container as a sorted value array;
+// the caller guarantees card <= arrayMaxCard.
+func (ct *container) toArray() {
+	switch ct.typ {
+	case tRun:
+		ct.runToDense() // card fits, so this lands on tArray
+	case tBitmap:
+		out := grow16(ct.arr, ct.card)
+		k := 0
+		for wi, w := range ct.bmp {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				out[k] = uint16(wi*64 + b)
+				k++
+				w &= w - 1
+			}
+		}
+		ct.arr = out[:k]
+		ct.typ = tArray
+	}
+}
+
+// --- intersection kernels ---
+
+// andContainer stores a ∩ b into dst. dst may be the same container as a or
+// b: every kernel writes its output at an index that never passes its read
+// positions, except run-typed payloads, which are densified up front when
+// aliased (output values would overwrite live run pairs).
+func andContainer(dst, a, b *container) {
+	if a.card == 0 || b.card == 0 {
+		dst.setEmpty()
+		return
+	}
+	if (dst == a || dst == b) && dst.typ == tRun {
+		dst.runToDense()
+	}
+	switch {
+	case a.typ == tArray && b.typ == tArray:
+		andArrArr(dst, a, b)
+	case a.typ == tArray && b.typ == tBitmap:
+		andArrBmp(dst, a, b)
+	case a.typ == tBitmap && b.typ == tArray:
+		andArrBmp(dst, b, a)
+	case a.typ == tArray && b.typ == tRun:
+		andArrRun(dst, a, b)
+	case a.typ == tRun && b.typ == tArray:
+		andArrRun(dst, b, a)
+	case a.typ == tBitmap && b.typ == tBitmap:
+		andBmpBmp(dst, a, b)
+	case a.typ == tBitmap && b.typ == tRun:
+		andBmpRun(dst, a, b)
+	case a.typ == tRun && b.typ == tBitmap:
+		andBmpRun(dst, b, a)
+	default: // run × run
+		andRunRun(dst, a, b)
+	}
+}
+
+// gallopFactor is the length ratio past which array×array intersection
+// switches from the linear merge to galloping (binary-search skips over the
+// longer side).
+const gallopFactor = 32
+
+func andArrArr(dst, a, b *container) {
+	av, bv := a.arr, b.arr
+	if len(av) > len(bv) {
+		av, bv = bv, av
+	}
+	out := grow16(dst.arr, len(av))
+	k := intersectArrays(out, av, bv)
+	dst.arr = out[:k]
+	dst.card = k
+	dst.typ = tArray
+}
+
+// intersectArrays writes av ∩ bv (len(av) <= len(bv)) into out and returns
+// the count. out may alias either input: the write index never exceeds
+// either read index.
+func intersectArrays(out, av, bv []uint16) int {
+	k := 0
+	if len(bv) >= gallopFactor*len(av) {
+		j := 0
+		for _, v := range av {
+			j += sort.Search(len(bv)-j, func(p int) bool { return bv[j+p] >= v })
+			if j == len(bv) {
+				break
+			}
+			if bv[j] == v {
+				out[k] = v
+				k++
+				j++
+			}
+		}
+		return k
+	}
+	i, j := 0, 0
+	for i < len(av) && j < len(bv) {
+		switch {
+		case av[i] < bv[j]:
+			i++
+		case av[i] > bv[j]:
+			j++
+		default:
+			out[k] = av[i]
+			k++
+			i++
+			j++
+		}
+	}
+	return k
+}
+
+// andArrBmp probes the bitmap for each array value.
+func andArrBmp(dst, arrC, bmpC *container) {
+	out := grow16(dst.arr, len(arrC.arr))
+	k := 0
+	bmp := bmpC.bmp
+	for _, v := range arrC.arr {
+		if bmp[v>>6]&(uint64(1)<<(v&63)) != 0 {
+			out[k] = v
+			k++
+		}
+	}
+	dst.arr = out[:k]
+	dst.card = k
+	dst.typ = tArray
+}
+
+// andArrRun walks the run list alongside the sorted values.
+func andArrRun(dst, arrC, runC *container) {
+	out := grow16(dst.arr, len(arrC.arr))
+	k, ri := 0, 0
+	runs := runC.arr
+	for _, v := range arrC.arr {
+		for ri < len(runs) && runs[ri+1] < v {
+			ri += 2
+		}
+		if ri == len(runs) {
+			break
+		}
+		if runs[ri] <= v {
+			out[k] = v
+			k++
+		}
+	}
+	dst.arr = out[:k]
+	dst.card = k
+	dst.typ = tArray
+}
+
+func andBmpBmp(dst, a, b *container) {
+	w := grow64(dst.bmp, bitmapWords)
+	card := 0
+	for i := range w {
+		x := a.bmp[i] & b.bmp[i]
+		w[i] = x
+		card += bits.OnesCount64(x)
+	}
+	dst.bmp = w
+	dst.finishBitmap(card)
+}
+
+// andBmpRun masks the bitmap down to the run list's ranges, word by word in
+// ascending order (safe when dst aliases the bitmap operand).
+func andBmpRun(dst, bmpC, runC *container) {
+	w := grow64(dst.bmp, bitmapWords)
+	runs := runC.arr
+	ri, card := 0, 0
+	for wi := 0; wi < bitmapWords; wi++ {
+		lo, hi := uint16(wi<<6), uint16(wi<<6|63)
+		for ri < len(runs) && runs[ri+1] < lo {
+			ri += 2
+		}
+		var mask uint64
+		for rj := ri; rj < len(runs) && runs[rj] <= hi; rj += 2 {
+			s, e := runs[rj], runs[rj+1]
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			mask |= rangeMask(s-lo, e-lo)
+			if runs[rj+1] > hi {
+				break
+			}
+		}
+		x := bmpC.bmp[wi] & mask
+		w[wi] = x
+		card += bits.OnesCount64(x)
+	}
+	dst.bmp = w
+	dst.finishBitmap(card)
+}
+
+// finishBitmap settles a bitmap-built result: below the array threshold the
+// values are extracted into the array payload (dst.bmp stays as scratch
+// capacity), which keeps intermediates shrinking down the subset lattice.
+func (dst *container) finishBitmap(card int) {
+	dst.card = card
+	if card > arrayMaxCard {
+		dst.typ = tBitmap
+		return
+	}
+	out := grow16(dst.arr, card)
+	k := 0
+	for wi, w := range dst.bmp {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out[k] = uint16(wi*64 + b)
+			k++
+			w &= w - 1
+		}
+	}
+	dst.arr = out[:k]
+	dst.typ = tArray
+}
+
+// andRunRun merges two interval lists into the intersection's intervals.
+// The result has at most runs(a)+runs(b) intervals, so the output (written
+// as pairs) fits in len(a.arr)+len(b.arr) uint16s. Aliased destinations
+// were densified by andContainer, so dst's payload is never a live input.
+func andRunRun(dst, a, b *container) {
+	ra, rb := a.arr, b.arr
+	out := grow16(dst.arr, len(ra)+len(rb))
+	i, j, k, card := 0, 0, 0, 0
+	for i < len(ra) && j < len(rb) {
+		s, e := ra[i], ra[i+1]
+		if rb[j] > s {
+			s = rb[j]
+		}
+		if rb[j+1] < e {
+			e = rb[j+1]
+		}
+		if s <= e {
+			out[k] = s
+			out[k+1] = e
+			k += 2
+			card += int(e-s) + 1
+		}
+		switch {
+		case ra[i+1] < rb[j+1]:
+			i += 2
+		case rb[j+1] < ra[i+1]:
+			j += 2
+		default:
+			i += 2
+			j += 2
+		}
+	}
+	dst.arr = out[:k]
+	dst.card = card
+	dst.typ = tRun
+}
+
+// --- counting kernels (AndCount: no materialization) ---
+
+func andCountContainer(a, b *container) int {
+	if a.card == 0 || b.card == 0 {
+		return 0
+	}
+	switch {
+	case a.typ == tArray && b.typ == tArray:
+		return countArrArr(a.arr, b.arr)
+	case a.typ == tArray && b.typ == tBitmap:
+		return countArrBmp(a.arr, b.bmp)
+	case a.typ == tBitmap && b.typ == tArray:
+		return countArrBmp(b.arr, a.bmp)
+	case a.typ == tArray && b.typ == tRun:
+		return countArrRun(a.arr, b.arr)
+	case a.typ == tRun && b.typ == tArray:
+		return countArrRun(b.arr, a.arr)
+	case a.typ == tBitmap && b.typ == tBitmap:
+		c := 0
+		for i := range a.bmp {
+			c += bits.OnesCount64(a.bmp[i] & b.bmp[i])
+		}
+		return c
+	case a.typ == tBitmap && b.typ == tRun:
+		return countBmpRun(a.bmp, b.arr)
+	case a.typ == tRun && b.typ == tBitmap:
+		return countBmpRun(b.bmp, a.arr)
+	default:
+		return countRunRun(a.arr, b.arr)
+	}
+}
+
+func countArrArr(av, bv []uint16) int {
+	if len(av) > len(bv) {
+		av, bv = bv, av
+	}
+	k := 0
+	if len(bv) >= gallopFactor*len(av) {
+		j := 0
+		for _, v := range av {
+			j += sort.Search(len(bv)-j, func(p int) bool { return bv[j+p] >= v })
+			if j == len(bv) {
+				break
+			}
+			if bv[j] == v {
+				k++
+				j++
+			}
+		}
+		return k
+	}
+	i, j := 0, 0
+	for i < len(av) && j < len(bv) {
+		switch {
+		case av[i] < bv[j]:
+			i++
+		case av[i] > bv[j]:
+			j++
+		default:
+			k++
+			i++
+			j++
+		}
+	}
+	return k
+}
+
+func countArrBmp(av []uint16, bmp []uint64) int {
+	k := 0
+	for _, v := range av {
+		if bmp[v>>6]&(uint64(1)<<(v&63)) != 0 {
+			k++
+		}
+	}
+	return k
+}
+
+func countArrRun(av, runs []uint16) int {
+	k, ri := 0, 0
+	for _, v := range av {
+		for ri < len(runs) && runs[ri+1] < v {
+			ri += 2
+		}
+		if ri == len(runs) {
+			break
+		}
+		if runs[ri] <= v {
+			k++
+		}
+	}
+	return k
+}
+
+func countBmpRun(bmp []uint64, runs []uint16) int {
+	k := 0
+	for i := 0; i < len(runs); i += 2 {
+		s, e := runs[i], runs[i+1]
+		ws, we := int(s>>6), int(e>>6)
+		if ws == we {
+			k += bits.OnesCount64(bmp[ws] & rangeMask(s&63, e&63))
+			continue
+		}
+		k += bits.OnesCount64(bmp[ws] & rangeMask(s&63, 63))
+		for w := ws + 1; w < we; w++ {
+			k += bits.OnesCount64(bmp[w])
+		}
+		k += bits.OnesCount64(bmp[we] & rangeMask(0, e&63))
+	}
+	return k
+}
+
+func countRunRun(ra, rb []uint16) int {
+	i, j, k := 0, 0, 0
+	for i < len(ra) && j < len(rb) {
+		s, e := ra[i], ra[i+1]
+		if rb[j] > s {
+			s = rb[j]
+		}
+		if rb[j+1] < e {
+			e = rb[j+1]
+		}
+		if s <= e {
+			k += int(e-s) + 1
+		}
+		switch {
+		case ra[i+1] < rb[j+1]:
+			i += 2
+		case rb[j+1] < ra[i+1]:
+			j += 2
+		default:
+			i += 2
+			j += 2
+		}
+	}
+	return k
+}
+
+// --- payload helpers ---
+
+// grow16 returns a slice of length n, reusing s's storage when it fits.
+func grow16(s []uint16, n int) []uint16 {
+	if cap(s) < n {
+		return make([]uint16, n)
+	}
+	return s[:n]
+}
+
+// grow64 returns a slice of length n, reusing s's storage when it fits.
+func grow64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,67 @@
+package tidlist
+
+import "ccs/internal/bitset"
+
+// Dense adapts the flat bitset to the List interface. It adds nothing over
+// internal/bitset beyond the interface plumbing, so the dense backend keeps
+// the exact word-AND kernels (and allocation behavior) the counting engine
+// had before the representation became pluggable.
+type Dense struct {
+	s *bitset.Set
+}
+
+// NewDense returns an empty dense list over [0, n).
+func NewDense(n int) *Dense {
+	return &Dense{s: bitset.New(n)}
+}
+
+func (d *Dense) asDense(op string, o List) *Dense {
+	if x, ok := o.(*Dense); ok {
+		return x
+	}
+	mismatch(op, o)
+	return nil
+}
+
+// Universe implements List.
+func (d *Dense) Universe() int { return d.s.Len() }
+
+// Cardinality implements List.
+func (d *Dense) Cardinality() int { return d.s.Count() }
+
+// SizeBytes implements List: the backing words, regardless of population.
+func (d *Dense) SizeBytes() int64 {
+	return int64((d.s.Len()+63)/64) * 8
+}
+
+// Backend implements List.
+func (d *Dense) Backend() Backend { return BackendDense }
+
+// Add implements List.
+func (d *Dense) Add(i int) { d.s.Add(i) }
+
+// And implements List.
+func (d *Dense) And(a, b List) {
+	d.s.And(d.asDense("And", a).s, d.asDense("And", b).s)
+}
+
+// AndWith implements List.
+func (d *Dense) AndWith(o List) { d.s.AndWith(d.asDense("AndWith", o).s) }
+
+// CopyFrom implements List.
+func (d *Dense) CopyFrom(o List) { d.s.CopyFrom(d.asDense("CopyFrom", o).s) }
+
+// ForEach implements List.
+func (d *Dense) ForEach(fn func(i int) bool) { d.s.ForEach(fn) }
+
+// Indices implements List.
+func (d *Dense) Indices() []int { return d.s.Indices() }
+
+func (d *Dense) andCount(o List) int {
+	return bitset.AndCount(d.s, d.asDense("AndCount", o).s)
+}
+
+func (d *Dense) equal(o *Dense) bool { return bitset.Equal(d.s, o.s) }
+
+// String renders the list for debugging.
+func (d *Dense) String() string { return d.s.String() }

@@ -1,0 +1,190 @@
+package tidlist
+
+import (
+	"sort"
+	"testing"
+)
+
+// Opcodes of the FuzzTidlistOps interpreter. Each instruction is four
+// bytes: an opcode (selecting the operation and the destination register),
+// two index bytes (a 16-bit TID, wrapped to the universe), and an auxiliary
+// byte (source registers, or a range span).
+const (
+	fopAdd = iota
+	fopAddRange
+	fopAnd
+	fopAndWith
+	fopCopy
+	fopOptimize
+	fopAndCount
+	numFops
+)
+
+// FuzzTidlistOps differentially fuzzes both List backends against a
+// map[int]bool reference model, mirroring the bitset package's FuzzSetOps:
+// a random program over three registers runs against the dense list, the
+// compressed list, and the model simultaneously, and every intermediate
+// Cardinality plus the final contents must agree three ways. fopAddRange
+// manufactures solid stretches (run-container food) and pushes arrays over
+// the 4096-value conversion edge; the universe wraps past 64Ki so chunk
+// splits are always in play.
+func FuzzTidlistOps(f *testing.F) {
+	// Array→bitmap edge: a range of exactly 4096 then one more value.
+	f.Add(uint32(10000), []byte{
+		fopAddRange, 0, 0, 255,
+		fopAddRange, 255, 15, 255,
+		fopAdd, 16, 16, 0,
+	})
+	// Chunk-edge range straddling 65536, then optimize and intersect.
+	f.Add(uint32(2*65536+5), []byte{
+		fopAddRange, 200, 255, 200,
+		fopAdd + numFops, 0, 0, 0,
+		fopAddRange + numFops, 210, 255, 255,
+		fopOptimize, 0, 0, 0,
+		fopOptimize + numFops, 0, 0, 0,
+		fopAndCount, 0, 0, 1,
+		fopAnd + 2*numFops, 0, 0, 1,
+	})
+	// Aliased in-place intersection on run-typed registers.
+	f.Add(uint32(70000), []byte{
+		fopAddRange, 0, 16, 255,
+		fopAddRange + numFops, 100, 16, 255,
+		fopOptimize, 0, 0, 0,
+		fopAndWith, 0, 0, 1,
+		fopCopy + 2*numFops, 0, 0, 0,
+	})
+	f.Add(uint32(0), []byte{fopAdd, 0, 0, 0})
+	f.Add(uint32(1), []byte{})
+
+	f.Fuzz(func(t *testing.T, n uint32, program []byte) {
+		size := int(n % 140000) // several chunks, both sides of 64Ki
+		var dense, comp [3]List
+		var model [3]map[int]bool
+		for i := range dense {
+			dense[i] = NewDense(size)
+			comp[i] = NewCompressed(size)
+			model[i] = map[int]bool{}
+		}
+
+		for pc := 0; pc+3 < len(program); pc += 4 {
+			code, lo, hi, aux := program[pc], program[pc+1], program[pc+2], program[pc+3]
+			op := int(code) % numFops
+			dst := int(code/numFops) % 3
+			a := int(aux) % 3
+			b := int(aux/3) % 3
+			var idx int
+			if size > 0 {
+				idx = (int(lo) | int(hi)<<8) % size
+			}
+
+			switch op {
+			case fopAdd:
+				if size == 0 {
+					continue
+				}
+				dense[dst].Add(idx)
+				comp[dst].Add(idx)
+				model[dst][idx] = true
+			case fopAddRange:
+				if size == 0 {
+					continue
+				}
+				// Span up to ~8Ki values: long enough to cross the 4096
+				// array limit and a chunk edge from near its end.
+				end := idx + int(aux)*32
+				if end >= size {
+					end = size - 1
+				}
+				for v := idx; v <= end; v++ {
+					dense[dst].Add(v)
+					comp[dst].Add(v)
+					model[dst][v] = true
+				}
+			case fopAnd:
+				dense[dst].And(dense[a], dense[b])
+				comp[dst].And(comp[a], comp[b])
+				model[dst] = fintersect(model[a], model[b])
+			case fopAndWith:
+				dense[dst].AndWith(dense[a])
+				comp[dst].AndWith(comp[a])
+				model[dst] = fintersect(model[dst], model[a])
+			case fopCopy:
+				dense[dst].CopyFrom(dense[a])
+				comp[dst].CopyFrom(comp[a])
+				model[dst] = fclone(model[a])
+			case fopOptimize:
+				comp[dst].(*Compressed).Optimize() // representation-only: model and dense unchanged
+			case fopAndCount:
+				want := len(fintersect(model[dst], model[a]))
+				if got := AndCount(dense[dst], dense[a]); got != want {
+					t.Fatalf("pc %d: dense AndCount(r%d, r%d) = %d, model %d", pc, dst, a, got, want)
+				}
+				if got := AndCount(comp[dst], comp[a]); got != want {
+					t.Fatalf("pc %d: compressed AndCount(r%d, r%d) = %d, model %d", pc, dst, a, got, want)
+				}
+			}
+
+			if got, want := dense[dst].Cardinality(), len(model[dst]); got != want {
+				t.Fatalf("pc %d: op %d: dense Cardinality(r%d) = %d, model %d", pc, op, dst, got, want)
+			}
+			if got, want := comp[dst].Cardinality(), len(model[dst]); got != want {
+				t.Fatalf("pc %d: op %d: compressed Cardinality(r%d) = %d, model %d", pc, op, dst, got, want)
+			}
+		}
+
+		for r := range dense {
+			want := fmodelIndices(model[r])
+			if got := dense[r].Indices(); !fequalInts(got, want) {
+				t.Fatalf("reg %d: dense Indices() = %v, model %v", r, got, want)
+			}
+			if got := comp[r].Indices(); !fequalInts(got, want) {
+				t.Fatalf("reg %d: compressed Indices() = %v, model %v", r, got, want)
+			}
+			if !Equal(dense[r], comp[r]) {
+				t.Fatalf("reg %d: Equal(dense, compressed) = false", r)
+			}
+		}
+		if got, want := AndCount(comp[0], comp[1]), len(fintersect(model[0], model[1])); got != want {
+			t.Fatalf("final compressed AndCount = %d, model %d", got, want)
+		}
+	})
+}
+
+func fclone(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func fintersect(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func fmodelIndices(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func fequalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+// Package tidlist abstracts the vertical TID-list representation behind a
+// small interface so the mining kernels run unchanged over either a dense
+// bitset (one bit per transaction, the right shape when most columns touch
+// a sizable fraction of the database) or a roaring-style compressed store
+// (array/run/bitmap containers per 64Ki-transaction chunk, the right shape
+// for sparse long-tail columns). The interface is deliberately Words-free:
+// nothing outside this package sees the physical layout, so the counting
+// kernels, the prefix cache, and the shard cost model all work off
+// Cardinality, And/AndCount, and SizeBytes alone.
+//
+// Lists of different backends never mix: every list of one vertical index
+// (columns, scratch intersections, cached prefixes) shares one backend, and
+// the binary operations panic on a mismatch exactly like the dense bitset
+// panics on a universe mismatch.
+package tidlist
+
+import "fmt"
+
+// Backend names a TID-list representation.
+type Backend string
+
+const (
+	// BackendAuto lets the index builder pick by density (see Choose).
+	BackendAuto Backend = "auto"
+	// BackendDense is the flat bitset: (NumTx+63)/64 words per column.
+	BackendDense Backend = "dense"
+	// BackendCompressed is the roaring-style container store.
+	BackendCompressed Backend = "compressed"
+)
+
+// ParseBackend validates a user-supplied backend name ("" = auto).
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "", BackendAuto:
+		return BackendAuto, nil
+	case BackendDense:
+		return BackendDense, nil
+	case BackendCompressed:
+		return BackendCompressed, nil
+	}
+	return "", fmt.Errorf("tidlist: unknown backend %q (want auto, dense, or compressed)", s)
+}
+
+// denseDensityCutoff is the density below which Choose picks the compressed
+// backend. An array container spends 2 bytes per TID while the dense bitset
+// spends 1 bit per slot, so the break-even density is 1/16: sparser than
+// that and arrays are strictly smaller (runs and bitmaps only improve on
+// arrays), denser and the flat bitset is at least as small and its kernels
+// are branch-free.
+const denseDensityCutoff = 1.0 / 16
+
+// Choose resolves BackendAuto by dataset density: totalEntries item
+// occurrences spread over numTx×numItems slots. Explicit backends pass
+// through unchanged.
+func Choose(b Backend, numTx, numItems, totalEntries int) Backend {
+	if b != BackendAuto && b != "" {
+		return b
+	}
+	slots := float64(numTx) * float64(numItems)
+	if slots > 0 && float64(totalEntries) < denseDensityCutoff*slots {
+		return BackendCompressed
+	}
+	return BackendDense
+}
+
+// List is one TID-list over the universe [0, Universe()). Implementations
+// are not safe for concurrent mutation, but a list that is no longer
+// written (an index column, a cached prefix) may be read concurrently.
+type List interface {
+	// Universe returns the transaction-ID universe size.
+	Universe() int
+	// Cardinality returns the number of TIDs present.
+	Cardinality() int
+	// SizeBytes returns the resident size of the live representation —
+	// the unit the prefix-cache budget and the shard cost model price in.
+	SizeBytes() int64
+	// Backend names the representation.
+	Backend() Backend
+	// Add inserts TID i. It panics if i is out of range.
+	Add(i int)
+	// And stores a ∩ b into the receiver (which may alias either operand).
+	And(a, b List)
+	// AndWith intersects in place: l = l ∩ o.
+	AndWith(o List)
+	// CopyFrom overwrites the receiver with o's contents.
+	CopyFrom(o List)
+	// ForEach calls fn for every TID in ascending order until fn returns
+	// false.
+	ForEach(fn func(i int) bool)
+	// Indices returns the TIDs in ascending order.
+	Indices() []int
+}
+
+// New returns an empty list over [0, n) in the given backend. BackendAuto is
+// not a representation; resolve it with Choose first.
+func New(b Backend, n int) List {
+	switch b {
+	case BackendDense:
+		return NewDense(n)
+	case BackendCompressed:
+		return NewCompressed(n)
+	}
+	panic(fmt.Sprintf("tidlist: cannot instantiate backend %q", b))
+}
+
+// FromIndices builds a list over [0, n) containing the given TIDs.
+func FromIndices(b Backend, n int, indices ...int) List {
+	l := New(b, n)
+	for _, i := range indices {
+		l.Add(i)
+	}
+	return l
+}
+
+// AndCount returns |a ∩ b| without materializing the intersection. Both
+// lists must share a backend and universe.
+func AndCount(a, b List) int {
+	switch x := a.(type) {
+	case *Dense:
+		return x.andCount(b)
+	case *Compressed:
+		return x.andCount(b)
+	}
+	panic(fmt.Sprintf("tidlist: AndCount on unknown backend %q", a.Backend()))
+}
+
+// Equal reports whether a and b hold exactly the same TIDs over the same
+// universe. Unlike the binary set operations it tolerates mixed backends —
+// the differential tests use it to compare dense and compressed results.
+func Equal(a, b List) bool {
+	if a.Universe() != b.Universe() || a.Cardinality() != b.Cardinality() {
+		return false
+	}
+	if da, ok := a.(*Dense); ok {
+		if db, ok := b.(*Dense); ok {
+			return da.equal(db)
+		}
+	}
+	ai, bi := a.Indices(), b.Indices()
+	for i := range ai {
+		if ai[i] != bi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mismatch panics with a uniform diagnostic for cross-backend operands.
+func mismatch(op string, got List) List {
+	panic(fmt.Sprintf("tidlist: %s across backends (operand is %q)", op, got.Backend()))
+}

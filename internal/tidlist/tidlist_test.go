@@ -1,0 +1,307 @@
+package tidlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// both builds the same TID set in both backends, so tests can run an
+// operation mirrored and compare.
+func both(n int, indices ...int) (List, List) {
+	return FromIndices(BackendDense, n, indices...), FromIndices(BackendCompressed, n, indices...)
+}
+
+func sameContents(t *testing.T, ctx string, d, c List) {
+	t.Helper()
+	if !Equal(d, c) {
+		t.Fatalf("%s: dense %v != compressed %v", ctx, d.Indices(), c.Indices())
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"", BackendAuto, true},
+		{"auto", BackendAuto, true},
+		{"dense", BackendDense, true},
+		{"compressed", BackendCompressed, true},
+		{"roaring", "", false},
+	} {
+		got, err := ParseBackend(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseBackend(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestChoose(t *testing.T) {
+	// 1000 tx × 100 items = 100000 slots; cutoff density is 1/16 = 6250.
+	if got := Choose(BackendAuto, 1000, 100, 6000); got != BackendCompressed {
+		t.Errorf("sparse auto = %q, want compressed", got)
+	}
+	if got := Choose(BackendAuto, 1000, 100, 7000); got != BackendDense {
+		t.Errorf("dense auto = %q, want dense", got)
+	}
+	if got := Choose(BackendDense, 1000, 100, 1); got != BackendDense {
+		t.Errorf("explicit dense overridden to %q", got)
+	}
+	if got := Choose(BackendCompressed, 1000, 100, 99999); got != BackendCompressed {
+		t.Errorf("explicit compressed overridden to %q", got)
+	}
+	if got := Choose("", 10, 10, 100); got != BackendDense {
+		t.Errorf("empty backend at full density = %q, want dense", got)
+	}
+}
+
+// TestArrayBoundary pins the array→bitmap conversion at exactly 4095, 4096,
+// and 4097 TIDs in one chunk — the container-capacity edge.
+func TestArrayBoundary(t *testing.T) {
+	for _, card := range []int{4095, 4096, 4097} {
+		indices := make([]int, card)
+		for i := range indices {
+			indices[i] = 2 * i // spread so no run forms
+		}
+		d, c := both(10000, indices...)
+		if c.Cardinality() != card {
+			t.Fatalf("card %d: compressed Cardinality = %d", card, c.Cardinality())
+		}
+		sameContents(t, "boundary build", d, c)
+
+		// The bitmap threshold shows in SizeBytes: ≤4096 values cost
+		// 2 bytes each (plus bounded bookkeeping), 4097 snaps to the
+		// 8 KiB bitmap.
+		if card <= arrayMaxCard {
+			if got := c.SizeBytes(); got > int64(2*card)+200 {
+				t.Errorf("card %d: SizeBytes = %d, want array-sized (~%d)", card, got, 2*card)
+			}
+		} else if got := c.SizeBytes(); got < 8192 {
+			t.Errorf("card %d: SizeBytes = %d, want bitmap-sized (>= 8192)", card, got)
+		}
+
+		// Intersection with every other element must agree across backends.
+		half := make([]int, 0, card/2)
+		for i := 0; i < card; i += 2 {
+			half = append(half, 2*i)
+		}
+		dh, ch := both(10000, half...)
+		if got, want := AndCount(c, ch), AndCount(d, dh); got != want {
+			t.Fatalf("card %d: AndCount = %d, dense %d", card, got, want)
+		}
+		dr, cr := NewDense(10000), NewCompressed(10000)
+		dr.And(d, dh)
+		cr.And(List(c), List(ch))
+		sameContents(t, "boundary and", dr, cr)
+	}
+}
+
+// TestChunkEdges pins behavior at the 64Ki chunk keys: TIDs on both sides
+// of 65536 and 131072 must land in the right containers and intersect
+// correctly.
+func TestChunkEdges(t *testing.T) {
+	n := 3*chunkSize + 5
+	edge := []int{0, chunkSize - 1, chunkSize, chunkSize + 1, 2*chunkSize - 1, 2 * chunkSize, 3*chunkSize + 4}
+	d, c := both(n, edge...)
+	sameContents(t, "edges", d, c)
+
+	other := []int{chunkSize - 1, chunkSize + 1, 2 * chunkSize, 7}
+	do, co := both(n, other...)
+	if got, want := AndCount(c, co), AndCount(d, do); got != want {
+		t.Fatalf("edge AndCount = %d, dense %d", got, want)
+	}
+	dr, cr := NewDense(n), NewCompressed(n)
+	dr.And(d, do)
+	cr.And(c, co)
+	sameContents(t, "edge and", dr, cr)
+	if got := cr.Indices(); len(got) != 3 || got[0] != chunkSize-1 || got[1] != chunkSize+1 || got[2] != 2*chunkSize {
+		t.Fatalf("edge intersection = %v", got)
+	}
+}
+
+// TestRunContainers drives the run representation: solid stretches convert
+// to runs under Optimize, run×run intersections produce runs, and every
+// mixed-kernel pair (array×run, bitmap×run) matches the dense result.
+func TestRunContainers(t *testing.T) {
+	n := chunkSize + 500
+	solid := func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo+1)
+		for v := lo; v <= hi; v++ {
+			out = append(out, v)
+		}
+		return out
+	}
+	aIdx := append(solid(100, 8000), solid(65000, 65600)...) // crosses the chunk edge
+	bIdx := append(solid(4000, 9000), solid(65500, 66000)...)
+	da, ca := both(n, aIdx...)
+	db, cb := both(n, bIdx...)
+	ca.(*Compressed).Optimize()
+	cb.(*Compressed).Optimize()
+	sameContents(t, "optimized a", da, ca)
+	sameContents(t, "optimized b", db, cb)
+
+	// A solid 7901-value stretch costs 4 bytes as one run.
+	if got := ca.SizeBytes(); got > 1024 {
+		t.Errorf("run-compressed SizeBytes = %d, want tiny", got)
+	}
+
+	// run×run merge.
+	if got, want := AndCount(ca, cb), AndCount(da, db); got != want {
+		t.Fatalf("run×run AndCount = %d, dense %d", got, want)
+	}
+	dr, cr := NewDense(n), NewCompressed(n)
+	dr.And(da, db)
+	cr.And(ca, cb)
+	sameContents(t, "run×run and", dr, cr)
+
+	// array×run and bitmap×run against unoptimized operands.
+	spread := make([]int, 0, 6000)
+	for v := 0; v < n; v += 11 {
+		spread = append(spread, v)
+	}
+	ds, cs := both(n, spread...) // chunk 0 holds ~5958 values → bitmap container
+	if got, want := AndCount(cs, ca), AndCount(ds, da); got != want {
+		t.Fatalf("mixed AndCount = %d, dense %d", got, want)
+	}
+	dr2, cr2 := NewDense(n), NewCompressed(n)
+	dr2.And(ds, da)
+	cr2.And(cs, ca)
+	sameContents(t, "mixed and", dr2, cr2)
+
+	// Adding to a run container densifies it without losing contents.
+	ca.Add(66020)
+	da.Add(66020)
+	sameContents(t, "add after optimize", da, ca)
+}
+
+// TestAliasing pins the in-place kernels: And where the destination is an
+// operand, AndWith, and the run-typed-destination densify path.
+func TestAliasing(t *testing.T) {
+	n := chunkSize * 2
+	r := rand.New(rand.NewSource(7))
+	randIdx := func(count int) []int {
+		seen := map[int]bool{}
+		for len(seen) < count {
+			seen[r.Intn(n)] = true
+		}
+		out := make([]int, 0, count)
+		for v := range seen {
+			out = append(out, v)
+		}
+		return out
+	}
+	for _, counts := range [][2]int{{100, 5000}, {5000, 100}, {6000, 6000}, {3000, 50}} {
+		ai, bi := randIdx(counts[0]), randIdx(counts[1])
+		da, ca := both(n, ai...)
+		db, cb := both(n, bi...)
+		da.AndWith(db)
+		ca.AndWith(cb)
+		sameContents(t, "andwith", da, ca)
+
+		// dst aliasing the second operand.
+		da2, ca2 := both(n, ai...)
+		db2, cb2 := both(n, bi...)
+		db2.And(da2, db2)
+		cb2.And(ca2, cb2)
+		sameContents(t, "alias-b", db2, cb2)
+	}
+
+	// Run-typed destination aliasing an operand.
+	solid := make([]int, 0, 9000)
+	for v := 1000; v < 10000; v++ {
+		solid = append(solid, v)
+	}
+	ds, cs := both(n, solid...)
+	cs.(*Compressed).Optimize()
+	sparse := randIdx(300)
+	dsp, csp := both(n, sparse...)
+	ds.AndWith(dsp)
+	cs.AndWith(csp)
+	sameContents(t, "run-dst andwith", ds, cs)
+
+	// Both operands run-typed, destination aliased.
+	d1, c1 := both(n, solid...)
+	d2, c2 := both(n, solid[2000:7000]...)
+	c1.(*Compressed).Optimize()
+	c2.(*Compressed).Optimize()
+	d1.AndWith(d2)
+	c1.AndWith(c2)
+	sameContents(t, "run-run aliased", d1, c1)
+}
+
+func TestCopyFrom(t *testing.T) {
+	n := chunkSize + 100
+	_, c := both(n, 1, 4000, 65540)
+	cp := NewCompressed(n)
+	cp.CopyFrom(c)
+	sameContents(t, "copy", c, cp)
+	// Deep copy: mutating the copy must not touch the original.
+	cp.Add(9)
+	if c.Cardinality() != 3 || cp.Cardinality() != 4 {
+		t.Fatalf("copy not deep: orig %d, copy %d", c.Cardinality(), cp.Cardinality())
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-backend And did not panic")
+		}
+	}()
+	d := NewDense(10)
+	c := NewCompressed(10)
+	d.And(d, c)
+}
+
+func TestAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add did not panic")
+		}
+	}()
+	NewCompressed(10).Add(10)
+}
+
+// TestRandomDifferential runs random dense/compressed pairs through mixed
+// operation chains over multi-chunk universes at several densities.
+func TestRandomDifferential(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3*chunkSize)
+		build := func(density float64) (List, List) {
+			d, c := NewDense(n), NewCompressed(n)
+			count := int(density * float64(n))
+			for i := 0; i < count; i++ {
+				v := r.Intn(n)
+				d.Add(v)
+				c.Add(v)
+			}
+			if r.Intn(2) == 0 {
+				c.Optimize()
+			}
+			return d, c
+		}
+		densities := []float64{0.001, 0.05, 0.3, 0.9}
+		for trial := 0; trial < 8; trial++ {
+			da, ca := build(densities[r.Intn(len(densities))])
+			db, cb := build(densities[r.Intn(len(densities))])
+			sameContents(t, "build a", da, ca)
+			if got, want := AndCount(ca, cb), AndCount(da, db); got != want {
+				t.Fatalf("seed %d trial %d: AndCount = %d, dense %d", seed, trial, got, want)
+			}
+			dr, cr := NewDense(n), NewCompressed(n)
+			dr.And(da, db)
+			cr.And(ca, cb)
+			sameContents(t, "and", dr, cr)
+			if got, want := cr.Cardinality(), dr.Cardinality(); got != want {
+				t.Fatalf("seed %d trial %d: Cardinality = %d, dense %d", seed, trial, got, want)
+			}
+			// Chain a second intersection through the materialized result.
+			dc, cc := build(densities[r.Intn(len(densities))])
+			dr.AndWith(dc)
+			cr.AndWith(cc)
+			sameContents(t, "chained and", dr, cr)
+		}
+	}
+}
